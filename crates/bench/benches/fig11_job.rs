@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 11: JOB-like queries over the IMDB-like
+//! schema.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpdp_bench::runner::{run_exact, AlgoKind};
+use mpdp_cost::PgLikeCost;
+use mpdp_workload::ImdbSchema;
+use std::time::Duration;
+
+fn bench_job(c: &mut Criterion) {
+    let model = PgLikeCost::new();
+    let schema = ImdbSchema::new();
+    let mut group = c.benchmark_group("fig11_job");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [8usize, 12, 17] {
+        let q = schema.query(n, 7, &model).to_query_info().unwrap();
+        for kind in [AlgoKind::DpCcp, AlgoKind::MpdpSeq, AlgoKind::MpdpGpu] {
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &q, |b, q| {
+                b.iter(|| run_exact(kind, q, &model, Duration::from_secs(60)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_job);
+criterion_main!(benches);

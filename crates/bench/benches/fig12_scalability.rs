@@ -1,0 +1,32 @@
+//! Criterion bench for the Figure 12 substrate: real fork/join execution of
+//! parallel MPDP at different worker counts. On this single-core container
+//! thread counts > 1 measure scheduling overhead, not speedup — the figure's
+//! speedup curves come from the calibrated model in `repro fig12`; this
+//! bench guards the parallel implementation's overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpdp_cost::PgLikeCost;
+use mpdp_dp::common::OptContext;
+use mpdp_parallel::level_par::{run_level_parallel, LevelAlgo};
+use mpdp_workload::MusicBrainz;
+use std::time::Duration;
+
+fn bench_scalability(c: &mut Criterion) {
+    let model = PgLikeCost::new();
+    let mb = MusicBrainz::new();
+    let q = mb.random_walk_query(14, 42, true, &model).to_query_info().unwrap();
+    let mut group = c.benchmark_group("fig12_parallel_mpdp");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("MPDP(CPU)", threads), &q, |b, q| {
+            b.iter(|| {
+                let ctx = OptContext::new(q, &model);
+                run_level_parallel(&ctx, LevelAlgo::Mpdp, threads).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

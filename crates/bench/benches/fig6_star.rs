@@ -1,0 +1,43 @@
+//! Criterion bench for Figure 6: optimization time on star join graphs.
+//!
+//! Wall-clock measurement of the real implementations on this machine;
+//! the `repro fig6` binary adds the hardware-model projections.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpdp_bench::runner::{run_exact, AlgoKind};
+use mpdp_cost::PgLikeCost;
+use mpdp_workload::gen;
+use std::time::Duration;
+
+fn bench_star(c: &mut Criterion) {
+    let model = PgLikeCost::new();
+    let mut group = c.benchmark_group("fig6_star");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [8usize, 12, 14] {
+        let q = gen::star(n, 1000, &model).to_query_info().unwrap();
+        for kind in [
+            AlgoKind::PostgresDpSize,
+            AlgoKind::DpCcp,
+            AlgoKind::MpdpSeq,
+            AlgoKind::MpdpGpu,
+        ] {
+            // DPSIZE explodes past 14 on stars; skip to keep the bench fast.
+            if kind == AlgoKind::PostgresDpSize && n > 12 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), n),
+                &q,
+                |b, q| {
+                    b.iter(|| {
+                        run_exact(kind, q, &model, Duration::from_secs(60)).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_star);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for Figure 8: optimization time on clique join graphs
+//! (the cross-join stress case — no search-space pruning possible).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpdp_bench::runner::{run_exact, AlgoKind};
+use mpdp_cost::PgLikeCost;
+use mpdp_workload::gen;
+use std::time::Duration;
+
+fn bench_clique(c: &mut Criterion) {
+    let model = PgLikeCost::new();
+    let mut group = c.benchmark_group("fig8_clique");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [6usize, 8, 10] {
+        let q = gen::clique(n, 1000, &model).to_query_info().unwrap();
+        for kind in [AlgoKind::DpCcp, AlgoKind::DpSubSeq, AlgoKind::MpdpSeq, AlgoKind::MpdpGpu] {
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &q, |b, q| {
+                b.iter(|| run_exact(kind, q, &model, Duration::from_secs(60)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clique);
+criterion_main!(benches);

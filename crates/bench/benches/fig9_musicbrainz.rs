@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 9: optimization time on MusicBrainz
+//! random-walk queries (real-world schema topology, cycles included).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpdp_bench::runner::{run_exact, AlgoKind};
+use mpdp_cost::PgLikeCost;
+use mpdp_workload::MusicBrainz;
+use std::time::Duration;
+
+fn bench_musicbrainz(c: &mut Criterion) {
+    let model = PgLikeCost::new();
+    let mb = MusicBrainz::new();
+    let mut group = c.benchmark_group("fig9_musicbrainz");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [8usize, 12, 16] {
+        let q = mb.random_walk_query(n, 42, true, &model).to_query_info().unwrap();
+        for kind in [AlgoKind::DpCcp, AlgoKind::MpdpSeq, AlgoKind::MpdpGpu] {
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &q, |b, q| {
+                b.iter(|| run_exact(kind, q, &model, Duration::from_secs(60)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_musicbrainz);
+criterion_main!(benches);

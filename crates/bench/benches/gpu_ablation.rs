@@ -1,0 +1,38 @@
+//! Criterion bench for the §7.2.5 GPU-enhancement ablation: end-to-end
+//! simulated-GPU run time of MPDP with/without kernel fusion and CCC.
+//! (The cycle-level effects are reported by `repro ablation`; this measures
+//! the host-side wall time of driving the simulation.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpdp_cost::PgLikeCost;
+use mpdp_dp::common::OptContext;
+use mpdp_gpu::drivers::MpdpGpu;
+use mpdp_workload::gen;
+use std::time::Duration;
+
+fn bench_ablation(c: &mut Criterion) {
+    let model = PgLikeCost::new();
+    let q = gen::star(12, 3, &model).to_query_info().unwrap();
+    let mut group = c.benchmark_group("gpu_ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (label, fused, ccc) in [
+        ("baseline", false, false),
+        ("fusion", true, false),
+        ("ccc", false, true),
+        ("both", true, true),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, 12), &q, |b, q| {
+            b.iter(|| {
+                let ctx = OptContext::new(q, &model);
+                let mut drv = MpdpGpu::new();
+                drv.config.fused_prune = fused;
+                drv.config.ccc = ccc;
+                drv.run(&ctx).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for the heuristic optimizers (the Tables 1–2 regime):
+//! optimization time of each technique on a mid-size snowflake. Plan
+//! *quality* is covered by `repro table1`/`table2`; this bench tracks the
+//! time side ("while being faster to compute").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpdp_cost::PgLikeCost;
+use mpdp_heuristics::{idp2_mpdp, Goo, Ikkbz, LargeOptimizer, LinDp, UnionDp};
+use mpdp_workload::gen;
+use std::time::Duration;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let model = PgLikeCost::new();
+    let mut group = c.benchmark_group("heuristics_snowflake");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [50usize, 100] {
+        let q = gen::snowflake(n, 4, 7, &model);
+        group.bench_with_input(BenchmarkId::new("GOO", n), &q, |b, q| {
+            b.iter(|| Goo.optimize(q, &model, None).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("IKKBZ", n), &q, |b, q| {
+            b.iter(|| Ikkbz.optimize(q, &model, None).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("LinDP", n), &q, |b, q| {
+            b.iter(|| LinDp::default().optimize(q, &model, None).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("IDP2-MPDP(10)", n), &q, |b, q| {
+            b.iter(|| idp2_mpdp(q, &model, 10, None).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("UnionDP-MPDP(10)", n), &q, |b, q| {
+            b.iter(|| UnionDp { k: 10 }.optimize(q, &model, None).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! AWS on-demand pricing used by the Figure 13 cost-of-optimization study.
+//!
+//! The paper runs single-threaded CPU algorithms on `c5.large`, parallel CPU
+//! ones on `c5.xlarge` (4 vCPU — it notes the CPU algorithms "do not scale
+//! linearly with large number of cores", so the small instance is the most
+//! cost-effective) and GPU algorithms on `g4dn.xlarge` (NVIDIA T4).
+//! Prices are us-east-1 on-demand US$ per hour at the time of the paper.
+
+use crate::runner::AlgoKind;
+use std::time::Duration;
+
+/// `c5.large` (2 vCPU): single-threaded CPU algorithms.
+pub const C5_LARGE_PER_H: f64 = 0.085;
+/// `c5.xlarge` (4 vCPU): DPE and MPDP (CPU).
+pub const C5_XLARGE_PER_H: f64 = 0.17;
+/// `g4dn.xlarge` (NVIDIA T4): GPU algorithms.
+pub const G4DN_XLARGE_PER_H: f64 = 0.526;
+
+/// Hourly price of the instance the paper assigns to an algorithm.
+pub fn instance_price(kind: AlgoKind) -> f64 {
+    match kind {
+        AlgoKind::PostgresDpSize | AlgoKind::DpCcp | AlgoKind::MpdpSeq | AlgoKind::DpSubSeq => {
+            C5_LARGE_PER_H
+        }
+        AlgoKind::Dpe24 | AlgoKind::MpdpCpu24 => C5_XLARGE_PER_H,
+        AlgoKind::DpSubGpu | AlgoKind::DpSizeGpu | AlgoKind::MpdpGpu => G4DN_XLARGE_PER_H,
+    }
+}
+
+/// The Figure 13 4-vCPU variants: predicted times for 4 threads instead of
+/// 24. Returns the thread count the cost study uses per algorithm.
+pub fn cost_study_threads(kind: AlgoKind) -> usize {
+    match kind {
+        AlgoKind::Dpe24 | AlgoKind::MpdpCpu24 => 4,
+        _ => 1,
+    }
+}
+
+/// Optimization cost in US cents for one query.
+pub fn optimization_cost_cents(kind: AlgoKind, time: Duration) -> f64 {
+    instance_price(kind) * 100.0 * time.as_secs_f64() / 3600.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_time_is_pricier_per_hour() {
+        assert!(instance_price(AlgoKind::MpdpGpu) > instance_price(AlgoKind::MpdpCpu24));
+        assert!(instance_price(AlgoKind::MpdpCpu24) > instance_price(AlgoKind::DpCcp));
+    }
+
+    #[test]
+    fn cost_scales_with_time() {
+        let a = optimization_cost_cents(AlgoKind::DpCcp, Duration::from_secs(36));
+        // 36s at $0.085/h = 0.085 cents... 0.085*100*0.01 = 0.085 cents
+        assert!((a - 0.085).abs() < 1e-9);
+        let b = optimization_cost_cents(AlgoKind::DpCcp, Duration::from_secs(72));
+        assert!((b - 2.0 * a).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,528 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro <experiment> [..]     experiments: fig2 fig4 fig6 fig7 fig8 fig9
+//!                             fig10 fig11 fig12 fig13 table1 table2 table3
+//!                             ablation all
+//! REPRO_SCALE={quick,paper}   sweep sizes (default quick)
+//! REPRO_TIMEOUT_MS=<ms>       per-query optimization budget
+//! ```
+//!
+//! Output is tab-separated, one block per figure, with a header naming the
+//! series exactly as in the paper. Times marked `[model]` are hardware-model
+//! or SIMT-simulated predictions (see DESIGN.md §2); unmarked times are
+//! wall-clock measurements on this machine.
+
+use mpdp_bench::aws;
+use mpdp_bench::runner::{run_exact, AlgoKind, EXACT_ROSTER};
+use mpdp_bench::scale::Scale;
+use mpdp_bench::starform;
+use mpdp_bench::stats::{fmt_ms, mean, percentile};
+use mpdp_core::{LargeQuery, OptError, QueryInfo};
+use mpdp_cost::pglike::PgLikeCost;
+use mpdp_dp::common::OptContext;
+use mpdp_gpu::drivers::MpdpGpu;
+use mpdp_heuristics::{
+    idp2_mpdp, Geqo, Goo, Ikkbz, LargeOptimizer, LinDp, UnionDp,
+};
+use mpdp_parallel::hwmodel::{Calibration, CpuModel};
+use mpdp_workload::{gen, ImdbSchema, MusicBrainz};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_env();
+    let what: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "ablation", "table1", "table2", "table3",
+        ]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    println!("# MPDP reproduction harness — scale={scale:?}, timeout={:?}", scale.timeout());
+    for w in what {
+        match w {
+            "fig2" => fig2(scale),
+            "fig4" => fig4(scale),
+            "fig6" => exact_sweep(scale, "fig6", "star", scale.exact_sizes()),
+            "fig7" => exact_sweep(scale, "fig7", "snowflake", scale.exact_sizes()),
+            "fig8" => exact_sweep(scale, "fig8", "clique", scale.clique_sizes()),
+            "fig9" => exact_sweep(scale, "fig9", "musicbrainz", scale.exact_sizes()),
+            "fig10" => fig10(scale),
+            "fig11" => fig11(scale),
+            "fig12" => fig12(scale),
+            "fig13" => fig13(scale),
+            "ablation" => ablation(scale),
+            "table1" => heuristic_table(scale, "table1", "snowflake", scale.table1_sizes()),
+            "table2" => heuristic_table(scale, "table2", "star", scale.table2_sizes()),
+            "table3" => heuristic_table(scale, "table3", "clique", scale.table3_sizes()),
+            other => eprintln!("unknown experiment: {other}"),
+        }
+    }
+}
+
+fn make_query(kind: &str, n: usize, seed: u64, model: &PgLikeCost) -> LargeQuery {
+    match kind {
+        "star" => gen::star(n, seed, model),
+        "snowflake" => gen::snowflake(n, 4, seed, model),
+        "clique" => gen::clique(n, seed, model),
+        "musicbrainz" => MusicBrainz::new().random_walk_query(n, seed, true, model),
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+// ---------------------------------------------------------------- fig 2
+
+/// Figure 2: normalized evaluated Join-Pairs vs parallelizability on a
+/// 20-relation MusicBrainz query.
+fn fig2(scale: Scale) {
+    println!("\n## Figure 2 — evaluated Join-Pairs normalized to CCP pairs (20-rel MusicBrainz query)");
+    println!("algorithm\tnorm_evaluated\tparallelizability");
+    let model = PgLikeCost::new();
+    let mb = MusicBrainz::new();
+    let n = if scale == Scale::Quick { 16 } else { 20 };
+    let q = mb.random_walk_query(n, 42, true, &model).to_query_info().unwrap();
+    let budget = Duration::from_secs(120).max(scale.timeout());
+    let series: [(AlgoKind, &str); 5] = [
+        (AlgoKind::PostgresDpSize, "medium"),
+        (AlgoKind::DpSubSeq, "high"),
+        (AlgoKind::DpCcp, "sequential"),
+        (AlgoKind::Dpe24, "medium"),
+        (AlgoKind::MpdpSeq, "high"),
+    ];
+    for (kind, par) in series {
+        match run_exact(kind, &q, &model, budget) {
+            Ok(r) => println!(
+                "{}\t{:.2}\t{}",
+                kind.name(),
+                r.counters.evaluated as f64 / r.counters.ccp.max(1) as f64,
+                par
+            ),
+            Err(e) => println!("{}\t-\t{par}\t# {e}", kind.name()),
+        }
+    }
+    println!("# GPU variants evaluate the same pairs as their CPU counterparts (DPSub(GPU)=DPSub, MPDP(GPU)=MPDP).");
+}
+
+// ---------------------------------------------------------------- fig 4
+
+/// Figure 4: DPSUB EvaluatedCounter vs CCP-Counter on stars, 2–25 relations
+/// (closed form, cross-validated against real runs in the test suite).
+fn fig4(_scale: Scale) {
+    println!("\n## Figure 4 — DPSUB counters on star queries (closed form)");
+    println!("n\tCCPCounter\tEvaluatedCounter\tratio");
+    for n in 2..=25usize {
+        let (ev, ccp) = starform::dpsub_star_counters(n);
+        println!("{n}\t{ccp}\t{ev}\t{:.1}", ev as f64 / ccp.max(1) as f64);
+    }
+}
+
+// ------------------------------------------------------- figs 6, 7, 8, 9
+
+/// Figures 6–9: optimization time sweeps. Once an algorithm times out at a
+/// size, it is dropped for larger sizes (paper convention: missing points).
+fn exact_sweep(scale: Scale, fig: &str, workload: &str, sizes: Vec<usize>) {
+    println!("\n## {} — optimization times (ms) on {workload} queries", fig_label(fig));
+    print!("n");
+    for kind in EXACT_ROSTER {
+        print!("\t{}{}", kind.name(), if kind.reported_is_model() { "[model]" } else { "" });
+    }
+    println!();
+    let model = PgLikeCost::new();
+    let budget = scale.timeout();
+    let reps = scale.queries_per_size().max(1);
+    let mut dead: HashSet<usize> = HashSet::new();
+    for &n in &sizes {
+        print!("{n}");
+        for (ai, kind) in EXACT_ROSTER.iter().enumerate() {
+            if dead.contains(&ai) {
+                print!("\t-");
+                continue;
+            }
+            if kind.reported_is_model()
+                && matches!(kind, AlgoKind::DpSubGpu | AlgoKind::DpSizeGpu | AlgoKind::MpdpGpu)
+                && n > scale.gpu_max_rels()
+            {
+                print!("\t-");
+                continue;
+            }
+            let mut times = Vec::new();
+            let mut timed_out = false;
+            for rep in 0..reps {
+                let q = match make_query(workload, n, 1000 + rep as u64, &model).to_query_info() {
+                    Some(q) => q,
+                    None => {
+                        timed_out = true;
+                        break;
+                    }
+                };
+                match run_exact(*kind, &q, &model, budget) {
+                    Ok(r) => times.push(r.reported.as_secs_f64() * 1000.0),
+                    Err(OptError::Timeout { .. }) => {
+                        timed_out = true;
+                        break;
+                    }
+                    Err(e) => {
+                        eprintln!("# {} n={n}: {e}", kind.name());
+                        timed_out = true;
+                        break;
+                    }
+                }
+            }
+            if timed_out || times.is_empty() {
+                print!("\t-");
+                dead.insert(ai);
+            } else {
+                print!("\t{:.2}", mean(&times));
+            }
+        }
+        println!();
+    }
+}
+
+fn fig_label(fig: &str) -> String {
+    match fig {
+        "fig6" => "Figure 6".into(),
+        "fig7" => "Figure 7".into(),
+        "fig8" => "Figure 8".into(),
+        "fig9" => "Figure 9".into(),
+        other => other.into(),
+    }
+}
+
+// ---------------------------------------------------------------- fig 10
+
+/// Figure 10: ratio of (estimated) execution time to optimization time on
+/// MusicBrainz queries, PK-FK and non-PK-FK.
+fn fig10(scale: Scale) {
+    // One PostgreSQL cost unit ≈ this many seconds of execution. The paper
+    // measures real executions; we estimate from the cost model (DESIGN.md
+    // substitution 5) — only the ratio's growth matters.
+    const SECONDS_PER_COST_UNIT: f64 = 25e-6;
+    let model = PgLikeCost::new();
+    let mb = MusicBrainz::new();
+    let budget = scale.timeout();
+    let sizes: Vec<usize> = scale.exact_sizes().into_iter().filter(|&n| n >= 4).collect();
+    for (label, pk_fk) in [("(a) PK-FK joins", true), ("(b) non-PK-FK joins", false)] {
+        println!("\n## Figure 10{label} — exec/opt time ratio on MusicBrainz");
+        println!("n\tPostgres(1CPU)\tMPDP(GPU)[model]");
+        let mut pg_dead = false;
+        for &n in &sizes {
+            let mut pg_ratios = Vec::new();
+            let mut gpu_ratios = Vec::new();
+            for rep in 0..scale.queries_per_size() {
+                let q = mb
+                    .random_walk_query(n, 500 + rep as u64, pk_fk, &model)
+                    .to_query_info()
+                    .unwrap();
+                if !pg_dead {
+                    if let Ok(r) = run_exact(AlgoKind::PostgresDpSize, &q, &model, budget) {
+                        let exec = r.cost * SECONDS_PER_COST_UNIT;
+                        pg_ratios.push(exec / r.wall.as_secs_f64());
+                    } else {
+                        // Conservative paper convention: account the budget
+                        // itself as the optimization time.
+                        pg_dead = true;
+                    }
+                }
+                if n <= scale.gpu_max_rels() {
+                    if let Ok(r) = run_exact(AlgoKind::MpdpGpu, &q, &model, budget) {
+                        let exec = r.cost * SECONDS_PER_COST_UNIT;
+                        gpu_ratios.push(exec / r.reported.as_secs_f64());
+                    }
+                }
+            }
+            println!(
+                "{n}\t{}\t{}",
+                if pg_ratios.is_empty() { "-".into() } else { format!("{:.3}", mean(&pg_ratios)) },
+                if gpu_ratios.is_empty() { "-".into() } else { format!("{:.3}", mean(&gpu_ratios)) },
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- fig 11
+
+/// Figure 11: JOB(-like) query optimization times by join size.
+fn fig11(scale: Scale) {
+    println!("\n## Figure 11 — JOB-like query optimization times (ms)");
+    print!("n");
+    for kind in EXACT_ROSTER {
+        print!("\t{}{}", kind.name(), if kind.reported_is_model() { "[model]" } else { "" });
+    }
+    println!();
+    let model = PgLikeCost::new();
+    let schema = ImdbSchema::new();
+    let per_size = scale.queries_per_size();
+    let suite = schema.suite(per_size, 77, &model);
+    let budget = scale.timeout();
+    let mut dead: HashSet<usize> = HashSet::new();
+    let mut sizes: Vec<usize> = suite.iter().map(|(n, _)| *n).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    for n in sizes {
+        print!("{n}");
+        for (ai, kind) in EXACT_ROSTER.iter().enumerate() {
+            if dead.contains(&ai) {
+                print!("\t-");
+                continue;
+            }
+            let mut times = Vec::new();
+            let mut timed_out = false;
+            for (_, q) in suite.iter().filter(|(sz, _)| *sz == n) {
+                let qi = q.to_query_info().unwrap();
+                match run_exact(*kind, &qi, &model, budget) {
+                    Ok(r) => times.push(r.reported.as_secs_f64() * 1000.0),
+                    Err(_) => {
+                        timed_out = true;
+                        break;
+                    }
+                }
+            }
+            if timed_out || times.is_empty() {
+                print!("\t-");
+                dead.insert(ai);
+            } else {
+                print!("\t{:.2}", mean(&times));
+            }
+        }
+        println!();
+    }
+}
+
+// ---------------------------------------------------------------- fig 12
+
+/// Figure 12: CPU scalability of MPDP vs DPE on a 20-relation MusicBrainz
+/// query (speedup over one thread, from the calibrated work/span model).
+fn fig12(scale: Scale) {
+    println!("\n## Figure 12 — CPU scalability on MusicBrainz (speedup over 1 thread) [model]");
+    println!("threads\tMPDP(CPU)\tDPE(CPU)");
+    let model = PgLikeCost::new();
+    let mb = MusicBrainz::new();
+    let n = if scale == Scale::Quick { 16 } else { 20 };
+    let q = mb.random_walk_query(n, 42, true, &model).to_query_info().unwrap();
+    let budget = Duration::from_secs(300);
+    let ctx = OptContext::with_budget(&q, &model, budget);
+
+    let start = Instant::now();
+    let mpdp = mpdp_dp::mpdp::Mpdp::run(&ctx).expect("mpdp run");
+    let mpdp_wall = start.elapsed();
+    let mpdp_cal = Calibration::from_measurement(&mpdp.profile, mpdp_wall);
+
+    let start = Instant::now();
+    let dpe = mpdp_parallel::Dpe::run(&ctx, 1).expect("dpe run");
+    let dpe_wall = start.elapsed();
+    let dpe_cal = Calibration::from_measurement(&dpe.profile, dpe_wall);
+
+    let t1_mpdp = CpuModel::new(1).predict_level_parallel(&mpdp.profile, &mpdp_cal);
+    let t1_dpe = CpuModel::new(1).predict_dpe(&dpe.profile, &dpe_cal);
+    for threads in [1usize, 2, 4, 6, 8, 12, 16, 20, 24] {
+        let tm = CpuModel::new(threads).predict_level_parallel(&mpdp.profile, &mpdp_cal);
+        let td = CpuModel::new(threads).predict_dpe(&dpe.profile, &dpe_cal);
+        println!(
+            "{threads}\t{:.2}\t{:.2}",
+            t1_mpdp.as_secs_f64() / tm.as_secs_f64(),
+            t1_dpe.as_secs_f64() / td.as_secs_f64()
+        );
+    }
+}
+
+// ---------------------------------------------------------------- fig 13
+
+/// Figure 13: monetary cost of optimization on AWS (US cents per query).
+fn fig13(scale: Scale) {
+    println!("\n## Figure 13 — cost of optimization on AWS (cents/query, star workload)");
+    print!("n");
+    for kind in EXACT_ROSTER {
+        print!("\t{}", kind.name().replace("24CPU", "4CPU"));
+    }
+    println!();
+    let model = PgLikeCost::new();
+    let budget = scale.timeout();
+    let mut dead: HashSet<usize> = HashSet::new();
+    for &n in &scale.exact_sizes() {
+        print!("{n}");
+        for (ai, kind) in EXACT_ROSTER.iter().enumerate() {
+            if dead.contains(&ai)
+                || (matches!(kind, AlgoKind::DpSubGpu | AlgoKind::DpSizeGpu | AlgoKind::MpdpGpu)
+                    && n > scale.gpu_max_rels())
+            {
+                print!("\t-");
+                continue;
+            }
+            let q = make_query("star", n, 1000, &model).to_query_info().unwrap();
+            match run_exact(*kind, &q, &model, budget) {
+                Ok(r) => {
+                    // Figure 13 uses 4-vCPU instances for the parallel CPU
+                    // algorithms; re-predict with 4 threads.
+                    let time = match kind {
+                        AlgoKind::Dpe24 | AlgoKind::MpdpCpu24 => {
+                            let cal = Calibration::from_measurement(
+                                &Default::default(),
+                                Duration::ZERO,
+                            );
+                            let _ = cal; // times re-derived below from reported
+                            // reported is for 24 threads; scale via model:
+                            // re-run prediction at 4 threads using speedups.
+                            let s24 = CpuModel::new(24).speedup();
+                            let s4 = CpuModel::new(aws::cost_study_threads(*kind)).speedup();
+                            r.reported.mul_f64(s24 / s4)
+                        }
+                        _ => r.reported,
+                    };
+                    print!("\t{:.7}", aws::optimization_cost_cents(*kind, time));
+                }
+                Err(_) => {
+                    print!("\t-");
+                    dead.insert(ai);
+                }
+            }
+        }
+        println!();
+    }
+}
+
+// ---------------------------------------------------------------- §7.2.5
+
+/// §7.2.5: impact of the two GPU implementation enhancements.
+fn ablation(scale: Scale) {
+    println!("\n## §7.2.5 — GPU enhancement ablation (MPDP(GPU), simulated)");
+    println!("workload\tn\tconfig\ttime_ms\twarp_cycles\tglobal_writes\tdivergence");
+    let model = PgLikeCost::new();
+    let n = if scale == Scale::Quick { 14 } else { 18 };
+    let budget = Duration::from_secs(600);
+    for (wl, seed) in [("star", 3u64), ("musicbrainz", 9)] {
+        let q = make_query(wl, n, seed, &model).to_query_info().unwrap();
+        let ctx = OptContext::with_budget(&q, &model, budget);
+        for (label, fused, ccc) in [
+            ("baseline", false, false),
+            ("+fusion", true, false),
+            ("+CCC", false, true),
+            ("+both", true, true),
+        ] {
+            let mut drv = MpdpGpu::new();
+            drv.config.fused_prune = fused;
+            drv.config.ccc = ccc;
+            match drv.run(&ctx) {
+                Ok(run) => println!(
+                    "{wl}\t{n}\t{label}\t{}\t{}\t{}\t{:.2}",
+                    fmt_ms(run.simulated_time),
+                    run.stats.warp_cycles,
+                    run.stats.global_writes,
+                    run.stats.divergence_factor()
+                ),
+                Err(e) => println!("{wl}\t{n}\t{label}\t-\t-\t-\t-\t# {e}"),
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ tables 1-3
+
+/// Tables 1–2 (+ the §7.3 clique summary): heuristic plan quality, relative
+/// to the best plan found by any technique per query (avg and p95).
+fn heuristic_table(scale: Scale, table: &str, workload: &str, sizes: Vec<usize>) {
+    println!("\n## {} — heuristic relative plan cost on {workload} (avg / p95 over {} queries)",
+        table_label(table), scale.table_queries());
+    let names = [
+        "GE-QO",
+        "GOO",
+        "LinDP",
+        "IKKBZ",
+        "IDP2-MPDP (15)",
+        "IDP2-MPDP (25)",
+        "UnionDP-MPDP (15)",
+    ];
+    print!("n");
+    for n in names {
+        print!("\t{n}");
+    }
+    println!();
+    let model = PgLikeCost::new();
+    let budget = Some(scale.timeout().max(Duration::from_secs(10)));
+    let mut dead = [false; 7];
+    for &n in &sizes {
+        let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+        for rep in 0..scale.table_queries() {
+            let q = make_query(workload, n, 9000 + rep as u64, &model);
+            let runs: Vec<Option<f64>> = run_heuristics(&q, &model, budget, &mut dead);
+            let best = runs
+                .iter()
+                .flatten()
+                .fold(f64::INFINITY, |a, &b| a.min(b));
+            if !best.is_finite() {
+                continue;
+            }
+            for (i, r) in runs.iter().enumerate() {
+                if let Some(c) = r {
+                    ratios[i].push(c / best);
+                }
+            }
+        }
+        print!("{n}");
+        for r in &ratios {
+            if r.is_empty() {
+                print!("\t-");
+            } else {
+                print!("\t{:.2}/{:.2}", mean(r), percentile(r, 95.0));
+            }
+        }
+        println!();
+    }
+}
+
+fn table_label(t: &str) -> String {
+    match t {
+        "table1" => "Table 1".into(),
+        "table2" => "Table 2".into(),
+        "table3" => "Clique summary (§7.3)".into(),
+        other => other.into(),
+    }
+}
+
+/// Runs the 7 heuristics on one query; `None` marks timeout/failure.
+/// `dead[i]` latches techniques that have started timing out (the paper's
+/// dashes) so later sizes skip them.
+fn run_heuristics(
+    q: &LargeQuery,
+    model: &PgLikeCost,
+    budget: Option<Duration>,
+    dead: &mut [bool; 7],
+) -> Vec<Option<f64>> {
+    let mut out = vec![None; 7];
+    let run = |idx: usize, dead: &mut [bool; 7], f: &dyn Fn() -> Result<f64, OptError>| {
+        if dead[idx] {
+            return None;
+        }
+        match f() {
+            Ok(c) => Some(c),
+            Err(OptError::Timeout { .. }) => {
+                dead[idx] = true;
+                None
+            }
+            Err(_) => None,
+        }
+    };
+    out[0] = run(0, dead, &|| {
+        Geqo::default().optimize(q, model, budget).map(|r| r.cost)
+    });
+    out[1] = run(1, dead, &|| Goo.optimize(q, model, budget).map(|r| r.cost));
+    out[2] = run(2, dead, &|| {
+        LinDp::default().optimize(q, model, budget).map(|r| r.cost)
+    });
+    out[3] = run(3, dead, &|| Ikkbz.optimize(q, model, budget).map(|r| r.cost));
+    out[4] = run(4, dead, &|| idp2_mpdp(q, model, 15, budget).map(|r| r.cost));
+    out[5] = run(5, dead, &|| idp2_mpdp(q, model, 25, budget).map(|r| r.cost));
+    out[6] = run(6, dead, &|| {
+        UnionDp { k: 15 }.optimize(q, model, budget).map(|r| r.cost)
+    });
+    out
+}
+
+/// Helper for tests: expose a tiny end-to-end sanity run.
+#[allow(dead_code)]
+fn sanity(q: &QueryInfo) -> bool {
+    q.query_size() > 0
+}

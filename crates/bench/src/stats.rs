@@ -1,0 +1,63 @@
+//! Small statistics helpers for the experiment tables.
+
+/// Arithmetic mean; 0.0 on empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// p-th percentile (nearest-rank), `p ∈ \[0, 100\]`; 0.0 on empty input.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank.min(v.len() - 1)]
+}
+
+/// Geometric mean; 0.0 on empty input.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Formats a duration in the figures' milliseconds convention.
+pub fn fmt_ms(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentile() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(mean(&xs), 3.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 95.0), 5.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        let xs = [1.0, 4.0];
+        assert!((geomean(&xs) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn fmt_ms_formats() {
+        assert_eq!(fmt_ms(std::time::Duration::from_millis(1500)), "1500.00");
+    }
+}

@@ -1,0 +1,241 @@
+//! Dynamically-sized bitmap sets for very large queries.
+//!
+//! The heuristic optimizers (IDP2, UnionDP, GOO, …) handle queries with up to
+//! ~1000 relations (Tables 1 and 2 of the paper), well beyond the 64-relation
+//! width of [`crate::bitset::RelSet`]. `BigSet` is a simple `Vec<u64>`-backed
+//! bitmap used for partition membership and composite-relation tracking.
+
+use std::fmt;
+
+/// A growable bitmap set over `usize` indices.
+///
+/// Equality and hashing ignore trailing zero words, so two sets with the same
+/// elements are equal regardless of the insert/remove history.
+#[derive(Clone, Default)]
+pub struct BigSet {
+    words: Vec<u64>,
+}
+
+impl PartialEq for BigSet {
+    fn eq(&self, other: &Self) -> bool {
+        let n = self.words.len().max(other.words.len());
+        (0..n).all(|i| {
+            self.words.get(i).copied().unwrap_or(0) == other.words.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl Eq for BigSet {}
+
+impl std::hash::Hash for BigSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash only up to the last non-zero word for history independence.
+        let last = self.words.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1);
+        self.words[..last].hash(state);
+    }
+}
+
+impl BigSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        BigSet { words: Vec::new() }
+    }
+
+    /// Creates an empty set pre-sized for indices `< capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BigSet {
+            words: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    /// Creates `{i}`.
+    pub fn singleton(i: usize) -> Self {
+        let mut s = BigSet::with_capacity(i + 1);
+        s.insert(i);
+        s
+    }
+
+    /// Builds a set from indices.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = BigSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    fn ensure(&mut self, word: usize) {
+        if self.words.len() <= word {
+            self.words.resize(word + 1, 0);
+        }
+    }
+
+    /// Adds `i`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        self.ensure(w);
+        let newly = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        newly
+    }
+
+    /// Removes `i`; returns `true` if it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        w < self.words.len() && self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BigSet) {
+        self.ensure(other.words.len().saturating_sub(1));
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Returns `self ∪ other`.
+    pub fn union(&self, other: &BigSet) -> BigSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// `true` if the sets share no element.
+    pub fn is_disjoint(&self, other: &BigSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(&a, &b)| a & b == 0)
+    }
+
+    /// `true` if `self ⊆ other`.
+    pub fn is_subset(&self, other: &BigSet) -> bool {
+        self.words.iter().enumerate().all(|(i, &a)| {
+            let b = other.words.get(i).copied().unwrap_or(0);
+            a & !b == 0
+        })
+    }
+
+    /// Iterates over element indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<usize> for BigSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        BigSet::from_indices(iter)
+    }
+}
+
+impl fmt::Debug for BigSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BigSet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(6));
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn large_indices_cross_word_boundary() {
+        let mut s = BigSet::new();
+        s.insert(63);
+        s.insert(64);
+        s.insert(999);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(999));
+        assert!(!s.contains(998));
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![63, 64, 999]);
+    }
+
+    #[test]
+    fn union_and_disjoint() {
+        let a = BigSet::from_indices([1, 100]);
+        let b = BigSet::from_indices([2, 200]);
+        assert!(a.is_disjoint(&b));
+        let u = a.union(&b);
+        assert_eq!(u.len(), 4);
+        assert!(u.contains(100) && u.contains(200));
+        assert!(!u.is_disjoint(&a));
+    }
+
+    #[test]
+    fn subset_with_different_lengths() {
+        let a = BigSet::from_indices([1, 2]);
+        let b = BigSet::from_indices([1, 2, 300]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(BigSet::new().is_subset(&a));
+    }
+
+    #[test]
+    fn equality_ignores_history() {
+        let mut a = BigSet::from_indices([1, 2]);
+        a.insert(999);
+        a.remove(999);
+        let b = BigSet::from_indices([1, 2]);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |s: &BigSet| {
+            let mut hasher = DefaultHasher::new();
+            s.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+    }
+}

@@ -1,0 +1,171 @@
+//! Instrumentation counters and per-level profiles.
+//!
+//! The paper's efficiency argument is stated in terms of two counters
+//! (§2.2/§2.3): `EvaluatedCounter`, the number of Join-Pairs an algorithm
+//! evaluates, and `CCP-Counter`, the number of those that are valid CCP
+//! pairs. Every optimizer in this workspace maintains both, plus per-DP-level
+//! statistics that feed the hardware timing model (`mpdp-parallel::hwmodel`)
+//! used to predict multi-core and GPU times on this single-core container.
+
+/// Global counters for one optimizer run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Join-Pairs evaluated (`EvaluatedCounter` in Algorithm 1, line 9).
+    pub evaluated: u64,
+    /// Valid Join-Pairs, i.e. CCP pairs, counting symmetric pairs separately
+    /// (`CCP-Counter`, Algorithm 1, line 18).
+    pub ccp: u64,
+    /// Connected sets enumerated across all levels (`|S_i|` summed).
+    pub sets: u64,
+    /// Candidate sets unranked before connectivity filtering (vertex-based
+    /// algorithms unrank all `C(n, i)` combinations; edge-based ones don't
+    /// unrank at all).
+    pub unranked: u64,
+}
+
+impl Counters {
+    /// Ratio `evaluated / ccp` — the paper's headline inefficiency metric
+    /// (e.g. "2805 times larger ... at 25 relations" for DPSUB on stars).
+    pub fn inefficiency(&self) -> f64 {
+        if self.ccp == 0 {
+            0.0
+        } else {
+            self.evaluated as f64 / self.ccp as f64
+        }
+    }
+
+    /// Adds another counter set (used when merging per-thread results).
+    pub fn merge(&mut self, other: &Counters) {
+        self.evaluated += other.evaluated;
+        self.ccp += other.ccp;
+        self.sets += other.sets;
+        self.unranked += other.unranked;
+    }
+}
+
+/// Per-DP-level statistics (one entry per subset size `i`).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct LevelStats {
+    /// Subset size of this level.
+    pub size: usize,
+    /// Candidate sets unranked for this level (before the connectivity
+    /// filter); 0 for edge-based enumeration.
+    pub unranked: u64,
+    /// Connected sets evaluated at this level.
+    pub sets: u64,
+    /// Join-Pairs evaluated at this level.
+    pub evaluated: u64,
+    /// CCP pairs found at this level.
+    pub ccp: u64,
+    /// Memo-table writes performed at this level.
+    pub memo_writes: u64,
+}
+
+/// A whole run's per-level profile, consumed by the hardware model.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// One entry per DP level, in increasing subset size. Algorithms without
+    /// a level structure (e.g. DPCCP's graph-order enumeration) record a
+    /// single pseudo-level.
+    pub levels: Vec<LevelStats>,
+}
+
+impl Profile {
+    /// Aggregates the per-level stats into run totals.
+    pub fn totals(&self) -> Counters {
+        let mut c = Counters::default();
+        for l in &self.levels {
+            c.evaluated += l.evaluated;
+            c.ccp += l.ccp;
+            c.sets += l.sets;
+            c.unranked += l.unranked;
+        }
+        c
+    }
+
+    /// Adds a level, merging with an existing entry of the same size if any
+    /// (parallel workers report fragments of the same level).
+    pub fn record(&mut self, stats: LevelStats) {
+        if let Some(l) = self.levels.iter_mut().find(|l| l.size == stats.size) {
+            l.unranked += stats.unranked;
+            l.sets += stats.sets;
+            l.evaluated += stats.evaluated;
+            l.ccp += stats.ccp;
+            l.memo_writes += stats.memo_writes;
+        } else {
+            self.levels.push(stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inefficiency_ratio() {
+        let c = Counters {
+            evaluated: 500,
+            ccp: 100,
+            sets: 0,
+            unranked: 0,
+        };
+        assert_eq!(c.inefficiency(), 5.0);
+        assert_eq!(Counters::default().inefficiency(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Counters {
+            evaluated: 1,
+            ccp: 2,
+            sets: 3,
+            unranked: 4,
+        };
+        a.merge(&Counters {
+            evaluated: 10,
+            ccp: 20,
+            sets: 30,
+            unranked: 40,
+        });
+        assert_eq!(a.evaluated, 11);
+        assert_eq!(a.ccp, 22);
+        assert_eq!(a.sets, 33);
+        assert_eq!(a.unranked, 44);
+    }
+
+    #[test]
+    fn profile_totals_and_level_merge() {
+        let mut p = Profile::default();
+        p.record(LevelStats {
+            size: 2,
+            unranked: 10,
+            sets: 5,
+            evaluated: 20,
+            ccp: 8,
+            memo_writes: 5,
+        });
+        p.record(LevelStats {
+            size: 2,
+            unranked: 1,
+            sets: 1,
+            evaluated: 2,
+            ccp: 2,
+            memo_writes: 1,
+        });
+        p.record(LevelStats {
+            size: 3,
+            unranked: 0,
+            sets: 4,
+            evaluated: 12,
+            ccp: 6,
+            memo_writes: 4,
+        });
+        assert_eq!(p.levels.len(), 2);
+        let t = p.totals();
+        assert_eq!(t.evaluated, 34);
+        assert_eq!(t.ccp, 16);
+        assert_eq!(t.sets, 10);
+        assert_eq!(t.unranked, 11);
+    }
+}

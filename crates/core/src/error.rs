@@ -1,0 +1,68 @@
+//! Error types shared by the optimizer crates.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Failures an optimizer run can report.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OptError {
+    /// The optimizer exceeded its time budget (the paper uses 1-minute
+    /// timeouts in §7.2 and marks timed-out series with dashes in Tables 1–2).
+    Timeout {
+        /// The budget that was exceeded.
+        budget: Duration,
+    },
+    /// The query graph is disconnected, so no cross-product-free plan covers
+    /// all relations.
+    DisconnectedGraph,
+    /// The query has no relations.
+    EmptyQuery,
+    /// The query is too large for this algorithm (e.g. exact DP beyond 64
+    /// relations).
+    TooLarge {
+        /// Number of relations in the query.
+        got: usize,
+        /// Maximum supported by the algorithm.
+        max: usize,
+    },
+    /// Internal invariant violation — indicates a bug, kept as an error so
+    /// harnesses can report instead of aborting.
+    Internal(String),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Timeout { budget } => {
+                write!(f, "optimization exceeded time budget of {budget:?}")
+            }
+            OptError::DisconnectedGraph => {
+                write!(f, "join graph is disconnected; no cross-product-free plan exists")
+            }
+            OptError::EmptyQuery => write!(f, "query has no relations"),
+            OptError::TooLarge { got, max } => {
+                write!(f, "query has {got} relations, algorithm supports at most {max}")
+            }
+            OptError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = OptError::Timeout {
+            budget: Duration::from_secs(60),
+        };
+        assert!(e.to_string().contains("time budget"));
+        assert!(OptError::DisconnectedGraph.to_string().contains("disconnected"));
+        assert!(OptError::TooLarge { got: 100, max: 64 }
+            .to_string()
+            .contains("100"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # mpdp-core
+//!
+//! Core substrates for the MPDP join-order-optimization workspace, a
+//! from-scratch Rust reproduction of *"Efficient Massively Parallel Join
+//! Optimization for Large Queries"* (SIGMOD 2022).
+//!
+//! This crate hosts everything the DP algorithms and heuristics share:
+//!
+//! * [`bitset::RelSet`] — 64-bit bitmap relation sets (exact-DP regime);
+//! * [`bigset::BigSet`] — dynamic bitmaps (heuristic regime, 1000+ relations);
+//! * [`combinatorics`] — Gosper iteration, combinatorial unranking, `pdep`;
+//! * [`graph::JoinGraph`] — join graphs, connectivity, the §3.2.1 `grow`
+//!   function;
+//! * [`blocks`] — Hopcroft–Tarjan biconnected components of induced
+//!   subgraphs (MPDP's block decomposition);
+//! * [`query`] — [`query::QueryInfo`] / [`query::LargeQuery`] problem
+//!   descriptions and sub-problem projection;
+//! * [`memo::MemoTable`] — the Murmur3 open-addressing memo of §5;
+//! * [`plan::PlanTree`] — join trees, validation, memo extraction;
+//! * [`counters`] — `EvaluatedCounter` / `CCP-Counter` instrumentation and
+//!   per-level profiles.
+
+#![warn(missing_docs)]
+
+pub mod bigset;
+pub mod bitset;
+pub mod blocks;
+pub mod combinatorics;
+pub mod counters;
+pub mod error;
+pub mod graph;
+pub mod memo;
+pub mod plan;
+pub mod query;
+
+pub use bigset::BigSet;
+pub use bitset::RelSet;
+pub use blocks::{find_blocks, BlockDecomposition};
+pub use counters::{Counters, LevelStats, Profile};
+pub use error::OptError;
+pub use graph::{Edge, JoinGraph};
+pub use memo::{MemoEntry, MemoTable};
+pub use plan::{extract_plan, PlanTree};
+pub use query::{LargeEdge, LargeQuery, QueryInfo, RelInfo};

@@ -1,0 +1,292 @@
+//! The DP memo table.
+//!
+//! The paper's GPU implementation (§5) keeps the memo as "a simple
+//! open-addressing hash table" keyed by the relation-set bitmap and hashed
+//! with Murmur3. We use the same structure for *all* optimizers (CPU
+//! sequential, CPU parallel and simulated GPU) so that memory behaviour and
+//! results are identical across them.
+//!
+//! Each entry stores the best plan found so far for a set `S`: its cost, its
+//! (split-invariant) output cardinality and the left side of the winning
+//! split. The right side is implicit (`S \ left`), which keeps an entry at 32
+//! bytes. Plans are reconstructed by walking the table from the root set —
+//! exactly how the paper extracts the final join tree from GPU memory.
+
+use crate::bitset::RelSet;
+
+/// Murmur3 64-bit finalizer — the hash the paper uses for its GPU memo.
+#[inline]
+pub fn murmur3_fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    k ^= k >> 33;
+    k
+}
+
+/// One memo entry: the best plan known for the key set.
+#[derive(Copy, Clone, Debug)]
+pub struct MemoEntry {
+    /// The relation set (never empty for occupied slots).
+    pub set: RelSet,
+    /// Left side of the best split; `RelSet::EMPTY` marks a leaf (base rel).
+    pub left: RelSet,
+    /// Total cost of the best plan for `set`.
+    pub cost: f64,
+    /// Estimated output rows of `set` (identical for all plans of `set`).
+    pub rows: f64,
+}
+
+impl MemoEntry {
+    /// The right side of the best split (empty for leaves).
+    #[inline]
+    pub fn right(&self) -> RelSet {
+        self.set.difference(self.left)
+    }
+
+    /// `true` if this entry is a base relation.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.left.is_empty()
+    }
+}
+
+/// Open-addressing (linear probing) memo table keyed by `RelSet`.
+#[derive(Clone, Debug)]
+pub struct MemoTable {
+    slots: Vec<Slot>,
+    mask: usize,
+    len: usize,
+    /// Number of probe steps performed (useful for the GPU memory model).
+    probes: u64,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Slot {
+    key: u64, // 0 = empty (the empty set is never memoized)
+    left: u64,
+    cost: f64,
+    rows: f64,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    key: 0,
+    left: 0,
+    cost: 0.0,
+    rows: 0.0,
+};
+
+impl MemoTable {
+    /// Creates a table sized for roughly `expected` entries.
+    pub fn with_capacity(expected: usize) -> Self {
+        let cap = (expected.max(8) * 2).next_power_of_two();
+        MemoTable {
+            slots: vec![EMPTY_SLOT; cap],
+            mask: cap - 1,
+            len: 0,
+            probes: 0,
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no entry is stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total linear-probe steps taken so far (diagnostics).
+    #[inline]
+    pub fn probe_count(&self) -> u64 {
+        self.probes
+    }
+
+    fn grow_table(&mut self) {
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; (self.mask + 1) * 2]);
+        self.mask = self.slots.len() - 1;
+        self.len = 0;
+        for s in old {
+            if s.key != 0 {
+                self.raw_insert(s);
+            }
+        }
+    }
+
+    fn raw_insert(&mut self, slot: Slot) {
+        let mut idx = (murmur3_fmix64(slot.key) as usize) & self.mask;
+        loop {
+            if self.slots[idx].key == 0 {
+                self.slots[idx] = slot;
+                self.len += 1;
+                return;
+            }
+            if self.slots[idx].key == slot.key {
+                self.slots[idx] = slot;
+                return;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Looks up the best entry for `set`.
+    pub fn get(&self, set: RelSet) -> Option<MemoEntry> {
+        if set.is_empty() {
+            return None;
+        }
+        let mut idx = (murmur3_fmix64(set.bits()) as usize) & self.mask;
+        loop {
+            let s = self.slots[idx];
+            if s.key == 0 {
+                return None;
+            }
+            if s.key == set.bits() {
+                return Some(MemoEntry {
+                    set,
+                    left: RelSet(s.left),
+                    cost: s.cost,
+                    rows: s.rows,
+                });
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Inserts a leaf entry for a base relation.
+    pub fn insert_leaf(&mut self, rel: usize, rows: f64, cost: f64) {
+        self.upsert(Slot {
+            key: RelSet::singleton(rel).bits(),
+            left: 0,
+            cost,
+            rows,
+        });
+    }
+
+    /// Records a candidate plan for `set` with the given split and cost,
+    /// keeping it only if it beats the incumbent (Algorithm 1, lines 20–21).
+    /// Returns `true` if the candidate became the new best.
+    pub fn insert_if_better(&mut self, set: RelSet, left: RelSet, cost: f64, rows: f64) -> bool {
+        debug_assert!(!set.is_empty() && left.is_subset(set));
+        if (self.len + 1) * 10 > self.slots.len() * 7 {
+            self.grow_table();
+        }
+        let mut idx = (murmur3_fmix64(set.bits()) as usize) & self.mask;
+        loop {
+            self.probes += 1;
+            let s = &mut self.slots[idx];
+            if s.key == 0 {
+                *s = Slot {
+                    key: set.bits(),
+                    left: left.bits(),
+                    cost,
+                    rows,
+                };
+                self.len += 1;
+                return true;
+            }
+            if s.key == set.bits() {
+                if cost < s.cost {
+                    s.left = left.bits();
+                    s.cost = cost;
+                    s.rows = rows;
+                    return true;
+                }
+                return false;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    fn upsert(&mut self, slot: Slot) {
+        if (self.len + 1) * 10 > self.slots.len() * 7 {
+            self.grow_table();
+        }
+        self.raw_insert(slot);
+    }
+
+    /// Iterates over all occupied entries (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = MemoEntry> + '_ {
+        self.slots.iter().filter(|s| s.key != 0).map(|s| MemoEntry {
+            set: RelSet(s.key),
+            left: RelSet(s.left),
+            cost: s.cost,
+            rows: s.rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn murmur_mixes() {
+        // Finalizer is a bijection; a few sanity spot checks.
+        assert_ne!(murmur3_fmix64(1), 1);
+        assert_ne!(murmur3_fmix64(1), murmur3_fmix64(2));
+        assert_eq!(murmur3_fmix64(0), 0); // fixed point of the finalizer
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut m = MemoTable::with_capacity(4);
+        m.insert_leaf(3, 100.0, 7.0);
+        let e = m.get(RelSet::singleton(3)).unwrap();
+        assert!(e.is_leaf());
+        assert_eq!(e.rows, 100.0);
+        assert_eq!(e.cost, 7.0);
+        assert!(m.get(RelSet::singleton(2)).is_none());
+    }
+
+    #[test]
+    fn insert_if_better_keeps_minimum() {
+        let mut m = MemoTable::with_capacity(4);
+        let s = RelSet::from_indices([0, 1]);
+        let l = RelSet::singleton(0);
+        let r = RelSet::singleton(1);
+        assert!(m.insert_if_better(s, l, 10.0, 5.0));
+        assert!(!m.insert_if_better(s, r, 12.0, 5.0)); // worse: rejected
+        assert_eq!(m.get(s).unwrap().left, l);
+        assert!(m.insert_if_better(s, r, 8.0, 5.0)); // better: replaces
+        let e = m.get(s).unwrap();
+        assert_eq!(e.left, r);
+        assert_eq!(e.cost, 8.0);
+        assert_eq!(e.right(), l);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn growth_preserves_entries() {
+        let mut m = MemoTable::with_capacity(2);
+        // Insert enough distinct sets to force several growths.
+        for i in 0..500u64 {
+            let set = RelSet(i + 1);
+            m.insert_if_better(set, set.lowest_bit(), i as f64, 1.0);
+        }
+        assert_eq!(m.len(), 500);
+        for i in 0..500u64 {
+            let e = m.get(RelSet(i + 1)).unwrap();
+            assert_eq!(e.cost, i as f64);
+        }
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let mut m = MemoTable::with_capacity(8);
+        for i in 0..20u64 {
+            m.insert_if_better(RelSet(i + 1), RelSet(i + 1).lowest_bit(), 1.0, 1.0);
+        }
+        assert_eq!(m.iter().count(), 20);
+    }
+
+    #[test]
+    fn empty_set_lookup_is_none() {
+        let m = MemoTable::with_capacity(4);
+        assert!(m.get(RelSet::empty()).is_none());
+    }
+}

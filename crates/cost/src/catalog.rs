@@ -1,0 +1,281 @@
+//! A minimal catalog: tables, statistics and join predicates.
+//!
+//! The paper runs inside PostgreSQL and pulls table statistics from its
+//! catalog. We model the part the join-order problem needs: per-table row
+//! counts, per-column distinct counts (NDV), and join predicates between
+//! columns. From those the builder derives per-edge selectivities with the
+//! textbook equi-join estimate `sel(a = b) = 1 / max(ndv(a), ndv(b))`, which
+//! for a PK–FK join reduces to `1 / |PK table|` — the PostgreSQL estimate
+//! for the PK–FK joins the paper's workloads use.
+
+use mpdp_core::query::{LargeQuery, RelInfo};
+use crate::model::CostModel;
+
+/// A column with its distinct-value statistic.
+#[derive(Clone, Debug)]
+pub struct Column {
+    /// Column name (unique within its table).
+    pub name: String,
+    /// Number of distinct values.
+    pub ndv: f64,
+    /// `true` if this column is a primary key (implies `ndv == rows`).
+    pub primary_key: bool,
+}
+
+/// A table with statistics.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table name (unique within the catalog).
+    pub name: String,
+    /// Estimated row count.
+    pub rows: f64,
+    /// Columns.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Builds a table; clamps each column's NDV to the row count.
+    pub fn new(name: impl Into<String>, rows: f64, columns: Vec<Column>) -> Self {
+        let mut columns = columns;
+        for c in &mut columns {
+            if c.primary_key {
+                c.ndv = rows;
+            }
+            c.ndv = c.ndv.min(rows).max(1.0);
+        }
+        Table {
+            name: name.into(),
+            rows,
+            columns,
+        }
+    }
+
+    fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+/// An equi-join predicate `left_table.left_col = right_table.right_col`.
+#[derive(Clone, Debug)]
+pub struct JoinPredicate {
+    /// Index of the left table in the catalog's table list.
+    pub left_table: usize,
+    /// Left column name.
+    pub left_col: String,
+    /// Index of the right table.
+    pub right_table: usize,
+    /// Right column name.
+    pub right_col: String,
+}
+
+/// A catalog of tables plus the join predicates of one query.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    /// The tables, indexed by position.
+    pub tables: Vec<Table>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Adds a table, returning its index.
+    pub fn add_table(&mut self, table: Table) -> usize {
+        self.tables.push(table);
+        self.tables.len() - 1
+    }
+
+    /// Looks up a table index by name.
+    pub fn table_index(&self, name: &str) -> Option<usize> {
+        self.tables.iter().position(|t| t.name == name)
+    }
+
+    /// Estimated selectivity of an equi-join predicate:
+    /// `1 / max(ndv(left), ndv(right))`, clamped to `(0, 1]`.
+    ///
+    /// Unknown columns fall back to NDV = rows / 10 (a mild correlation
+    /// assumption, akin to PostgreSQL's defaults for unanalyzed columns).
+    pub fn predicate_selectivity(&self, p: &JoinPredicate) -> f64 {
+        let ndv = |ti: usize, col: &str| -> f64 {
+            let t = &self.tables[ti];
+            t.column(col)
+                .map(|c| c.ndv)
+                .unwrap_or_else(|| (t.rows / 10.0).max(1.0))
+        };
+        let l = ndv(p.left_table, &p.left_col);
+        let r = ndv(p.right_table, &p.right_col);
+        (1.0 / l.max(r)).clamp(f64::MIN_POSITIVE, 1.0)
+    }
+
+    /// Builds the optimizer's query description for a query joining the given
+    /// tables with the given predicates, using `model` to price the base
+    /// scans.
+    ///
+    /// `table_indices[i]` is the catalog table backing query relation `i`;
+    /// predicates reference positions *within `table_indices`* (i.e. query
+    /// relation indices), so the same catalog table may appear twice
+    /// (self-joins get distinct relation indices).
+    pub fn build_query(
+        &self,
+        table_indices: &[usize],
+        predicates: &[JoinPredicate],
+        model: &dyn CostModel,
+    ) -> LargeQuery {
+        let rels: Vec<RelInfo> = table_indices
+            .iter()
+            .map(|&ti| {
+                let t = &self.tables[ti];
+                RelInfo::new(t.rows, model.scan_cost(t.rows))
+            })
+            .collect();
+        let mut q = LargeQuery::new(rels);
+        for p in predicates {
+            // Map query-relation indices to catalog tables for stats lookup.
+            let catalog_pred = JoinPredicate {
+                left_table: table_indices[p.left_table],
+                left_col: p.left_col.clone(),
+                right_table: table_indices[p.right_table],
+                right_col: p.right_col.clone(),
+            };
+            let sel = self.predicate_selectivity(&catalog_pred);
+            q.add_edge(p.left_table, p.right_table, sel);
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pglike::PgLikeCost;
+
+    fn pk(name: &str) -> Column {
+        Column {
+            name: name.into(),
+            ndv: 0.0,
+            primary_key: true,
+        }
+    }
+
+    fn fk(name: &str, ndv: f64) -> Column {
+        Column {
+            name: name.into(),
+            ndv,
+            primary_key: false,
+        }
+    }
+
+    fn tpc_ish() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(Table::new(
+            "orders",
+            15_000.0,
+            vec![pk("o_orderkey"), fk("o_custkey", 1000.0)],
+        ));
+        c.add_table(Table::new(
+            "lineitem",
+            60_000.0,
+            vec![fk("l_orderkey", 15_000.0), fk("l_partkey", 2000.0)],
+        ));
+        c.add_table(Table::new("customer", 1500.0, vec![pk("c_custkey")]));
+        c.add_table(Table::new("part", 2000.0, vec![pk("p_partkey")]));
+        c
+    }
+
+    #[test]
+    fn pk_fk_selectivity_is_one_over_pk_rows() {
+        let c = tpc_ish();
+        let p = JoinPredicate {
+            left_table: c.table_index("orders").unwrap(),
+            left_col: "o_orderkey".into(),
+            right_table: c.table_index("lineitem").unwrap(),
+            right_col: "l_orderkey".into(),
+        };
+        let sel = c.predicate_selectivity(&p);
+        assert!((sel - 1.0 / 15_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pk_column_ndv_clamped_to_rows() {
+        let c = tpc_ish();
+        let t = &c.tables[c.table_index("customer").unwrap()];
+        assert_eq!(t.column("c_custkey").unwrap().ndv, 1500.0);
+    }
+
+    #[test]
+    fn unknown_column_falls_back() {
+        let c = tpc_ish();
+        let p = JoinPredicate {
+            left_table: 0,
+            left_col: "no_such".into(),
+            right_table: 2,
+            right_col: "c_custkey".into(),
+        };
+        let sel = c.predicate_selectivity(&p);
+        // max(15000/10, 1500) = 1500
+        assert!((sel - 1.0 / 1500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_query_figure1() {
+        // The Figure 1 TPC-H query: lineitem ⋈ orders ⋈ part ⋈ customer.
+        let c = tpc_ish();
+        let model = PgLikeCost::new();
+        let tables = [
+            c.table_index("lineitem").unwrap(),
+            c.table_index("orders").unwrap(),
+            c.table_index("part").unwrap(),
+            c.table_index("customer").unwrap(),
+        ];
+        let preds = [
+            JoinPredicate {
+                left_table: 2, // part (query rel index)
+                left_col: "p_partkey".into(),
+                right_table: 0, // lineitem
+                right_col: "l_partkey".into(),
+            },
+            JoinPredicate {
+                left_table: 1, // orders
+                left_col: "o_orderkey".into(),
+                right_table: 0,
+                right_col: "l_orderkey".into(),
+            },
+            JoinPredicate {
+                left_table: 1,
+                left_col: "o_custkey".into(),
+                right_table: 3, // customer
+                right_col: "c_custkey".into(),
+            },
+        ];
+        let q = c.build_query(&tables, &preds, &model);
+        assert_eq!(q.num_rels(), 4);
+        assert_eq!(q.edges.len(), 3);
+        assert!(q.is_connected());
+        // (part, orders) must NOT be an edge — the §1 invalid Join-Pair.
+        assert!(!q
+            .edges
+            .iter()
+            .any(|e| (e.u, e.v) == (1, 2) || (e.u, e.v) == (2, 1)));
+        // Scan costs priced by the model.
+        assert!(q.rels[0].cost > q.rels[3].cost);
+    }
+
+    #[test]
+    fn self_join_gets_two_relations() {
+        let c = tpc_ish();
+        let model = PgLikeCost::new();
+        let oi = c.table_index("orders").unwrap();
+        let preds = [JoinPredicate {
+            left_table: 0,
+            left_col: "o_orderkey".into(),
+            right_table: 1,
+            right_col: "o_orderkey".into(),
+        }];
+        let q = c.build_query(&[oi, oi], &preds, &model);
+        assert_eq!(q.num_rels(), 2);
+        assert_eq!(q.edges.len(), 1);
+        assert!((q.edges[0].sel - 1.0 / 15_000.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,21 @@
+//! # mpdp-cost
+//!
+//! Catalog, statistics and cost models for the MPDP workspace.
+//!
+//! * [`model::CostModel`] — the trait every optimizer prices plans with;
+//! * [`pglike::PgLikeCost`] — the paper's "PostgreSQL-like" model (§7.1);
+//! * [`cout::CoutCost`] — the `C_out` model used by IKKBZ/LinDP;
+//! * [`catalog`] — tables, column statistics and equi-join selectivity
+//!   estimation.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod cout;
+pub mod model;
+pub mod pglike;
+
+pub use catalog::{Catalog, Column, JoinPredicate, Table};
+pub use cout::CoutCost;
+pub use model::{CostModel, InputEst, JoinAlgo};
+pub use pglike::{PgLikeCost, PgParams};

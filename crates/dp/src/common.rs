@@ -1,0 +1,247 @@
+//! Shared plumbing for the exact DP algorithms: optimization context,
+//! results, memo initialization and Join-Pair evaluation.
+
+use mpdp_core::counters::{Counters, Profile};
+use mpdp_core::memo::MemoTable;
+use mpdp_core::plan::{extract_plan, PlanTree};
+use mpdp_core::query::QueryInfo;
+use mpdp_core::{OptError, RelSet};
+use mpdp_cost::model::{CostModel, InputEst};
+use std::time::{Duration, Instant};
+
+/// Everything an optimizer run needs.
+pub struct OptContext<'a> {
+    /// The query to optimize.
+    pub query: &'a QueryInfo,
+    /// The cost model pricing candidate plans.
+    pub model: &'a dyn CostModel,
+    /// Optional wall-clock deadline. Algorithms poll it at set granularity
+    /// and abort with [`OptError::Timeout`] when exceeded — mirroring the
+    /// paper's 1-minute optimization timeouts (§7.2).
+    pub deadline: Option<Instant>,
+    /// The budget used to construct `deadline` (for error reporting).
+    pub budget: Option<Duration>,
+}
+
+impl<'a> OptContext<'a> {
+    /// Context without a deadline.
+    pub fn new(query: &'a QueryInfo, model: &'a dyn CostModel) -> Self {
+        OptContext {
+            query,
+            model,
+            deadline: None,
+            budget: None,
+        }
+    }
+
+    /// Context with a time budget starting now.
+    pub fn with_budget(query: &'a QueryInfo, model: &'a dyn CostModel, budget: Duration) -> Self {
+        OptContext {
+            query,
+            model,
+            deadline: Some(Instant::now() + budget),
+            budget: Some(budget),
+        }
+    }
+
+    /// Returns `Err(Timeout)` if the deadline has passed.
+    #[inline]
+    pub fn check_deadline(&self) -> Result<(), OptError> {
+        if let Some(d) = self.deadline {
+            if Instant::now() > d {
+                return Err(OptError::Timeout {
+                    budget: self.budget.unwrap_or_default(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the query is non-empty, connected and within the 64-relation
+    /// exact-DP limit.
+    pub fn validate_exact(&self) -> Result<(), OptError> {
+        let n = self.query.query_size();
+        if n == 0 {
+            return Err(OptError::EmptyQuery);
+        }
+        if n > 64 {
+            return Err(OptError::TooLarge { got: n, max: 64 });
+        }
+        if !self.query.graph.is_connected(self.query.graph.all_vertices()) {
+            return Err(OptError::DisconnectedGraph);
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of a successful optimizer run.
+#[derive(Clone, Debug)]
+pub struct OptResult {
+    /// The chosen plan.
+    pub plan: PlanTree,
+    /// Total plan cost under the run's cost model.
+    pub cost: f64,
+    /// Estimated output cardinality of the full join.
+    pub rows: f64,
+    /// Join-Pair counters (`EvaluatedCounter` / `CCP-Counter`).
+    pub counters: Counters,
+    /// Per-level statistics feeding the hardware timing model.
+    pub profile: Profile,
+    /// Final memo-table size (number of connected sets materialized).
+    pub memo_entries: usize,
+}
+
+/// Creates a memo table pre-loaded with the base-relation leaves
+/// (Algorithm 1 lines 1–3 / Algorithm 5 lines 2–4).
+pub fn init_memo(q: &QueryInfo) -> MemoTable {
+    let mut memo = MemoTable::with_capacity(q.query_size() * 4);
+    for (i, rel) in q.rels.iter().enumerate() {
+        memo.insert_leaf(i, rel.rows, rel.cost);
+    }
+    memo
+}
+
+/// Outcome of evaluating one CCP pair.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct EmitOutcome {
+    /// The candidate became the best plan for its set.
+    pub improved: bool,
+    /// The set had no memo entry before (first plan found for it).
+    pub new_set: bool,
+}
+
+/// Prices the ordered Join-Pair `(sl, sr)` and records it in the memo if it
+/// beats the incumbent plan for `sl ∪ sr` (`CreatePlan` + best-plan update in
+/// Algorithms 1–3).
+///
+/// Both sides must already have memo entries; a missing entry indicates an
+/// enumeration-order bug and is reported as [`OptError::Internal`].
+#[inline]
+pub fn emit_pair(
+    memo: &mut MemoTable,
+    q: &QueryInfo,
+    model: &dyn CostModel,
+    sl: RelSet,
+    sr: RelSet,
+) -> Result<EmitOutcome, OptError> {
+    let el = memo
+        .get(sl)
+        .ok_or_else(|| OptError::Internal(format!("no memo entry for left side {sl}")))?;
+    let er = memo
+        .get(sr)
+        .ok_or_else(|| OptError::Internal(format!("no memo entry for right side {sr}")))?;
+    let sel = q.graph.selectivity_between(sl, sr);
+    let out_rows = el.rows * er.rows * sel;
+    let cost = model.join_cost(
+        InputEst {
+            cost: el.cost,
+            rows: el.rows,
+        },
+        InputEst {
+            cost: er.cost,
+            rows: er.rows,
+        },
+        out_rows,
+    );
+    let union = sl.union(sr);
+    let new_set = memo.get(union).is_none();
+    let improved = memo.insert_if_better(union, sl, cost, out_rows);
+    Ok(EmitOutcome { improved, new_set })
+}
+
+/// Extracts the final plan and packages the run result.
+pub fn finish(
+    memo: &MemoTable,
+    q: &QueryInfo,
+    counters: Counters,
+    profile: Profile,
+) -> Result<OptResult, OptError> {
+    let root = q.graph.all_vertices();
+    let plan = extract_plan(memo, root)
+        .ok_or_else(|| OptError::Internal("memo has no plan for the full query".into()))?;
+    Ok(OptResult {
+        cost: plan.cost(),
+        rows: plan.rows(),
+        plan,
+        counters,
+        profile,
+        memo_entries: memo.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_core::graph::JoinGraph;
+    use mpdp_core::query::RelInfo;
+    use mpdp_cost::pglike::PgLikeCost;
+
+    fn two_rel_query() -> QueryInfo {
+        let mut g = JoinGraph::new(2);
+        g.add_edge(0, 1, 0.01);
+        QueryInfo::new(g, vec![RelInfo::new(100.0, 2.0), RelInfo::new(200.0, 3.0)])
+    }
+
+    #[test]
+    fn init_memo_loads_leaves() {
+        let q = two_rel_query();
+        let memo = init_memo(&q);
+        assert_eq!(memo.len(), 2);
+        let e = memo.get(RelSet::singleton(1)).unwrap();
+        assert_eq!(e.rows, 200.0);
+        assert!(e.is_leaf());
+    }
+
+    #[test]
+    fn emit_pair_costs_and_stores() {
+        let q = two_rel_query();
+        let model = PgLikeCost::new();
+        let mut memo = init_memo(&q);
+        let sl = RelSet::singleton(0);
+        let sr = RelSet::singleton(1);
+        let o = emit_pair(&mut memo, &q, &model, sl, sr).unwrap();
+        assert!(o.improved && o.new_set);
+        let e = memo.get(sl.union(sr)).unwrap();
+        // out rows = 100*200*0.01 = 200
+        assert!((e.rows - 200.0).abs() < 1e-9);
+        // Second emission of the mirrored pair: same rows, possibly different
+        // cost; not a new set.
+        let o2 = emit_pair(&mut memo, &q, &model, sr, sl).unwrap();
+        assert!(!o2.new_set);
+    }
+
+    #[test]
+    fn emit_pair_missing_side_is_internal_error() {
+        let q = two_rel_query();
+        let model = PgLikeCost::new();
+        let mut memo = init_memo(&q);
+        let err = emit_pair(
+            &mut memo,
+            &q,
+            &model,
+            RelSet::from_indices([0, 1]),
+            RelSet::empty(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let q = two_rel_query();
+        let model = PgLikeCost::new();
+        let ctx = OptContext::with_budget(&q, &model, Duration::from_nanos(1));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(matches!(ctx.check_deadline(), Err(OptError::Timeout { .. })));
+        let ctx2 = OptContext::new(&q, &model);
+        assert!(ctx2.check_deadline().is_ok());
+    }
+
+    #[test]
+    fn validate_exact_rejects_disconnected() {
+        let g = JoinGraph::new(2); // no edges
+        let q = QueryInfo::new(g, vec![RelInfo::new(1.0, 1.0); 2]);
+        let model = PgLikeCost::new();
+        let ctx = OptContext::new(&q, &model);
+        assert_eq!(ctx.validate_exact(), Err(OptError::DisconnectedGraph));
+    }
+}

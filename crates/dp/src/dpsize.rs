@@ -1,0 +1,158 @@
+//! DPSIZE — size-driven dynamic programming (Selinger \[27\]).
+//!
+//! Builds plans in increasing result size: a plan of size `i` is formed by
+//! pairing a known plan of size `k` with one of size `i-k`. This is what
+//! PostgreSQL's standard join search does ("Postgres (1CPU)" in the paper's
+//! figures). Its weakness is evaluating enormous numbers of *overlapping*
+//! pairs: two plans of sizes `k` and `i-k` usually share relations, failing
+//! the disjointness check after the pair was already enumerated (§7.2.2:
+//! "DPSIZE-based algorithms do not perform well due to checking too many
+//! overlapping pairs").
+
+use crate::common::{emit_pair, finish, init_memo, OptContext, OptResult};
+use crate::JoinOrderOptimizer;
+use mpdp_core::counters::{Counters, LevelStats, Profile};
+use mpdp_core::{OptError, RelSet};
+
+/// The DPSIZE optimizer.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct DpSize;
+
+impl DpSize {
+    /// Runs DPSIZE on `ctx`, returning the optimal plan.
+    pub fn run(ctx: &OptContext<'_>) -> Result<OptResult, OptError> {
+        ctx.validate_exact()?;
+        let q = ctx.query;
+        let n = q.query_size();
+        let mut memo = init_memo(q);
+        let mut counters = Counters::default();
+        let mut profile = Profile::default();
+
+        // Connected sets discovered so far, grouped by size.
+        let mut sets_by_size: Vec<Vec<RelSet>> = vec![Vec::new(); n + 1];
+        sets_by_size[1] = (0..n).map(RelSet::singleton).collect();
+
+        for i in 2..=n {
+            let mut level = LevelStats {
+                size: i,
+                ..Default::default()
+            };
+            let mut new_sets: Vec<RelSet> = Vec::new();
+            for k in 1..i {
+                ctx.check_deadline()?;
+                // Ordered pairs: (left of size k) × (right of size i-k).
+                // Symmetric pairs appear naturally when k and i-k swap.
+                for li in 0..sets_by_size[k].len() {
+                    let left = sets_by_size[k][li];
+                    #[allow(clippy::needless_range_loop)]
+                    for ri in 0..sets_by_size[i - k].len() {
+                        let right = sets_by_size[i - k][ri];
+                        level.evaluated += 1;
+                        if !left.is_disjoint(right) {
+                            continue; // the overlapping-pair tax of DPSIZE
+                        }
+                        if !q.graph.sets_connected(left, right) {
+                            continue; // cross product
+                        }
+                        // Both sides are connected by construction, so the
+                        // pair is a CCP pair.
+                        level.ccp += 1;
+                        let o = emit_pair(&mut memo, q, ctx.model, left, right)?;
+                        if o.improved {
+                            level.memo_writes += 1;
+                        }
+                        if o.new_set {
+                            new_sets.push(left.union(right));
+                        }
+                    }
+                }
+            }
+            level.sets = new_sets.len() as u64;
+            sets_by_size[i] = new_sets;
+            counters.evaluated += level.evaluated;
+            counters.ccp += level.ccp;
+            counters.sets += level.sets;
+            profile.record(level);
+        }
+        finish(&memo, q, counters, profile)
+    }
+}
+
+impl JoinOrderOptimizer for DpSize {
+    fn name(&self) -> &'static str {
+        "DPSize"
+    }
+
+    fn optimize(&self, ctx: &OptContext<'_>) -> Result<OptResult, OptError> {
+        DpSize::run(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpsub::tests::{chain_query, cycle_query, star_query};
+    use crate::dpsub::DpSub;
+    use mpdp_cost::pglike::PgLikeCost;
+
+    #[test]
+    fn matches_dpsub_on_chain() {
+        let q = chain_query(7);
+        let model = PgLikeCost::new();
+        let a = DpSize::run(&OptContext::new(&q, &model)).unwrap();
+        let b = DpSub::run(&OptContext::new(&q, &model)).unwrap();
+        assert!((a.cost - b.cost).abs() < 1e-6 * a.cost.max(1.0));
+        assert!(a.plan.validate(&q.graph).is_none());
+    }
+
+    #[test]
+    fn matches_dpsub_on_star() {
+        let q = star_query(6);
+        let model = PgLikeCost::new();
+        let a = DpSize::run(&OptContext::new(&q, &model)).unwrap();
+        let b = DpSub::run(&OptContext::new(&q, &model)).unwrap();
+        assert!((a.cost - b.cost).abs() < 1e-6 * a.cost.max(1.0));
+    }
+
+    #[test]
+    fn matches_dpsub_on_cycle() {
+        let q = cycle_query(6);
+        let model = PgLikeCost::new();
+        let a = DpSize::run(&OptContext::new(&q, &model)).unwrap();
+        let b = DpSub::run(&OptContext::new(&q, &model)).unwrap();
+        assert!((a.cost - b.cost).abs() < 1e-6 * a.cost.max(1.0));
+    }
+
+    #[test]
+    fn ccp_counter_matches_dpsub() {
+        // CCP-Counter is algorithm independent (§2.1: "CCP-Counter when
+        // profiled on any optimal DP algorithm ... will produce the same
+        // value").
+        let model = PgLikeCost::new();
+        for q in [chain_query(6), star_query(6), cycle_query(6)] {
+            let a = DpSize::run(&OptContext::new(&q, &model)).unwrap();
+            let b = DpSub::run(&OptContext::new(&q, &model)).unwrap();
+            assert_eq!(a.counters.ccp, b.counters.ccp);
+        }
+    }
+
+    #[test]
+    fn evaluates_overlapping_pairs() {
+        // DPSIZE's evaluated counter exceeds DPSUB's on stars because of
+        // overlapping pairs.
+        let q = star_query(7);
+        let model = PgLikeCost::new();
+        let a = DpSize::run(&OptContext::new(&q, &model)).unwrap();
+        assert!(a.counters.evaluated > a.counters.ccp);
+    }
+
+    #[test]
+    fn discovers_all_connected_sets() {
+        let q = chain_query(5);
+        let model = PgLikeCost::new();
+        let a = DpSize::run(&OptContext::new(&q, &model)).unwrap();
+        // Intervals of a 5-chain: 15 total; 5 are leaves, 10 discovered.
+        assert_eq!(a.memo_entries, 15);
+        assert_eq!(a.counters.sets, 10);
+    }
+}

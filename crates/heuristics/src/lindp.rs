@@ -1,0 +1,286 @@
+//! LinDP — linearized DP and the adaptive optimizer of Neumann & Radke \[26\].
+//!
+//! Linearized DP restricts the bushy search space to *intervals* of a linear
+//! relation order (here: the best IKKBZ left-deep order) and runs an
+//! `O(n³)` interval DP over it — "a novel technique that optimizes the
+//! left-deep plan found by IKKBZ in polynomial time" (§7.3).
+//!
+//! The adaptive driver follows the original paper's thresholds, quoted in
+//! §6: "DPCCP for small queries (<14 tables), linearized DP for medium
+//! queries (between 14 and 100), and IDP2 with linearized DP for large
+//! queries (>100 tables)".
+
+use crate::idp::idp2_with_inner;
+use crate::ikkbz::Ikkbz;
+use crate::large::{Budget, LargeOptResult, LargeOptimizer};
+use mpdp_core::plan::PlanTree;
+use mpdp_core::query::LargeQuery;
+use mpdp_core::OptError;
+use mpdp_cost::model::{CostModel, InputEst};
+use std::time::Duration;
+
+/// Interval DP over a fixed linear order: the plan space is all bushy trees
+/// whose every subtree covers a contiguous interval of `order`.
+pub fn interval_dp(
+    q: &LargeQuery,
+    order: &[usize],
+    model: &dyn CostModel,
+    budget: &Budget,
+) -> Result<LargeOptResult, OptError> {
+    let n = order.len();
+    if n == 0 {
+        return Err(OptError::EmptyQuery);
+    }
+    // Pairwise selectivity between order positions (1.0 = no edge).
+    let mut sel = vec![vec![1.0f64; n]; n];
+    let mut has_edge = vec![vec![false; n]; n];
+    let mut pos_of = vec![usize::MAX; q.num_rels()];
+    for (p, &r) in order.iter().enumerate() {
+        pos_of[r] = p;
+    }
+    for e in &q.edges {
+        let (pu, pv) = (pos_of[e.u as usize], pos_of[e.v as usize]);
+        if pu == usize::MAX || pv == usize::MAX {
+            continue;
+        }
+        sel[pu][pv] *= e.sel;
+        sel[pv][pu] *= e.sel;
+        has_edge[pu][pv] = true;
+        has_edge[pv][pu] = true;
+    }
+    // rows[i][j]: cardinality of interval [i, j]; edges[i][j]: induced edge
+    // count — both built incrementally.
+    let mut rows = vec![vec![0.0f64; n]; n];
+    let mut edges = vec![vec![0u32; n]; n];
+    for i in 0..n {
+        rows[i][i] = q.rels[order[i]].rows;
+    }
+    for j in 1..n {
+        for i in (0..j).rev() {
+            let mut cross_sel = 1.0;
+            let mut cross_edges = 0u32;
+            for p in i..j {
+                cross_sel *= sel[p][j];
+                cross_edges += has_edge[p][j] as u32;
+            }
+            rows[i][j] = rows[i][j - 1] * q.rels[order[j]].rows * cross_sel;
+            edges[i][j] = edges[i][j - 1] + cross_edges;
+        }
+    }
+    // DP over intervals: best (cost, split, order) per [i, j].
+    let mut cost = vec![vec![f64::INFINITY; n]; n];
+    let mut split = vec![vec![usize::MAX; n]; n];
+    let mut swapped = vec![vec![false; n]; n];
+    for i in 0..n {
+        cost[i][i] = q.rels[order[i]].cost;
+    }
+    for len in 2..=n {
+        budget.check()?;
+        for i in 0..=(n - len) {
+            let j = i + len - 1;
+            for k in i..j {
+                // Cross-product-free: the two sides must share an edge.
+                let crossing = edges[i][j] - edges[i][k] - edges[k + 1][j];
+                if crossing == 0 {
+                    continue;
+                }
+                if cost[i][k].is_infinite() || cost[k + 1][j].is_infinite() {
+                    continue;
+                }
+                let out_rows = rows[i][j];
+                let lo = InputEst { cost: cost[i][k], rows: rows[i][k] };
+                let hi = InputEst { cost: cost[k + 1][j], rows: rows[k + 1][j] };
+                // The cost model is order-sensitive (hash build side); try
+                // both orders like the exact DP does.
+                let c_fwd = model.join_cost(lo, hi, out_rows);
+                let c_rev = model.join_cost(hi, lo, out_rows);
+                let (c, sw) = if c_fwd <= c_rev { (c_fwd, false) } else { (c_rev, true) };
+                if c < cost[i][j] {
+                    cost[i][j] = c;
+                    split[i][j] = k;
+                    swapped[i][j] = sw;
+                }
+            }
+        }
+    }
+    if cost[0][n - 1].is_infinite() {
+        return Err(OptError::Internal(
+            "interval DP found no cross-product-free plan for the order".into(),
+        ));
+    }
+    // Reconstruct.
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        i: usize,
+        j: usize,
+        order: &[usize],
+        rows: &[Vec<f64>],
+        cost: &[Vec<f64>],
+        split: &[Vec<usize>],
+        swapped: &[Vec<bool>],
+    ) -> PlanTree {
+        if i == j {
+            return PlanTree::Scan {
+                rel: order[i] as u32,
+                rows: rows[i][i],
+                cost: cost[i][i],
+            };
+        }
+        let k = split[i][j];
+        let lo = build(i, k, order, rows, cost, split, swapped);
+        let hi = build(k + 1, j, order, rows, cost, split, swapped);
+        let (l, r) = if swapped[i][j] { (hi, lo) } else { (lo, hi) };
+        PlanTree::Join {
+            left: Box::new(l),
+            right: Box::new(r),
+            rows: rows[i][j],
+            cost: cost[i][j],
+        }
+    }
+    let plan = build(0, n - 1, order, &rows, &cost, &split, &swapped);
+    Ok(LargeOptResult {
+        cost: plan.cost(),
+        rows: plan.rows(),
+        plan,
+    })
+}
+
+/// The adaptive LinDP optimizer.
+#[derive(Copy, Clone, Debug)]
+pub struct LinDp {
+    /// Below this size use exact DPCCP (paper default: 14).
+    pub exact_threshold: usize,
+    /// Above this size use IDP2 with linearized-DP blocks (paper default:
+    /// 100).
+    pub idp_threshold: usize,
+}
+
+impl Default for LinDp {
+    fn default() -> Self {
+        LinDp {
+            exact_threshold: 14,
+            idp_threshold: 100,
+        }
+    }
+}
+
+/// Linearized DP on one query: IKKBZ order, then interval DP.
+pub fn linearized_dp(
+    q: &LargeQuery,
+    model: &dyn CostModel,
+    budget: &Budget,
+) -> Result<LargeOptResult, OptError> {
+    let order = Ikkbz::best_order(q, model, budget)?;
+    interval_dp(q, &order, model, budget)
+}
+
+impl LargeOptimizer for LinDp {
+    fn name(&self) -> String {
+        "LinDP".into()
+    }
+
+    fn optimize(
+        &self,
+        q: &LargeQuery,
+        model: &dyn CostModel,
+        budget: Option<Duration>,
+    ) -> Result<LargeOptResult, OptError> {
+        let b = Budget::new(budget);
+        let n = q.num_rels();
+        if n < self.exact_threshold && n <= 64 {
+            // Exact DPCCP.
+            let qi = q
+                .to_query_info()
+                .ok_or(OptError::TooLarge { got: n, max: 64 })?;
+            let ctx = mpdp_dp::common::OptContext::new(&qi, model);
+            let r = mpdp_dp::dpccp::DpCcp::run(&ctx)?;
+            return Ok(LargeOptResult {
+                cost: r.cost,
+                rows: r.rows,
+                plan: r.plan,
+            });
+        }
+        if n <= self.idp_threshold {
+            return linearized_dp(q, model, &b);
+        }
+        // IDP2 with linearized-DP blocks of up to `idp_threshold` relations.
+        let inner = |sub: &LargeQuery| -> Result<PlanTree, OptError> {
+            Ok(linearized_dp(sub, model, &b)?.plan)
+        };
+        let plan = idp2_with_inner(q, model, self.idp_threshold, &inner, &b)?;
+        Ok(LargeOptResult {
+            cost: plan.cost(),
+            rows: plan.rows(),
+            plan,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::large::validate_large;
+    use mpdp_cost::pglike::PgLikeCost;
+    use mpdp_dp::common::OptContext;
+    use mpdp_dp::mpdp::Mpdp;
+    use mpdp_workload::gen;
+
+    #[test]
+    fn interval_dp_on_chain_is_exact() {
+        // For a chain whose order equals the chain, every connected set is
+        // an interval, so interval DP covers the full bushy space.
+        let m = PgLikeCost::new();
+        let q = gen::chain(8, 3, &m);
+        let order: Vec<usize> = (0..8).collect();
+        let b = Budget::new(None);
+        let r = interval_dp(&q, &order, &m, &b).unwrap();
+        let exact = Mpdp::run(&OptContext::new(&q.to_query_info().unwrap(), &m)).unwrap();
+        assert!((r.cost - exact.cost).abs() < 1e-6 * exact.cost.max(1.0));
+        assert!(validate_large(&r.plan, &q).is_none());
+    }
+
+    #[test]
+    fn interval_dp_never_beats_exact() {
+        let m = PgLikeCost::new();
+        for seed in 0..4 {
+            let q = gen::random_connected(9, 3, seed, &m);
+            let b = Budget::new(None);
+            let r = linearized_dp(&q, &m, &b).unwrap();
+            let exact = Mpdp::run(&OptContext::new(&q.to_query_info().unwrap(), &m)).unwrap();
+            assert!(r.cost >= exact.cost * (1.0 - 1e-9), "seed {seed}");
+            assert!(validate_large(&r.plan, &q).is_none());
+        }
+    }
+
+    #[test]
+    fn lindp_at_least_as_good_as_ikkbz() {
+        // Interval DP searches a superset of the left-deep plans over the
+        // same order.
+        let m = PgLikeCost::new();
+        for q in [gen::star(20, 2, &m), gen::snowflake(40, 4, 3, &m)] {
+            let lin = LinDp::default().optimize(&q, &m, None).unwrap();
+            let ik = Ikkbz::run(&q, &m, None).unwrap();
+            assert!(lin.cost <= ik.cost * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn adaptive_small_uses_exact() {
+        let m = PgLikeCost::new();
+        let q = gen::cycle(8, 1, &m);
+        let lin = LinDp::default().optimize(&q, &m, None).unwrap();
+        let exact = Mpdp::run(&OptContext::new(&q.to_query_info().unwrap(), &m)).unwrap();
+        assert!((lin.cost - exact.cost).abs() < 1e-6 * exact.cost.max(1.0));
+    }
+
+    #[test]
+    fn adaptive_large_uses_idp_blocks() {
+        let m = PgLikeCost::new();
+        let q = gen::snowflake(150, 4, 8, &m);
+        let r = LinDp::default()
+            .optimize(&q, &m, Some(Duration::from_secs(120)))
+            .unwrap();
+        assert!(validate_large(&r.plan, &q).is_none());
+        assert_eq!(r.plan.num_rels(), 150);
+    }
+}

@@ -1,0 +1,132 @@
+//! Disjoint-set (union-find) with path compression and union by size.
+//!
+//! UnionDP "uses the UnionFind data structure to maintain the partition
+//! information over relations, and for efficient find and union set
+//! operations" (§4.2.1).
+
+/// A union-find over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    groups: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets (`makeSet(G)` in Algorithm 4).
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            groups: n,
+        }
+    }
+
+    /// Representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Size of `x`'s set.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+
+    /// Unions the sets of `a` and `b`; returns `false` if already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        self.groups -= 1;
+        true
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn num_groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Materializes the partition as a list of groups (each sorted by index;
+    /// groups ordered by their smallest member).
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.parent.len();
+        let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for x in 0..n {
+            let r = self.find(x);
+            by_root.entry(r).or_default().push(x);
+        }
+        let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
+        out.sort_by_key(|g| g[0]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.num_groups(), 4);
+        for i in 0..4 {
+            assert_eq!(uf.find(i), i);
+            assert_eq!(uf.set_size(i), 1);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_tracks_size() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(1, 2));
+        assert_eq!(uf.set_size(0), 3);
+        assert_eq!(uf.find(2), uf.find(0));
+        assert_eq!(uf.num_groups(), 3);
+    }
+
+    #[test]
+    fn groups_materialization() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 2);
+        uf.union(3, 4);
+        let g = uf.groups();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g[0], vec![0, 2]);
+        assert_eq!(g[1], vec![1]);
+        assert_eq!(g[2], vec![3, 4]);
+        assert_eq!(g[3], vec![5]);
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            uf.union(i - 1, i);
+        }
+        assert_eq!(uf.num_groups(), 1);
+        assert_eq!(uf.set_size(999), 1000);
+    }
+}

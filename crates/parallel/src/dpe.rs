@@ -1,0 +1,239 @@
+//! DPE — dependency-aware parallel DP (Han & Lee \[11\]).
+//!
+//! DPE wraps a sequential enumerator (here DPCCP, the strongest choice and
+//! the one the paper benchmarks as "DPE (24CPU)") in a producer/consumer
+//! pipeline: a producer thread enumerates Join-Pairs into a dependency-aware
+//! buffer, and consumer threads evaluate their costs. Because the *plan* for
+//! a set must be final before any pair uses that set as an input, pairs are
+//! partitioned into dependency classes by the size of their union; class `k`
+//! may only be costed after class `k-1` is merged.
+//!
+//! This structure is exactly why DPE scales poorly (Figure 12): the
+//! enumeration itself is sequential, only the costing parallelizes, and the
+//! reordering buffer adds per-pair overhead — Amdahl caps the speedup near
+//! `(t_enum + t_cost) / t_enum`.
+
+use crate::pool::{parallel_chunks, Candidate};
+use mpdp_core::counters::{Counters, LevelStats, Profile};
+use mpdp_core::{OptError, RelSet};
+use mpdp_cost::model::InputEst;
+use mpdp_dp::common::{finish, init_memo, OptContext, OptResult};
+use mpdp_dp::JoinOrderOptimizer;
+
+/// One enumerated ordered pair in the dependency buffer.
+#[derive(Copy, Clone, Debug)]
+struct PendingPair {
+    left: RelSet,
+    right: RelSet,
+}
+
+/// Enumerates all CCP pairs with DPCCP's csg-cmp recursion, *without*
+/// costing them (the producer side of DPE).
+fn enumerate_all_pairs(
+    q: &mpdp_core::QueryInfo,
+    ctx: &OptContext<'_>,
+    buffer: &mut Vec<PendingPair>,
+) -> Result<(), OptError> {
+    struct Enum<'q> {
+        q: &'q mpdp_core::QueryInfo,
+        out: Vec<PendingPair>,
+    }
+    impl<'q> Enum<'q> {
+        fn emit(&mut self, s1: RelSet, s2: RelSet) {
+            self.out.push(PendingPair { left: s1, right: s2 });
+            self.out.push(PendingPair { left: s2, right: s1 });
+        }
+        fn csg_rec(&mut self, s: RelSet, x: RelSet) {
+            let n = self.q.graph.neighbors(s).difference(x);
+            if n.is_empty() {
+                return;
+            }
+            for sp in n.subsets_ascending() {
+                self.emit_csg(s.union(sp));
+            }
+            for sp in n.subsets_ascending() {
+                self.csg_rec(s.union(sp), x.union(n));
+            }
+        }
+        fn emit_csg(&mut self, s1: RelSet) {
+            let min = s1.first().expect("csg non-empty");
+            let x = s1.union(RelSet::first_n(min + 1));
+            let n = self.q.graph.neighbors(s1).difference(x);
+            let mut vs: Vec<usize> = n.iter().collect();
+            vs.reverse();
+            for v in vs {
+                let s2 = RelSet::singleton(v);
+                self.emit(s1, s2);
+                let b_v_in_n = RelSet::first_n(v + 1).intersect(n);
+                self.cmp_rec(s1, s2, x.union(b_v_in_n));
+            }
+        }
+        fn cmp_rec(&mut self, s1: RelSet, s2: RelSet, x: RelSet) {
+            let n = self.q.graph.neighbors(s2).difference(x);
+            if n.is_empty() {
+                return;
+            }
+            for sp in n.subsets_ascending() {
+                self.emit(s1, s2.union(sp));
+            }
+            for sp in n.subsets_ascending() {
+                self.cmp_rec(s1, s2.union(sp), x.union(n));
+            }
+        }
+    }
+    let mut e = Enum {
+        q,
+        out: std::mem::take(buffer),
+    };
+    for i in (0..q.query_size()).rev() {
+        ctx.check_deadline()?;
+        e.emit_csg(RelSet::singleton(i));
+        e.csg_rec(RelSet::singleton(i), RelSet::first_n(i + 1));
+    }
+    *buffer = e.out;
+    Ok(())
+}
+
+/// The DPE optimizer.
+#[derive(Copy, Clone, Debug)]
+pub struct Dpe {
+    /// Consumer thread count.
+    pub threads: usize,
+}
+
+impl Dpe {
+    /// Runs DPE: sequential DPCCP enumeration into a dependency buffer,
+    /// parallel costing per dependency class.
+    pub fn run(ctx: &OptContext<'_>, threads: usize) -> Result<OptResult, OptError> {
+        ctx.validate_exact()?;
+        let q = ctx.query;
+        let n = q.query_size();
+        let mut memo = init_memo(q);
+        let mut counters = Counters::default();
+        let mut profile = Profile::default();
+
+        if n > 1 {
+            // Producer: enumerate all pairs (sequential).
+            let mut buffer = Vec::new();
+            enumerate_all_pairs(q, ctx, &mut buffer)?;
+
+            // Dependency-aware reordering: bucket by union size.
+            let mut classes: Vec<Vec<PendingPair>> = vec![Vec::new(); n + 1];
+            for p in buffer {
+                classes[p.left.union(p.right).len()].push(p);
+            }
+
+            // Consumers: cost each class in parallel, merge, advance.
+            #[allow(clippy::needless_range_loop)]
+            for k in 2..=n {
+                ctx.check_deadline()?;
+                let class = &classes[k];
+                if class.is_empty() {
+                    continue;
+                }
+                let memo_ref = &memo;
+                let results: Vec<Vec<Candidate>> = parallel_chunks(class, threads, |chunk| {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for p in chunk {
+                        let (el, er) = match (memo_ref.get(p.left), memo_ref.get(p.right)) {
+                            (Some(l), Some(r)) => (l, r),
+                            _ => continue,
+                        };
+                        let sel = q.graph.selectivity_between(p.left, p.right);
+                        let rows = el.rows * er.rows * sel;
+                        let cost = ctx.model.join_cost(
+                            InputEst { cost: el.cost, rows: el.rows },
+                            InputEst { cost: er.cost, rows: er.rows },
+                            rows,
+                        );
+                        out.push(Candidate {
+                            set: p.left.union(p.right),
+                            left: p.left,
+                            cost,
+                            rows,
+                        });
+                    }
+                    out
+                });
+                let mut level = LevelStats {
+                    size: k,
+                    evaluated: class.len() as u64,
+                    ccp: class.len() as u64,
+                    ..Default::default()
+                };
+                for cand in results.into_iter().flatten() {
+                    if memo.insert_if_better(cand.set, cand.left, cand.cost, cand.rows) {
+                        level.memo_writes += 1;
+                    }
+                }
+                counters.evaluated += level.evaluated;
+                counters.ccp += level.ccp;
+                profile.record(level);
+            }
+        }
+        finish(&memo, q, counters, profile)
+    }
+}
+
+impl JoinOrderOptimizer for Dpe {
+    fn name(&self) -> &'static str {
+        "DPE"
+    }
+
+    fn optimize(&self, ctx: &OptContext<'_>) -> Result<OptResult, OptError> {
+        Dpe::run(ctx, self.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_cost::pglike::PgLikeCost;
+    use mpdp_dp::dpccp::DpCcp;
+    use mpdp_dp::dpsub::DpSub;
+    use mpdp_workload::gen;
+
+    #[test]
+    fn matches_sequential_optimum() {
+        let m = PgLikeCost::new();
+        for (i, q) in [
+            gen::star(7, 1, &m),
+            gen::cycle(7, 1, &m),
+            gen::random_connected(8, 3, 5, &m),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let qi = q.to_query_info().unwrap();
+            let ctx = OptContext::new(&qi, &m);
+            let seq = DpSub::run(&ctx).unwrap();
+            let dpe = Dpe::run(&ctx, 3).unwrap();
+            assert!(
+                (dpe.cost - seq.cost).abs() < 1e-6 * seq.cost.max(1.0),
+                "query {i}"
+            );
+            assert!(dpe.plan.validate(&qi.graph).is_none());
+        }
+    }
+
+    #[test]
+    fn pair_count_matches_dpccp() {
+        // DPE costs exactly the pairs DPCCP enumerates.
+        let m = PgLikeCost::new();
+        let q = gen::star(7, 2, &m).to_query_info().unwrap();
+        let ctx = OptContext::new(&q, &m);
+        let a = Dpe::run(&ctx, 2).unwrap();
+        let b = DpCcp::run(&ctx).unwrap();
+        assert_eq!(a.counters.ccp, b.counters.ccp);
+        assert_eq!(a.counters.evaluated, a.counters.ccp);
+    }
+
+    #[test]
+    fn single_relation() {
+        let m = PgLikeCost::new();
+        let q = gen::star(1, 2, &m).to_query_info().unwrap();
+        let ctx = OptContext::new(&q, &m);
+        let r = Dpe::run(&ctx, 2).unwrap();
+        assert_eq!(r.plan.num_rels(), 1);
+    }
+}

@@ -1,0 +1,400 @@
+//! CPU-parallel level-synchronous DP: parallel MPDP, DPSUB and DPSIZE (PDP).
+//!
+//! All three share the same skeleton (the paper's "MPDP (24CPU)", the DPSUB
+//! parallelization of §2.2.2, and PDP \[10\]):
+//!
+//! 1. enumerate the level's work items sequentially (cheap),
+//! 2. fan the items out to workers; each worker evaluates Join-Pairs against
+//!    the previous levels' memo (read-only) and keeps thread-local best
+//!    candidates,
+//! 3. merge candidates into the memo (the deferred pruning step),
+//! 4. barrier, next level.
+//!
+//! Result equality with the sequential algorithms is exact: the same pairs
+//! are evaluated with the same cost function; only the reduction order
+//! differs, and `min` is order-insensitive.
+
+use crate::pool::{parallel_chunks, Candidate};
+use mpdp_core::blocks::find_blocks;
+use mpdp_core::combinatorics::{binomial, KSubsets};
+use mpdp_core::counters::{Counters, LevelStats, Profile};
+use mpdp_core::memo::MemoTable;
+use mpdp_core::{OptError, RelSet};
+use mpdp_cost::model::InputEst;
+use mpdp_dp::common::{finish, init_memo, OptContext, OptResult};
+use mpdp_dp::JoinOrderOptimizer;
+use std::collections::HashMap;
+
+/// Which level-parallel algorithm to run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LevelAlgo {
+    /// Parallel MPDP (block-level hybrid enumeration).
+    Mpdp,
+    /// Parallel DPSUB (powerset splits).
+    DpSub,
+}
+
+/// Worker result for one chunk of sets.
+struct ChunkResult {
+    candidates: Vec<Candidate>,
+    evaluated: u64,
+    ccp: u64,
+}
+
+fn eval_set_mpdp(
+    q: &mpdp_core::QueryInfo,
+    model: &dyn mpdp_cost::model::CostModel,
+    memo: &MemoTable,
+    s: RelSet,
+    out: &mut Vec<Candidate>,
+    evaluated: &mut u64,
+    ccp: &mut u64,
+) {
+    let decomposition = find_blocks(&q.graph, s);
+    for &block in &decomposition.blocks {
+        for lb in block.subsets() {
+            if lb == block {
+                continue;
+            }
+            let rb = block.difference(lb);
+            *evaluated += 1;
+            if lb.is_empty() || rb.is_empty() {
+                continue;
+            }
+            if !q.graph.is_connected(lb) || !q.graph.is_connected(rb) {
+                continue;
+            }
+            if !q.graph.sets_connected(lb, rb) {
+                continue;
+            }
+            *ccp += 1;
+            let sleft = q.graph.grow(lb, s.difference(rb));
+            let sright = s.difference(sleft);
+            push_candidate(q, model, memo, sleft, sright, out);
+        }
+    }
+}
+
+fn eval_set_dpsub(
+    q: &mpdp_core::QueryInfo,
+    model: &dyn mpdp_cost::model::CostModel,
+    memo: &MemoTable,
+    s: RelSet,
+    out: &mut Vec<Candidate>,
+    evaluated: &mut u64,
+    ccp: &mut u64,
+) {
+    for sl in s.subsets() {
+        *evaluated += 1;
+        let sr = s.difference(sl);
+        if sl.is_empty() || sr.is_empty() {
+            continue;
+        }
+        if !q.graph.is_connected(sl) || !q.graph.is_connected(sr) {
+            continue;
+        }
+        if !q.graph.sets_connected(sl, sr) {
+            continue;
+        }
+        *ccp += 1;
+        push_candidate(q, model, memo, sl, sr, out);
+    }
+}
+
+/// Prices `(sl, sr)` against the read-only memo and records the candidate.
+fn push_candidate(
+    q: &mpdp_core::QueryInfo,
+    model: &dyn mpdp_cost::model::CostModel,
+    memo: &MemoTable,
+    sl: RelSet,
+    sr: RelSet,
+    out: &mut Vec<Candidate>,
+) {
+    let (el, er) = match (memo.get(sl), memo.get(sr)) {
+        (Some(l), Some(r)) => (l, r),
+        // Sub-entries are complete for all strictly smaller sets, so this
+        // cannot happen; workers cannot return Result without complicating
+        // the merge, so candidates for missing entries are skipped and the
+        // final plan extraction reports the inconsistency.
+        _ => return,
+    };
+    let sel = q.graph.selectivity_between(sl, sr);
+    let rows = el.rows * er.rows * sel;
+    let cost = model.join_cost(
+        InputEst { cost: el.cost, rows: el.rows },
+        InputEst { cost: er.cost, rows: er.rows },
+        rows,
+    );
+    out.push(Candidate {
+        set: sl.union(sr),
+        left: sl,
+        cost,
+        rows,
+    });
+}
+
+/// Runs a level-parallel algorithm with `threads` workers.
+pub fn run_level_parallel(
+    ctx: &OptContext<'_>,
+    algo: LevelAlgo,
+    threads: usize,
+) -> Result<OptResult, OptError> {
+    ctx.validate_exact()?;
+    let q = ctx.query;
+    let n = q.query_size();
+    let mut memo = init_memo(q);
+    let mut counters = Counters::default();
+    let mut profile = Profile::default();
+
+    for i in 2..=n {
+        ctx.check_deadline()?;
+        let mut level = LevelStats {
+            size: i,
+            unranked: binomial(n as u64, i as u64),
+            ..Default::default()
+        };
+        // Unrank + filter (sequential; embarrassingly parallel in principle
+        // and on the simulated GPU).
+        let sets: Vec<RelSet> = KSubsets::new(n, i)
+            .filter(|s| q.graph.is_connected(*s))
+            .collect();
+        level.sets = sets.len() as u64;
+
+        // Evaluate in parallel against the read-only memo.
+        let memo_ref = &memo;
+        let results: Vec<ChunkResult> = parallel_chunks(&sets, threads, |chunk| {
+            let mut r = ChunkResult {
+                candidates: Vec::new(),
+                evaluated: 0,
+                ccp: 0,
+            };
+            for &s in chunk {
+                match algo {
+                    LevelAlgo::Mpdp => eval_set_mpdp(
+                        q,
+                        ctx.model,
+                        memo_ref,
+                        s,
+                        &mut r.candidates,
+                        &mut r.evaluated,
+                        &mut r.ccp,
+                    ),
+                    LevelAlgo::DpSub => eval_set_dpsub(
+                        q,
+                        ctx.model,
+                        memo_ref,
+                        s,
+                        &mut r.candidates,
+                        &mut r.evaluated,
+                        &mut r.ccp,
+                    ),
+                }
+            }
+            r
+        });
+
+        // Merge (deferred pruning).
+        for r in results {
+            level.evaluated += r.evaluated;
+            level.ccp += r.ccp;
+            for c in r.candidates {
+                if memo.insert_if_better(c.set, c.left, c.cost, c.rows) {
+                    level.memo_writes += 1;
+                }
+            }
+        }
+        counters.evaluated += level.evaluated;
+        counters.ccp += level.ccp;
+        counters.sets += level.sets;
+        counters.unranked += level.unranked;
+        profile.record(level);
+    }
+    finish(&memo, q, counters, profile)
+}
+
+/// PDP — parallel DPSIZE \[10\]: per level, the cross products of the
+/// previous levels' plan lists are split among workers.
+pub fn run_dpsize_parallel(ctx: &OptContext<'_>, threads: usize) -> Result<OptResult, OptError> {
+    ctx.validate_exact()?;
+    let q = ctx.query;
+    let n = q.query_size();
+    let mut memo = init_memo(q);
+    let mut counters = Counters::default();
+    let mut profile = Profile::default();
+    let mut sets_by_size: Vec<Vec<RelSet>> = vec![Vec::new(); n + 1];
+    sets_by_size[1] = (0..n).map(RelSet::singleton).collect();
+
+    for i in 2..=n {
+        ctx.check_deadline()?;
+        let mut level = LevelStats {
+            size: i,
+            ..Default::default()
+        };
+        // Work items: (k, index into left list). Workers scan the whole
+        // right list per item.
+        let mut items: Vec<(usize, RelSet)> = Vec::new();
+        #[allow(clippy::needless_range_loop)]
+        for k in 1..i {
+            for &l in &sets_by_size[k] {
+                items.push((i - k, l));
+            }
+        }
+        let memo_ref = &memo;
+        let sizes_ref = &sets_by_size;
+        let results: Vec<ChunkResult> = parallel_chunks(&items, threads, |chunk| {
+            let mut r = ChunkResult {
+                candidates: Vec::new(),
+                evaluated: 0,
+                ccp: 0,
+            };
+            for &(rk, left) in chunk {
+                for &right in &sizes_ref[rk] {
+                    r.evaluated += 1;
+                    if !left.is_disjoint(right) {
+                        continue;
+                    }
+                    if !q.graph.sets_connected(left, right) {
+                        continue;
+                    }
+                    r.ccp += 1;
+                    push_candidate(q, ctx.model, memo_ref, left, right, &mut r.candidates);
+                }
+            }
+            r
+        });
+        let mut new_sets: HashMap<u64, ()> = HashMap::new();
+        for r in results {
+            level.evaluated += r.evaluated;
+            level.ccp += r.ccp;
+            for c in r.candidates {
+                let is_new = memo.get(c.set).is_none();
+                if memo.insert_if_better(c.set, c.left, c.cost, c.rows) {
+                    level.memo_writes += 1;
+                }
+                if is_new {
+                    new_sets.insert(c.set.bits(), ());
+                }
+            }
+        }
+        let mut discovered: Vec<RelSet> = new_sets.keys().map(|&b| RelSet(b)).collect();
+        discovered.sort_unstable();
+        level.sets = discovered.len() as u64;
+        sets_by_size[i] = discovered;
+        counters.evaluated += level.evaluated;
+        counters.ccp += level.ccp;
+        counters.sets += level.sets;
+        profile.record(level);
+    }
+    finish(&memo, q, counters, profile)
+}
+
+/// Parallel MPDP on CPU ("MPDP (24CPU)" in Figures 6–9).
+#[derive(Copy, Clone, Debug)]
+pub struct MpdpCpu {
+    /// Worker thread count.
+    pub threads: usize,
+}
+
+impl JoinOrderOptimizer for MpdpCpu {
+    fn name(&self) -> &'static str {
+        "MPDP(CPU)"
+    }
+
+    fn optimize(&self, ctx: &OptContext<'_>) -> Result<OptResult, OptError> {
+        run_level_parallel(ctx, LevelAlgo::Mpdp, self.threads)
+    }
+}
+
+/// Parallel DPSUB on CPU.
+#[derive(Copy, Clone, Debug)]
+pub struct DpSubCpu {
+    /// Worker thread count.
+    pub threads: usize,
+}
+
+impl JoinOrderOptimizer for DpSubCpu {
+    fn name(&self) -> &'static str {
+        "DPSub(CPU)"
+    }
+
+    fn optimize(&self, ctx: &OptContext<'_>) -> Result<OptResult, OptError> {
+        run_level_parallel(ctx, LevelAlgo::DpSub, self.threads)
+    }
+}
+
+/// PDP — parallel DPSIZE on CPU \[10\].
+#[derive(Copy, Clone, Debug)]
+pub struct Pdp {
+    /// Worker thread count.
+    pub threads: usize,
+}
+
+impl JoinOrderOptimizer for Pdp {
+    fn name(&self) -> &'static str {
+        "PDP"
+    }
+
+    fn optimize(&self, ctx: &OptContext<'_>) -> Result<OptResult, OptError> {
+        run_dpsize_parallel(ctx, self.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_cost::pglike::PgLikeCost;
+    use mpdp_dp::dpsub::DpSub;
+    use mpdp_workload::gen;
+
+    fn check_matches_sequential(q: &mpdp_core::QueryInfo) {
+        let model = PgLikeCost::new();
+        let ctx = OptContext::new(q, &model);
+        let seq = DpSub::run(&ctx).unwrap();
+        for threads in [1, 2, 4] {
+            let par_mpdp = run_level_parallel(&ctx, LevelAlgo::Mpdp, threads).unwrap();
+            assert!(
+                (par_mpdp.cost - seq.cost).abs() < 1e-6 * seq.cost.max(1.0),
+                "mpdp threads={threads}"
+            );
+            assert_eq!(par_mpdp.counters.ccp, seq.counters.ccp);
+            let par_sub = run_level_parallel(&ctx, LevelAlgo::DpSub, threads).unwrap();
+            assert!((par_sub.cost - seq.cost).abs() < 1e-6 * seq.cost.max(1.0));
+            assert_eq!(par_sub.counters.evaluated, seq.counters.evaluated);
+            let pdp = run_dpsize_parallel(&ctx, threads).unwrap();
+            assert!((pdp.cost - seq.cost).abs() < 1e-6 * seq.cost.max(1.0));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_star() {
+        let m = PgLikeCost::new();
+        let q = gen::star(7, 3, &m).to_query_info().unwrap();
+        check_matches_sequential(&q);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_cycle() {
+        let m = PgLikeCost::new();
+        let q = gen::cycle(7, 3, &m).to_query_info().unwrap();
+        check_matches_sequential(&q);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_random() {
+        let m = PgLikeCost::new();
+        for seed in 0..3 {
+            let q = gen::random_connected(8, 4, seed, &m).to_query_info().unwrap();
+            check_matches_sequential(&q);
+        }
+    }
+
+    #[test]
+    fn plans_validate() {
+        let m = PgLikeCost::new();
+        let q = gen::snowflake(9, 3, 11, &m).to_query_info().unwrap();
+        let ctx = OptContext::new(&q, &m);
+        let r = run_level_parallel(&ctx, LevelAlgo::Mpdp, 3).unwrap();
+        assert!(r.plan.validate(&q.graph).is_none());
+        assert_eq!(r.plan.num_rels(), 9);
+    }
+}

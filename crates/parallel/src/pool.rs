@@ -1,0 +1,89 @@
+//! Chunked fork-join execution on scoped threads.
+//!
+//! The CPU-parallel optimizers follow the paper's structure: within one DP
+//! level every connected set is independent, so a level's set list is split
+//! into chunks, each worker evaluates its chunk against the *read-only* memo
+//! of the previous levels into thread-local candidate lists, and the main
+//! thread merges candidates — the "deferred pruning" of §2.2.2 ("excluding
+//! the BestPlan(S) update, which can be deferred to a later pruning step").
+
+use mpdp_core::RelSet;
+
+/// A best-plan candidate produced by a worker.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Candidate {
+    /// The set the candidate covers.
+    pub set: RelSet,
+    /// Left side of the split.
+    pub left: RelSet,
+    /// Plan cost.
+    pub cost: f64,
+    /// Output rows.
+    pub rows: f64,
+}
+
+/// Splits `items` into at most `threads` contiguous chunks and runs `f` on
+/// each chunk in parallel, returning the per-chunk results in order.
+///
+/// With `threads == 1` (or a single-item input) the call degenerates to a
+/// plain sequential invocation with zero thread overhead — important on this
+/// single-core container where real thread fan-out only adds noise.
+pub fn parallel_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 || items.len() <= 1 {
+        return vec![f(items)];
+    }
+    let chunk = items.len().div_ceil(threads);
+    let chunks: Vec<&[T]> = items.chunks(chunk).collect();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|c| {
+                let fr = &f;
+                scope.spawn(move |_| fr(c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("worker thread panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_fallback() {
+        let items: Vec<u32> = (0..10).collect();
+        let out = parallel_chunks(&items, 1, |c| c.iter().sum::<u32>());
+        assert_eq!(out, vec![45]);
+    }
+
+    #[test]
+    fn chunked_results_in_order() {
+        let items: Vec<u32> = (0..100).collect();
+        let out = parallel_chunks(&items, 4, |c| c.to_vec());
+        let flat: Vec<u32> = out.into_iter().flatten().collect();
+        assert_eq!(flat, items);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = [1u32, 2];
+        let out = parallel_chunks(&items, 16, |c| c.iter().sum::<u32>());
+        let total: u32 = out.iter().sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: [u32; 0] = [];
+        let out = parallel_chunks(&items, 4, |c| c.len());
+        assert_eq!(out, vec![0]);
+    }
+}

@@ -1,0 +1,331 @@
+//! Synthetic join-graph generators (§7.2.1).
+//!
+//! The paper evaluates on star, snowflake and clique join graphs (chains and
+//! cycles are discussed but omitted from the figures because their search
+//! space is polynomial). All generators are deterministic given a seed, emit
+//! [`LargeQuery`] descriptions (convertible to the exact-DP representation
+//! when ≤ 64 relations), and use PK–FK statistics: the edge selectivity
+//! between a referencing table and the referenced (primary-key) table is
+//! `1 / |referenced|`.
+
+use mpdp_core::query::{LargeQuery, RelInfo};
+use mpdp_cost::model::CostModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform table-size ranges used by the generators.
+const FACT_ROWS: (f64, f64) = (1.0e6, 5.0e7);
+const DIM_ROWS: (f64, f64) = (1.0e3, 1.0e6);
+
+fn rows_in(rng: &mut StdRng, range: (f64, f64)) -> f64 {
+    // Log-uniform: spreads table sizes across orders of magnitude.
+    let (lo, hi) = (range.0.ln(), range.1.ln());
+    (rng.gen_range(lo..hi)).exp().round()
+}
+
+fn rel(model: &dyn CostModel, rows: f64) -> RelInfo {
+    RelInfo::new(rows, model.scan_cost(rows))
+}
+
+/// Star join graph: one fact relation (vertex 0) referenced by `n - 1`
+/// dimensions. Dimension sizes carry random selection factors so that
+/// different join orders have different costs (the Table 2 setup).
+pub fn star(n: usize, seed: u64, model: &dyn CostModel) -> LargeQuery {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0057_4152_u64);
+    let mut rels = vec![rel(model, rows_in(&mut rng, FACT_ROWS))];
+    let mut q;
+    let mut dims = Vec::new();
+    for _ in 1..n {
+        let base = rows_in(&mut rng, DIM_ROWS);
+        // Random selection applied to the dimension (keeps 1%..100% of rows)
+        // while the join selectivity stays 1/|PK table| (pre-selection).
+        let selection = rng.gen_range(0.01f64..1.0);
+        dims.push((base, (base * selection).max(1.0).round()));
+    }
+    rels.extend(dims.iter().map(|&(_, kept)| rel(model, kept)));
+    q = LargeQuery::new(rels);
+    for (i, &(base, _)) in dims.iter().enumerate() {
+        q.add_edge(0, i + 1, 1.0 / base);
+    }
+    q
+}
+
+/// Snowflake join graph: a fact table at the root of a PK–FK tree of maximum
+/// depth `depth` (the paper uses depth ≤ 4). Branching factors are random;
+/// relation sizes shrink with depth. Like the star generator, each dimension
+/// carries a random selection factor (§7.3 generates "queries with
+/// selections so that different join orders would result in different
+/// costs"): the dimension's kept row count is stored while the join
+/// selectivity stays `1 / base rows`, so each dimension join reduces the
+/// fact-side cardinality by its selection factor.
+pub fn snowflake(n: usize, depth: usize, seed: u64, model: &dyn CostModel) -> LargeQuery {
+    assert!(n >= 1 && depth >= 1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x534e_4f57_u64);
+    // `rows` holds kept (post-selection) cardinalities; `base` the
+    // pre-selection table sizes that drive PK-FK selectivities.
+    let mut base = vec![rows_in(&mut rng, FACT_ROWS)];
+    let mut rows = vec![base[0]];
+    let mut parent: Vec<usize> = vec![usize::MAX];
+    let mut sel_to_parent: Vec<f64> = vec![1.0];
+    let mut level = vec![0usize];
+    // Frontier of nodes that may still take children (below max depth).
+    let mut frontier = vec![0usize];
+    while rows.len() < n {
+        // Pick a random frontier node; attach a child.
+        let fi = rng.gen_range(0..frontier.len());
+        let p = frontier[fi];
+        if level[p] + 1 > depth {
+            // Node at max depth cannot take children; drop from frontier.
+            frontier.swap_remove(fi);
+            if frontier.is_empty() {
+                // Everything else is at max depth: fall back to widening the
+                // root's fanout (the root can always take more children).
+                frontier.push(0);
+            }
+            continue;
+        }
+        let (child_base, child_kept, edge_sel);
+        if rng.gen_bool(0.18) && level[p] >= 1 {
+            // Sub-fact hub: large analytical queries are fact
+            // *constellations* — several big fact-like tables share
+            // dimensions. The hub holds a foreign key to its parent
+            // dimension and is much larger, so joining it expands the
+            // running cardinality; the optimal plan reduces each hub with
+            // its own dimension subtree bushily before hub-hub joins, which
+            // is what makes left-deep-only search (IKKBZ) collapse here.
+            let fanout = rng.gen_range(5.0f64..50.0);
+            child_base = (base[p] * fanout).round();
+            let selection = rng.gen_range(0.05f64..1.0);
+            child_kept = (child_base * selection).max(1.0).round();
+            edge_sel = 1.0 / base[p];
+        } else {
+            // Dimension (many-to-one): the parent references the child's
+            // PK, so the join keeps the parent-side cardinality scaled by
+            // the child's selection factor. Sizes are log-uniform at every
+            // depth (real snowflake dimensions are not strictly ordered by
+            // level).
+            child_base = rows_in(&mut rng, DIM_ROWS).max(10.0).round();
+            let selection = rng.gen_range(0.05f64..1.0);
+            child_kept = (child_base * selection).max(1.0).round();
+            edge_sel = 1.0 / child_base;
+        }
+        base.push(child_base);
+        rows.push(child_kept);
+        parent.push(p);
+        sel_to_parent.push(edge_sel);
+        level.push(level[p] + 1);
+        frontier.push(rows.len() - 1);
+        // Occasionally retire a node from the frontier to diversify shape.
+        if rng.gen_bool(0.3) && frontier.len() > 1 {
+            let ri = rng.gen_range(0..frontier.len());
+            frontier.swap_remove(ri);
+        }
+        if frontier.is_empty() {
+            frontier.push(0);
+        }
+    }
+    let rels = rows.iter().map(|&r| rel(model, r)).collect();
+    let mut q = LargeQuery::new(rels);
+    for (child, &p) in parent.iter().enumerate() {
+        if p != usize::MAX {
+            q.add_edge(p, child, sel_to_parent[child].clamp(f64::MIN_POSITIVE, 1.0));
+        }
+    }
+    // Equivalence-class edges (paper footnote 8: "The equivalence classes
+    // introduced because of joins in the given query may change the join
+    // graph since they introduce implicit predicates"): siblings that join
+    // their parent on the same key are transitively joinable to each other.
+    let mut children_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (child, &p) in parent.iter().enumerate() {
+        if p != usize::MAX {
+            children_of[p].push(child);
+        }
+    }
+    for kids in children_of {
+        for w in kids.windows(2) {
+            // Each consecutive sibling pair shares the parent's join key
+            // with probability 0.3.
+            if rng.gen_bool(0.3) {
+                let (a, b) = (w[0], w[1]);
+                let sel = 1.0 / base[a].max(base[b]);
+                q.add_edge(a, b, sel.clamp(f64::MIN_POSITIVE, 1.0));
+            }
+        }
+    }
+    q
+}
+
+/// Chain join graph `0 — 1 — … — n-1`.
+pub fn chain(n: usize, seed: u64, model: &dyn CostModel) -> LargeQuery {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0043_4841_u64);
+    let rows: Vec<f64> = (0..n).map(|_| rows_in(&mut rng, DIM_ROWS)).collect();
+    let rels = rows.iter().map(|&r| rel(model, r)).collect();
+    let mut q = LargeQuery::new(rels);
+    for i in 1..n {
+        q.add_edge(i - 1, i, 1.0 / rows[i].max(rows[i - 1]));
+    }
+    q
+}
+
+/// Cycle join graph: a chain plus a closing edge.
+pub fn cycle(n: usize, seed: u64, model: &dyn CostModel) -> LargeQuery {
+    assert!(n >= 3);
+    let mut q = chain(n, seed, model);
+    let r0 = q.rels[0].rows;
+    let rl = q.rels[n - 1].rows;
+    q.add_edge(n - 1, 0, 1.0 / r0.max(rl));
+    q
+}
+
+/// Clique join graph: every pair of relations joins (the cross-join stress
+/// case of Figure 8 — "join ordering for these graphs are more expensive to
+/// compute").
+pub fn clique(n: usize, seed: u64, model: &dyn CostModel) -> LargeQuery {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x434c_4951_u64);
+    let rows: Vec<f64> = (0..n).map(|_| rows_in(&mut rng, DIM_ROWS)).collect();
+    let rels = rows.iter().map(|&r| rel(model, r)).collect();
+    let mut q = LargeQuery::new(rels);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            q.add_edge(i, j, 1.0 / rows[i].max(rows[j]));
+        }
+    }
+    q
+}
+
+/// A random connected graph: a random spanning tree plus `extra_edges`
+/// additional random edges (creating cycles). Used by the property tests to
+/// cross-validate the exact algorithms on arbitrary topologies.
+pub fn random_connected(n: usize, extra_edges: usize, seed: u64, model: &dyn CostModel) -> LargeQuery {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0052_4e44_u64);
+    let rows: Vec<f64> = (0..n).map(|_| rows_in(&mut rng, DIM_ROWS)).collect();
+    let rels = rows.iter().map(|&r| rel(model, r)).collect();
+    let mut q = LargeQuery::new(rels);
+    // Random spanning tree: attach vertex i to a random earlier vertex.
+    for i in 1..n {
+        let p = rng.gen_range(0..i);
+        q.add_edge(p, i, 1.0 / rows[i].max(rows[p]));
+    }
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < extra_edges && attempts < extra_edges * 20 + 100 {
+        attempts += 1;
+        if n < 2 {
+            break;
+        }
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        if q.edges.iter().any(|e| (e.u as usize, e.v as usize) == (a, b)) {
+            continue;
+        }
+        q.add_edge(a, b, 1.0 / rows[a].max(rows[b]));
+        added += 1;
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_cost::pglike::PgLikeCost;
+
+    #[test]
+    fn star_shape() {
+        let m = PgLikeCost::new();
+        let q = star(10, 42, &m);
+        assert_eq!(q.num_rels(), 10);
+        assert_eq!(q.edges.len(), 9);
+        assert!(q.is_connected());
+        // Hub is vertex 0: every edge touches it.
+        assert!(q.edges.iter().all(|e| e.u == 0 || e.v == 0));
+        // Fact bigger than dimensions.
+        assert!(q.rels[0].rows >= q.rels[1].rows);
+    }
+
+    #[test]
+    fn snowflake_shape() {
+        let m = PgLikeCost::new();
+        let q = snowflake(20, 4, 7, &m);
+        assert_eq!(q.num_rels(), 20);
+        // Spanning tree plus optional equivalence-class sibling edges.
+        assert!(q.edges.len() >= 19);
+        assert!(q.edges.len() <= 19 * 2);
+        assert!(q.is_connected());
+    }
+
+    #[test]
+    fn snowflake_depth_one_is_star_plus_eq_edges() {
+        let m = PgLikeCost::new();
+        let q = snowflake(8, 1, 3, &m);
+        // Depth 1: all children attach directly to the root; extra edges (if
+        // any) are equivalence-class edges between siblings.
+        assert_eq!(q.num_rels(), 8);
+        assert!(q.is_connected());
+        let tree_edges = q.edges.iter().filter(|e| e.u == 0 || e.v == 0).count();
+        assert_eq!(tree_edges, 7);
+    }
+
+    #[test]
+    fn chain_and_cycle_shapes() {
+        let m = PgLikeCost::new();
+        let c = chain(6, 1, &m);
+        assert_eq!(c.edges.len(), 5);
+        let y = cycle(6, 1, &m);
+        assert_eq!(y.edges.len(), 6);
+        assert!(y.is_connected());
+    }
+
+    #[test]
+    fn clique_shape() {
+        let m = PgLikeCost::new();
+        let q = clique(6, 5, &m);
+        assert_eq!(q.edges.len(), 6 * 5 / 2);
+        assert!(q.is_connected());
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        let m = PgLikeCost::new();
+        for seed in 0..10 {
+            let q = random_connected(12, 5, seed, &m);
+            assert!(q.is_connected(), "seed {seed}");
+            assert!(q.edges.len() >= 11);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let m = PgLikeCost::new();
+        let a = star(8, 9, &m);
+        let b = star(8, 9, &m);
+        assert_eq!(a.rels.len(), b.rels.len());
+        for (x, y) in a.rels.iter().zip(b.rels.iter()) {
+            assert_eq!(x.rows, y.rows);
+        }
+        for (x, y) in a.edges.iter().zip(b.edges.iter()) {
+            assert_eq!((x.u, x.v), (y.u, y.v));
+            assert_eq!(x.sel, y.sel);
+        }
+        // Different seeds differ.
+        let c = star(8, 10, &m);
+        assert!(a.rels.iter().zip(c.rels.iter()).any(|(x, y)| x.rows != y.rows));
+    }
+
+    #[test]
+    fn selectivities_in_range() {
+        let m = PgLikeCost::new();
+        for q in [star(10, 1, &m), snowflake(15, 3, 1, &m), clique(8, 1, &m)] {
+            for e in &q.edges {
+                assert!(e.sel > 0.0 && e.sel <= 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! A JOB-like query suite (§7.2.4, Figure 11).
+//!
+//! The Join Order Benchmark \[20\] runs 113 queries over the IMDB dataset with
+//! join sizes from 4 to 17 relations. The IMDB data itself is not available
+//! here, so — per the substitution policy in `DESIGN.md` — we reproduce the
+//! *optimization-relevant* part: the IMDB schema's PK–FK join graph with
+//! realistic cardinalities, and a query suite whose join-size distribution
+//! matches JOB's (many queries per size bucket, topping out at 17).
+//! Optimization time depends only on this structure.
+
+use mpdp_core::query::{LargeQuery, RelInfo};
+use mpdp_cost::model::CostModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// IMDB-like schema: 21 tables around the `title` hub.
+#[derive(Clone, Debug)]
+pub struct ImdbSchema {
+    /// `(name, rows)` per table.
+    pub tables: Vec<(&'static str, f64)>,
+    /// FK edges `(child, parent)`.
+    pub fks: Vec<(usize, usize)>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl ImdbSchema {
+    /// Builds the schema.
+    pub fn new() -> Self {
+        let tables: Vec<(&'static str, f64)> = vec![
+            ("title", 2_528_312.0),          // 0
+            ("movie_companies", 2_609_129.0), // 1
+            ("company_name", 234_997.0),     // 2
+            ("company_type", 4.0),           // 3
+            ("movie_info", 14_835_720.0),    // 4
+            ("info_type", 113.0),            // 5
+            ("movie_info_idx", 1_380_035.0), // 6
+            ("movie_keyword", 4_523_930.0),  // 7
+            ("keyword", 134_170.0),          // 8
+            ("cast_info", 36_244_344.0),     // 9
+            ("name", 4_167_491.0),           // 10
+            ("char_name", 3_140_339.0),      // 11
+            ("role_type", 12.0),             // 12
+            ("aka_name", 901_343.0),         // 13
+            ("aka_title", 361_472.0),        // 14
+            ("movie_link", 29_997.0),        // 15
+            ("link_type", 18.0),             // 16
+            ("complete_cast", 135_086.0),    // 17
+            ("comp_cast_type", 4.0),         // 18
+            ("kind_type", 7.0),              // 19
+            ("person_info", 2_963_664.0),    // 20
+        ];
+        let fks = vec![
+            (1, 0),  // movie_companies.movie -> title
+            (1, 2),  // movie_companies.company -> company_name
+            (1, 3),  // movie_companies.type -> company_type
+            (4, 0),  // movie_info.movie -> title
+            (4, 5),  // movie_info.info_type -> info_type
+            (6, 0),  // movie_info_idx.movie -> title
+            (6, 5),  // movie_info_idx.info_type -> info_type
+            (7, 0),  // movie_keyword.movie -> title
+            (7, 8),  // movie_keyword.keyword -> keyword
+            (9, 0),  // cast_info.movie -> title
+            (9, 10), // cast_info.person -> name
+            (9, 11), // cast_info.char -> char_name
+            (9, 12), // cast_info.role -> role_type
+            (13, 10), // aka_name.person -> name
+            (14, 0), // aka_title.movie -> title
+            (15, 0), // movie_link.movie -> title
+            (15, 16), // movie_link.link_type -> link_type
+            (17, 0), // complete_cast.movie -> title
+            (17, 18), // complete_cast.status -> comp_cast_type
+            (0, 19), // title.kind -> kind_type
+            (20, 10), // person_info.person -> name
+            (20, 5), // person_info.info_type -> info_type
+        ];
+        let mut adj = vec![Vec::new(); tables.len()];
+        for &(c, p) in &fks {
+            adj[c].push(p);
+            adj[p].push(c);
+        }
+        ImdbSchema { tables, fks, adj }
+    }
+
+    /// Generates a connected query of `n` relations by random walk over the
+    /// schema graph (tables may repeat in JOB via aliases; we allow a table
+    /// to appear at most twice, modelling the benchmark's self-join aliases).
+    pub fn query(&self, n: usize, seed: u64, model: &dyn CostModel) -> LargeQuery {
+        assert!(n >= 2 && n <= 2 * self.tables.len());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x004a_4f42_u64);
+        // occurrences per schema table (max 2).
+        let mut occ = vec![0u8; self.tables.len()];
+        // chosen query relations as schema-table indices.
+        let mut chosen: Vec<usize> = Vec::with_capacity(n);
+        let mut cur = 0usize; // JOB queries all touch `title`
+        occ[cur] = 1;
+        chosen.push(cur);
+        let mut guard = 0;
+        while chosen.len() < n && guard < 100_000 {
+            guard += 1;
+            let next = self.adj[cur][rng.gen_range(0..self.adj[cur].len())];
+            if occ[next] < 2 && (occ[next] == 0 || rng.gen_bool(0.15)) {
+                occ[next] += 1;
+                chosen.push(next);
+            }
+            cur = next;
+            if guard % 32 == 0 {
+                cur = chosen[rng.gen_range(0..chosen.len())];
+            }
+        }
+        // Build: each chosen occurrence is a distinct query relation. Connect
+        // every occurrence pair whose schema tables share an FK (first
+        // occurrence link only, to keep aliases from forming dense multi-
+        // graphs, matching JOB's alias usage).
+        let rels: Vec<RelInfo> = chosen
+            .iter()
+            .map(|&t| {
+                let rows = self.tables[t].1;
+                RelInfo::new(rows, model.scan_cost(rows))
+            })
+            .collect();
+        let mut q = LargeQuery::new(rels);
+        let mut first_of = vec![usize::MAX; self.tables.len()];
+        for (qi, &t) in chosen.iter().enumerate() {
+            if first_of[t] == usize::MAX {
+                first_of[t] = qi;
+            }
+        }
+        for (qi, &t) in chosen.iter().enumerate() {
+            for &(c, p) in &self.fks {
+                let other = if c == t {
+                    p
+                } else if p == t {
+                    c
+                } else {
+                    continue;
+                };
+                let oq = first_of[other];
+                if oq != usize::MAX && oq != qi {
+                    let parent_rows = self.tables[p].1;
+                    q.add_edge(qi, oq, (1.0 / parent_rows).clamp(f64::MIN_POSITIVE, 1.0));
+                }
+            }
+        }
+        // Connect any stragglers (second occurrences that found no partner)
+        // to their first occurrence via a self-join predicate on the PK.
+        for (qi, &t) in chosen.iter().enumerate() {
+            if q.adj[qi].is_empty() {
+                let fo = first_of[t];
+                let target = if fo != qi { fo } else { 0 };
+                q.add_edge(qi, target, 1.0 / self.tables[t].1.max(2.0));
+            }
+        }
+        q
+    }
+
+    /// The full JOB-like suite: queries distributed over JOB's join sizes
+    /// (4–17 relations), several per size.
+    pub fn suite(&self, per_size: usize, seed: u64, model: &dyn CostModel) -> Vec<(usize, LargeQuery)> {
+        let mut out = Vec::new();
+        for n in 4..=17usize {
+            for k in 0..per_size {
+                let q = self.query(n, seed.wrapping_add((n * 1000 + k) as u64), model);
+                out.push((n, q));
+            }
+        }
+        out
+    }
+}
+
+impl Default for ImdbSchema {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_cost::pglike::PgLikeCost;
+
+    #[test]
+    fn schema_shape() {
+        let s = ImdbSchema::new();
+        assert_eq!(s.tables.len(), 21);
+        // title (0) is the hub: most FKs touch it.
+        let hub_edges = s.fks.iter().filter(|&&(c, p)| c == 0 || p == 0).count();
+        assert!(hub_edges >= 7);
+    }
+
+    #[test]
+    fn queries_are_connected_and_sized() {
+        let s = ImdbSchema::new();
+        let m = PgLikeCost::new();
+        for n in [4, 8, 12, 17] {
+            for seed in 0..5u64 {
+                let q = s.query(n, seed, &m);
+                assert_eq!(q.num_rels(), n, "n={n} seed={seed}");
+                assert!(q.is_connected(), "n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn suite_size_distribution() {
+        let s = ImdbSchema::new();
+        let m = PgLikeCost::new();
+        let suite = s.suite(2, 7, &m);
+        assert_eq!(suite.len(), 14 * 2);
+        assert_eq!(suite.iter().map(|(n, _)| *n).min(), Some(4));
+        assert_eq!(suite.iter().map(|(n, _)| *n).max(), Some(17));
+        for (n, q) in &suite {
+            assert_eq!(q.num_rels(), *n);
+            assert!(q.is_connected());
+        }
+    }
+}

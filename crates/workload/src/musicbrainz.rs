@@ -1,0 +1,382 @@
+//! A MusicBrainz-like schema and random-walk query generator (§7.2.2).
+//!
+//! The paper's real-world workload is the public MusicBrainz database: "This
+//! database, consisting of 56 tables, include information about artists,
+//! release groups, releases, recordings, works, and labels". We reproduce its
+//! *topology* — the 56-table PK–FK graph with realistic row counts — because
+//! optimization time depends on the join graph and statistics, not the
+//! tuples. Queries are generated exactly as described: "We pick a relation at
+//! random and then do a random walk on the graph till we get the required
+//! number of rels", including all PK–FK predicates among the chosen tables,
+//! so generated queries can contain cycles.
+
+use mpdp_core::query::{LargeQuery, RelInfo};
+use mpdp_cost::model::CostModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One schema table: name and approximate row count.
+#[derive(Clone, Debug)]
+pub struct SchemaTable {
+    /// Table name.
+    pub name: &'static str,
+    /// Approximate row count (matching public MusicBrainz magnitudes).
+    pub rows: f64,
+}
+
+/// The MusicBrainz-like schema: tables plus PK–FK edges
+/// `(referencing, referenced)`.
+#[derive(Clone, Debug)]
+pub struct MusicBrainz {
+    /// The 56 tables.
+    pub tables: Vec<SchemaTable>,
+    /// FK edges as index pairs `(child, parent)`: `child` holds a foreign key
+    /// into `parent`'s primary key.
+    pub fks: Vec<(usize, usize)>,
+    adj: Vec<Vec<usize>>,
+}
+
+macro_rules! tables {
+    ($(($name:ident, $rows:expr)),* $(,)?) => {
+        vec![$(SchemaTable { name: stringify!($name), rows: $rows as f64 }),*]
+    };
+}
+
+impl MusicBrainz {
+    /// Builds the schema graph.
+    pub fn new() -> Self {
+        let tables = tables![
+            (artist, 2_000_000),             // 0
+            (artist_alias, 250_000),         // 1
+            (artist_credit, 2_500_000),      // 2
+            (artist_credit_name, 3_200_000), // 3
+            (artist_ipi, 40_000),            // 4
+            (artist_isni, 60_000),           // 5
+            (artist_meta, 2_000_000),        // 6
+            (artist_tag, 600_000),           // 7
+            (artist_type, 6),                // 8
+            (area, 120_000),                 // 9
+            (area_alias, 50_000),            // 10
+            (area_type, 9),                  // 11
+            (country_area, 260),             // 12
+            (gender, 5),                     // 13
+            (label, 250_000),                // 14
+            (label_alias, 20_000),           // 15
+            (label_ipi, 10_000),             // 16
+            (label_isni, 12_000),            // 17
+            (label_type, 9),                 // 18
+            (language, 7_000),               // 19
+            (link, 1_800_000),               // 20
+            (link_attribute, 900_000),       // 21
+            (link_attribute_type, 800),      // 22
+            (link_type, 1_000),              // 23
+            (medium, 4_500_000),             // 24
+            (medium_format, 100),            // 25
+            (place, 60_000),                 // 26
+            (place_alias, 8_000),            // 27
+            (place_type, 8),                 // 28
+            (recording, 30_000_000),         // 29
+            (recording_alias, 150_000),      // 30
+            (recording_meta, 30_000_000),    // 31
+            (recording_tag, 1_200_000),      // 32
+            (release, 4_000_000),            // 33
+            (release_alias, 30_000),         // 34
+            (release_country, 3_500_000),    // 35
+            (release_group, 3_500_000),      // 36
+            (release_group_meta, 3_500_000), // 37
+            (release_group_primary_type, 5), // 38
+            (release_group_tag, 900_000),    // 39
+            (release_label, 2_500_000),      // 40
+            (release_meta, 4_000_000),       // 41
+            (release_packaging, 10),         // 42
+            (release_status, 6),             // 43
+            (release_tag, 700_000),          // 44
+            (release_unknown_country, 200_000), // 45
+            (script, 200),                   // 46
+            (tag, 200_000),                  // 47
+            (track, 40_000_000),             // 48
+            (work, 2_000_000),               // 49
+            (work_alias, 120_000),           // 50
+            (work_attribute, 400_000),       // 51
+            (work_attribute_type, 50),       // 52
+            (work_meta, 2_000_000),          // 53
+            (work_tag, 300_000),             // 54
+            (work_type, 30),                 // 55
+        ];
+        assert_eq!(tables.len(), 56);
+        // (child, parent): child.fk -> parent.pk
+        let fks = vec![
+            (0, 9),   // artist.area -> area
+            (0, 13),  // artist.gender -> gender
+            (0, 8),   // artist.type -> artist_type
+            (1, 0),   // artist_alias.artist -> artist
+            (3, 2),   // artist_credit_name.artist_credit -> artist_credit
+            (3, 0),   // artist_credit_name.artist -> artist
+            (4, 0),   // artist_ipi.artist -> artist
+            (5, 0),   // artist_isni.artist -> artist
+            (6, 0),   // artist_meta.id -> artist
+            (7, 0),   // artist_tag.artist -> artist
+            (7, 47),  // artist_tag.tag -> tag
+            (10, 9),  // area_alias.area -> area
+            (9, 11),  // area.type -> area_type
+            (12, 9),  // country_area.area -> area
+            (14, 9),  // label.area -> area
+            (14, 18), // label.type -> label_type
+            (15, 14), // label_alias.label -> label
+            (16, 14), // label_ipi.label -> label
+            (17, 14), // label_isni.label -> label
+            (20, 23), // link.link_type -> link_type
+            (21, 20), // link_attribute.link -> link
+            (21, 22), // link_attribute.attribute_type -> link_attribute_type
+            (24, 33), // medium.release -> release
+            (24, 25), // medium.format -> medium_format
+            (26, 9),  // place.area -> area
+            (26, 28), // place.type -> place_type
+            (27, 26), // place_alias.place -> place
+            (29, 2),  // recording.artist_credit -> artist_credit
+            (30, 29), // recording_alias.recording -> recording
+            (31, 29), // recording_meta.id -> recording
+            (32, 29), // recording_tag.recording -> recording
+            (32, 47), // recording_tag.tag -> tag
+            (33, 2),  // release.artist_credit -> artist_credit
+            (33, 36), // release.release_group -> release_group
+            (33, 19), // release.language -> language
+            (33, 46), // release.script -> script
+            (33, 43), // release.status -> release_status
+            (33, 42), // release.packaging -> release_packaging
+            (34, 33), // release_alias.release -> release
+            (35, 33), // release_country.release -> release
+            (35, 12), // release_country.country -> country_area
+            (36, 2),  // release_group.artist_credit -> artist_credit
+            (36, 38), // release_group.type -> release_group_primary_type
+            (37, 36), // release_group_meta.id -> release_group
+            (39, 36), // release_group_tag.release_group -> release_group
+            (39, 47), // release_group_tag.tag -> tag
+            (40, 33), // release_label.release -> release
+            (40, 14), // release_label.label -> label
+            (41, 33), // release_meta.id -> release
+            (44, 33), // release_tag.release -> release
+            (44, 47), // release_tag.tag -> tag
+            (45, 33), // release_unknown_country.release -> release
+            (48, 24), // track.medium -> medium
+            (48, 29), // track.recording -> recording
+            (48, 2),  // track.artist_credit -> artist_credit
+            (49, 55), // work.type -> work_type
+            (50, 49), // work_alias.work -> work
+            (51, 49), // work_attribute.work -> work
+            (51, 52), // work_attribute.work_attribute_type -> work_attribute_type
+            (53, 49), // work_meta.id -> work
+            (54, 49), // work_tag.work -> work
+            (54, 47), // work_tag.tag -> tag
+            (20, 0),  // link rows referencing artists (l_artist_* flattened)
+            (20, 29), // link rows referencing recordings
+            (49, 20), // works linked via link (l_recording_work flattened)
+        ];
+        let mut adj = vec![Vec::new(); tables.len()];
+        for &(c, p) in &fks {
+            adj[c].push(p);
+            adj[p].push(c);
+        }
+        MusicBrainz { tables, fks, adj }
+    }
+
+    /// Number of tables (56).
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` if every table is reachable from `artist` — required for random
+    /// walks to reach any size.
+    pub fn is_connected(&self) -> bool {
+        let mut seen = vec![false; self.tables.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &w in &self.adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == self.tables.len()
+    }
+
+    /// Generates one query of `n` relations by random walk (§7.2.2):
+    /// start at a random table, walk to uniformly random neighbours, adding
+    /// newly visited tables until `n` distinct tables are collected; the
+    /// query joins those tables with **all** PK–FK predicates among them
+    /// (which is what introduces cycles).
+    ///
+    /// `pk_fk` selects the selectivity model: `true` gives the paper's
+    /// primary workload (`sel = 1/|parent|`); `false` the non-PK–FK variant
+    /// of Figure 10(b) (`sel = 1/max(ndv)` with NDV ≈ rows/100, producing
+    /// much larger intermediate results).
+    pub fn random_walk_query(
+        &self,
+        n: usize,
+        seed: u64,
+        pk_fk: bool,
+        model: &dyn CostModel,
+    ) -> LargeQuery {
+        assert!(n >= 1 && n <= self.num_tables());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4d42_u64);
+        let mut chosen: Vec<usize> = Vec::with_capacity(n);
+        let mut in_chosen = vec![false; self.num_tables()];
+        let mut cur = rng.gen_range(0..self.num_tables());
+        chosen.push(cur);
+        in_chosen[cur] = true;
+        let mut steps = 0usize;
+        while chosen.len() < n {
+            let next = self.adj[cur][rng.gen_range(0..self.adj[cur].len())];
+            if !in_chosen[next] {
+                chosen.push(next);
+                in_chosen[next] = true;
+            }
+            cur = next;
+            steps += 1;
+            // Walks can stall in dead-end corners; restart from a random
+            // already-chosen table to keep the induced graph connected.
+            if steps.is_multiple_of(64) {
+                cur = chosen[rng.gen_range(0..chosen.len())];
+            }
+        }
+        // Build the query over the chosen tables with all induced FK edges.
+        let rels: Vec<RelInfo> = chosen
+            .iter()
+            .map(|&t| {
+                let rows = self.tables[t].rows;
+                RelInfo::new(rows, model.scan_cost(rows))
+            })
+            .collect();
+        let mut index_of = vec![usize::MAX; self.num_tables()];
+        for (qi, &t) in chosen.iter().enumerate() {
+            index_of[t] = qi;
+        }
+        let mut q = LargeQuery::new(rels);
+        for &(c, p) in &self.fks {
+            let (qc, qp) = (index_of[c], index_of[p]);
+            if qc != usize::MAX && qp != usize::MAX {
+                let sel = if pk_fk {
+                    1.0 / self.tables[p].rows
+                } else {
+                    let ndv_c = (self.tables[c].rows / 100.0).max(1.0);
+                    let ndv_p = (self.tables[p].rows / 100.0).max(1.0);
+                    1.0 / ndv_c.max(ndv_p)
+                };
+                q.add_edge(qc, qp, sel.clamp(f64::MIN_POSITIVE, 1.0));
+            }
+        }
+        q
+    }
+
+    /// Generates the paper's per-size query batch: "For any given number of
+    /// relation, n, we generate 15 such queries and report its average".
+    pub fn query_batch(
+        &self,
+        n: usize,
+        count: usize,
+        seed: u64,
+        pk_fk: bool,
+        model: &dyn CostModel,
+    ) -> Vec<LargeQuery> {
+        (0..count)
+            .map(|i| self.random_walk_query(n, seed.wrapping_add(i as u64 * 7919), pk_fk, model))
+            .collect()
+    }
+}
+
+impl Default for MusicBrainz {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_cost::pglike::PgLikeCost;
+
+    #[test]
+    fn schema_has_56_connected_tables() {
+        let mb = MusicBrainz::new();
+        assert_eq!(mb.num_tables(), 56);
+        assert!(mb.is_connected(), "schema graph must be connected");
+    }
+
+    #[test]
+    fn fks_are_valid_indices() {
+        let mb = MusicBrainz::new();
+        for &(c, p) in &mb.fks {
+            assert!(c < 56 && p < 56 && c != p);
+        }
+    }
+
+    #[test]
+    fn random_walk_query_shape() {
+        let mb = MusicBrainz::new();
+        let m = PgLikeCost::new();
+        for n in [2, 5, 10, 20, 30] {
+            let q = mb.random_walk_query(n, 17, true, &m);
+            assert_eq!(q.num_rels(), n);
+            assert!(q.is_connected(), "n={n}");
+            assert!(q.edges.len() >= n - 1);
+        }
+    }
+
+    #[test]
+    fn queries_can_contain_cycles() {
+        // Across a batch of 20-rel queries at least one should have more
+        // edges than a tree (the paper: "the generated queries can contain
+        // cycles").
+        let mb = MusicBrainz::new();
+        let m = PgLikeCost::new();
+        let qs = mb.query_batch(20, 15, 99, true, &m);
+        assert!(qs.iter().any(|q| q.edges.len() > 19));
+    }
+
+    #[test]
+    fn pk_fk_and_non_pk_fk_selectivities_differ() {
+        let mb = MusicBrainz::new();
+        let m = PgLikeCost::new();
+        let a = mb.random_walk_query(10, 3, true, &m);
+        let b = mb.random_walk_query(10, 3, false, &m);
+        // Same topology, different selectivities (non-PK-FK is less
+        // selective overall).
+        assert_eq!(a.edges.len(), b.edges.len());
+        let prod_a: f64 = a.edges.iter().map(|e| e.sel).product();
+        let prod_b: f64 = b.edges.iter().map(|e| e.sel).product();
+        assert!(prod_b > prod_a);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mb = MusicBrainz::new();
+        let m = PgLikeCost::new();
+        let a = mb.random_walk_query(12, 5, true, &m);
+        let b = mb.random_walk_query(12, 5, true, &m);
+        assert_eq!(a.rels.len(), b.rels.len());
+        for (x, y) in a.edges.iter().zip(b.edges.iter()) {
+            assert_eq!((x.u, x.v), (y.u, y.v));
+        }
+    }
+
+    #[test]
+    fn full_56_table_query() {
+        let mb = MusicBrainz::new();
+        let m = PgLikeCost::new();
+        let q = mb.random_walk_query(56, 1, true, &m);
+        assert_eq!(q.num_rels(), 56);
+        // Edges = distinct unordered FK pairs of the schema.
+        let mut pairs: Vec<(usize, usize)> = mb
+            .fks
+            .iter()
+            .map(|&(c, p)| (c.min(p), c.max(p)))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(q.edges.len(), pairs.len());
+    }
+}

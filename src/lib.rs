@@ -1,0 +1,145 @@
+//! # mpdp
+//!
+//! Facade crate for the MPDP workspace — a from-scratch Rust reproduction of
+//! *"Efficient Massively Parallel Join Optimization for Large Queries"*
+//! (SIGMOD 2022). Re-exports the public API of every member crate and adds
+//! [`Optimizer`], a one-stop adaptive driver that mirrors how the paper
+//! deploys MPDP inside PostgreSQL: exact MPDP up to a configurable
+//! heuristic-fall-back limit, UnionDP-MPDP beyond it.
+//!
+//! ```
+//! use mpdp::Optimizer;
+//! use mpdp::prelude::*;
+//!
+//! let model = PgLikeCost::new();
+//! let query = mpdp::workload::gen::star(20, 7, &model);
+//! let plan = Optimizer::new().optimize(&query, &model).unwrap();
+//! assert_eq!(plan.plan.num_rels(), 20);
+//! ```
+//!
+//! See the workspace `README.md` for a tour and `examples/` for runnable
+//! entry points.
+
+#![warn(missing_docs)]
+
+pub use mpdp_core as core;
+pub use mpdp_cost as cost;
+pub use mpdp_dp as dp;
+pub use mpdp_gpu as gpu;
+pub use mpdp_heuristics as heuristics;
+pub use mpdp_parallel as parallel;
+pub use mpdp_workload as workload;
+
+use mpdp_core::{LargeQuery, OptError};
+use mpdp_cost::model::CostModel;
+use mpdp_heuristics::{LargeOptResult, LargeOptimizer, UnionDp};
+use std::time::Duration;
+
+/// Most-used items in one import.
+pub mod prelude {
+    pub use mpdp_core::{
+        JoinGraph, LargeQuery, OptError, PlanTree, QueryInfo, RelInfo, RelSet,
+    };
+    pub use mpdp_cost::{CostModel, CoutCost, PgLikeCost};
+    pub use mpdp_dp::{DpCcp, DpSize, DpSub, JoinOrderOptimizer, Mpdp, MpdpTree, OptContext};
+    pub use mpdp_heuristics::{LargeOptResult, LargeOptimizer};
+}
+
+/// Adaptive join-order optimizer.
+///
+/// Small queries (≤ [`Optimizer::exact_limit`]) are solved exactly with MPDP;
+/// larger ones fall back to UnionDP-MPDP — the configuration the paper
+/// recommends after raising PostgreSQL's heuristic-fall-back limit
+/// ("we are able to increase the heuristic-fall-back limit from 12 relations
+/// to 25 relations with same time budget").
+#[derive(Copy, Clone, Debug)]
+pub struct Optimizer {
+    /// Largest query size optimized exactly.
+    pub exact_limit: usize,
+    /// UnionDP partition bound for larger queries.
+    pub partition_k: usize,
+    /// Optional optimization budget.
+    pub budget: Option<Duration>,
+}
+
+impl Default for Optimizer {
+    fn default() -> Self {
+        Optimizer {
+            // 18 is a sensible exact limit for a single CPU core; the paper
+            // reaches 25 with a GPU.
+            exact_limit: 18,
+            partition_k: 15,
+            budget: None,
+        }
+    }
+}
+
+impl Optimizer {
+    /// Default adaptive optimizer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the optimization budget.
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Optimizes `query`, choosing exact MPDP or UnionDP-MPDP by size.
+    pub fn optimize(
+        &self,
+        query: &LargeQuery,
+        model: &dyn CostModel,
+    ) -> Result<LargeOptResult, OptError> {
+        if query.num_rels() <= self.exact_limit.min(64) {
+            let qi = query.to_query_info().ok_or(OptError::TooLarge {
+                got: query.num_rels(),
+                max: 64,
+            })?;
+            let ctx = match self.budget {
+                Some(b) => mpdp_dp::OptContext::with_budget(&qi, model, b),
+                None => mpdp_dp::OptContext::new(&qi, model),
+            };
+            let r = mpdp_dp::Mpdp::run(&ctx)?;
+            return Ok(LargeOptResult {
+                cost: r.cost,
+                rows: r.rows,
+                plan: r.plan,
+            });
+        }
+        UnionDp {
+            k: self.partition_k,
+        }
+        .optimize(query, model, self.budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_cost::PgLikeCost;
+
+    #[test]
+    fn adaptive_small_is_exact() {
+        let model = PgLikeCost::new();
+        let q = workload::gen::cycle(8, 3, &model);
+        let adaptive = Optimizer::new().optimize(&q, &model).unwrap();
+        let qi = q.to_query_info().unwrap();
+        let exact =
+            mpdp_dp::Mpdp::run(&mpdp_dp::OptContext::new(&qi, &model)).unwrap();
+        assert!((adaptive.cost - exact.cost).abs() < 1e-6 * exact.cost.max(1.0));
+    }
+
+    #[test]
+    fn adaptive_large_uses_heuristic() {
+        let model = PgLikeCost::new();
+        let q = workload::gen::snowflake(80, 4, 5, &model);
+        let r = Optimizer::new()
+            .with_budget(Duration::from_secs(60))
+            .optimize(&q, &model)
+            .unwrap();
+        assert_eq!(r.plan.num_rels(), 80);
+        assert!(mpdp_heuristics::validate_large(&r.plan, &q).is_none());
+    }
+}

@@ -1,0 +1,122 @@
+//! Cross-crate integration: every exact optimizer — sequential, CPU-parallel
+//! and simulated-GPU — must find the same optimal cost on the same query,
+//! and the algorithm-independent invariants of §2.1 must hold.
+
+use mpdp::prelude::*;
+use mpdp_bench::runner::{run_exact, AlgoKind, EXACT_ROSTER};
+use mpdp_cost::PgLikeCost;
+use mpdp_workload::{gen, MusicBrainz};
+use std::time::Duration;
+
+fn queries() -> Vec<(String, QueryInfo)> {
+    let m = PgLikeCost::new();
+    let mb = MusicBrainz::new();
+    let mut out = Vec::new();
+    for n in [5usize, 8] {
+        out.push((format!("star{n}"), gen::star(n, 1, &m).to_query_info().unwrap()));
+        out.push((
+            format!("snowflake{n}"),
+            gen::snowflake(n, 3, 2, &m).to_query_info().unwrap(),
+        ));
+        out.push((format!("chain{n}"), gen::chain(n, 3, &m).to_query_info().unwrap()));
+        out.push((format!("clique{n}"), gen::clique(n, 4, &m).to_query_info().unwrap()));
+        out.push((
+            format!("mb{n}"),
+            mb.random_walk_query(n, 5, true, &m).to_query_info().unwrap(),
+        ));
+    }
+    for seed in 0..4u64 {
+        out.push((
+            format!("random{seed}"),
+            gen::random_connected(9, 4, seed, &m).to_query_info().unwrap(),
+        ));
+    }
+    out
+}
+
+#[test]
+fn all_exact_algorithms_agree_on_optimal_cost() {
+    let m = PgLikeCost::new();
+    let budget = Duration::from_secs(60);
+    for (name, q) in queries() {
+        let baseline = run_exact(AlgoKind::DpSubSeq, &q, &m, budget).unwrap();
+        for kind in EXACT_ROSTER {
+            let r = run_exact(kind, &q, &m, budget)
+                .unwrap_or_else(|e| panic!("{name}/{}: {e}", kind.name()));
+            assert!(
+                (r.cost - baseline.cost).abs() < 1e-6 * baseline.cost.max(1.0),
+                "{name}/{}: {} vs {}",
+                kind.name(),
+                r.cost,
+                baseline.cost
+            );
+        }
+    }
+}
+
+#[test]
+fn ccp_counter_is_algorithm_independent() {
+    // §2.1: "CCP-Counter when profiled on any optimal DP algorithm such as
+    // DPSIZE, DPSUB and DPCCP will produce the same value."
+    let m = PgLikeCost::new();
+    let budget = Duration::from_secs(60);
+    for (name, q) in queries() {
+        let reference = run_exact(AlgoKind::DpSubSeq, &q, &m, budget).unwrap();
+        for kind in [
+            AlgoKind::PostgresDpSize,
+            AlgoKind::DpCcp,
+            AlgoKind::MpdpSeq,
+            AlgoKind::Dpe24,
+            AlgoKind::MpdpCpu24,
+            AlgoKind::DpSubGpu,
+            AlgoKind::DpSizeGpu,
+            AlgoKind::MpdpGpu,
+        ] {
+            let r = run_exact(kind, &q, &m, budget).unwrap();
+            assert_eq!(
+                r.counters.ccp,
+                reference.counters.ccp,
+                "{name}/{}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn mpdp_dominates_dpsub_in_evaluated_pairs() {
+    // Lemma 7 across whole runs; equality exactly when all blocks are
+    // cliques (Lemma 9).
+    let m = PgLikeCost::new();
+    let budget = Duration::from_secs(60);
+    for (name, q) in queries() {
+        let sub = run_exact(AlgoKind::DpSubSeq, &q, &m, budget).unwrap();
+        let mpdp = run_exact(AlgoKind::MpdpSeq, &q, &m, budget).unwrap();
+        assert!(
+            mpdp.counters.evaluated <= sub.counters.evaluated,
+            "{name}: {} > {}",
+            mpdp.counters.evaluated,
+            sub.counters.evaluated
+        );
+        assert!(mpdp.counters.evaluated >= mpdp.counters.ccp, "{name}");
+    }
+}
+
+#[test]
+fn plans_are_structurally_valid_everywhere() {
+    let m = PgLikeCost::new();
+    let budget = Duration::from_secs(60);
+    for (name, q) in queries() {
+        let ctx = OptContext::new(&q, &m);
+        for result in [
+            Mpdp::run(&ctx).unwrap(),
+            DpCcp::run(&ctx).unwrap(),
+            DpSize::run(&ctx).unwrap(),
+        ] {
+            assert!(result.plan.validate(&q.graph).is_none(), "{name}");
+            assert_eq!(result.plan.num_rels(), q.query_size(), "{name}");
+            assert_eq!(result.plan.num_joins(), q.query_size() - 1, "{name}");
+        }
+        let _ = budget;
+    }
+}

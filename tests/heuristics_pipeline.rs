@@ -1,0 +1,125 @@
+//! Cross-crate integration for the heuristic layer: the Tables 1–2 pipeline
+//! end to end — generators → heuristics → plan validity, quality ordering
+//! and budget behaviour.
+
+use mpdp::prelude::*;
+use mpdp::Optimizer;
+use mpdp_cost::PgLikeCost;
+use mpdp_heuristics::{
+    idp1_mpdp, idp2_mpdp, validate_large, Geqo, Goo, Ikkbz, LinDp, UnionDp,
+};
+use mpdp_workload::{gen, MusicBrainz};
+use std::time::Duration;
+
+#[test]
+fn every_heuristic_produces_valid_plans_on_every_workload() {
+    let m = PgLikeCost::new();
+    let budget = Some(Duration::from_secs(60));
+    let queries = vec![
+        ("star30", gen::star(30, 1, &m)),
+        ("snowflake40", gen::snowflake(40, 4, 2, &m)),
+        ("clique15", gen::clique(15, 3, &m)),
+        ("mb30", MusicBrainz::new().random_walk_query(30, 4, true, &m)),
+    ];
+    for (name, q) in &queries {
+        let runs: Vec<(&str, LargeOptResult)> = vec![
+            ("goo", Goo.optimize(q, &m, budget).unwrap()),
+            ("ikkbz", Ikkbz.optimize(q, &m, budget).unwrap()),
+            ("lindp", LinDp::default().optimize(q, &m, budget).unwrap()),
+            ("geqo", Geqo::default().optimize(q, &m, budget).unwrap()),
+            ("idp2", idp2_mpdp(q, &m, 8, budget).unwrap()),
+            ("uniondp", UnionDp { k: 8 }.optimize(q, &m, budget).unwrap()),
+        ];
+        for (algo, r) in &runs {
+            assert!(
+                validate_large(&r.plan, q).is_none(),
+                "{name}/{algo}: {:?}",
+                validate_large(&r.plan, q)
+            );
+            assert_eq!(r.plan.num_rels(), q.num_rels(), "{name}/{algo}");
+            assert!(r.cost.is_finite() && r.cost > 0.0, "{name}/{algo}");
+        }
+        // IKKBZ is restricted to left-deep trees.
+        let ikkbz = &runs.iter().find(|(a, _)| *a == "ikkbz").unwrap().1;
+        assert!(ikkbz.plan.is_left_deep(), "{name}");
+    }
+}
+
+#[test]
+fn dp_based_heuristics_dominate_on_small_queries() {
+    // Where the exact optimum is computable, IDP2(k≥n) and UnionDP(k≥n)
+    // must hit it and the others must not beat it.
+    let m = PgLikeCost::new();
+    for seed in 0..3u64 {
+        let q = gen::snowflake(10, 3, seed, &m);
+        let qi = q.to_query_info().unwrap();
+        let exact = Mpdp::run(&OptContext::new(&qi, &m)).unwrap();
+        let idp = idp2_mpdp(&q, &m, 10, None).unwrap();
+        assert!((idp.cost - exact.cost).abs() < 1e-6 * exact.cost.max(1.0));
+        let tol = exact.cost * (1.0 - 1e-9);
+        for r in [
+            Goo.optimize(&q, &m, None).unwrap(),
+            Ikkbz.optimize(&q, &m, None).unwrap(),
+            Geqo::default().optimize(&q, &m, None).unwrap(),
+        ] {
+            assert!(r.cost >= tol, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn idp1_and_idp2_agree_with_exact_at_full_k() {
+    let m = PgLikeCost::new();
+    let q = gen::cycle(7, 9, &m);
+    let qi = q.to_query_info().unwrap();
+    let exact = Mpdp::run(&OptContext::new(&qi, &m)).unwrap();
+    let i1 = idp1_mpdp(&q, &m, 7, None).unwrap();
+    let i2 = idp2_mpdp(&q, &m, 7, None).unwrap();
+    assert!((i1.cost - exact.cost).abs() < 1e-6 * exact.cost.max(1.0));
+    assert!((i2.cost - exact.cost).abs() < 1e-6 * exact.cost.max(1.0));
+}
+
+#[test]
+fn budgets_time_out_cleanly() {
+    let m = PgLikeCost::new();
+    let q = gen::snowflake(400, 4, 1, &m);
+    // A microsecond budget must produce a Timeout, not a hang or panic.
+    let r = idp2_mpdp(&q, &m, 15, Some(Duration::from_micros(1)));
+    assert!(matches!(r, Err(OptError::Timeout { .. })));
+    let r = UnionDp { k: 15 }.optimize(&q, &m, Some(Duration::from_micros(1)));
+    assert!(matches!(r, Err(OptError::Timeout { .. })));
+}
+
+#[test]
+fn adaptive_facade_handles_both_regimes() {
+    let m = PgLikeCost::new();
+    let small = gen::chain(6, 1, &m);
+    let large = gen::snowflake(120, 4, 1, &m);
+    let opt = Optimizer::new().with_budget(Duration::from_secs(60));
+    let rs = opt.optimize(&small, &m).unwrap();
+    assert_eq!(rs.plan.num_rels(), 6);
+    let rl = opt.optimize(&large, &m).unwrap();
+    assert_eq!(rl.plan.num_rels(), 120);
+    assert!(validate_large(&rl.plan, &large).is_none());
+}
+
+#[test]
+fn thousand_relation_snowflake_under_a_minute() {
+    // The paper's headline heuristic claim: "it also optimizes queries with
+    // 1000 relations under 1 minute". GOO + UnionDP both must finish a
+    // 1000-relation snowflake within the budget on this machine.
+    let m = PgLikeCost::new();
+    let q = gen::snowflake(1000, 4, 7, &m);
+    let start = std::time::Instant::now();
+    let goo = Goo.optimize(&q, &m, Some(Duration::from_secs(60))).unwrap();
+    assert!(validate_large(&goo.plan, &q).is_none());
+    let ud = UnionDp { k: 10 }
+        .optimize(&q, &m, Some(Duration::from_secs(60)))
+        .unwrap();
+    assert!(validate_large(&ud.plan, &q).is_none());
+    assert!(
+        start.elapsed() < Duration::from_secs(120),
+        "took {:?}",
+        start.elapsed()
+    );
+}

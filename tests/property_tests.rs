@@ -1,0 +1,102 @@
+//! Property-based tests over random join graphs: the workspace's core
+//! invariants must hold for *arbitrary* connected topologies and statistics,
+//! not just the hand-picked test graphs.
+
+use mpdp::prelude::*;
+use mpdp_cost::{CoutCost, PgLikeCost};
+use mpdp_heuristics::{validate_large, Goo, LargeOptimizer, UnionDp};
+use mpdp_workload::gen;
+use proptest::prelude::*;
+
+/// Strategy: a connected random query with 2..=9 relations and 0..=6 extra
+/// (cycle-forming) edges.
+fn query_strategy() -> impl Strategy<Value = LargeQuery> {
+    (2usize..=9, 0usize..=6, any::<u64>()).prop_map(|(n, extra, seed)| {
+        let m = PgLikeCost::new();
+        gen::random_connected(n, extra, seed, &m)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_algorithms_agree(q in query_strategy()) {
+        let m = PgLikeCost::new();
+        let qi = q.to_query_info().unwrap();
+        let ctx = OptContext::new(&qi, &m);
+        let a = DpSub::run(&ctx).unwrap();
+        let b = DpCcp::run(&ctx).unwrap();
+        let c = Mpdp::run(&ctx).unwrap();
+        let d = DpSize::run(&ctx).unwrap();
+        let tol = 1e-6 * a.cost.max(1.0);
+        prop_assert!((a.cost - b.cost).abs() < tol, "dpccp {} vs dpsub {}", b.cost, a.cost);
+        prop_assert!((a.cost - c.cost).abs() < tol, "mpdp {} vs dpsub {}", c.cost, a.cost);
+        prop_assert!((a.cost - d.cost).abs() < tol, "dpsize {} vs dpsub {}", d.cost, a.cost);
+        // CCP counter is algorithm independent.
+        prop_assert_eq!(a.counters.ccp, b.counters.ccp);
+        prop_assert_eq!(a.counters.ccp, c.counters.ccp);
+        prop_assert_eq!(a.counters.ccp, d.counters.ccp);
+        // DPCCP is tight; MPDP evaluates no more than DPSUB.
+        prop_assert_eq!(b.counters.evaluated, b.counters.ccp);
+        prop_assert!(c.counters.evaluated <= a.counters.evaluated);
+    }
+
+    #[test]
+    fn optimal_plans_validate(q in query_strategy()) {
+        let m = PgLikeCost::new();
+        let qi = q.to_query_info().unwrap();
+        let ctx = OptContext::new(&qi, &m);
+        let r = Mpdp::run(&ctx).unwrap();
+        prop_assert!(r.plan.validate(&qi.graph).is_none());
+        prop_assert_eq!(r.plan.num_rels(), qi.query_size());
+        // The memoized cost/rows at the root must be reproducible bottom-up.
+        let re = mpdp_heuristics::recost(&r.plan, &q, &m);
+        prop_assert!((re.cost() - r.cost).abs() < 1e-6 * r.cost.max(1.0));
+        prop_assert!((re.rows() - r.rows).abs() < 1e-6 * r.rows.max(1.0));
+    }
+
+    #[test]
+    fn heuristics_bounded_below_by_optimum(q in query_strategy()) {
+        let m = PgLikeCost::new();
+        let qi = q.to_query_info().unwrap();
+        let exact = Mpdp::run(&OptContext::new(&qi, &m)).unwrap();
+        let lower = exact.cost * (1.0 - 1e-9);
+        let goo = Goo.optimize(&q, &m, None).unwrap();
+        prop_assert!(goo.cost >= lower, "goo {} < exact {}", goo.cost, exact.cost);
+        prop_assert!(validate_large(&goo.plan, &q).is_none());
+        let ud = UnionDp { k: 4 }.optimize(&q, &m, None).unwrap();
+        prop_assert!(ud.cost >= lower, "uniondp {} < exact {}", ud.cost, exact.cost);
+        prop_assert!(validate_large(&ud.plan, &q).is_none());
+    }
+
+    #[test]
+    fn cardinality_split_invariance(q in query_strategy()) {
+        // rows(S) must be identical however S is split (the property that
+        // makes the DP optimum well-defined).
+        let qi = q.to_query_info().unwrap();
+        let g = &qi.graph;
+        let full = g.all_vertices();
+        let total = qi.cardinality(full);
+        for v in 0..qi.query_size() {
+            let part = g.grow(RelSet::singleton(v), full.without((v + 1) % qi.query_size()));
+            let rest = full.difference(part);
+            if part.is_empty() || rest.is_empty() { continue; }
+            let recomposed = qi.cardinality(part)
+                * qi.cardinality(rest)
+                * g.selectivity_between(part, rest);
+            prop_assert!((total - recomposed).abs() <= 1e-9 * total.max(1.0));
+        }
+    }
+
+    #[test]
+    fn cout_model_also_consistent(q in query_strategy()) {
+        // The whole stack is cost-model generic: rerun equivalence under Cout.
+        let m = CoutCost;
+        let qi = q.to_query_info().unwrap();
+        let ctx = OptContext::new(&qi, &m);
+        let a = DpSub::run(&ctx).unwrap();
+        let b = Mpdp::run(&ctx).unwrap();
+        prop_assert!((a.cost - b.cost).abs() < 1e-6 * a.cost.max(1.0));
+    }
+}
