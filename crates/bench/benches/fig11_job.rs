@@ -11,7 +11,9 @@ fn bench_job(c: &mut Criterion) {
     let model = PgLikeCost::new();
     let schema = ImdbSchema::new();
     let mut group = c.benchmark_group("fig11_job");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [8usize, 12, 17] {
         let q = schema.query(n, 7, &model).to_query_info().unwrap();
         for kind in [AlgoKind::DpCcp, AlgoKind::MpdpSeq, AlgoKind::MpdpGpu] {

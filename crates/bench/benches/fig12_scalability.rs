@@ -14,9 +14,14 @@ use std::time::Duration;
 fn bench_scalability(c: &mut Criterion) {
     let model = PgLikeCost::new();
     let mb = MusicBrainz::new();
-    let q = mb.random_walk_query(14, 42, true, &model).to_query_info().unwrap();
+    let q = mb
+        .random_walk_query(14, 42, true, &model)
+        .to_query_info()
+        .unwrap();
     let mut group = c.benchmark_group("fig12_parallel_mpdp");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for threads in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::new("MPDP(CPU)", threads), &q, |b, q| {
             b.iter(|| {

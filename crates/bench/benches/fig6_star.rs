@@ -12,7 +12,9 @@ use std::time::Duration;
 fn bench_star(c: &mut Criterion) {
     let model = PgLikeCost::new();
     let mut group = c.benchmark_group("fig6_star");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [8usize, 12, 14] {
         let q = gen::star(n, 1000, &model).to_query_info().unwrap();
         for kind in [
@@ -25,15 +27,9 @@ fn bench_star(c: &mut Criterion) {
             if kind == AlgoKind::PostgresDpSize && n > 12 {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), n),
-                &q,
-                |b, q| {
-                    b.iter(|| {
-                        run_exact(kind, q, &model, Duration::from_secs(60)).unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &q, |b, q| {
+                b.iter(|| run_exact(kind, q, &model, Duration::from_secs(60)).unwrap())
+            });
         }
     }
     group.finish();

@@ -10,10 +10,17 @@ use std::time::Duration;
 fn bench_clique(c: &mut Criterion) {
     let model = PgLikeCost::new();
     let mut group = c.benchmark_group("fig8_clique");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [6usize, 8, 10] {
         let q = gen::clique(n, 1000, &model).to_query_info().unwrap();
-        for kind in [AlgoKind::DpCcp, AlgoKind::DpSubSeq, AlgoKind::MpdpSeq, AlgoKind::MpdpGpu] {
+        for kind in [
+            AlgoKind::DpCcp,
+            AlgoKind::DpSubSeq,
+            AlgoKind::MpdpSeq,
+            AlgoKind::MpdpGpu,
+        ] {
             group.bench_with_input(BenchmarkId::new(kind.name(), n), &q, |b, q| {
                 b.iter(|| run_exact(kind, q, &model, Duration::from_secs(60)).unwrap())
             });

@@ -11,9 +11,14 @@ fn bench_musicbrainz(c: &mut Criterion) {
     let model = PgLikeCost::new();
     let mb = MusicBrainz::new();
     let mut group = c.benchmark_group("fig9_musicbrainz");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [8usize, 12, 16] {
-        let q = mb.random_walk_query(n, 42, true, &model).to_query_info().unwrap();
+        let q = mb
+            .random_walk_query(n, 42, true, &model)
+            .to_query_info()
+            .unwrap();
         for kind in [AlgoKind::DpCcp, AlgoKind::MpdpSeq, AlgoKind::MpdpGpu] {
             group.bench_with_input(BenchmarkId::new(kind.name(), n), &q, |b, q| {
                 b.iter(|| run_exact(kind, q, &model, Duration::from_secs(60)).unwrap())

@@ -14,7 +14,9 @@ fn bench_ablation(c: &mut Criterion) {
     let model = PgLikeCost::new();
     let q = gen::star(12, 3, &model).to_query_info().unwrap();
     let mut group = c.benchmark_group("gpu_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (label, fused, ccc) in [
         ("baseline", false, false),
         ("fusion", true, false),

@@ -12,7 +12,9 @@ use std::time::Duration;
 fn bench_heuristics(c: &mut Criterion) {
     let model = PgLikeCost::new();
     let mut group = c.benchmark_group("heuristics_snowflake");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [50usize, 100] {
         let q = gen::snowflake(n, 4, 7, &model);
         group.bench_with_input(BenchmarkId::new("GOO", n), &q, |b, q| {

@@ -13,6 +13,7 @@
 //! or SIMT-simulated predictions (see DESIGN.md §2); unmarked times are
 //! wall-clock measurements on this machine.
 
+use mpdp::registry;
 use mpdp_bench::aws;
 use mpdp_bench::runner::{run_exact, AlgoKind, EXACT_ROSTER};
 use mpdp_bench::scale::Scale;
@@ -20,15 +21,10 @@ use mpdp_bench::starform;
 use mpdp_bench::stats::{fmt_ms, mean, percentile};
 use mpdp_core::{LargeQuery, OptError, QueryInfo};
 use mpdp_cost::pglike::PgLikeCost;
-use mpdp_dp::common::OptContext;
-use mpdp_gpu::drivers::MpdpGpu;
-use mpdp_heuristics::{
-    idp2_mpdp, Geqo, Goo, Ikkbz, LargeOptimizer, LinDp, UnionDp,
-};
 use mpdp_parallel::hwmodel::{Calibration, CpuModel};
 use mpdp_workload::{gen, ImdbSchema, MusicBrainz};
 use std::collections::HashSet;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,7 +37,10 @@ fn main() {
     } else {
         args.iter().map(|s| s.as_str()).collect()
     };
-    println!("# MPDP reproduction harness — scale={scale:?}, timeout={:?}", scale.timeout());
+    println!(
+        "# MPDP reproduction harness — scale={scale:?}, timeout={:?}",
+        scale.timeout()
+    );
     for w in what {
         match w {
             "fig2" => fig2(scale),
@@ -78,12 +77,17 @@ fn make_query(kind: &str, n: usize, seed: u64, model: &PgLikeCost) -> LargeQuery
 /// Figure 2: normalized evaluated Join-Pairs vs parallelizability on a
 /// 20-relation MusicBrainz query.
 fn fig2(scale: Scale) {
-    println!("\n## Figure 2 — evaluated Join-Pairs normalized to CCP pairs (20-rel MusicBrainz query)");
+    println!(
+        "\n## Figure 2 — evaluated Join-Pairs normalized to CCP pairs (20-rel MusicBrainz query)"
+    );
     println!("algorithm\tnorm_evaluated\tparallelizability");
     let model = PgLikeCost::new();
     let mb = MusicBrainz::new();
     let n = if scale == Scale::Quick { 16 } else { 20 };
-    let q = mb.random_walk_query(n, 42, true, &model).to_query_info().unwrap();
+    let q = mb
+        .random_walk_query(n, 42, true, &model)
+        .to_query_info()
+        .unwrap();
     let budget = Duration::from_secs(120).max(scale.timeout());
     let series: [(AlgoKind, &str); 5] = [
         (AlgoKind::PostgresDpSize, "medium"),
@@ -124,10 +128,21 @@ fn fig4(_scale: Scale) {
 /// Figures 6–9: optimization time sweeps. Once an algorithm times out at a
 /// size, it is dropped for larger sizes (paper convention: missing points).
 fn exact_sweep(scale: Scale, fig: &str, workload: &str, sizes: Vec<usize>) {
-    println!("\n## {} — optimization times (ms) on {workload} queries", fig_label(fig));
+    println!(
+        "\n## {} — optimization times (ms) on {workload} queries",
+        fig_label(fig)
+    );
     print!("n");
     for kind in EXACT_ROSTER {
-        print!("\t{}{}", kind.name(), if kind.reported_is_model() { "[model]" } else { "" });
+        print!(
+            "\t{}{}",
+            kind.name(),
+            if kind.reported_is_model() {
+                "[model]"
+            } else {
+                ""
+            }
+        );
     }
     println!();
     let model = PgLikeCost::new();
@@ -142,7 +157,10 @@ fn exact_sweep(scale: Scale, fig: &str, workload: &str, sizes: Vec<usize>) {
                 continue;
             }
             if kind.reported_is_model()
-                && matches!(kind, AlgoKind::DpSubGpu | AlgoKind::DpSizeGpu | AlgoKind::MpdpGpu)
+                && matches!(
+                    kind,
+                    AlgoKind::DpSubGpu | AlgoKind::DpSizeGpu | AlgoKind::MpdpGpu
+                )
                 && n > scale.gpu_max_rels()
             {
                 print!("\t-");
@@ -204,7 +222,11 @@ fn fig10(scale: Scale) {
     let model = PgLikeCost::new();
     let mb = MusicBrainz::new();
     let budget = scale.timeout();
-    let sizes: Vec<usize> = scale.exact_sizes().into_iter().filter(|&n| n >= 4).collect();
+    let sizes: Vec<usize> = scale
+        .exact_sizes()
+        .into_iter()
+        .filter(|&n| n >= 4)
+        .collect();
     for (label, pk_fk) in [("(a) PK-FK joins", true), ("(b) non-PK-FK joins", false)] {
         println!("\n## Figure 10{label} — exec/opt time ratio on MusicBrainz");
         println!("n\tPostgres(1CPU)\tMPDP(GPU)[model]");
@@ -236,8 +258,16 @@ fn fig10(scale: Scale) {
             }
             println!(
                 "{n}\t{}\t{}",
-                if pg_ratios.is_empty() { "-".into() } else { format!("{:.3}", mean(&pg_ratios)) },
-                if gpu_ratios.is_empty() { "-".into() } else { format!("{:.3}", mean(&gpu_ratios)) },
+                if pg_ratios.is_empty() {
+                    "-".into()
+                } else {
+                    format!("{:.3}", mean(&pg_ratios))
+                },
+                if gpu_ratios.is_empty() {
+                    "-".into()
+                } else {
+                    format!("{:.3}", mean(&gpu_ratios))
+                },
             );
         }
     }
@@ -250,7 +280,15 @@ fn fig11(scale: Scale) {
     println!("\n## Figure 11 — JOB-like query optimization times (ms)");
     print!("n");
     for kind in EXACT_ROSTER {
-        print!("\t{}{}", kind.name(), if kind.reported_is_model() { "[model]" } else { "" });
+        print!(
+            "\t{}{}",
+            kind.name(),
+            if kind.reported_is_model() {
+                "[model]"
+            } else {
+                ""
+            }
+        );
     }
     println!();
     let model = PgLikeCost::new();
@@ -302,25 +340,33 @@ fn fig12(scale: Scale) {
     let model = PgLikeCost::new();
     let mb = MusicBrainz::new();
     let n = if scale == Scale::Quick { 16 } else { 20 };
-    let q = mb.random_walk_query(n, 42, true, &model).to_query_info().unwrap();
-    let budget = Duration::from_secs(300);
-    let ctx = OptContext::with_budget(&q, &model, budget);
+    let q = mb
+        .random_walk_query(n, 42, true, &model)
+        .to_query_info()
+        .unwrap();
+    let budget = Some(Duration::from_secs(300));
 
-    let start = Instant::now();
-    let mpdp = mpdp_dp::mpdp::Mpdp::run(&ctx).expect("mpdp run");
-    let mpdp_wall = start.elapsed();
-    let mpdp_cal = Calibration::from_measurement(&mpdp.profile, mpdp_wall);
+    let mpdp = registry()
+        .get("MPDP")
+        .unwrap()
+        .plan_exact(&q, &model, budget)
+        .expect("mpdp run");
+    let mpdp_profile = mpdp.profile.expect("exact strategies profile their runs");
+    let mpdp_cal = Calibration::from_measurement(&mpdp_profile, mpdp.wall);
 
-    let start = Instant::now();
-    let dpe = mpdp_parallel::Dpe::run(&ctx, 1).expect("dpe run");
-    let dpe_wall = start.elapsed();
-    let dpe_cal = Calibration::from_measurement(&dpe.profile, dpe_wall);
+    let dpe = registry()
+        .get("DPE (1CPU)")
+        .unwrap()
+        .plan_exact(&q, &model, budget)
+        .expect("dpe run");
+    let dpe_profile = dpe.profile.expect("exact strategies profile their runs");
+    let dpe_cal = Calibration::from_measurement(&dpe_profile, dpe.wall);
 
-    let t1_mpdp = CpuModel::new(1).predict_level_parallel(&mpdp.profile, &mpdp_cal);
-    let t1_dpe = CpuModel::new(1).predict_dpe(&dpe.profile, &dpe_cal);
+    let t1_mpdp = CpuModel::new(1).predict_level_parallel(&mpdp_profile, &mpdp_cal);
+    let t1_dpe = CpuModel::new(1).predict_dpe(&dpe_profile, &dpe_cal);
     for threads in [1usize, 2, 4, 6, 8, 12, 16, 20, 24] {
-        let tm = CpuModel::new(threads).predict_level_parallel(&mpdp.profile, &mpdp_cal);
-        let td = CpuModel::new(threads).predict_dpe(&dpe.profile, &dpe_cal);
+        let tm = CpuModel::new(threads).predict_level_parallel(&mpdp_profile, &mpdp_cal);
+        let td = CpuModel::new(threads).predict_dpe(&dpe_profile, &dpe_cal);
         println!(
             "{threads}\t{:.2}\t{:.2}",
             t1_mpdp.as_secs_f64() / tm.as_secs_f64(),
@@ -346,8 +392,10 @@ fn fig13(scale: Scale) {
         print!("{n}");
         for (ai, kind) in EXACT_ROSTER.iter().enumerate() {
             if dead.contains(&ai)
-                || (matches!(kind, AlgoKind::DpSubGpu | AlgoKind::DpSizeGpu | AlgoKind::MpdpGpu)
-                    && n > scale.gpu_max_rels())
+                || (matches!(
+                    kind,
+                    AlgoKind::DpSubGpu | AlgoKind::DpSizeGpu | AlgoKind::MpdpGpu
+                ) && n > scale.gpu_max_rels())
             {
                 print!("\t-");
                 continue;
@@ -359,13 +407,8 @@ fn fig13(scale: Scale) {
                     // algorithms; re-predict with 4 threads.
                     let time = match kind {
                         AlgoKind::Dpe24 | AlgoKind::MpdpCpu24 => {
-                            let cal = Calibration::from_measurement(
-                                &Default::default(),
-                                Duration::ZERO,
-                            );
-                            let _ = cal; // times re-derived below from reported
-                            // reported is for 24 threads; scale via model:
-                            // re-run prediction at 4 threads using speedups.
+                            // `reported` is the 24-thread prediction; rescale
+                            // to the cost-study core count via model speedups.
                             let s24 = CpuModel::new(24).speedup();
                             let s4 = CpuModel::new(aws::cost_study_threads(*kind)).speedup();
                             r.reported.mul_f64(s24 / s4)
@@ -395,24 +438,24 @@ fn ablation(scale: Scale) {
     let budget = Duration::from_secs(600);
     for (wl, seed) in [("star", 3u64), ("musicbrainz", 9)] {
         let q = make_query(wl, n, seed, &model).to_query_info().unwrap();
-        let ctx = OptContext::with_budget(&q, &model, budget);
-        for (label, fused, ccc) in [
-            ("baseline", false, false),
-            ("+fusion", true, false),
-            ("+CCC", false, true),
-            ("+both", true, true),
+        for (label, series) in [
+            ("baseline", "MPDP (GPU, baseline)"),
+            ("+fusion", "MPDP (GPU, +fusion)"),
+            ("+CCC", "MPDP (GPU, +CCC)"),
+            ("+both", "MPDP (GPU)"),
         ] {
-            let mut drv = MpdpGpu::new();
-            drv.config.fused_prune = fused;
-            drv.config.ccc = ccc;
-            match drv.run(&ctx) {
-                Ok(run) => println!(
-                    "{wl}\t{n}\t{label}\t{}\t{}\t{}\t{:.2}",
-                    fmt_ms(run.simulated_time),
-                    run.stats.warp_cycles,
-                    run.stats.global_writes,
-                    run.stats.divergence_factor()
-                ),
+            let strat = registry().get(series).unwrap();
+            match strat.plan_exact(&q, &model, Some(budget)) {
+                Ok(run) => {
+                    let stats = run.gpu.expect("GPU strategies report device stats");
+                    println!(
+                        "{wl}\t{n}\t{label}\t{}\t{}\t{}\t{:.2}",
+                        fmt_ms(run.reported),
+                        stats.warp_cycles,
+                        stats.global_writes,
+                        stats.divergence_factor()
+                    )
+                }
                 Err(e) => println!("{wl}\t{n}\t{label}\t-\t-\t-\t-\t# {e}"),
             }
         }
@@ -421,22 +464,27 @@ fn ablation(scale: Scale) {
 
 // ------------------------------------------------------------ tables 1-3
 
+/// The Tables 1–2 series, by registry label in the paper's column order.
+const HEURISTIC_SERIES: [&str; 7] = [
+    "GE-QO",
+    "GOO",
+    "LinDP",
+    "IKKBZ",
+    "IDP2-MPDP (15)",
+    "IDP2-MPDP (25)",
+    "UnionDP-MPDP (15)",
+];
+
 /// Tables 1–2 (+ the §7.3 clique summary): heuristic plan quality, relative
 /// to the best plan found by any technique per query (avg and p95).
 fn heuristic_table(scale: Scale, table: &str, workload: &str, sizes: Vec<usize>) {
-    println!("\n## {} — heuristic relative plan cost on {workload} (avg / p95 over {} queries)",
-        table_label(table), scale.table_queries());
-    let names = [
-        "GE-QO",
-        "GOO",
-        "LinDP",
-        "IKKBZ",
-        "IDP2-MPDP (15)",
-        "IDP2-MPDP (25)",
-        "UnionDP-MPDP (15)",
-    ];
+    println!(
+        "\n## {} — heuristic relative plan cost on {workload} (avg / p95 over {} queries)",
+        table_label(table),
+        scale.table_queries()
+    );
     print!("n");
-    for n in names {
+    for n in HEURISTIC_SERIES {
         print!("\t{n}");
     }
     println!();
@@ -444,14 +492,11 @@ fn heuristic_table(scale: Scale, table: &str, workload: &str, sizes: Vec<usize>)
     let budget = Some(scale.timeout().max(Duration::from_secs(10)));
     let mut dead = [false; 7];
     for &n in &sizes {
-        let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+        let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); HEURISTIC_SERIES.len()];
         for rep in 0..scale.table_queries() {
             let q = make_query(workload, n, 9000 + rep as u64, &model);
             let runs: Vec<Option<f64>> = run_heuristics(&q, &model, budget, &mut dead);
-            let best = runs
-                .iter()
-                .flatten()
-                .fold(f64::INFINITY, |a, &b| a.min(b));
+            let best = runs.iter().flatten().fold(f64::INFINITY, |a, &b| a.min(b));
             if !best.is_finite() {
                 continue;
             }
@@ -482,7 +527,8 @@ fn table_label(t: &str) -> String {
     }
 }
 
-/// Runs the 7 heuristics on one query; `None` marks timeout/failure.
+/// Runs the 7 heuristics of [`HEURISTIC_SERIES`] on one query, each resolved
+/// by its paper label through the registry; `None` marks timeout/failure.
 /// `dead[i]` latches techniques that have started timing out (the paper's
 /// dashes) so later sizes skip them.
 fn run_heuristics(
@@ -491,34 +537,24 @@ fn run_heuristics(
     budget: Option<Duration>,
     dead: &mut [bool; 7],
 ) -> Vec<Option<f64>> {
-    let mut out = vec![None; 7];
-    let run = |idx: usize, dead: &mut [bool; 7], f: &dyn Fn() -> Result<f64, OptError>| {
-        if dead[idx] {
-            return None;
-        }
-        match f() {
-            Ok(c) => Some(c),
-            Err(OptError::Timeout { .. }) => {
-                dead[idx] = true;
-                None
+    HEURISTIC_SERIES
+        .iter()
+        .enumerate()
+        .map(|(idx, series)| {
+            if dead[idx] {
+                return None;
             }
-            Err(_) => None,
-        }
-    };
-    out[0] = run(0, dead, &|| {
-        Geqo::default().optimize(q, model, budget).map(|r| r.cost)
-    });
-    out[1] = run(1, dead, &|| Goo.optimize(q, model, budget).map(|r| r.cost));
-    out[2] = run(2, dead, &|| {
-        LinDp::default().optimize(q, model, budget).map(|r| r.cost)
-    });
-    out[3] = run(3, dead, &|| Ikkbz.optimize(q, model, budget).map(|r| r.cost));
-    out[4] = run(4, dead, &|| idp2_mpdp(q, model, 15, budget).map(|r| r.cost));
-    out[5] = run(5, dead, &|| idp2_mpdp(q, model, 25, budget).map(|r| r.cost));
-    out[6] = run(6, dead, &|| {
-        UnionDp { k: 15 }.optimize(q, model, budget).map(|r| r.cost)
-    });
-    out
+            let strat = registry().get(series).expect("series label registered");
+            match strat.plan(q, model, budget) {
+                Ok(planned) => Some(planned.cost),
+                Err(OptError::Timeout { .. }) => {
+                    dead[idx] = true;
+                    None
+                }
+                Err(_) => None,
+            }
+        })
+        .collect()
 }
 
 /// Helper for tests: expose a tiny end-to-end sanity run.

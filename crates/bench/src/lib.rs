@@ -20,8 +20,8 @@
 pub mod aws;
 pub mod runner;
 pub mod scale;
-pub mod stats;
 pub mod starform;
+pub mod stats;
 
 pub use runner::{run_exact, AlgoKind, RunOutcome, EXACT_ROSTER};
 pub use scale::Scale;

@@ -1,14 +1,15 @@
 //! Unified timed runners for the exact-algorithm roster of Figures 6–9/11.
+//!
+//! Since the `Planner` API landed, this module is a thin veneer over
+//! [`mpdp::registry()`]: [`AlgoKind`] enumerates the paper's roster in
+//! legend order and [`run_exact`] resolves each entry by its series label —
+//! there is no direct algorithm dispatch here anymore.
 
+use mpdp::Strategy;
 use mpdp_core::counters::Counters;
 use mpdp_core::{OptError, QueryInfo};
 use mpdp_cost::model::CostModel;
-use mpdp_dp::common::{OptContext, OptResult};
-use mpdp_gpu::drivers::{DpSizeGpu, DpSubGpu, MpdpGpu};
-use mpdp_parallel::hwmodel::{Calibration, CpuModel};
-use mpdp_parallel::level_par;
-use mpdp_parallel::Dpe;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The algorithms of the paper's exact-evaluation figures.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -45,7 +46,7 @@ pub const EXACT_ROSTER: [AlgoKind; 7] = [
 ];
 
 impl AlgoKind {
-    /// Paper legend name.
+    /// Paper legend name; also the registry key this kind resolves through.
     pub fn name(self) -> &'static str {
         match self {
             AlgoKind::PostgresDpSize => "Postgres(1CPU)",
@@ -60,17 +61,17 @@ impl AlgoKind {
         }
     }
 
+    /// The registry strategy backing this roster entry.
+    pub fn strategy(self) -> std::sync::Arc<dyn Strategy> {
+        mpdp::registry()
+            .get(self.name())
+            .expect("every roster entry is registered")
+    }
+
     /// `true` if the reported time comes from the hardware model / SIMT
     /// simulation rather than a direct wall-clock measurement.
     pub fn reported_is_model(self) -> bool {
-        matches!(
-            self,
-            AlgoKind::Dpe24
-                | AlgoKind::MpdpCpu24
-                | AlgoKind::DpSubGpu
-                | AlgoKind::DpSizeGpu
-                | AlgoKind::MpdpGpu
-        )
+        self.strategy().reported_is_model()
     }
 }
 
@@ -88,34 +89,6 @@ pub struct RunOutcome {
     pub cost: f64,
 }
 
-fn package(
-    kind: AlgoKind,
-    wall: Duration,
-    result: OptResult,
-    gpu_time: Option<Duration>,
-) -> RunOutcome {
-    let reported = match kind {
-        AlgoKind::Dpe24 => {
-            let cal = Calibration::from_measurement(&result.profile, wall);
-            CpuModel::new(24).predict_dpe(&result.profile, &cal)
-        }
-        AlgoKind::MpdpCpu24 => {
-            let cal = Calibration::from_measurement(&result.profile, wall);
-            CpuModel::new(24).predict_level_parallel(&result.profile, &cal)
-        }
-        AlgoKind::DpSubGpu | AlgoKind::DpSizeGpu | AlgoKind::MpdpGpu => {
-            gpu_time.expect("gpu run provides simulated time")
-        }
-        _ => wall,
-    };
-    RunOutcome {
-        wall,
-        reported,
-        counters: result.counters,
-        cost: result.cost,
-    }
-}
-
 /// Runs one algorithm on one query with a time budget. `Err(Timeout)` means
 /// the budget was exhausted (the paper reports these as missing points).
 pub fn run_exact(
@@ -124,48 +97,13 @@ pub fn run_exact(
     model: &dyn CostModel,
     budget: Duration,
 ) -> Result<RunOutcome, OptError> {
-    let ctx = OptContext::with_budget(q, model, budget);
-    let start = Instant::now();
-    match kind {
-        AlgoKind::PostgresDpSize => {
-            let r = mpdp_dp::dpsize::DpSize::run(&ctx)?;
-            Ok(package(kind, start.elapsed(), r, None))
-        }
-        AlgoKind::DpCcp => {
-            let r = mpdp_dp::dpccp::DpCcp::run(&ctx)?;
-            Ok(package(kind, start.elapsed(), r, None))
-        }
-        AlgoKind::Dpe24 => {
-            // Real implementation, single worker on this 1-core box; the
-            // reported time is the 24-consumer model prediction.
-            let r = Dpe::run(&ctx, 1)?;
-            Ok(package(kind, start.elapsed(), r, None))
-        }
-        AlgoKind::MpdpCpu24 => {
-            let r = level_par::run_level_parallel(&ctx, level_par::LevelAlgo::Mpdp, 1)?;
-            Ok(package(kind, start.elapsed(), r, None))
-        }
-        AlgoKind::DpSubGpu => {
-            let run = DpSubGpu::new().run(&ctx)?;
-            Ok(package(kind, start.elapsed(), run.result, Some(run.simulated_time)))
-        }
-        AlgoKind::DpSizeGpu => {
-            let run = DpSizeGpu::new().run(&ctx)?;
-            Ok(package(kind, start.elapsed(), run.result, Some(run.simulated_time)))
-        }
-        AlgoKind::MpdpGpu => {
-            let run = MpdpGpu::new().run(&ctx)?;
-            Ok(package(kind, start.elapsed(), run.result, Some(run.simulated_time)))
-        }
-        AlgoKind::MpdpSeq => {
-            let r = mpdp_dp::mpdp::Mpdp::run(&ctx)?;
-            Ok(package(kind, start.elapsed(), r, None))
-        }
-        AlgoKind::DpSubSeq => {
-            let r = mpdp_dp::dpsub::DpSub::run(&ctx)?;
-            Ok(package(kind, start.elapsed(), r, None))
-        }
-    }
+    let planned = kind.strategy().plan_exact(q, model, Some(budget))?;
+    Ok(RunOutcome {
+        wall: planned.wall,
+        reported: planned.reported,
+        counters: planned.counters.unwrap_or_default(),
+        cost: planned.cost,
+    })
 }
 
 #[cfg(test)]
@@ -188,6 +126,21 @@ mod tests {
                 kind.name()
             );
         }
+    }
+
+    #[test]
+    fn roster_resolves_through_registry() {
+        for kind in EXACT_ROSTER {
+            let s = kind.strategy();
+            assert!(s.is_exact(), "{}", kind.name());
+        }
+        // Legend labels normalize to the canonical registry names.
+        assert_eq!(
+            AlgoKind::PostgresDpSize.strategy().name(),
+            "Postgres (1CPU)"
+        );
+        assert_eq!(AlgoKind::MpdpSeq.strategy().name(), "MPDP");
+        assert_eq!(AlgoKind::MpdpGpu.strategy().name(), "MPDP (GPU)");
     }
 
     #[test]

@@ -116,7 +116,12 @@ mod tests {
     #[test]
     fn sizes_ascending() {
         for s in [Scale::Quick, Scale::Paper] {
-            for sizes in [s.exact_sizes(), s.clique_sizes(), s.table1_sizes(), s.table2_sizes()] {
+            for sizes in [
+                s.exact_sizes(),
+                s.clique_sizes(),
+                s.table1_sizes(),
+                s.table2_sizes(),
+            ] {
                 for w in sizes.windows(2) {
                     assert!(w[0] < w[1]);
                 }

@@ -1,0 +1,204 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so this workspace vendors
+//! the subset its benches use: [`Criterion::benchmark_group`],
+//! `sample_size` / `measurement_time`, [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery it runs each benchmark for
+//! the configured sample count (bounded by the measurement time) and prints
+//! the mean wall time per iteration — enough to eyeball regressions and keep
+//! `cargo bench` working offline.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    deadline: Instant,
+    /// Mean wall time per iteration, filled by [`Bencher::iter`].
+    mean: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly (up to the sample budget) and records the mean
+    /// wall time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let mut done = 0u64;
+        for _ in 0..self.samples.max(1) {
+            black_box(f());
+            done += 1;
+            if Instant::now() > self.deadline {
+                break;
+            }
+        }
+        self.iterations = done;
+        self.mean = start.elapsed() / done.max(1) as u32;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many iterations each benchmark samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Caps the wall time spent per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` with the given input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            deadline: Instant::now() + self.measurement_time,
+            mean: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut b, input);
+        println!(
+            "{}/{}: {:>12.3} ms/iter ({} iterations)",
+            self.name,
+            id,
+            b.mean.as_secs_f64() * 1e3,
+            b.iterations
+        );
+        self
+    }
+
+    /// Benchmarks a closure with no input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            deadline: Instant::now() + self.measurement_time,
+            mean: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut b);
+        println!(
+            "{}/{}: {:>12.3} ms/iter ({} iterations)",
+            self.name,
+            id,
+            b.mean.as_secs_f64() * 1e3,
+            b.iterations
+        );
+        self
+    }
+
+    /// Ends the group (prints nothing; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("## bench group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+            _parent: self,
+        }
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        let mut calls = 0usize;
+        g.sample_size(3).measurement_time(Duration::from_secs(1));
+        g.bench_with_input(BenchmarkId::new("id", 7), &21u64, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            })
+        });
+        g.finish();
+        assert!(calls >= 1);
+    }
+}

@@ -1,0 +1,293 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! The build container has no access to crates.io, so this workspace vendors
+//! the subset its property tests use: the [`strategy::Strategy`] trait with
+//! `prop_map`, range / tuple / [`any`] strategies, [`ProptestConfig`], and
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! deterministic stream (seeded per test name), there is **no shrinking**,
+//! and `prop_assert*` panics directly instead of routing a `TestCaseError`.
+//! Failures therefore still report the exact failing values via the panic
+//! message, they are just not minimized.
+
+#![warn(missing_docs)]
+
+/// Test-case generation plumbing.
+pub mod test_runner {
+    /// Deterministic SplitMix64 stream driving value generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A stream seeded from an arbitrary label (e.g. the test name), so
+        /// distinct tests explore distinct inputs but reruns are stable.
+        pub fn from_label(label: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Per-test configuration (subset: case count only).
+#[derive(Copy, Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value from the deterministic stream.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Full-domain strategy returned by [`crate::any`].
+    #[derive(Clone, Debug)]
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    any_int!(u64, u32, u16, u8, i64, i32, usize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! range_strategy {
+        // `$ut` is `$t`'s unsigned counterpart: spans are computed with a
+        // wrapping subtraction reinterpreted as unsigned so wide signed
+        // ranges (e.g. `i32::MIN..i32::MAX`) neither overflow nor
+        // sign-extend.
+        ($($t:ty => $ut:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.wrapping_sub(self.start) as $ut as u64;
+                    let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    self.start.wrapping_add(draw as $ut as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi.wrapping_sub(lo) as $ut as u64).wrapping_add(1);
+                    let draw = if span == 0 {
+                        rng.next_u64()
+                    } else {
+                        ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+                    };
+                    lo.wrapping_add(draw as $ut as $t)
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(usize => usize, u64 => u64, u32 => u32, i64 => u64, i32 => u32);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+}
+
+/// Strategy over the full domain of `T` (integers and `bool`).
+pub fn any<T>() -> strategy::Any<T>
+where
+    strategy::Any<T>: strategy::Strategy,
+{
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Defines property tests: each `fn name(binding in strategy) { body }`
+/// becomes a `#[test]` running `body` for every generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident($arg:ident in $strat:expr) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let __strat = $strat;
+                let mut __rng =
+                    $crate::test_runner::TestRng::from_label(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let $arg =
+                        $crate::strategy::Strategy::new_value(&__strat, &mut __rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure; no
+/// shrinking in this vendored subset).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// One-stop import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, u64)> {
+        (1usize..=5, any::<u64>()).prop_map(|(a, b)| (a * 2, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn mapped_tuples_hold_invariants(v in pair()) {
+            prop_assert!(v.0.is_multiple_of(2));
+            prop_assert!((2..=10).contains(&v.0));
+        }
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..9) {
+            prop_assert!((3..9).contains(&n));
+        }
+
+        #[test]
+        fn wide_signed_ranges_do_not_overflow(v in i32::MIN..i32::MAX) {
+            prop_assert!(v < i32::MAX);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_label() {
+        use crate::strategy::Strategy as _;
+        use crate::test_runner::TestRng;
+        let s = 0usize..100;
+        let mut a = TestRng::from_label("x");
+        let mut b = TestRng::from_label("x");
+        let mut c = TestRng::from_label("y");
+        let va: Vec<usize> = (0..20).map(|_| s.new_value(&mut a)).collect();
+        let vb: Vec<usize> = (0..20).map(|_| s.new_value(&mut b)).collect();
+        let vc: Vec<usize> = (0..20).map(|_| s.new_value(&mut c)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+}

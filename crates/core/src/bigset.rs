@@ -30,7 +30,11 @@ impl Eq for BigSet {}
 impl std::hash::Hash for BigSet {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         // Hash only up to the last non-zero word for history independence.
-        let last = self.words.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1);
+        let last = self
+            .words
+            .iter()
+            .rposition(|&w| w != 0)
+            .map_or(0, |i| i + 1);
         self.words[..last].hash(state);
     }
 }

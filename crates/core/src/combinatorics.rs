@@ -57,11 +57,7 @@ impl KSubsets {
                 done: true,
             };
         }
-        let limit = if n == 64 {
-            u64::MAX
-        } else {
-            (1u64 << n) - 1
-        };
+        let limit = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
         KSubsets {
             cur: (1u64 << k) - 1,
             limit,

@@ -37,11 +37,17 @@ impl fmt::Display for OptError {
                 write!(f, "optimization exceeded time budget of {budget:?}")
             }
             OptError::DisconnectedGraph => {
-                write!(f, "join graph is disconnected; no cross-product-free plan exists")
+                write!(
+                    f,
+                    "join graph is disconnected; no cross-product-free plan exists"
+                )
             }
             OptError::EmptyQuery => write!(f, "query has no relations"),
             OptError::TooLarge { got, max } => {
-                write!(f, "query has {got} relations, algorithm supports at most {max}")
+                write!(
+                    f,
+                    "query has {got} relations, algorithm supports at most {max}"
+                )
             }
             OptError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
@@ -60,7 +66,9 @@ mod tests {
             budget: Duration::from_secs(60),
         };
         assert!(e.to_string().contains("time budget"));
-        assert!(OptError::DisconnectedGraph.to_string().contains("disconnected"));
+        assert!(OptError::DisconnectedGraph
+            .to_string()
+            .contains("disconnected"));
         assert!(OptError::TooLarge { got: 100, max: 64 }
             .to_string()
             .contains("100"));

@@ -253,7 +253,10 @@ mod tests {
     fn neighbors_of_sets() {
         let g = figure5_graph();
         // Vertex 4 (paper 5) neighbors paper {4, 9} = idx {3, 8}.
-        assert_eq!(g.neighbors(RelSet::singleton(4)), RelSet::from_indices([3, 8]));
+        assert_eq!(
+            g.neighbors(RelSet::singleton(4)),
+            RelSet::from_indices([3, 8])
+        );
         // Neighborhood excludes the set itself.
         let s = RelSet::from_indices([0, 1]);
         assert!(g.neighbors(s).is_disjoint(s));

@@ -121,7 +121,9 @@ impl PlanTree {
         let pad = "  ".repeat(depth);
         match self {
             PlanTree::Scan { rel, rows, cost } => {
-                out.push_str(&format!("{pad}Scan R{rel} (rows={rows:.0}, cost={cost:.1})\n"));
+                out.push_str(&format!(
+                    "{pad}Scan R{rel} (rows={rows:.0}, cost={cost:.1})\n"
+                ));
             }
             PlanTree::Join {
                 left,
@@ -228,7 +230,10 @@ mod tests {
         g.add_edge(1, 2, 0.1);
         g.add_edge(2, 3, 0.1);
         // {0, 2} is not connected (0-1-2 requires 1).
-        let bad = join(join(scan(0, 10.0), scan(2, 10.0)), join(scan(1, 10.0), scan(3, 10.0)));
+        let bad = join(
+            join(scan(0, 10.0), scan(2, 10.0)),
+            join(scan(1, 10.0), scan(3, 10.0)),
+        );
         assert!(bad.validate(&g).is_some());
     }
 

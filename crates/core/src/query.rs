@@ -60,6 +60,17 @@ impl QueryInfo {
         self.rels.len()
     }
 
+    /// Converts to the adjacency-list representation consumed by the
+    /// heuristic optimizers. Always succeeds (bitmap queries are ≤ 64
+    /// relations); the inverse of [`LargeQuery::to_query_info`].
+    pub fn to_large(&self) -> LargeQuery {
+        let mut q = LargeQuery::new(self.rels.clone());
+        for e in self.graph.edges() {
+            q.add_edge(e.u as usize, e.v as usize, e.sel);
+        }
+        q
+    }
+
     /// Estimated cardinality of the join of all relations in `set`:
     /// ∏ rows × ∏ selectivities of the edges induced by `set`.
     ///
@@ -119,7 +130,10 @@ impl LargeQuery {
     pub fn add_edge(&mut self, u: usize, v: usize, sel: f64) {
         assert!(u < self.num_rels() && v < self.num_rels());
         assert_ne!(u, v);
-        assert!(sel.is_finite() && sel >= 0.0 && sel <= 1.0, "selectivity {sel}");
+        assert!(
+            sel.is_finite() && (0.0..=1.0).contains(&sel),
+            "selectivity {sel}"
+        );
         // Clamp away from zero: products of hundreds of tiny selectivities
         // (contracted clique partitions) otherwise underflow to 0, which
         // would zero out all downstream cardinalities.
@@ -274,6 +288,18 @@ mod tests {
         let (sub, _) = q.project(&[0, 3]);
         assert_eq!(sub.graph.num_edges(), 0);
         assert!(!sub.graph.is_connected(RelSet::from_indices([0, 1])));
+    }
+
+    #[test]
+    fn to_large_roundtrip() {
+        let q = chain4();
+        let back = q.to_query_info().unwrap().to_large();
+        assert_eq!(back.rels, q.rels);
+        assert_eq!(back.edges.len(), q.edges.len());
+        for (a, b) in back.edges.iter().zip(&q.edges) {
+            assert_eq!((a.u, a.v), (b.u, b.v));
+            assert!((a.sel - b.sel).abs() < 1e-15);
+        }
     }
 
     #[test]

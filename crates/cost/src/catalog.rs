@@ -8,8 +8,8 @@
 //! for a PK–FK join reduces to `1 / |PK table|` — the PostgreSQL estimate
 //! for the PK–FK joins the paper's workloads use.
 
-use mpdp_core::query::{LargeQuery, RelInfo};
 use crate::model::CostModel;
+use mpdp_core::query::{LargeQuery, RelInfo};
 
 /// A column with its distinct-value statistic.
 #[derive(Clone, Debug)]

@@ -39,12 +39,24 @@ mod tests {
     #[test]
     fn cout_sums_intermediate_sizes() {
         let m = CoutCost;
-        let a = InputEst { cost: 0.0, rows: 100.0 };
-        let b = InputEst { cost: 0.0, rows: 200.0 };
+        let a = InputEst {
+            cost: 0.0,
+            rows: 100.0,
+        };
+        let b = InputEst {
+            cost: 0.0,
+            rows: 200.0,
+        };
         let ab_cost = m.join_cost(a, b, 50.0);
         assert_eq!(ab_cost, 50.0);
-        let ab = InputEst { cost: ab_cost, rows: 50.0 };
-        let c = InputEst { cost: 0.0, rows: 10.0 };
+        let ab = InputEst {
+            cost: ab_cost,
+            rows: 50.0,
+        };
+        let c = InputEst {
+            cost: 0.0,
+            rows: 10.0,
+        };
         assert_eq!(m.join_cost(ab, c, 5.0), 55.0);
     }
 
@@ -56,8 +68,14 @@ mod tests {
     #[test]
     fn symmetric() {
         let m = CoutCost;
-        let a = InputEst { cost: 1.0, rows: 10.0 };
-        let b = InputEst { cost: 2.0, rows: 20.0 };
+        let a = InputEst {
+            cost: 1.0,
+            rows: 10.0,
+        };
+        let b = InputEst {
+            cost: 2.0,
+            rows: 20.0,
+        };
         assert_eq!(m.join_cost(a, b, 7.0), m.join_cost(b, a, 7.0));
     }
 }

@@ -73,8 +73,14 @@ mod tests {
     #[test]
     fn trait_object_usable() {
         let m: &dyn CostModel = &Unit;
-        let a = InputEst { cost: 1.0, rows: 10.0 };
-        let b = InputEst { cost: 2.0, rows: 20.0 };
+        let a = InputEst {
+            cost: 1.0,
+            rows: 10.0,
+        };
+        let b = InputEst {
+            cost: 2.0,
+            rows: 20.0,
+        };
         assert_eq!(m.join_cost(a, b, 5.0), 8.0);
         assert_eq!(m.join_algo(a, b, 5.0), JoinAlgo::Hash);
         assert_eq!(m.name(), "unit");

@@ -67,7 +67,11 @@ impl<'a> OptContext<'a> {
         if n > 64 {
             return Err(OptError::TooLarge { got: n, max: 64 });
         }
-        if !self.query.graph.is_connected(self.query.graph.all_vertices()) {
+        if !self
+            .query
+            .graph
+            .is_connected(self.query.graph.all_vertices())
+        {
             return Err(OptError::DisconnectedGraph);
         }
         Ok(())
@@ -231,7 +235,10 @@ mod tests {
         let model = PgLikeCost::new();
         let ctx = OptContext::with_budget(&q, &model, Duration::from_nanos(1));
         std::thread::sleep(Duration::from_millis(2));
-        assert!(matches!(ctx.check_deadline(), Err(OptError::Timeout { .. })));
+        assert!(matches!(
+            ctx.check_deadline(),
+            Err(OptError::Timeout { .. })
+        ));
         let ctx2 = OptContext::new(&q, &model);
         assert!(ctx2.check_deadline().is_ok());
     }

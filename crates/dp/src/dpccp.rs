@@ -235,9 +235,7 @@ mod tests {
         // Ordered CCP pairs in a clique of n: sum over sets S (|S|=i>=2) of
         // (2^i - 2) = sum_i C(5,i)(2^i-2) = (3^5 - 2*2^5 + 1) = 180.
         let expect: u64 = (2..=5u32)
-            .map(|i| {
-                mpdp_core::combinatorics::binomial(5, i as u64) * ((1u64 << i) - 2)
-            })
+            .map(|i| mpdp_core::combinatorics::binomial(5, i as u64) * ((1u64 << i) - 2))
             .sum();
         assert_eq!(r.counters.ccp, expect);
         assert_eq!(r.memo_entries, 31);

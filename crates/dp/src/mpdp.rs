@@ -60,11 +60,7 @@ impl MpdpTree {
                 // Valid-Join-Pairs(S): remove each edge of the induced tree
                 // (Algorithm 2, line 4). Removing edge (u, v) splits S into
                 // the component of u (grown while avoiding v) and the rest.
-                let edges: Vec<(u32, u32)> = q
-                    .graph
-                    .induced_edges(s)
-                    .map(|e| (e.u, e.v))
-                    .collect();
+                let edges: Vec<(u32, u32)> = q.graph.induced_edges(s).map(|e| (e.u, e.v)).collect();
                 for (u, v) in edges {
                     let sl = q
                         .graph

@@ -80,7 +80,9 @@ impl GpuDriverConfig {
 
     fn policy(&self) -> WarpPolicy {
         if self.ccc {
-            WarpPolicy::Ccc { overhead_per_pass: 4 }
+            WarpPolicy::Ccc {
+                overhead_per_pass: 4,
+            }
         } else {
             WarpPolicy::Lockstep
         }
@@ -233,8 +235,14 @@ fn price_into(
     let sel = q.graph.selectivity_between(left, right);
     let rows = el.rows * er.rows * sel;
     let cost = ctx.model.join_cost(
-        InputEst { cost: el.cost, rows: el.rows },
-        InputEst { cost: er.cost, rows: er.rows },
+        InputEst {
+            cost: el.cost,
+            rows: el.rows,
+        },
+        InputEst {
+            cost: er.cost,
+            rows: er.rows,
+        },
         rows,
     );
     Some(GpuCandidate {
@@ -402,7 +410,10 @@ mod tests {
         let ctx = OptContext::new(&q, &m);
         let cpu_sub = DpSub::run(&ctx).unwrap();
         let gpu_sub = DpSubGpu::new().run(&ctx).unwrap();
-        assert_eq!(gpu_sub.result.counters.evaluated, cpu_sub.counters.evaluated);
+        assert_eq!(
+            gpu_sub.result.counters.evaluated,
+            cpu_sub.counters.evaluated
+        );
         assert_eq!(gpu_sub.result.counters.ccp, cpu_sub.counters.ccp);
         let cpu_mpdp = mpdp_dp::mpdp::Mpdp::run(&ctx).unwrap();
         let gpu_mpdp = MpdpGpu::new().run(&ctx).unwrap();

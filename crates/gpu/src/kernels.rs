@@ -102,8 +102,14 @@ fn price_pair(
     let sel = q.graph.selectivity_between(sl, sr);
     let rows = el.rows * er.rows * sel;
     let cost = model.join_cost(
-        InputEst { cost: el.cost, rows: el.rows },
-        InputEst { cost: er.cost, rows: er.rows },
+        InputEst {
+            cost: el.cost,
+            rows: el.rows,
+        },
+        InputEst {
+            cost: er.cost,
+            rows: er.rows,
+        },
         rows,
     );
     Some(GpuCandidate {
@@ -365,7 +371,8 @@ mod tests {
         let (q, m, memo) = setup(4);
         let mut stats = GpuStats::default();
         let sets: Vec<RelSet> = (1..4).map(|d| RelSet::from_indices([0, d])).collect();
-        let out = evaluate_dpsub_kernel(&q, &m, &memo, &sets, WarpPolicy::Lockstep, true, &mut stats);
+        let out =
+            evaluate_dpsub_kernel(&q, &m, &memo, &sets, WarpPolicy::Lockstep, true, &mut stats);
         assert_eq!(out.best.len(), 3);
         assert_eq!(out.ccp, 6); // 2 ordered pairs per 2-set
         assert_eq!(out.evaluated, 9); // 2^2-1 submasks per set
@@ -378,7 +385,15 @@ mod tests {
         let mut fused = GpuStats::default();
         let mut separate = GpuStats::default();
         evaluate_dpsub_kernel(&q, &m, &memo, &sets, WarpPolicy::Lockstep, true, &mut fused);
-        evaluate_dpsub_kernel(&q, &m, &memo, &sets, WarpPolicy::Lockstep, false, &mut separate);
+        evaluate_dpsub_kernel(
+            &q,
+            &m,
+            &memo,
+            &sets,
+            WarpPolicy::Lockstep,
+            false,
+            &mut separate,
+        );
         assert!(fused.global_writes < separate.global_writes);
     }
 
@@ -392,8 +407,15 @@ mod tests {
         let mut memo_stats = GpuStats::default();
         // Fill level 2 so pricing works at level 3.
         let l2: Vec<RelSet> = (1..8).map(|d| RelSet::from_indices([0, d])).collect();
-        let out2 =
-            evaluate_dpsub_kernel(&q, &m, &memo, &l2, WarpPolicy::Lockstep, true, &mut memo_stats);
+        let out2 = evaluate_dpsub_kernel(
+            &q,
+            &m,
+            &memo,
+            &l2,
+            WarpPolicy::Lockstep,
+            true,
+            &mut memo_stats,
+        );
         scatter_kernel(&mut memo, &out2.best, &mut memo_stats);
         // Level 3 sets {0, a, b}.
         let mut l3 = Vec::new();
@@ -404,13 +426,23 @@ mod tests {
         }
         let mut lockstep = GpuStats::default();
         let mut ccc = GpuStats::default();
-        let o1 = evaluate_dpsub_kernel(&q, &m, &memo, &l3, WarpPolicy::Lockstep, true, &mut lockstep);
+        let o1 = evaluate_dpsub_kernel(
+            &q,
+            &m,
+            &memo,
+            &l3,
+            WarpPolicy::Lockstep,
+            true,
+            &mut lockstep,
+        );
         let o2 = evaluate_dpsub_kernel(
             &q,
             &m,
             &memo,
             &l3,
-            WarpPolicy::Ccc { overhead_per_pass: 4 },
+            WarpPolicy::Ccc {
+                overhead_per_pass: 4,
+            },
             true,
             &mut ccc,
         );
@@ -424,7 +456,8 @@ mod tests {
         let (q, m, mut memo) = setup(3);
         let mut stats = GpuStats::default();
         let sets: Vec<RelSet> = (1..3).map(|d| RelSet::from_indices([0, d])).collect();
-        let out = evaluate_dpsub_kernel(&q, &m, &memo, &sets, WarpPolicy::Lockstep, true, &mut stats);
+        let out =
+            evaluate_dpsub_kernel(&q, &m, &memo, &sets, WarpPolicy::Lockstep, true, &mut stats);
         let w = scatter_kernel(&mut memo, &out.best, &mut stats);
         assert_eq!(w, 2);
         assert!(memo.get(RelSet::from_indices([0, 1])).is_some());

@@ -64,8 +64,7 @@ impl GpuStats {
 
     /// Converts the counters into simulated wall time under `cfg`.
     pub fn simulated_time(&self, cfg: &GpuConfig) -> Duration {
-        let compute_ns =
-            self.warp_cycles as f64 / (cfg.parallel_warps * cfg.clock_ghz);
+        let compute_ns = self.warp_cycles as f64 / (cfg.parallel_warps * cfg.clock_ghz);
         let mem_ns = (self.global_reads + self.global_writes) as f64 * cfg.global_mem_ns
             / cfg.parallel_warps;
         let launch_ns = self.kernel_launches as f64 * cfg.kernel_launch_us * 1000.0;
@@ -176,7 +175,12 @@ mod tests {
         let mut costs = vec![4u32; 31];
         costs.push(100);
         let (lockstep, _) = schedule_warp(WarpPolicy::Lockstep, &costs);
-        let (ccc, shared) = schedule_warp(WarpPolicy::Ccc { overhead_per_pass: 4 }, &costs);
+        let (ccc, shared) = schedule_warp(
+            WarpPolicy::Ccc {
+                overhead_per_pass: 4,
+            },
+            &costs,
+        );
         assert!(ccc < lockstep, "ccc={ccc} lockstep={lockstep}");
         assert!(shared > 0);
         // Lower bound: ceil(sum/32).
@@ -190,7 +194,12 @@ mod tests {
         // worse — matching the paper's "impact depends on graph topology".
         let costs = vec![50u32; 64];
         let (lockstep, _) = schedule_warp(WarpPolicy::Lockstep, &costs);
-        let (ccc, _) = schedule_warp(WarpPolicy::Ccc { overhead_per_pass: 4 }, &costs);
+        let (ccc, _) = schedule_warp(
+            WarpPolicy::Ccc {
+                overhead_per_pass: 4,
+            },
+            &costs,
+        );
         assert!(ccc >= lockstep);
     }
 
@@ -198,7 +207,12 @@ mod tests {
     fn empty_task_list() {
         assert_eq!(schedule_warp(WarpPolicy::Lockstep, &[]), (0, 0));
         assert_eq!(
-            schedule_warp(WarpPolicy::Ccc { overhead_per_pass: 4 }, &[]),
+            schedule_warp(
+                WarpPolicy::Ccc {
+                    overhead_per_pass: 4
+                },
+                &[]
+            ),
             (0, 0)
         );
     }

@@ -9,7 +9,7 @@
 //! default; evolution is steady-state (each generation breeds one child that
 //! replaces the worst individual), also as in PostgreSQL.
 
-use crate::large::{Budget, LargeOptResult, LargeOptimizer, validate_large};
+use crate::large::{validate_large, Budget, LargeOptResult, LargeOptimizer};
 use mpdp_core::plan::PlanTree;
 use mpdp_core::query::LargeQuery;
 use mpdp_core::OptError;
@@ -67,7 +67,10 @@ fn gimme_tree(q: &LargeQuery, perm: &[usize], model: &dyn CostModel) -> Option<P
         };
         let mut members = vec![false; n];
         members[r] = true;
-        let mut new_clump = Clump { plan: scan, members };
+        let mut new_clump = Clump {
+            plan: scan,
+            members,
+        };
         // Try to join the new clump into an existing one; repeat because a
         // merge may connect previously separate clumps.
         loop {
@@ -90,7 +93,10 @@ fn gimme_tree(q: &LargeQuery, perm: &[usize], model: &dyn CostModel) -> Option<P
                 }
                 let rows = c.plan.rows() * new_clump.plan.rows() * sel;
                 let cost = model.join_cost(
-                    InputEst { cost: c.plan.cost(), rows: c.plan.rows() },
+                    InputEst {
+                        cost: c.plan.cost(),
+                        rows: c.plan.rows(),
+                    },
                     InputEst {
                         cost: new_clump.plan.cost(),
                         rows: new_clump.plan.rows(),
@@ -209,8 +215,9 @@ impl Geqo {
             timer.check()?;
             let mut p = base.clone();
             p.shuffle(&mut rng);
-            let plan = gimme_tree(q, &p, model)
-                .ok_or(OptError::Internal("gimme_tree failed on connected query".into()))?;
+            let plan = gimme_tree(q, &p, model).ok_or(OptError::Internal(
+                "gimme_tree failed on connected query".into(),
+            ))?;
             pool.push((plan.cost(), p));
         }
         pool.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
@@ -278,7 +285,11 @@ mod tests {
     #[test]
     fn produces_valid_plans() {
         let m = PgLikeCost::new();
-        for q in [gen::star(15, 1, &m), gen::snowflake(25, 3, 2, &m), gen::cycle(12, 3, &m)] {
+        for q in [
+            gen::star(15, 1, &m),
+            gen::snowflake(25, 3, 2, &m),
+            gen::cycle(12, 3, &m),
+        ] {
             let r = Geqo::default().optimize(&q, &m, None).unwrap();
             assert!(validate_large(&r.plan, &q).is_none());
             assert_eq!(r.plan.num_rels(), q.num_rels());
@@ -301,10 +312,28 @@ mod tests {
         // The pool's best can only improve over generations.
         let m = PgLikeCost::new();
         let q = gen::star(20, 7, &m);
-        let short = Geqo::run(&q, &m, GeqoParams { pool_size: 32, generations: 0, seed: 5 }, None)
-            .unwrap();
-        let long = Geqo::run(&q, &m, GeqoParams { pool_size: 32, generations: 256, seed: 5 }, None)
-            .unwrap();
+        let short = Geqo::run(
+            &q,
+            &m,
+            GeqoParams {
+                pool_size: 32,
+                generations: 0,
+                seed: 5,
+            },
+            None,
+        )
+        .unwrap();
+        let long = Geqo::run(
+            &q,
+            &m,
+            GeqoParams {
+                pool_size: 32,
+                generations: 256,
+                seed: 5,
+            },
+            None,
+        )
+        .unwrap();
         assert!(long.cost <= short.cost * (1.0 + 1e-12));
     }
 

@@ -7,7 +7,7 @@
 //! initial-plan builder for all IDP2 variants ("For all IDP2 variants, we use
 //! GOO for the heuristic step").
 
-use crate::large::{Budget, LargeOptResult, LargeOptimizer, validate_large};
+use crate::large::{validate_large, Budget, LargeOptResult, LargeOptimizer};
 use mpdp_core::plan::PlanTree;
 use mpdp_core::query::LargeQuery;
 use mpdp_core::OptError;

@@ -16,7 +16,7 @@
 
 use crate::goo::Goo;
 use crate::large::{
-    contract, substitute_leaves, Budget, InnerLarge, LargeOptResult, LargeOptimizer, recost,
+    contract, recost, substitute_leaves, Budget, InnerLarge, LargeOptResult, LargeOptimizer,
 };
 use mpdp_core::plan::PlanTree;
 use mpdp_core::query::{LargeQuery, RelInfo};
@@ -92,7 +92,14 @@ pub fn idp2_with_inner(
         let info = RelInfo::new(sub_plan.rows(), sub_plan.cost());
         let (new_cur, idx_map) = contract(&cur, &group, info);
         let comp_idx = idx_map[group[0]];
-        let mut new_comps: Vec<PlanTree> = vec![PlanTree::Scan { rel: 0, rows: 0.0, cost: 0.0 }; new_cur.num_rels()];
+        let mut new_comps: Vec<PlanTree> = vec![
+            PlanTree::Scan {
+                rel: 0,
+                rows: 0.0,
+                cost: 0.0
+            };
+            new_cur.num_rels()
+        ];
         for (old, plan) in comps.into_iter().enumerate() {
             let ni = idx_map[old];
             if ni != comp_idx {
@@ -157,7 +164,9 @@ fn most_costly_subtree(tree: &PlanTree, k: usize) -> Option<Vec<bool>> {
     ) -> usize {
         match plan {
             PlanTree::Scan { .. } => 1,
-            PlanTree::Join { left, right, cost, .. } => {
+            PlanTree::Join {
+                left, right, cost, ..
+            } => {
                 path.push(false);
                 let l = rec(left, k, path, best);
                 path.pop();
@@ -209,7 +218,12 @@ fn replace_subtree(
                 rows: *rows,
                 cost: *cost,
             },
-            PlanTree::Join { left, right, rows, cost } => PlanTree::Join {
+            PlanTree::Join {
+                left,
+                right,
+                rows,
+                cost,
+            } => PlanTree::Join {
                 left: Box::new(remap(left, idx_map)),
                 right: Box::new(remap(right, idx_map)),
                 rows: *rows,
@@ -221,7 +235,12 @@ fn replace_subtree(
         return replacement;
     }
     match tree {
-        PlanTree::Join { left, right, rows, cost } => {
+        PlanTree::Join {
+            left,
+            right,
+            rows,
+            cost,
+        } => {
             let (dir, rest) = (path[0], &path[1..]);
             let (l, r) = if dir {
                 (
@@ -296,9 +315,10 @@ pub fn idp2_mpdp(
 ) -> Result<LargeOptResult, OptError> {
     let b = Budget::new(budget);
     let inner = |sub: &LargeQuery| -> Result<PlanTree, OptError> {
-        let qi = sub
-            .to_query_info()
-            .ok_or(OptError::TooLarge { got: sub.num_rels(), max: 64 })?;
+        let qi = sub.to_query_info().ok_or(OptError::TooLarge {
+            got: sub.num_rels(),
+            max: 64,
+        })?;
         let ctx = mpdp_dp::common::OptContext {
             query: &qi,
             model,
@@ -360,8 +380,14 @@ pub fn idp1_mpdp(
         let info = RelInfo::new(best.rows(), best.cost());
         let (new_cur, idx_map) = contract(&cur, &group, info);
         let comp_idx = idx_map[group[0]];
-        let mut new_comps =
-            vec![PlanTree::Scan { rel: 0, rows: 0.0, cost: 0.0 }; new_cur.num_rels()];
+        let mut new_comps = vec![
+            PlanTree::Scan {
+                rel: 0,
+                rows: 0.0,
+                cost: 0.0
+            };
+            new_cur.num_rels()
+        ];
         for (old, plan) in comps.into_iter().enumerate() {
             let ni = idx_map[old];
             if ni != comp_idx {
@@ -387,7 +413,12 @@ fn remap_leaves(plan: &PlanTree, map: &[usize]) -> PlanTree {
             rows: *rows,
             cost: *cost,
         },
-        PlanTree::Join { left, right, rows, cost } => PlanTree::Join {
+        PlanTree::Join {
+            left,
+            right,
+            rows,
+            cost,
+        } => PlanTree::Join {
             left: Box::new(remap_leaves(left, map)),
             right: Box::new(remap_leaves(right, map)),
             rows: *rows,

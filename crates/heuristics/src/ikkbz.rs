@@ -43,7 +43,6 @@ impl Group {
         (self.t - 1.0) / self.c
     }
 
-
     fn merge(&mut self, next: Group) {
         // C(AB) = C(A) + T(A)·C(B); T(AB) = T(A)·T(B).
         self.c += self.t * next.c;
@@ -100,12 +99,7 @@ fn spanning_tree(q: &LargeQuery) -> Vec<Vec<(usize, f64)>> {
 /// Linearizes the subtree rooted at `v` (excluding `v`'s own placement
 /// constraints above it): returns an ascending-rank group sequence whose
 /// relations must all come after `v`.
-fn linearize(
-    v: usize,
-    parent: usize,
-    tree: &[Vec<(usize, f64)>],
-    rows: &[f64],
-) -> Vec<Group> {
+fn linearize(v: usize, parent: usize, tree: &[Vec<(usize, f64)>], rows: &[f64]) -> Vec<Group> {
     let mut chains: Vec<Vec<Group>> = Vec::new();
     for &(c, sel) in &tree[v] {
         if c == parent {

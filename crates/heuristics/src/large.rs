@@ -289,7 +289,11 @@ mod tests {
     use mpdp_workload::gen;
 
     fn scan(rel: u32, rows: f64) -> PlanTree {
-        PlanTree::Scan { rel, rows, cost: 1.0 }
+        PlanTree::Scan {
+            rel,
+            rows,
+            cost: 1.0,
+        }
     }
 
     fn join(l: PlanTree, r: PlanTree) -> PlanTree {
@@ -315,7 +319,9 @@ mod tests {
         let q = gen::chain(4, 1, &m);
         // 0-1, then join with 3 (no edge 0/1 - 3).
         let cross = join(join(scan(0, 1.0), scan(1, 1.0)), scan(3, 1.0));
-        assert!(validate_large(&cross, &q).unwrap().contains("cross product"));
+        assert!(validate_large(&cross, &q)
+            .unwrap()
+            .contains("cross product"));
         let partial = join(scan(0, 1.0), scan(1, 1.0));
         assert!(validate_large(&partial, &q).unwrap().contains("covers"));
         let dup = join(join(scan(0, 1.0), scan(1, 1.0)), scan(1, 1.0));

@@ -23,16 +23,14 @@ pub mod idp;
 pub mod ikkbz;
 pub mod large;
 pub mod lindp;
-pub mod unionfind;
 pub mod uniondp;
+pub mod unionfind;
 
 pub use geqo::{Geqo, GeqoParams};
 pub use goo::Goo;
 pub use idp::{idp1_mpdp, idp2_mpdp, idp2_with_inner, Idp2};
 pub use ikkbz::Ikkbz;
-pub use large::{
-    recost, validate_large, Budget, InnerLarge, LargeOptResult, LargeOptimizer,
-};
+pub use large::{recost, validate_large, Budget, InnerLarge, LargeOptResult, LargeOptimizer};
 pub use lindp::{interval_dp, linearized_dp, LinDp};
-pub use unionfind::UnionFind;
 pub use uniondp::{uniondp_with_inner, UnionDp, UnionDpWith};
+pub use unionfind::UnionFind;

@@ -88,13 +88,23 @@ pub fn interval_dp(
                     continue;
                 }
                 let out_rows = rows[i][j];
-                let lo = InputEst { cost: cost[i][k], rows: rows[i][k] };
-                let hi = InputEst { cost: cost[k + 1][j], rows: rows[k + 1][j] };
+                let lo = InputEst {
+                    cost: cost[i][k],
+                    rows: rows[i][k],
+                };
+                let hi = InputEst {
+                    cost: cost[k + 1][j],
+                    rows: rows[k + 1][j],
+                };
                 // The cost model is order-sensitive (hash build side); try
                 // both orders like the exact DP does.
                 let c_fwd = model.join_cost(lo, hi, out_rows);
                 let c_rev = model.join_cost(hi, lo, out_rows);
-                let (c, sw) = if c_fwd <= c_rev { (c_fwd, false) } else { (c_rev, true) };
+                let (c, sw) = if c_fwd <= c_rev {
+                    (c_fwd, false)
+                } else {
+                    (c_rev, true)
+                };
                 if c < cost[i][j] {
                     cost[i][j] = c;
                     split[i][j] = k;

@@ -13,10 +13,10 @@
 //! of size(leftRelSet + rightRelSet)" with ties broken by increasing weight,
 //! and two partitions union only while their combined size stays ≤ `k`.
 
-use crate::large::{
-    contract, substitute_leaves, Budget, InnerLarge, LargeOptResult, LargeOptimizer, recost,
-};
 use crate::idp::project_large;
+use crate::large::{
+    contract, recost, substitute_leaves, Budget, InnerLarge, LargeOptResult, LargeOptimizer,
+};
 use crate::unionfind::UnionFind;
 use mpdp_core::plan::PlanTree;
 use mpdp_core::query::{LargeQuery, RelInfo};
@@ -49,10 +49,12 @@ impl PartialOrd for HeapEdge {
 impl Ord for HeapEdge {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for min-by-(size, weight).
-        other
-            .size_sum
-            .cmp(&self.size_sum)
-            .then_with(|| other.weight.partial_cmp(&self.weight).unwrap_or(Ordering::Equal))
+        other.size_sum.cmp(&self.size_sum).then_with(|| {
+            other
+                .weight
+                .partial_cmp(&self.weight)
+                .unwrap_or(Ordering::Equal)
+        })
     }
 }
 
@@ -62,8 +64,14 @@ fn edge_weight(q: &LargeQuery, model: &dyn CostModel, u: usize, v: usize, sel: f
     let (ru, rv) = (q.rels[u], q.rels[v]);
     let rows = ru.rows * rv.rows * sel;
     model.join_cost(
-        InputEst { cost: ru.cost, rows: ru.rows },
-        InputEst { cost: rv.cost, rows: rv.rows },
+        InputEst {
+            cost: ru.cost,
+            rows: ru.rows,
+        },
+        InputEst {
+            cost: rv.cost,
+            rows: rv.rows,
+        },
         rows,
     )
 }
@@ -158,8 +166,14 @@ fn partition_and_solve(
         let info = RelInfo::new(sub_plan.rows(), sub_plan.cost());
         let (next, idx_map) = contract(&cur, &cur_group, info);
         let comp_idx = idx_map[cur_group[0]];
-        let mut next_comps =
-            vec![PlanTree::Scan { rel: 0, rows: 0.0, cost: 0.0 }; next.num_rels()];
+        let mut next_comps = vec![
+            PlanTree::Scan {
+                rel: 0,
+                rows: 0.0,
+                cost: 0.0
+            };
+            next.num_rels()
+        ];
         for (old, plan) in cur_comps.into_iter().enumerate() {
             let ni = idx_map[old];
             if ni != comp_idx {
@@ -253,9 +267,10 @@ impl LargeOptimizer for UnionDp {
     ) -> Result<LargeOptResult, OptError> {
         let b = Budget::new(budget);
         let inner = |sub: &LargeQuery| -> Result<PlanTree, OptError> {
-            let qi = sub
-                .to_query_info()
-                .ok_or(OptError::TooLarge { got: sub.num_rels(), max: 64 })?;
+            let qi = sub.to_query_info().ok_or(OptError::TooLarge {
+                got: sub.num_rels(),
+                max: 64,
+            })?;
             let ctx = mpdp_dp::common::OptContext {
                 query: &qi,
                 model,

@@ -40,8 +40,14 @@ fn enumerate_all_pairs(
     }
     impl<'q> Enum<'q> {
         fn emit(&mut self, s1: RelSet, s2: RelSet) {
-            self.out.push(PendingPair { left: s1, right: s2 });
-            self.out.push(PendingPair { left: s2, right: s1 });
+            self.out.push(PendingPair {
+                left: s1,
+                right: s2,
+            });
+            self.out.push(PendingPair {
+                left: s2,
+                right: s1,
+            });
         }
         fn csg_rec(&mut self, s: RelSet, x: RelSet) {
             let n = self.q.graph.neighbors(s).difference(x);
@@ -142,8 +148,14 @@ impl Dpe {
                         let sel = q.graph.selectivity_between(p.left, p.right);
                         let rows = el.rows * er.rows * sel;
                         let cost = ctx.model.join_cost(
-                            InputEst { cost: el.cost, rows: el.rows },
-                            InputEst { cost: er.cost, rows: er.rows },
+                            InputEst {
+                                cost: el.cost,
+                                rows: el.rows,
+                            },
+                            InputEst {
+                                cost: er.cost,
+                                rows: er.rows,
+                            },
                             rows,
                         );
                         out.push(Candidate {

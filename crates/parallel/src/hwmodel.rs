@@ -150,8 +150,8 @@ impl CpuModel {
         const COST_FRAC: f64 = 0.75;
         let mut total_ns = 0.0;
         for l in &profile.levels {
-            let units = l.evaluated as f64 * cal.weights.pair
-                + l.memo_writes as f64 * cal.weights.write;
+            let units =
+                l.evaluated as f64 * cal.weights.pair + l.memo_writes as f64 * cal.weights.write;
             let ns = units * cal.ns_per_unit;
             total_ns += ns * (ENUM_FRAC + BUFFER_FRAC);
             total_ns += ns * COST_FRAC / self.speedup();

@@ -121,8 +121,14 @@ fn push_candidate(
     let sel = q.graph.selectivity_between(sl, sr);
     let rows = el.rows * er.rows * sel;
     let cost = model.join_cost(
-        InputEst { cost: el.cost, rows: el.rows },
-        InputEst { cost: er.cost, rows: er.rows },
+        InputEst {
+            cost: el.cost,
+            rows: el.rows,
+        },
+        InputEst {
+            cost: er.cost,
+            rows: er.rows,
+        },
         rows,
     );
     out.push(Candidate {
@@ -383,7 +389,9 @@ mod tests {
     fn parallel_matches_sequential_on_random() {
         let m = PgLikeCost::new();
         for seed in 0..3 {
-            let q = gen::random_connected(8, 4, seed, &m).to_query_info().unwrap();
+            let q = gen::random_connected(8, 4, seed, &m)
+                .to_query_info()
+                .unwrap();
             check_matches_sequential(&q);
         }
     }

@@ -40,17 +40,19 @@ where
     }
     let chunk = items.len().div_ceil(threads);
     let chunks: Vec<&[T]> = items.chunks(chunk).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|c| {
                 let fr = &f;
-                scope.spawn(move |_| fr(c))
+                scope.spawn(move || fr(c))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
     })
-    .expect("worker thread panicked")
 }
 
 #[cfg(test)]

@@ -199,7 +199,12 @@ pub fn clique(n: usize, seed: u64, model: &dyn CostModel) -> LargeQuery {
 /// A random connected graph: a random spanning tree plus `extra_edges`
 /// additional random edges (creating cycles). Used by the property tests to
 /// cross-validate the exact algorithms on arbitrary topologies.
-pub fn random_connected(n: usize, extra_edges: usize, seed: u64, model: &dyn CostModel) -> LargeQuery {
+pub fn random_connected(
+    n: usize,
+    extra_edges: usize,
+    seed: u64,
+    model: &dyn CostModel,
+) -> LargeQuery {
     assert!(n >= 1);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x0052_4e44_u64);
     let rows: Vec<f64> = (0..n).map(|_| rows_in(&mut rng, DIM_ROWS)).collect();
@@ -223,7 +228,10 @@ pub fn random_connected(n: usize, extra_edges: usize, seed: u64, model: &dyn Cos
             continue;
         }
         let (a, b) = (a.min(b), a.max(b));
-        if q.edges.iter().any(|e| (e.u as usize, e.v as usize) == (a, b)) {
+        if q.edges
+            .iter()
+            .any(|e| (e.u as usize, e.v as usize) == (a, b))
+        {
             continue;
         }
         q.add_edge(a, b, 1.0 / rows[a].max(rows[b]));
@@ -316,7 +324,11 @@ mod tests {
         }
         // Different seeds differ.
         let c = star(8, 10, &m);
-        assert!(a.rels.iter().zip(c.rels.iter()).any(|(x, y)| x.rows != y.rows));
+        assert!(a
+            .rels
+            .iter()
+            .zip(c.rels.iter())
+            .any(|(x, y)| x.rows != y.rows));
     }
 
     #[test]

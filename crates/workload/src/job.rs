@@ -27,51 +27,51 @@ impl ImdbSchema {
     /// Builds the schema.
     pub fn new() -> Self {
         let tables: Vec<(&'static str, f64)> = vec![
-            ("title", 2_528_312.0),          // 0
+            ("title", 2_528_312.0),           // 0
             ("movie_companies", 2_609_129.0), // 1
-            ("company_name", 234_997.0),     // 2
-            ("company_type", 4.0),           // 3
-            ("movie_info", 14_835_720.0),    // 4
-            ("info_type", 113.0),            // 5
-            ("movie_info_idx", 1_380_035.0), // 6
-            ("movie_keyword", 4_523_930.0),  // 7
-            ("keyword", 134_170.0),          // 8
-            ("cast_info", 36_244_344.0),     // 9
-            ("name", 4_167_491.0),           // 10
-            ("char_name", 3_140_339.0),      // 11
-            ("role_type", 12.0),             // 12
-            ("aka_name", 901_343.0),         // 13
-            ("aka_title", 361_472.0),        // 14
-            ("movie_link", 29_997.0),        // 15
-            ("link_type", 18.0),             // 16
-            ("complete_cast", 135_086.0),    // 17
-            ("comp_cast_type", 4.0),         // 18
-            ("kind_type", 7.0),              // 19
-            ("person_info", 2_963_664.0),    // 20
+            ("company_name", 234_997.0),      // 2
+            ("company_type", 4.0),            // 3
+            ("movie_info", 14_835_720.0),     // 4
+            ("info_type", 113.0),             // 5
+            ("movie_info_idx", 1_380_035.0),  // 6
+            ("movie_keyword", 4_523_930.0),   // 7
+            ("keyword", 134_170.0),           // 8
+            ("cast_info", 36_244_344.0),      // 9
+            ("name", 4_167_491.0),            // 10
+            ("char_name", 3_140_339.0),       // 11
+            ("role_type", 12.0),              // 12
+            ("aka_name", 901_343.0),          // 13
+            ("aka_title", 361_472.0),         // 14
+            ("movie_link", 29_997.0),         // 15
+            ("link_type", 18.0),              // 16
+            ("complete_cast", 135_086.0),     // 17
+            ("comp_cast_type", 4.0),          // 18
+            ("kind_type", 7.0),               // 19
+            ("person_info", 2_963_664.0),     // 20
         ];
         let fks = vec![
-            (1, 0),  // movie_companies.movie -> title
-            (1, 2),  // movie_companies.company -> company_name
-            (1, 3),  // movie_companies.type -> company_type
-            (4, 0),  // movie_info.movie -> title
-            (4, 5),  // movie_info.info_type -> info_type
-            (6, 0),  // movie_info_idx.movie -> title
-            (6, 5),  // movie_info_idx.info_type -> info_type
-            (7, 0),  // movie_keyword.movie -> title
-            (7, 8),  // movie_keyword.keyword -> keyword
-            (9, 0),  // cast_info.movie -> title
-            (9, 10), // cast_info.person -> name
-            (9, 11), // cast_info.char -> char_name
-            (9, 12), // cast_info.role -> role_type
+            (1, 0),   // movie_companies.movie -> title
+            (1, 2),   // movie_companies.company -> company_name
+            (1, 3),   // movie_companies.type -> company_type
+            (4, 0),   // movie_info.movie -> title
+            (4, 5),   // movie_info.info_type -> info_type
+            (6, 0),   // movie_info_idx.movie -> title
+            (6, 5),   // movie_info_idx.info_type -> info_type
+            (7, 0),   // movie_keyword.movie -> title
+            (7, 8),   // movie_keyword.keyword -> keyword
+            (9, 0),   // cast_info.movie -> title
+            (9, 10),  // cast_info.person -> name
+            (9, 11),  // cast_info.char -> char_name
+            (9, 12),  // cast_info.role -> role_type
             (13, 10), // aka_name.person -> name
-            (14, 0), // aka_title.movie -> title
-            (15, 0), // movie_link.movie -> title
+            (14, 0),  // aka_title.movie -> title
+            (15, 0),  // movie_link.movie -> title
             (15, 16), // movie_link.link_type -> link_type
-            (17, 0), // complete_cast.movie -> title
+            (17, 0),  // complete_cast.movie -> title
             (17, 18), // complete_cast.status -> comp_cast_type
-            (0, 19), // title.kind -> kind_type
+            (0, 19),  // title.kind -> kind_type
             (20, 10), // person_info.person -> name
-            (20, 5), // person_info.info_type -> info_type
+            (20, 5),  // person_info.info_type -> info_type
         ];
         let mut adj = vec![Vec::new(); tables.len()];
         for &(c, p) in &fks {
@@ -155,7 +155,12 @@ impl ImdbSchema {
 
     /// The full JOB-like suite: queries distributed over JOB's join sizes
     /// (4–17 relations), several per size.
-    pub fn suite(&self, per_size: usize, seed: u64, model: &dyn CostModel) -> Vec<(usize, LargeQuery)> {
+    pub fn suite(
+        &self,
+        per_size: usize,
+        seed: u64,
+        model: &dyn CostModel,
+    ) -> Vec<(usize, LargeQuery)> {
         let mut out = Vec::new();
         for n in 4..=17usize {
             for k in 0..per_size {

@@ -46,62 +46,62 @@ impl MusicBrainz {
     /// Builds the schema graph.
     pub fn new() -> Self {
         let tables = tables![
-            (artist, 2_000_000),             // 0
-            (artist_alias, 250_000),         // 1
-            (artist_credit, 2_500_000),      // 2
-            (artist_credit_name, 3_200_000), // 3
-            (artist_ipi, 40_000),            // 4
-            (artist_isni, 60_000),           // 5
-            (artist_meta, 2_000_000),        // 6
-            (artist_tag, 600_000),           // 7
-            (artist_type, 6),                // 8
-            (area, 120_000),                 // 9
-            (area_alias, 50_000),            // 10
-            (area_type, 9),                  // 11
-            (country_area, 260),             // 12
-            (gender, 5),                     // 13
-            (label, 250_000),                // 14
-            (label_alias, 20_000),           // 15
-            (label_ipi, 10_000),             // 16
-            (label_isni, 12_000),            // 17
-            (label_type, 9),                 // 18
-            (language, 7_000),               // 19
-            (link, 1_800_000),               // 20
-            (link_attribute, 900_000),       // 21
-            (link_attribute_type, 800),      // 22
-            (link_type, 1_000),              // 23
-            (medium, 4_500_000),             // 24
-            (medium_format, 100),            // 25
-            (place, 60_000),                 // 26
-            (place_alias, 8_000),            // 27
-            (place_type, 8),                 // 28
-            (recording, 30_000_000),         // 29
-            (recording_alias, 150_000),      // 30
-            (recording_meta, 30_000_000),    // 31
-            (recording_tag, 1_200_000),      // 32
-            (release, 4_000_000),            // 33
-            (release_alias, 30_000),         // 34
-            (release_country, 3_500_000),    // 35
-            (release_group, 3_500_000),      // 36
-            (release_group_meta, 3_500_000), // 37
-            (release_group_primary_type, 5), // 38
-            (release_group_tag, 900_000),    // 39
-            (release_label, 2_500_000),      // 40
-            (release_meta, 4_000_000),       // 41
-            (release_packaging, 10),         // 42
-            (release_status, 6),             // 43
-            (release_tag, 700_000),          // 44
+            (artist, 2_000_000),                // 0
+            (artist_alias, 250_000),            // 1
+            (artist_credit, 2_500_000),         // 2
+            (artist_credit_name, 3_200_000),    // 3
+            (artist_ipi, 40_000),               // 4
+            (artist_isni, 60_000),              // 5
+            (artist_meta, 2_000_000),           // 6
+            (artist_tag, 600_000),              // 7
+            (artist_type, 6),                   // 8
+            (area, 120_000),                    // 9
+            (area_alias, 50_000),               // 10
+            (area_type, 9),                     // 11
+            (country_area, 260),                // 12
+            (gender, 5),                        // 13
+            (label, 250_000),                   // 14
+            (label_alias, 20_000),              // 15
+            (label_ipi, 10_000),                // 16
+            (label_isni, 12_000),               // 17
+            (label_type, 9),                    // 18
+            (language, 7_000),                  // 19
+            (link, 1_800_000),                  // 20
+            (link_attribute, 900_000),          // 21
+            (link_attribute_type, 800),         // 22
+            (link_type, 1_000),                 // 23
+            (medium, 4_500_000),                // 24
+            (medium_format, 100),               // 25
+            (place, 60_000),                    // 26
+            (place_alias, 8_000),               // 27
+            (place_type, 8),                    // 28
+            (recording, 30_000_000),            // 29
+            (recording_alias, 150_000),         // 30
+            (recording_meta, 30_000_000),       // 31
+            (recording_tag, 1_200_000),         // 32
+            (release, 4_000_000),               // 33
+            (release_alias, 30_000),            // 34
+            (release_country, 3_500_000),       // 35
+            (release_group, 3_500_000),         // 36
+            (release_group_meta, 3_500_000),    // 37
+            (release_group_primary_type, 5),    // 38
+            (release_group_tag, 900_000),       // 39
+            (release_label, 2_500_000),         // 40
+            (release_meta, 4_000_000),          // 41
+            (release_packaging, 10),            // 42
+            (release_status, 6),                // 43
+            (release_tag, 700_000),             // 44
             (release_unknown_country, 200_000), // 45
-            (script, 200),                   // 46
-            (tag, 200_000),                  // 47
-            (track, 40_000_000),             // 48
-            (work, 2_000_000),               // 49
-            (work_alias, 120_000),           // 50
-            (work_attribute, 400_000),       // 51
-            (work_attribute_type, 50),       // 52
-            (work_meta, 2_000_000),          // 53
-            (work_tag, 300_000),             // 54
-            (work_type, 30),                 // 55
+            (script, 200),                      // 46
+            (tag, 200_000),                     // 47
+            (track, 40_000_000),                // 48
+            (work, 2_000_000),                  // 49
+            (work_alias, 120_000),              // 50
+            (work_attribute, 400_000),          // 51
+            (work_attribute_type, 50),          // 52
+            (work_meta, 2_000_000),             // 53
+            (work_tag, 300_000),                // 54
+            (work_type, 30),                    // 55
         ];
         assert_eq!(tables.len(), 56);
         // (child, parent): child.fk -> parent.pk
@@ -370,11 +370,8 @@ mod tests {
         let q = mb.random_walk_query(56, 1, true, &m);
         assert_eq!(q.num_rels(), 56);
         // Edges = distinct unordered FK pairs of the schema.
-        let mut pairs: Vec<(usize, usize)> = mb
-            .fks
-            .iter()
-            .map(|&(c, p)| (c.min(p), c.max(p)))
-            .collect();
+        let mut pairs: Vec<(usize, usize)> =
+            mb.fks.iter().map(|&(c, p)| (c.min(p), c.max(p))).collect();
         pairs.sort_unstable();
         pairs.dedup();
         assert_eq!(q.edges.len(), pairs.len());

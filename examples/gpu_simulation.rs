@@ -1,46 +1,56 @@
 //! The simulated-GPU pipeline (§5): run MPDP, DPSUB and DPSIZE on the
-//! software SIMT machine, show the per-device statistics, and reproduce the
-//! §7.2.5 enhancement ablation (kernel fusion + Collaborative Context
-//! Collection).
+//! software SIMT machine via the registry's GPU strategies, show the
+//! per-device statistics, and reproduce the §7.2.5 enhancement ablation
+//! (kernel fusion + Collaborative Context Collection).
 //!
 //! ```sh
 //! cargo run --release --example gpu_simulation
 //! ```
 
 use mpdp::prelude::*;
-use mpdp_gpu::drivers::{DpSizeGpu, DpSubGpu, MpdpGpu};
 
 fn main() {
     let model = PgLikeCost::new();
-    let query = mpdp_workload::gen::star(14, 11, &model);
-    let qi = query.to_query_info().unwrap();
-    let ctx = OptContext::new(&qi, &model);
+    let query = mpdp::workload::gen::star(14, 11, &model);
 
     println!("=== 14-relation star on the simulated GTX 1080 ===\n");
     println!(
         "{:<12} {:>12} {:>14} {:>12} {:>12} {:>10}",
         "driver", "sim time", "warp cycles", "glob writes", "launches", "divergence"
     );
-    let mpdp = MpdpGpu::new().run(&ctx).unwrap();
-    let dpsub = DpSubGpu::new().run(&ctx).unwrap();
-    let dpsize = DpSizeGpu::new().run(&ctx).unwrap();
-    for (name, run) in [("MPDP", &mpdp), ("DPSub", &dpsub), ("DPSize", &dpsize)] {
+    let runs: Vec<Planned> = ["MPDP (GPU)", "DPSub (GPU)", "DPSize (GPU)"]
+        .into_iter()
+        .map(|series| {
+            mpdp::registry()
+                .get(series)
+                .expect("registered")
+                .plan(&query, &model, None)
+                .unwrap()
+        })
+        .collect();
+    for run in &runs {
+        let stats = run.gpu.expect("GPU strategies report device stats");
         println!(
             "{:<12} {:>10.2}ms {:>14} {:>12} {:>12} {:>10.2}",
-            name,
-            run.simulated_time.as_secs_f64() * 1000.0,
-            run.stats.warp_cycles,
-            run.stats.global_writes,
-            run.stats.kernel_launches,
-            run.stats.divergence_factor()
+            run.strategy,
+            run.reported.as_secs_f64() * 1000.0,
+            stats.warp_cycles,
+            stats.global_writes,
+            stats.kernel_launches,
+            stats.divergence_factor()
         );
     }
+    let (mpdp_run, dpsub_run) = (&runs[0], &runs[1]);
+    let (mc, sc) = (
+        mpdp_run.counters.expect("exact runs report counters"),
+        dpsub_run.counters.expect("exact runs report counters"),
+    );
     println!(
         "\nMPDP evaluated {} Join-Pairs vs DPSub's {} ({}x fewer) — all three found cost {:.1}",
-        mpdp.result.counters.evaluated,
-        dpsub.result.counters.evaluated,
-        dpsub.result.counters.evaluated / mpdp.result.counters.evaluated.max(1),
-        mpdp.result.cost
+        mc.evaluated,
+        sc.evaluated,
+        sc.evaluated / mc.evaluated.max(1),
+        mpdp_run.cost
     );
 
     println!("\n=== §7.2.5 ablation: MPDP(GPU) enhancements ===\n");
@@ -48,22 +58,24 @@ fn main() {
         "{:<22} {:>12} {:>14} {:>12}",
         "configuration", "sim time", "warp cycles", "glob writes"
     );
-    for (label, fused, ccc) in [
-        ("baseline (no enh.)", false, false),
-        ("+ kernel fusion", true, false),
-        ("+ CCC", false, true),
-        ("+ both (paper cfg)", true, true),
+    for (label, series) in [
+        ("baseline (no enh.)", "MPDP (GPU, baseline)"),
+        ("+ kernel fusion", "MPDP (GPU, +fusion)"),
+        ("+ CCC", "MPDP (GPU, +CCC)"),
+        ("+ both (paper cfg)", "MPDP (GPU)"),
     ] {
-        let mut drv = MpdpGpu::new();
-        drv.config.fused_prune = fused;
-        drv.config.ccc = ccc;
-        let run = drv.run(&ctx).unwrap();
+        let run = mpdp::registry()
+            .get(series)
+            .expect("registered")
+            .plan(&query, &model, None)
+            .unwrap();
+        let stats = run.gpu.expect("GPU strategies report device stats");
         println!(
             "{:<22} {:>10.2}ms {:>14} {:>12}",
             label,
-            run.simulated_time.as_secs_f64() * 1000.0,
-            run.stats.warp_cycles,
-            run.stats.global_writes
+            run.reported.as_secs_f64() * 1000.0,
+            stats.warp_cycles,
+            stats.global_writes
         );
     }
 }

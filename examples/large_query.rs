@@ -1,19 +1,20 @@
 //! Heuristic optimization of very large queries (the Tables 1–2 regime):
 //! a 300-relation snowflake optimized by GOO, IKKBZ, LinDP, GE-QO,
-//! IDP2-MPDP and UnionDP-MPDP, with plan quality and optimization time.
+//! IDP2-MPDP and UnionDP-MPDP — each selected from the strategy registry by
+//! its paper label — with plan quality and optimization time.
 //!
 //! ```sh
 //! cargo run --release --example large_query
 //! ```
 
 use mpdp::prelude::*;
-use mpdp_heuristics::{idp2_mpdp, Geqo, Goo, Ikkbz, LargeOptimizer, LinDp, UnionDp};
-use std::time::{Duration, Instant};
+use mpdp_heuristics::validate_large;
+use std::time::Duration;
 
 fn main() {
     let model = PgLikeCost::new();
     let n = 300;
-    let query = mpdp_workload::gen::snowflake(n, 4, 2024, &model);
+    let query = mpdp::workload::gen::snowflake(n, 4, 2024, &model);
     println!(
         "optimizing a {n}-relation snowflake ({} join edges) — 1-minute budget per technique\n",
         query.edges.len()
@@ -21,37 +22,31 @@ fn main() {
     let budget = Some(Duration::from_secs(60));
 
     let mut rows: Vec<(String, f64, Duration)> = Vec::new();
-    let mut run = |name: String, r: Result<mpdp_heuristics::LargeOptResult, OptError>, t: Instant| {
-        match r {
+    for series in [
+        "GOO",
+        "IKKBZ",
+        "LinDP",
+        "GE-QO",
+        "IDP2-MPDP (15)",
+        "UnionDP-MPDP (15)",
+    ] {
+        let strategy = mpdp::registry().get(series).expect("registered");
+        match strategy.plan(&query, &model, budget) {
             Ok(res) => {
                 // Every plan must be a valid cross-product-free covering tree.
-                assert!(mpdp_heuristics::validate_large(&res.plan, &query).is_none());
-                rows.push((name, res.cost, t.elapsed()));
+                assert!(validate_large(&res.plan, &query).is_none());
+                rows.push((strategy.name(), res.cost, res.wall));
             }
-            Err(e) => println!("{name:>20}: failed ({e})"),
+            Err(e) => println!("{series:>20}: failed ({e})"),
         }
-    };
-
-    let t = Instant::now();
-    run("GOO".into(), Goo.optimize(&query, &model, budget), t);
-    let t = Instant::now();
-    run("IKKBZ".into(), Ikkbz.optimize(&query, &model, budget), t);
-    let t = Instant::now();
-    run("LinDP".into(), LinDp::default().optimize(&query, &model, budget), t);
-    let t = Instant::now();
-    run("GE-QO".into(), Geqo::default().optimize(&query, &model, budget), t);
-    let t = Instant::now();
-    run("IDP2-MPDP (15)".into(), idp2_mpdp(&query, &model, 15, budget), t);
-    let t = Instant::now();
-    run(
-        "UnionDP-MPDP (15)".into(),
-        UnionDp { k: 15 }.optimize(&query, &model, budget),
-        t,
-    );
+    }
 
     let best = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-    println!("{:>20}  {:>14}  {:>8}  {:>10}", "technique", "plan cost", "vs best", "opt time");
+    println!(
+        "{:>20}  {:>14}  {:>8}  {:>10}",
+        "technique", "plan cost", "vs best", "opt time"
+    );
     for (name, cost, time) in rows {
         println!(
             "{name:>20}  {cost:>14.0}  {:>7.2}x  {:>8.0}ms",

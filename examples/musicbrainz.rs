@@ -1,7 +1,7 @@
 //! Real-world-schema workload (§7.2.2): random-walk queries over the
-//! 56-table MusicBrainz-like schema, optimized exactly, with the
-//! heuristic-fall-back story: how large can a query get before exact
-//! optimization exceeds a PostgreSQL-like planning budget?
+//! 56-table MusicBrainz-like schema, optimized exactly through the registry,
+//! with the heuristic-fall-back story: how large can a query get before
+//! exact optimization exceeds a PostgreSQL-like planning budget?
 //!
 //! ```sh
 //! cargo run --release --example musicbrainz
@@ -9,7 +9,7 @@
 
 use mpdp::prelude::*;
 use mpdp_workload::MusicBrainz;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 fn main() {
     let model = PgLikeCost::new();
@@ -24,29 +24,31 @@ fn main() {
     // search. The paper raises the limit to ~25 with MPDP. Emulate the
     // experiment: find the largest n whose exact MPDP optimization stays
     // within a 2-second budget on this machine.
-    let budget = Duration::from_secs(2);
+    let budget = Some(Duration::from_secs(2));
+    let mpdp = mpdp::registry().get("MPDP").expect("registered");
     println!("n\tedges\tcycles?\topt_ms\tccp_pairs\tplan_cost");
     let mut fallback_limit = 0;
     for n in [4usize, 8, 12, 14, 16, 18, 20, 22] {
         let q = mb.random_walk_query(n, 7, true, &model);
         let has_cycles = q.edges.len() > n - 1;
-        let qi = q.to_query_info().unwrap();
-        let ctx = OptContext::with_budget(&qi, &model, budget);
-        let start = Instant::now();
-        match Mpdp::run(&ctx) {
+        match mpdp.plan(&q, &model, budget) {
             Ok(r) => {
                 println!(
                     "{n}\t{}\t{}\t{:.1}\t{}\t{:.0}",
                     q.edges.len(),
                     if has_cycles { "yes" } else { "no" },
-                    start.elapsed().as_secs_f64() * 1000.0,
-                    r.counters.ccp,
+                    r.wall.as_secs_f64() * 1000.0,
+                    r.counters.expect("exact runs report counters").ccp,
                     r.cost
                 );
                 fallback_limit = n;
             }
             Err(OptError::Timeout { .. }) => {
-                println!("{n}\t{}\t{}\ttimeout\t-\t-", q.edges.len(), if has_cycles { "yes" } else { "no" });
+                println!(
+                    "{n}\t{}\t{}\ttimeout\t-\t-",
+                    q.edges.len(),
+                    if has_cycles { "yes" } else { "no" }
+                );
                 break;
             }
             Err(e) => {

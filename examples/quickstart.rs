@@ -1,5 +1,6 @@
-//! Quickstart: optimize the Figure 1 TPC-H query, then a 12-relation star,
-//! with exact MPDP.
+//! Quickstart: optimize the Figure 1 TPC-H query through the unified
+//! `Planner` API, then compare the exact algorithms on a 12-relation star by
+//! selecting them from the strategy registry.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -67,33 +68,42 @@ fn main() {
         },
     ];
     let query = catalog.build_query(&tables, &predicates, &model);
-    let qi = query.to_query_info().expect("4 relations fit the exact DP");
-    let ctx = OptContext::new(&qi, &model);
-    let result = Mpdp::run(&ctx).expect("optimization succeeds");
-    println!("=== Figure 1 TPC-H query (4 relations) ===");
+
+    // The adaptive deployment: exact MPDP for small queries, UnionDP-MPDP
+    // beyond the exact limit. One front door for any query size.
+    let planner = PlannerBuilder::new()
+        .exact(ExactAlgo::Mpdp)
+        .fallback(LargeAlgo::UnionDp { k: 15 })
+        .exact_limit(18)
+        .build()
+        .expect("valid configuration");
+    let result = planner
+        .plan_query(&query, &model)
+        .expect("optimization succeeds");
+    let counters = result.counters.expect("exact runs report counters");
+    println!(
+        "=== Figure 1 TPC-H query (4 relations) via {} ===",
+        result.strategy
+    );
     println!(
         "optimal cost: {:.1}   CCP pairs: {}   evaluated: {}",
-        result.cost, result.counters.ccp, result.counters.evaluated
+        result.cost, counters.ccp, counters.evaluated
     );
     println!("{}", result.plan.render());
 
-    // --- A 12-relation star, comparing algorithms -----------------------
-    let star = mpdp_workload::gen::star(12, 7, &model);
-    let qi = star.to_query_info().unwrap();
-    let ctx = OptContext::new(&qi, &model);
+    // --- A 12-relation star, comparing algorithms by registry name ------
+    let star = mpdp::workload::gen::star(12, 7, &model);
     println!("=== 12-relation star: exact algorithms agree ===");
-    for (name, result) in [
-        ("DPSIZE", DpSize::run(&ctx).unwrap()),
-        ("DPSUB ", DpSub::run(&ctx).unwrap()),
-        ("DPCCP ", DpCcp::run(&ctx).unwrap()),
-        ("MPDP  ", Mpdp::run(&ctx).unwrap()),
-    ] {
+    for series in ["Postgres (1CPU)", "DPSub (1CPU)", "DPCCP (1CPU)", "MPDP"] {
+        let strategy = mpdp::registry().get(series).expect("registered");
+        let r = strategy.plan(&star, &model, None).unwrap();
+        let c = r.counters.expect("exact runs report counters");
         println!(
-            "{name}  cost={:.1}  evaluated={:>8}  ccp={:>6}  (evaluated/ccp = {:.1})",
-            result.cost,
-            result.counters.evaluated,
-            result.counters.ccp,
-            result.counters.inefficiency()
+            "{series:<16} cost={:.1}  evaluated={:>8}  ccp={:>6}  (evaluated/ccp = {:.1})",
+            r.cost,
+            c.evaluated,
+            c.ccp,
+            c.inefficiency()
         );
     }
 }

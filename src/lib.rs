@@ -2,19 +2,41 @@
 //!
 //! Facade crate for the MPDP workspace — a from-scratch Rust reproduction of
 //! *"Efficient Massively Parallel Join Optimization for Large Queries"*
-//! (SIGMOD 2022). Re-exports the public API of every member crate and adds
-//! [`Optimizer`], a one-stop adaptive driver that mirrors how the paper
-//! deploys MPDP inside PostgreSQL: exact MPDP up to a configurable
-//! heuristic-fall-back limit, UnionDP-MPDP beyond it.
+//! (SIGMOD 2022). Re-exports the public API of every member crate and hosts
+//! the unified planning API:
+//!
+//! * [`Strategy`] — one trait every algorithm (exact DP, CPU-parallel,
+//!   simulated-GPU, heuristic) adapts to;
+//! * [`registry()`] — name-keyed strategy lookup using the paper's series
+//!   labels (`"MPDP"`, `"Postgres (1CPU)"`, `"UnionDP-MPDP (15)"`, …);
+//! * [`PlannerBuilder`] / [`Planner`] — the adaptive deployment the paper
+//!   recommends: exact MPDP up to a hardware-dependent relation limit, a
+//!   heuristic hybrid beyond it, with sequential / CPU-parallel / GPU
+//!   backends swapped in per platform.
 //!
 //! ```
-//! use mpdp::Optimizer;
 //! use mpdp::prelude::*;
 //!
 //! let model = PgLikeCost::new();
 //! let query = mpdp::workload::gen::star(20, 7, &model);
-//! let plan = Optimizer::new().optimize(&query, &model).unwrap();
-//! assert_eq!(plan.plan.num_rels(), 20);
+//!
+//! // By name, as the benches do:
+//! let planned = mpdp::registry()
+//!     .get("MPDP")
+//!     .unwrap()
+//!     .plan(&query, &model, None)
+//!     .unwrap();
+//! assert_eq!(planned.plan.num_rels(), 20);
+//!
+//! // Or composed, as a deployment would:
+//! let planner = PlannerBuilder::new()
+//!     .exact(ExactAlgo::Mpdp)
+//!     .fallback(LargeAlgo::UnionDp { k: 15 })
+//!     .exact_limit(18)
+//!     .build()
+//!     .unwrap();
+//! let planned = planner.plan_query(&query, &model).unwrap();
+//! assert_eq!(planned.plan.num_rels(), 20);
 //! ```
 //!
 //! See the workspace `README.md` for a tour and `examples/` for runnable
@@ -30,28 +52,58 @@ pub use mpdp_heuristics as heuristics;
 pub use mpdp_parallel as parallel;
 pub use mpdp_workload as workload;
 
+pub mod planner;
+pub mod registry;
+
+pub use planner::{
+    Backend, ExactAlgo, ExactStrategy, HeuristicStrategy, LargeAlgo, Planned, Planner,
+    PlannerBuilder, Strategy, EXACT_MAX_RELS,
+};
+pub use registry::{registry, Registry};
+
 use mpdp_core::{LargeQuery, OptError};
 use mpdp_cost::model::CostModel;
-use mpdp_heuristics::{LargeOptResult, LargeOptimizer, UnionDp};
+use mpdp_heuristics::LargeOptResult;
 use std::time::Duration;
+
+/// Deprecated exact-optimizer trait, superseded by [`Strategy`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use mpdp::Strategy (via mpdp::registry() or PlannerBuilder) instead"
+)]
+pub use mpdp_dp::JoinOrderOptimizer;
+
+/// Deprecated heuristic-optimizer trait, superseded by [`Strategy`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use mpdp::Strategy (via mpdp::registry() or PlannerBuilder) instead"
+)]
+pub use mpdp_heuristics::LargeOptimizer;
 
 /// Most-used items in one import.
 pub mod prelude {
-    pub use mpdp_core::{
-        JoinGraph, LargeQuery, OptError, PlanTree, QueryInfo, RelInfo, RelSet,
+    pub use crate::planner::{
+        Backend, ExactAlgo, LargeAlgo, Planned, Planner, PlannerBuilder, Strategy,
     };
+    pub use crate::registry::registry;
+    pub use mpdp_core::{JoinGraph, LargeQuery, OptError, PlanTree, QueryInfo, RelInfo, RelSet};
     pub use mpdp_cost::{CostModel, CoutCost, PgLikeCost};
-    pub use mpdp_dp::{DpCcp, DpSize, DpSub, JoinOrderOptimizer, Mpdp, MpdpTree, OptContext};
-    pub use mpdp_heuristics::{LargeOptResult, LargeOptimizer};
+    pub use mpdp_dp::{DpCcp, DpSize, DpSub, Mpdp, MpdpTree, OptContext};
+    pub use mpdp_heuristics::LargeOptResult;
 }
 
-/// Adaptive join-order optimizer.
+/// Adaptive join-order optimizer (deprecated shim over [`Planner`]).
 ///
 /// Small queries (≤ [`Optimizer::exact_limit`]) are solved exactly with MPDP;
 /// larger ones fall back to UnionDP-MPDP — the configuration the paper
 /// recommends after raising PostgreSQL's heuristic-fall-back limit
 /// ("we are able to increase the heuristic-fall-back limit from 12 relations
 /// to 25 relations with same time budget").
+///
+/// Unlike the pre-`Planner` implementation, an `exact_limit` above 64 no
+/// longer risks [`OptError::TooLarge`]: queries beyond the 64-relation
+/// bitmap ceiling always route to the heuristic path.
+#[deprecated(since = "0.2.0", note = "use mpdp::PlannerBuilder instead")]
 #[derive(Copy, Clone, Debug)]
 pub struct Optimizer {
     /// Largest query size optimized exactly.
@@ -62,6 +114,7 @@ pub struct Optimizer {
     pub budget: Option<Duration>,
 }
 
+#[allow(deprecated)]
 impl Default for Optimizer {
     fn default() -> Self {
         Optimizer {
@@ -74,6 +127,7 @@ impl Default for Optimizer {
     }
 }
 
+#[allow(deprecated)]
 impl Optimizer {
     /// Default adaptive optimizer.
     pub fn new() -> Self {
@@ -92,30 +146,26 @@ impl Optimizer {
         query: &LargeQuery,
         model: &dyn CostModel,
     ) -> Result<LargeOptResult, OptError> {
-        if query.num_rels() <= self.exact_limit.min(64) {
-            let qi = query.to_query_info().ok_or(OptError::TooLarge {
-                got: query.num_rels(),
-                max: 64,
-            })?;
-            let ctx = match self.budget {
-                Some(b) => mpdp_dp::OptContext::with_budget(&qi, model, b),
-                None => mpdp_dp::OptContext::new(&qi, model),
-            };
-            let r = mpdp_dp::Mpdp::run(&ctx)?;
-            return Ok(LargeOptResult {
-                cost: r.cost,
-                rows: r.rows,
-                plan: r.plan,
-            });
+        let mut builder = PlannerBuilder::new()
+            .exact(ExactAlgo::Mpdp)
+            .fallback(LargeAlgo::UnionDp {
+                k: self.partition_k,
+            })
+            .exact_limit(self.exact_limit);
+        if let Some(b) = self.budget {
+            builder = builder.budget(b);
         }
-        UnionDp {
-            k: self.partition_k,
-        }
-        .optimize(query, model, self.budget)
+        let planned = builder.build()?.plan_query(query, model)?;
+        Ok(LargeOptResult {
+            cost: planned.cost,
+            rows: planned.rows,
+            plan: planned.plan,
+        })
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use mpdp_cost::PgLikeCost;
@@ -126,8 +176,7 @@ mod tests {
         let q = workload::gen::cycle(8, 3, &model);
         let adaptive = Optimizer::new().optimize(&q, &model).unwrap();
         let qi = q.to_query_info().unwrap();
-        let exact =
-            mpdp_dp::Mpdp::run(&mpdp_dp::OptContext::new(&qi, &model)).unwrap();
+        let exact = mpdp_dp::Mpdp::run(&mpdp_dp::OptContext::new(&qi, &model)).unwrap();
         assert!((adaptive.cost - exact.cost).abs() < 1e-6 * exact.cost.max(1.0));
     }
 
@@ -139,6 +188,19 @@ mod tests {
             .with_budget(Duration::from_secs(60))
             .optimize(&q, &model)
             .unwrap();
+        assert_eq!(r.plan.num_rels(), 80);
+        assert!(mpdp_heuristics::validate_large(&r.plan, &q).is_none());
+    }
+
+    #[test]
+    fn raised_exact_limit_routes_past_bitmap_ceiling_to_heuristic() {
+        // A user-set exact_limit above 64 must send 65+-relation queries to
+        // the large path instead of failing with TooLarge.
+        let model = PgLikeCost::new();
+        let q = workload::gen::snowflake(80, 4, 5, &model);
+        let mut opt = Optimizer::new().with_budget(Duration::from_secs(60));
+        opt.exact_limit = 200;
+        let r = opt.optimize(&q, &model).unwrap();
         assert_eq!(r.plan.num_rels(), 80);
         assert!(mpdp_heuristics::validate_large(&r.plan, &q).is_none());
     }

@@ -3,10 +3,9 @@
 //! and budget behaviour.
 
 use mpdp::prelude::*;
-use mpdp::Optimizer;
 use mpdp_cost::PgLikeCost;
 use mpdp_heuristics::{
-    idp1_mpdp, idp2_mpdp, validate_large, Geqo, Goo, Ikkbz, LinDp, UnionDp,
+    idp1_mpdp, idp2_mpdp, validate_large, Geqo, Goo, Ikkbz, LargeOptimizer, LinDp, UnionDp,
 };
 use mpdp_workload::{gen, MusicBrainz};
 use std::time::Duration;
@@ -19,7 +18,10 @@ fn every_heuristic_produces_valid_plans_on_every_workload() {
         ("star30", gen::star(30, 1, &m)),
         ("snowflake40", gen::snowflake(40, 4, 2, &m)),
         ("clique15", gen::clique(15, 3, &m)),
-        ("mb30", MusicBrainz::new().random_walk_query(30, 4, true, &m)),
+        (
+            "mb30",
+            MusicBrainz::new().random_walk_query(30, 4, true, &m),
+        ),
     ];
     for (name, q) in &queries {
         let runs: Vec<(&str, LargeOptResult)> = vec![
@@ -91,11 +93,47 @@ fn budgets_time_out_cleanly() {
 }
 
 #[test]
-fn adaptive_facade_handles_both_regimes() {
+fn adaptive_planner_handles_both_regimes() {
     let m = PgLikeCost::new();
     let small = gen::chain(6, 1, &m);
     let large = gen::snowflake(120, 4, 1, &m);
-    let opt = Optimizer::new().with_budget(Duration::from_secs(60));
+    let planner = PlannerBuilder::new()
+        .exact(ExactAlgo::Mpdp)
+        .fallback(LargeAlgo::UnionDp { k: 15 })
+        .budget(Duration::from_secs(60))
+        .build()
+        .unwrap();
+    let rs = planner.plan_query(&small, &m).unwrap();
+    assert_eq!(rs.plan.num_rels(), 6);
+    assert_eq!(rs.strategy, "MPDP");
+    let rl = planner.plan_query(&large, &m).unwrap();
+    assert_eq!(rl.plan.num_rels(), 120);
+    assert_eq!(rl.strategy, "UnionDP-MPDP (15)");
+    assert!(validate_large(&rl.plan, &large).is_none());
+}
+
+#[test]
+fn adaptive_registry_entry_matches_planner() {
+    let m = PgLikeCost::new();
+    let q = gen::snowflake(40, 4, 3, &m);
+    let via_registry = registry()
+        .get("Adaptive")
+        .unwrap()
+        .plan(&q, &m, Some(Duration::from_secs(60)))
+        .unwrap();
+    assert_eq!(via_registry.plan.num_rels(), 40);
+    assert!(validate_large(&via_registry.plan, &q).is_none());
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_optimizer_facade_still_works() {
+    // The pre-Planner entry point must keep compiling and producing valid
+    // plans for one deprecation cycle.
+    let m = PgLikeCost::new();
+    let small = gen::chain(6, 1, &m);
+    let large = gen::snowflake(120, 4, 1, &m);
+    let opt = mpdp::Optimizer::new().with_budget(Duration::from_secs(60));
     let rs = opt.optimize(&small, &m).unwrap();
     assert_eq!(rs.plan.num_rels(), 6);
     let rl = opt.optimize(&large, &m).unwrap();

@@ -2,7 +2,10 @@
 //! invariants must hold for *arbitrary* connected topologies and statistics,
 //! not just the hand-picked test graphs.
 
-use mpdp::prelude::*;
+// Explicit imports (not the facade prelude glob): both `mpdp::prelude` and
+// `proptest::prelude` export a `Strategy` trait, and the glob-glob collision
+// would make either unusable.
+use mpdp::prelude::{DpCcp, DpSize, DpSub, LargeQuery, Mpdp, OptContext, RelSet};
 use mpdp_cost::{CoutCost, PgLikeCost};
 use mpdp_heuristics::{validate_large, Goo, LargeOptimizer, UnionDp};
 use mpdp_workload::gen;
