@@ -3,7 +3,12 @@
 //! ```text
 //! repro <experiment> [..]     experiments: fig2 fig4 fig6 fig7 fig8 fig9
 //!                             fig10 fig11 fig12 fig13 table1 table2 table3
-//!                             ablation all
+//!                             ablation bench all
+//! --emit-json <path>          (bench) write per-algorithm wall/model times
+//!                             and counters as JSON
+//! --check-against <path>      (bench) compare wall times against a
+//!                             committed baseline JSON; exit 1 if any
+//!                             algorithm regressed more than 2x
 //! REPRO_SCALE={quick,paper}   sweep sizes (default quick)
 //! REPRO_TIMEOUT_MS=<ms>       per-query optimization budget
 //! ```
@@ -27,12 +32,25 @@ use std::collections::HashSet;
 use std::time::Duration;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Split flag pairs (--emit-json PATH, --check-against PATH) from the
+    // experiment names.
+    let mut args: Vec<String> = Vec::new();
+    let mut emit_json: Option<String> = None;
+    let mut check_against: Option<String> = None;
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--emit-json" => emit_json = it.next(),
+            "--check-against" => check_against = it.next(),
+            _ => args.push(a),
+        }
+    }
     let scale = Scale::from_env();
     let what: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "ablation", "table1", "table2", "table3",
+            "ablation", "table1", "table2", "table3", "bench",
         ]
     } else {
         args.iter().map(|s| s.as_str()).collect()
@@ -54,6 +72,7 @@ fn main() {
             "fig12" => fig12(scale),
             "fig13" => fig13(scale),
             "ablation" => ablation(scale),
+            "bench" => bench(scale, emit_json.as_deref(), check_against.as_deref()),
             "table1" => heuristic_table(scale, "table1", "snowflake", scale.table1_sizes()),
             "table2" => heuristic_table(scale, "table2", "star", scale.table2_sizes()),
             "table3" => heuristic_table(scale, "table3", "clique", scale.table3_sizes()),
@@ -555,6 +574,317 @@ fn run_heuristics(
             }
         })
         .collect()
+}
+
+// ------------------------------------------------------------------ bench
+
+/// One timed bench run, ready for JSON emission.
+struct BenchRecord {
+    shape: &'static str,
+    n: usize,
+    algorithm: String,
+    wall_ms: f64,
+    reported_ms: f64,
+    reported_is_model: bool,
+    cost: f64,
+    evaluated: u64,
+    ccp: u64,
+    sets: u64,
+    unranked: u64,
+}
+
+impl BenchRecord {
+    /// One self-contained JSON object per line, so the `--check-against`
+    /// reader can parse records without a full JSON parser.
+    fn to_json_line(&self) -> String {
+        format!(
+            "{{\"shape\": \"{}\", \"n\": {}, \"algorithm\": \"{}\", \"wall_ms\": {:.3}, \
+             \"reported_ms\": {:.3}, \"reported_is_model\": {}, \"cost\": {:.6e}, \
+             \"evaluated\": {}, \"ccp\": {}, \"sets\": {}, \"unranked\": {}}}",
+            self.shape,
+            self.n,
+            self.algorithm,
+            self.wall_ms,
+            self.reported_ms,
+            self.reported_is_model,
+            self.cost,
+            self.evaluated,
+            self.ccp,
+            self.sets,
+            self.unranked,
+        )
+    }
+}
+
+/// The Figure 5 nine-relation cyclic query (two 4-blocks + two bridges).
+fn figure5_query(model: &PgLikeCost) -> QueryInfo {
+    use mpdp_core::{JoinGraph, RelInfo};
+    use mpdp_cost::model::CostModel;
+    let mut g = JoinGraph::new(9);
+    for &(u, v) in &[
+        (1, 2),
+        (2, 4),
+        (4, 3),
+        (3, 1),
+        (4, 5),
+        (5, 9),
+        (6, 7),
+        (7, 8),
+        (8, 9),
+        (9, 6),
+    ] {
+        g.add_edge(u - 1, v - 1, 0.01);
+    }
+    let rels = (0..9)
+        .map(|i| {
+            let rows = 1000.0 * (i + 1) as f64;
+            RelInfo::new(rows, model.scan_cost(rows))
+        })
+        .collect();
+    QueryInfo::new(g, rels)
+}
+
+/// The tier-1 algorithms covered by the committed `BENCH_baseline.json` and
+/// the CI smoke check.
+const BENCH_ALGOS: [&str; 6] = [
+    "Postgres (1CPU)",
+    "DPSub (1CPU)",
+    "DPCCP (1CPU)",
+    "MPDP",
+    "MPDP (24CPU)",
+    "MPDP (GPU)",
+];
+
+/// `repro bench`: timed runs + counters on the CI shape set
+/// (chain/star/cycle/fig5), a frontier-vs-unranked subset-visit comparison
+/// on 20-relation shapes, optional JSON emission, and an optional >2×
+/// wall-time regression check against a committed baseline.
+fn bench(_scale: Scale, emit_json: Option<&str>, check_against: Option<&str>) {
+    let model = PgLikeCost::new();
+    // The shape set is sized to finish well within this budget at either
+    // sweep scale; an explicit REPRO_TIMEOUT_MS still overrides it.
+    let budget = match std::env::var("REPRO_TIMEOUT_MS") {
+        Ok(ms) => Duration::from_millis(ms.parse().unwrap_or(120_000)),
+        Err(_) => Duration::from_secs(120),
+    };
+    println!("\n## bench — CI shape set, per-algorithm times and counters");
+    println!("shape\tn\talgorithm\twall_ms\treported_ms\tevaluated\tccp\tsets\tunranked");
+    let shapes: Vec<(&'static str, usize, QueryInfo)> = vec![
+        (
+            "chain",
+            16,
+            gen::chain(16, 1, &model).to_query_info().unwrap(),
+        ),
+        (
+            "star",
+            14,
+            gen::star(14, 1, &model).to_query_info().unwrap(),
+        ),
+        (
+            "cycle",
+            14,
+            gen::cycle(14, 1, &model).to_query_info().unwrap(),
+        ),
+        ("fig5", 9, figure5_query(&model)),
+    ];
+    let mut records: Vec<BenchRecord> = Vec::new();
+    for (shape, n, q) in &shapes {
+        for name in BENCH_ALGOS {
+            let strat = registry().get(name).expect("bench algorithm registered");
+            match strat.plan_exact(q, &model, Some(budget)) {
+                Ok(r) => {
+                    let c = r.counters.unwrap_or_default();
+                    let rec = BenchRecord {
+                        shape,
+                        n: *n,
+                        algorithm: name.to_string(),
+                        wall_ms: r.wall.as_secs_f64() * 1000.0,
+                        reported_ms: r.reported.as_secs_f64() * 1000.0,
+                        reported_is_model: strat.reported_is_model(),
+                        cost: r.cost,
+                        evaluated: c.evaluated,
+                        ccp: c.ccp,
+                        sets: c.sets,
+                        unranked: c.unranked,
+                    };
+                    println!(
+                        "{shape}\t{n}\t{name}\t{:.2}\t{:.2}\t{}\t{}\t{}\t{}",
+                        rec.wall_ms,
+                        rec.reported_ms,
+                        rec.evaluated,
+                        rec.ccp,
+                        rec.sets,
+                        rec.unranked
+                    );
+                    records.push(rec);
+                }
+                Err(e) => println!("{shape}\t{n}\t{name}\t-\t-\t-\t-\t-\t-\t# {e}"),
+            }
+        }
+    }
+
+    // Frontier vs unranked subset visits: the enumerator only ever touches
+    // connected sets, the filter path unranks every C(n, i) candidate.
+    println!("\n## bench — subset visits: frontier (sets considered) vs filter (unranked)");
+    println!("shape\tn\tsets\tunranked\treduction");
+    let mut visits: Vec<String> = Vec::new();
+    for (shape, n) in [("chain", 20usize), ("star", 20), ("cycle", 20)] {
+        let q = make_query_shape(shape, n, 1, &model);
+        let frontier = registry()
+            .get("MPDP")
+            .unwrap()
+            .plan_exact(&q, &model, Some(budget));
+        let unranked =
+            registry()
+                .get("MPDP [unranked]")
+                .unwrap()
+                .plan_exact(&q, &model, Some(budget));
+        let (f, u) = match (frontier, unranked) {
+            (Ok(f), Ok(u)) => (f, u),
+            (fr, ur) => {
+                let e = fr.err().or(ur.err()).expect("one side failed");
+                println!("{shape}\t{n}\t-\t-\t-\t# {e}");
+                continue;
+            }
+        };
+        let fc = f.counters.unwrap_or_default();
+        let uc = u.counters.unwrap_or_default();
+        assert_eq!(fc.ccp, uc.ccp, "modes must agree on CCP pairs");
+        assert_eq!(fc.evaluated, uc.evaluated, "modes must agree on pairs");
+        let reduction = uc.unranked as f64 / fc.sets.max(1) as f64;
+        println!("{shape}\t{n}\t{}\t{}\t{reduction:.1}", fc.sets, uc.unranked);
+        visits.push(format!(
+            "{{\"shape\": \"{shape}\", \"n\": {n}, \"sets\": {}, \"unranked\": {}, \
+             \"reduction\": {reduction:.1}, \"frontier_wall_ms\": {:.3}, \
+             \"unranked_wall_ms\": {:.3}}}",
+            fc.sets,
+            uc.unranked,
+            f.wall.as_secs_f64() * 1000.0,
+            u.wall.as_secs_f64() * 1000.0,
+        ));
+    }
+
+    if let Some(path) = emit_json {
+        let mut out = String::from("{\n  \"schema\": \"mpdp-bench-v1\",\n  \"runs\": [\n");
+        for (i, r) in records.iter().enumerate() {
+            let sep = if i + 1 == records.len() { "" } else { "," };
+            out.push_str(&format!("    {}{sep}\n", r.to_json_line()));
+        }
+        out.push_str("  ],\n  \"frontier_vs_unranked\": [\n");
+        for (i, v) in visits.iter().enumerate() {
+            let sep = if i + 1 == visits.len() { "" } else { "," };
+            out.push_str(&format!("    {v}{sep}\n"));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(path, out).expect("write bench JSON");
+        println!("\n# wrote {path}");
+    }
+
+    if let Some(path) = check_against {
+        let regressions = check_regressions(path, &records);
+        if !regressions.is_empty() {
+            eprintln!("# BENCH REGRESSIONS (>2x wall time vs {path}):");
+            for r in &regressions {
+                eprintln!("#   {r}");
+            }
+            std::process::exit(1);
+        }
+        println!("# no >2x wall-time regression against {path}");
+    }
+}
+
+fn make_query_shape(shape: &str, n: usize, seed: u64, model: &PgLikeCost) -> QueryInfo {
+    match shape {
+        "chain" => gen::chain(n, seed, model).to_query_info().unwrap(),
+        "star" => gen::star(n, seed, model).to_query_info().unwrap(),
+        "cycle" => gen::cycle(n, seed, model).to_query_info().unwrap(),
+        other => panic!("unknown bench shape {other}"),
+    }
+}
+
+/// Reads `(shape, n, algorithm) -> wall_ms` from a bench JSON produced by
+/// `--emit-json` (one record per line) and reports >2× regressions.
+///
+/// The baseline was timed on one specific machine, so raw ratios would flag
+/// every run on a uniformly slower CI runner. The check therefore
+/// normalizes by the *median* current/baseline ratio across all matched
+/// runs (the machine-speed factor) and only flags algorithm-specific
+/// regressions beyond 2× of that. Noise floor: a run is only flagged once
+/// its absolute wall time exceeds 5 ms — sub-millisecond rows jitter far
+/// more than 2× between invocations, but a genuine blow-up still crosses
+/// the floor.
+fn check_regressions(path: &str, current: &[BenchRecord]) -> Vec<String> {
+    const FACTOR: f64 = 2.0;
+    const FLOOR_MS: f64 = 5.0;
+    let baseline = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => return vec![format!("cannot read baseline {path}: {e}")],
+    };
+    let mut out = Vec::new();
+    // (label, baseline wall, current wall) for every matched run.
+    let mut matched: Vec<(String, f64, f64)> = Vec::new();
+    for line in baseline.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.contains("\"algorithm\"") {
+            continue;
+        }
+        let (Some(shape), Some(algo), Some(n), Some(wall)) = (
+            json_str(line, "shape"),
+            json_str(line, "algorithm"),
+            json_num(line, "n"),
+            json_num(line, "wall_ms"),
+        ) else {
+            continue;
+        };
+        let Some(cur) = current
+            .iter()
+            .find(|r| r.shape == shape && r.algorithm == algo && (r.n as f64 - n).abs() < 0.5)
+        else {
+            out.push(format!(
+                "{shape}({n})/{algo}: present in baseline, missing now"
+            ));
+            continue;
+        };
+        matched.push((format!("{shape}({n})/{algo}"), wall, cur.wall_ms));
+    }
+    if matched.is_empty() {
+        out.push(format!("no baseline runs matched in {path}"));
+        return out;
+    }
+    let mut ratios: Vec<f64> = matched
+        .iter()
+        .map(|(_, base, cur)| cur / base.max(1e-9))
+        .collect();
+    ratios.sort_unstable_by(|a, b| a.total_cmp(b));
+    let machine_factor = ratios[ratios.len() / 2].max(1e-9);
+    println!("# machine-speed factor vs baseline (median wall ratio): {machine_factor:.2}");
+    for (label, base, cur) in matched {
+        if cur > FLOOR_MS && cur > FACTOR * machine_factor * base {
+            out.push(format!(
+                "{label}: {cur:.1} ms vs baseline {base:.1} ms (machine factor {machine_factor:.2})"
+            ));
+        }
+    }
+    out
+}
+
+/// Extracts `"key": "value"` from a single-line JSON object.
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+/// Extracts `"key": <number>` from a single-line JSON object.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Helper for tests: expose a tiny end-to-end sanity run.

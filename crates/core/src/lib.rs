@@ -9,6 +9,8 @@
 //! * [`bitset::RelSet`] — 64-bit bitmap relation sets (exact-DP regime);
 //! * [`bigset::BigSet`] — dynamic bitmaps (heuristic regime, 1000+ relations);
 //! * [`combinatorics`] — Gosper iteration, combinatorial unranking, `pdep`;
+//! * [`enumerate`] — connected-subset frontier enumeration (the fast
+//!   alternative to unrank-and-filter for level-structured DP);
 //! * [`graph::JoinGraph`] — join graphs, connectivity, the §3.2.1 `grow`
 //!   function;
 //! * [`blocks`] — Hopcroft–Tarjan biconnected components of induced
@@ -27,6 +29,7 @@ pub mod bitset;
 pub mod blocks;
 pub mod combinatorics;
 pub mod counters;
+pub mod enumerate;
 pub mod error;
 pub mod graph;
 pub mod memo;
@@ -37,6 +40,7 @@ pub use bigset::BigSet;
 pub use bitset::RelSet;
 pub use blocks::{find_blocks, BlockDecomposition};
 pub use counters::{Counters, LevelStats, Profile};
+pub use enumerate::{EnumerationMode, FrontierEnumerator, SeenTable};
 pub use error::OptError;
 pub use graph::{Edge, JoinGraph};
 pub use memo::{MemoEntry, MemoTable};

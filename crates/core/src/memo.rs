@@ -108,13 +108,31 @@ impl MemoTable {
     }
 
     fn grow_table(&mut self) {
-        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; (self.mask + 1) * 2]);
+        self.rehash_to((self.mask + 1) * 2);
+    }
+
+    fn rehash_to(&mut self, cap: usize) {
+        debug_assert!(cap.is_power_of_two() && cap > self.slots.len());
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; cap]);
         self.mask = self.slots.len() - 1;
         self.len = 0;
         for s in old {
             if s.key != 0 {
                 self.raw_insert(s);
             }
+        }
+    }
+
+    /// Ensures capacity for `additional` more entries without any growth
+    /// rehash during the insertions. Level-structured optimizers call this
+    /// once per DP level with the enumerator's connected-set count, so the
+    /// table is sized up front instead of growing mid-level.
+    pub fn reserve(&mut self, additional: usize) {
+        let needed = self.len + additional;
+        // Same 70% load-factor bound the insert path enforces.
+        let min_slots = (needed + 1) * 10 / 7 + 1;
+        if min_slots > self.slots.len() {
+            self.rehash_to(min_slots.next_power_of_two());
         }
     }
 
@@ -282,6 +300,25 @@ mod tests {
             m.insert_if_better(RelSet(i + 1), RelSet(i + 1).lowest_bit(), 1.0, 1.0);
         }
         assert_eq!(m.iter().count(), 20);
+    }
+
+    #[test]
+    fn reserve_prevents_mid_batch_growth() {
+        let mut m = MemoTable::with_capacity(2);
+        m.reserve(300);
+        let slots_after_reserve = m.slots.len();
+        assert!(slots_after_reserve * 7 >= 300 * 10); // ≤70% load for 300
+        for i in 0..300u64 {
+            m.insert_if_better(RelSet(i + 1), RelSet(i + 1).lowest_bit(), i as f64, 1.0);
+        }
+        assert_eq!(m.slots.len(), slots_after_reserve, "no growth mid-batch");
+        assert_eq!(m.len(), 300);
+        for i in 0..300u64 {
+            assert_eq!(m.get(RelSet(i + 1)).unwrap().cost, i as f64);
+        }
+        // A no-op reserve keeps the allocation.
+        m.reserve(1);
+        assert_eq!(m.slots.len(), slots_after_reserve);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Shared plumbing for the exact DP algorithms: optimization context,
 //! results, memo initialization and Join-Pair evaluation.
 
+use mpdp_core::combinatorics::{binomial, KSubsets};
 use mpdp_core::counters::{Counters, Profile};
+use mpdp_core::enumerate::{EnumerationMode, FrontierEnumerator};
+use mpdp_core::graph::JoinGraph;
 use mpdp_core::memo::MemoTable;
 use mpdp_core::plan::{extract_plan, PlanTree};
 use mpdp_core::query::QueryInfo;
@@ -21,6 +24,9 @@ pub struct OptContext<'a> {
     pub deadline: Option<Instant>,
     /// The budget used to construct `deadline` (for error reporting).
     pub budget: Option<Duration>,
+    /// How level-structured algorithms enumerate each level's connected
+    /// sets: frontier expansion (default) or the paper's unrank-and-filter.
+    pub enumeration: EnumerationMode,
 }
 
 impl<'a> OptContext<'a> {
@@ -31,6 +37,7 @@ impl<'a> OptContext<'a> {
             model,
             deadline: None,
             budget: None,
+            enumeration: EnumerationMode::default(),
         }
     }
 
@@ -41,7 +48,14 @@ impl<'a> OptContext<'a> {
             model,
             deadline: Some(Instant::now() + budget),
             budget: Some(budget),
+            enumeration: EnumerationMode::default(),
         }
+    }
+
+    /// Selects the connected-set enumeration mode (builder style).
+    pub fn with_enumeration(mut self, mode: EnumerationMode) -> Self {
+        self.enumeration = mode;
+        self
     }
 
     /// Returns `Err(Timeout)` if the deadline has passed.
@@ -151,6 +165,82 @@ pub fn emit_pair(
     let new_set = memo.get(union).is_none();
     let improved = memo.insert_if_better(union, sl, cost, out_rows);
     Ok(EmitOutcome { improved, new_set })
+}
+
+/// Per-level connected-set source shared by every level-synchronous backend
+/// (DPSUB, MPDP, the CPU-parallel driver and the simulated-GPU drivers).
+///
+/// Dispatches on [`EnumerationMode`]: the frontier path expands the previous
+/// level's connected sets through [`FrontierEnumerator`]; the unranked path
+/// streams Gosper's `C(n, i)` candidates and keeps the connected survivors.
+/// Both materialize the same slice in the same (ascending-bitmap) order, so
+/// consumers are bit-identical across modes — only the `unranked` counter
+/// and the work spent producing the slice differ.
+pub struct LevelEnumerator<'g> {
+    graph: &'g JoinGraph,
+    n: usize,
+    mode: EnumerationMode,
+    frontier: FrontierEnumerator<'g>,
+    /// Scratch for the unranked path (the frontier path borrows from the
+    /// enumerator instead).
+    filtered: Vec<RelSet>,
+}
+
+/// One materialized DP level.
+pub struct LevelSets<'a> {
+    /// The level's connected sets, ascending by bitmap.
+    pub sets: &'a [RelSet],
+    /// Candidate subsets unranked to produce them (0 in frontier mode).
+    pub unranked: u64,
+}
+
+impl<'g> LevelEnumerator<'g> {
+    /// Creates the enumerator for levels `2..=n` of `graph`.
+    pub fn new(graph: &'g JoinGraph, mode: EnumerationMode) -> Self {
+        LevelEnumerator {
+            graph,
+            n: graph.num_vertices(),
+            mode,
+            frontier: FrontierEnumerator::new(graph),
+            filtered: Vec::new(),
+        }
+    }
+
+    /// The active enumeration mode.
+    pub fn mode(&self) -> EnumerationMode {
+        self.mode
+    }
+
+    /// Materializes level `i`'s connected sets. Levels must be requested in
+    /// increasing order starting at 2 (the frontier is consumed as it
+    /// advances). Polls the context deadline while enumerating.
+    pub fn level(&mut self, ctx: &OptContext<'_>, i: usize) -> Result<LevelSets<'_>, OptError> {
+        debug_assert!((2..=self.n).contains(&i));
+        match self.mode {
+            EnumerationMode::Frontier => {
+                debug_assert_eq!(self.frontier.level(), i - 1, "levels out of order");
+                Ok(LevelSets {
+                    sets: self.frontier.try_advance(|| ctx.check_deadline())?,
+                    unranked: 0,
+                })
+            }
+            EnumerationMode::Unranked => {
+                self.filtered.clear();
+                for (k, s) in KSubsets::new(self.n, i).enumerate() {
+                    if k % 4096 == 0 {
+                        ctx.check_deadline()?;
+                    }
+                    if self.graph.is_connected(s) {
+                        self.filtered.push(s);
+                    }
+                }
+                Ok(LevelSets {
+                    sets: &self.filtered,
+                    unranked: binomial(self.n as u64, i as u64),
+                })
+            }
+        }
+    }
 }
 
 /// Extracts the final plan and packages the run result.

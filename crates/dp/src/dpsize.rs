@@ -9,9 +9,10 @@
 //! "DPSIZE-based algorithms do not perform well due to checking too many
 //! overlapping pairs").
 
-use crate::common::{emit_pair, finish, init_memo, OptContext, OptResult};
+use crate::common::{emit_pair, finish, init_memo, LevelEnumerator, OptContext, OptResult};
 use crate::JoinOrderOptimizer;
 use mpdp_core::counters::{Counters, LevelStats, Profile};
+use mpdp_core::enumerate::EnumerationMode;
 use mpdp_core::{OptError, RelSet};
 
 /// The DPSIZE optimizer.
@@ -28,15 +29,29 @@ impl DpSize {
         let mut counters = Counters::default();
         let mut profile = Profile::default();
 
-        // Connected sets discovered so far, grouped by size.
+        // Connected sets grouped by size. In frontier mode each level's list
+        // comes straight from the connected-subset enumerator; in the legacy
+        // mode it is discovered as a by-product of the pair joins (every
+        // connected set of size ≥ 2 has a CCP split, so both modes build the
+        // same families — asserted in this module's tests).
         let mut sets_by_size: Vec<Vec<RelSet>> = vec![Vec::new(); n + 1];
         sets_by_size[1] = (0..n).map(RelSet::singleton).collect();
+        let mut enumerator = LevelEnumerator::new(&q.graph, ctx.enumeration);
 
         for i in 2..=n {
             let mut level = LevelStats {
                 size: i,
                 ..Default::default()
             };
+            if ctx.enumeration == EnumerationMode::Frontier {
+                let lvl = enumerator.level(ctx, i)?;
+                memo.reserve(lvl.sets.len());
+                sets_by_size[i] = lvl.sets.to_vec();
+            }
+            // Legacy mode discovers the level's sets as a by-product of the
+            // pair joins; frontier mode already has them and skips the
+            // bookkeeping.
+            let discover = ctx.enumeration != EnumerationMode::Frontier;
             let mut new_sets: Vec<RelSet> = Vec::new();
             for k in 1..i {
                 ctx.check_deadline()?;
@@ -61,14 +76,18 @@ impl DpSize {
                         if o.improved {
                             level.memo_writes += 1;
                         }
-                        if o.new_set {
+                        if discover && o.new_set {
                             new_sets.push(left.union(right));
                         }
                     }
                 }
             }
-            level.sets = new_sets.len() as u64;
-            sets_by_size[i] = new_sets;
+            if discover {
+                level.sets = new_sets.len() as u64;
+                sets_by_size[i] = new_sets;
+            } else {
+                level.sets = sets_by_size[i].len() as u64;
+            }
             counters.evaluated += level.evaluated;
             counters.ccp += level.ccp;
             counters.sets += level.sets;
@@ -144,6 +163,25 @@ mod tests {
         let model = PgLikeCost::new();
         let a = DpSize::run(&OptContext::new(&q, &model)).unwrap();
         assert!(a.counters.evaluated > a.counters.ccp);
+    }
+
+    #[test]
+    fn frontier_and_legacy_discovery_agree() {
+        // Frontier mode feeds the per-size plan lists from the enumerator;
+        // legacy mode discovers them through the pair joins. Same families,
+        // same counters, same optimal cost.
+        let model = PgLikeCost::new();
+        for q in [chain_query(7), star_query(6), cycle_query(6)] {
+            let f = DpSize::run(&OptContext::new(&q, &model)).unwrap();
+            let u = DpSize::run(
+                &OptContext::new(&q, &model)
+                    .with_enumeration(mpdp_core::enumerate::EnumerationMode::Unranked),
+            )
+            .unwrap();
+            assert_eq!(f.cost.to_bits(), u.cost.to_bits());
+            assert_eq!(f.counters, u.counters);
+            assert_eq!(f.memo_entries, u.memo_entries);
+        }
     }
 
     #[test]

@@ -7,9 +7,8 @@
 //! it evaluates `2^|S|` Join-Pairs per set while only a small fraction are
 //! CCP pairs (§2.3, Figure 4).
 
-use crate::common::{emit_pair, finish, init_memo, OptContext, OptResult};
+use crate::common::{emit_pair, finish, init_memo, LevelEnumerator, OptContext, OptResult};
 use crate::JoinOrderOptimizer;
-use mpdp_core::combinatorics::{binomial, KSubsets};
 use mpdp_core::counters::{Counters, LevelStats, Profile};
 use mpdp_core::OptError;
 
@@ -31,18 +30,18 @@ impl DpSub {
             return finish(&memo, q, counters, profile);
         }
 
+        let mut enumerator = LevelEnumerator::new(&q.graph, ctx.enumeration);
         for i in 2..=n {
+            let lvl = enumerator.level(ctx, i)?;
             let mut level = LevelStats {
                 size: i,
-                unranked: binomial(n as u64, i as u64),
+                unranked: lvl.unranked,
+                sets: lvl.sets.len() as u64,
                 ..Default::default()
             };
-            for s in KSubsets::new(n, i) {
+            memo.reserve(lvl.sets.len());
+            for &s in lvl.sets {
                 ctx.check_deadline()?;
-                if !q.graph.is_connected(s) {
-                    continue;
-                }
-                level.sets += 1;
                 // Line 8: all non-empty S_left ⊆ S (S_right = S \ S_left may
                 // be empty; the CCP block filters it).
                 for sl in s.subsets() {
@@ -95,6 +94,8 @@ impl JoinOrderOptimizer for DpSub {
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
+    use mpdp_core::combinatorics::binomial;
+    use mpdp_core::enumerate::EnumerationMode;
     use mpdp_core::graph::JoinGraph;
     use mpdp_core::query::{QueryInfo, RelInfo};
     use mpdp_cost::pglike::PgLikeCost;
@@ -193,6 +194,26 @@ pub(crate) mod tests {
         let r = DpSub::run(&OptContext::new(&q, &model)).unwrap();
         assert_eq!(r.plan.num_rels(), 1);
         assert_eq!(r.counters.evaluated, 0);
+    }
+
+    #[test]
+    fn frontier_and_unranked_modes_are_bit_identical() {
+        let model = PgLikeCost::new();
+        for q in [chain_query(7), star_query(7), cycle_query(7)] {
+            let f = DpSub::run(&OptContext::new(&q, &model)).unwrap();
+            let u = DpSub::run(
+                &OptContext::new(&q, &model).with_enumeration(EnumerationMode::Unranked),
+            )
+            .unwrap();
+            assert_eq!(f.cost.to_bits(), u.cost.to_bits());
+            assert_eq!(f.counters.evaluated, u.counters.evaluated);
+            assert_eq!(f.counters.ccp, u.counters.ccp);
+            assert_eq!(f.counters.sets, u.counters.sets);
+            assert_eq!(f.plan.render(), u.plan.render());
+            // Only the unranked counter differs: the frontier never unranks.
+            assert_eq!(f.counters.unranked, 0);
+            assert!(u.counters.unranked > u.counters.sets);
+        }
     }
 
     #[test]

@@ -16,10 +16,9 @@
 //!   `EvaluatedCounter == CCP-Counter` whenever all blocks are cliques
 //!   (Lemma 9) — which covers trees (blocks are single edges) and cycles.
 
-use crate::common::{emit_pair, finish, init_memo, OptContext, OptResult};
+use crate::common::{emit_pair, finish, init_memo, LevelEnumerator, OptContext, OptResult};
 use crate::JoinOrderOptimizer;
 use mpdp_core::blocks::find_blocks;
-use mpdp_core::combinatorics::{binomial, KSubsets};
 use mpdp_core::counters::{Counters, LevelStats, Profile};
 use mpdp_core::{OptError, RelSet};
 
@@ -45,23 +44,27 @@ impl MpdpTree {
         let mut counters = Counters::default();
         let mut profile = Profile::default();
 
+        let mut enumerator = LevelEnumerator::new(&q.graph, ctx.enumeration);
+        // Scratch buffer for the induced edges of the current set, reused
+        // across all sets of all levels (no per-set allocation).
+        let mut edge_scratch: Vec<(u32, u32)> = Vec::with_capacity(n);
         for i in 2..=n {
+            let lvl = enumerator.level(ctx, i)?;
             let mut level = LevelStats {
                 size: i,
-                unranked: binomial(n as u64, i as u64),
+                unranked: lvl.unranked,
+                sets: lvl.sets.len() as u64,
                 ..Default::default()
             };
-            for s in KSubsets::new(n, i) {
+            memo.reserve(lvl.sets.len());
+            for &s in lvl.sets {
                 ctx.check_deadline()?;
-                if !q.graph.is_connected(s) {
-                    continue;
-                }
-                level.sets += 1;
                 // Valid-Join-Pairs(S): remove each edge of the induced tree
                 // (Algorithm 2, line 4). Removing edge (u, v) splits S into
                 // the component of u (grown while avoiding v) and the rest.
-                let edges: Vec<(u32, u32)> = q.graph.induced_edges(s).map(|e| (e.u, e.v)).collect();
-                for (u, v) in edges {
+                edge_scratch.clear();
+                edge_scratch.extend(q.graph.induced_edges(s).map(|e| (e.u, e.v)));
+                for &(u, v) in &edge_scratch {
                     let sl = q
                         .graph
                         .grow(RelSet::singleton(u as usize), s.without(v as usize));
@@ -166,18 +169,18 @@ impl Mpdp {
         let mut counters = Counters::default();
         let mut profile = Profile::default();
 
+        let mut enumerator = LevelEnumerator::new(&q.graph, ctx.enumeration);
         for i in 2..=n {
+            let lvl = enumerator.level(ctx, i)?;
             let mut level = LevelStats {
                 size: i,
-                unranked: binomial(n as u64, i as u64),
+                unranked: lvl.unranked,
+                sets: lvl.sets.len() as u64,
                 ..Default::default()
             };
-            for s in KSubsets::new(n, i) {
+            memo.reserve(lvl.sets.len());
+            for &s in lvl.sets {
                 ctx.check_deadline()?;
-                if !q.graph.is_connected(s) {
-                    continue;
-                }
-                level.sets += 1;
                 Self::evaluate_set(ctx, &mut memo, s, &mut level)?;
             }
             counters.evaluated += level.evaluated;

@@ -17,11 +17,12 @@
 //! as in the original work the paper compares against.
 
 use crate::kernels::{
-    self, evaluate_dpsub_kernel, evaluate_mpdp_kernel, filter_kernel, level_transfer,
-    scatter_kernel, unrank_kernel, GpuCandidate,
+    self, evaluate_dpsub_kernel, evaluate_mpdp_kernel, expand_kernel, filter_kernel,
+    level_transfer, scatter_kernel, unrank_kernel, GpuCandidate,
 };
 use crate::simt::{GpuConfig, GpuStats, WarpPolicy};
 use mpdp_core::counters::{Counters, LevelStats, Profile};
+use mpdp_core::enumerate::EnumerationMode;
 use mpdp_core::{OptError, RelSet};
 use mpdp_dp::common::{finish, init_memo, OptContext, OptResult};
 use mpdp_dp::JoinOrderOptimizer;
@@ -105,6 +106,9 @@ fn run_level_structured(
     // DPSIZE-GPU keeps per-size plan lists instead of unranking subsets.
     let mut sets_by_size: Vec<Vec<RelSet>> = vec![Vec::new(); n + 1];
     sets_by_size[1] = (0..n).map(RelSet::singleton).collect();
+    // Previous level's connected sets, device-resident — the frontier
+    // expand kernel's input (unused in unranked mode).
+    let mut prev_sets: Vec<RelSet> = (0..n).map(RelSet::singleton).collect();
 
     for i in 2..=n {
         ctx.check_deadline()?;
@@ -114,15 +118,24 @@ fn run_level_structured(
         };
         let (best, evaluated, ccp, sets_count): (Vec<GpuCandidate>, u64, u64, u64) = match algo {
             GpuAlgo::Mpdp | GpuAlgo::DpSub => {
-                let candidates = unrank_kernel(n, i, &mut stats);
-                level.unranked = candidates.len() as u64;
-                let sets = filter_kernel(q, candidates, &mut stats);
+                match ctx.enumeration {
+                    EnumerationMode::Frontier => {
+                        prev_sets = expand_kernel(q, &prev_sets, &mut stats);
+                    }
+                    EnumerationMode::Unranked => {
+                        let candidates = unrank_kernel(n, i, &mut stats);
+                        level.unranked = candidates.len() as u64;
+                        prev_sets = filter_kernel(q, candidates, &mut stats);
+                    }
+                }
+                let sets = &prev_sets;
+                memo.reserve(sets.len());
                 let out = if algo == GpuAlgo::Mpdp {
                     evaluate_mpdp_kernel(
                         q,
                         ctx.model,
                         &memo,
-                        &sets,
+                        sets,
                         cfg.policy(),
                         cfg.fused_prune,
                         &mut stats,
@@ -132,7 +145,7 @@ fn run_level_structured(
                         q,
                         ctx.model,
                         &memo,
-                        &sets,
+                        sets,
                         cfg.policy(),
                         cfg.fused_prune,
                         &mut stats,
@@ -422,6 +435,32 @@ mod tests {
             cpu_mpdp.counters.evaluated
         );
         assert_eq!(gpu_mpdp.result.counters.ccp, cpu_mpdp.counters.ccp);
+    }
+
+    #[test]
+    fn frontier_and_unranked_drivers_match() {
+        let m = PgLikeCost::new();
+        for q in queries() {
+            let frontier = OptContext::new(&q, &m);
+            let unranked = OptContext::new(&q, &m).with_enumeration(EnumerationMode::Unranked);
+            let f = MpdpGpu::new().run(&frontier).unwrap();
+            let u = MpdpGpu::new().run(&unranked).unwrap();
+            assert_eq!(f.result.cost.to_bits(), u.result.cost.to_bits());
+            assert_eq!(f.result.counters.evaluated, u.result.counters.evaluated);
+            assert_eq!(f.result.counters.ccp, u.result.counters.ccp);
+            assert_eq!(f.result.counters.sets, u.result.counters.sets);
+            assert_eq!(f.result.counters.unranked, 0);
+            assert!(u.result.counters.unranked > 0);
+        }
+        // On a sparse shape the frontier pipeline never walks dead
+        // candidates, so it does strictly less device work.
+        let chain = gen::chain(12, 1, &m).to_query_info().unwrap();
+        let f = MpdpGpu::new().run(&OptContext::new(&chain, &m)).unwrap();
+        let u = MpdpGpu::new()
+            .run(&OptContext::new(&chain, &m).with_enumeration(EnumerationMode::Unranked))
+            .unwrap();
+        assert!(f.stats.busy_cycles < u.stats.busy_cycles);
+        assert!(f.stats.warp_cycles < u.stats.warp_cycles);
     }
 
     #[test]

@@ -86,6 +86,40 @@ pub fn filter_kernel(q: &QueryInfo, sets: Vec<RelSet>, stats: &mut GpuStats) -> 
     kept
 }
 
+/// Expand kernel — the frontier alternative to unrank+filter (§5 pipeline
+/// with the connected-subset enumerator): one lane per (set, neighbor) pair
+/// of the previous level's connected sets; each lane ORs one neighbor bit
+/// into its set and publishes the candidate through the Murmur3 seen-table,
+/// and a compaction pass (sort + unique, as `thrust::sort`/`unique` would)
+/// yields the level's connected sets in ascending bitmap order. Every
+/// candidate is connected by construction, so no `grow` walk ever runs.
+/// Charged as two launches: the expansion map and the compaction.
+pub fn expand_kernel(q: &QueryInfo, prev: &[RelSet], stats: &mut GpuStats) -> Vec<RelSet> {
+    stats.kernel_launches += 2;
+    let mut seen = mpdp_core::enumerate::SeenTable::with_capacity(prev.len());
+    let mut out = Vec::new();
+    let mut costs = Vec::new();
+    for &s in prev {
+        // Neighborhood of the whole set: a handful of word ORs per lane.
+        let nb = q.graph.neighbors(s);
+        for v in nb.iter() {
+            let t = s.with(v);
+            // One OR + one hash-table publish per lane; uniform cost.
+            costs.push(cycles::CHECK + cycles::HASH_PROBE);
+            if seen.insert(t.bits()) {
+                out.push(t);
+            }
+        }
+    }
+    out.sort_unstable();
+    let (c, _) = schedule_warp(WarpPolicy::Lockstep, &costs);
+    stats.warp_cycles += c;
+    stats.busy_cycles += costs.iter().map(|&x| x as u64).sum::<u64>();
+    stats.global_reads += costs.len() as u64; // each lane loads its source set
+    stats.global_writes += out.len() as u64; // compaction output
+    out
+}
+
 /// Prices one ordered pair against the device memo, charging probe costs.
 #[allow(clippy::too_many_arguments)]
 fn price_pair(

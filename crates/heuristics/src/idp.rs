@@ -324,6 +324,7 @@ pub fn idp2_mpdp(
             model,
             deadline: b.deadline(),
             budget: b.budget(),
+            enumeration: mpdp_core::enumerate::EnumerationMode::default(),
         };
         Ok(mpdp_dp::mpdp::Mpdp::run(&ctx)?.plan)
     };

@@ -276,6 +276,7 @@ impl LargeOptimizer for UnionDp {
                 model,
                 deadline: b.deadline(),
                 budget: b.budget(),
+                enumeration: mpdp_core::enumerate::EnumerationMode::default(),
             };
             Ok(mpdp_dp::mpdp::Mpdp::run(&ctx)?.plan)
         };

@@ -15,6 +15,7 @@
 
 use crate::pool::{parallel_chunks, Candidate};
 use mpdp_core::counters::{Counters, LevelStats, Profile};
+use mpdp_core::enumerate::SeenTable;
 use mpdp_core::{OptError, RelSet};
 use mpdp_cost::model::InputEst;
 use mpdp_dp::common::{finish, init_memo, OptContext, OptResult};
@@ -137,6 +138,17 @@ impl Dpe {
                 if class.is_empty() {
                     continue;
                 }
+                // Pre-size the memo for the class's distinct union sets (the
+                // connected sets materialized at this dependency level), so
+                // the merge below never grows the table mid-class.
+                let mut unions = SeenTable::with_capacity(class.len() / 2 + 8);
+                let mut class_sets = 0u64;
+                for p in class {
+                    if unions.insert(p.left.union(p.right).bits()) {
+                        class_sets += 1;
+                    }
+                }
+                memo.reserve(class_sets as usize);
                 let memo_ref = &memo;
                 let results: Vec<Vec<Candidate>> = parallel_chunks(class, threads, |chunk| {
                     let mut out = Vec::with_capacity(chunk.len());
@@ -171,6 +183,7 @@ impl Dpe {
                     size: k,
                     evaluated: class.len() as u64,
                     ccp: class.len() as u64,
+                    sets: class_sets,
                     ..Default::default()
                 };
                 for cand in results.into_iter().flatten() {
@@ -180,6 +193,7 @@ impl Dpe {
                 }
                 counters.evaluated += level.evaluated;
                 counters.ccp += level.ccp;
+                counters.sets += level.sets;
                 profile.record(level);
             }
         }

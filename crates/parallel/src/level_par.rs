@@ -16,12 +16,12 @@
 
 use crate::pool::{parallel_chunks, Candidate};
 use mpdp_core::blocks::find_blocks;
-use mpdp_core::combinatorics::{binomial, KSubsets};
 use mpdp_core::counters::{Counters, LevelStats, Profile};
+use mpdp_core::enumerate::EnumerationMode;
 use mpdp_core::memo::MemoTable;
 use mpdp_core::{OptError, RelSet};
 use mpdp_cost::model::InputEst;
-use mpdp_dp::common::{finish, init_memo, OptContext, OptResult};
+use mpdp_dp::common::{finish, init_memo, LevelEnumerator, OptContext, OptResult};
 use mpdp_dp::JoinOrderOptimizer;
 use std::collections::HashMap;
 
@@ -152,23 +152,24 @@ pub fn run_level_parallel(
     let mut counters = Counters::default();
     let mut profile = Profile::default();
 
+    let mut enumerator = LevelEnumerator::new(&q.graph, ctx.enumeration);
     for i in 2..=n {
         ctx.check_deadline()?;
+        // Frontier expansion (or legacy unrank + filter) — sequential here;
+        // the frontier expansion of disjoint chunks is itself embarrassingly
+        // parallel in principle and on the simulated GPU.
+        let lvl = enumerator.level(ctx, i)?;
         let mut level = LevelStats {
             size: i,
-            unranked: binomial(n as u64, i as u64),
+            unranked: lvl.unranked,
+            sets: lvl.sets.len() as u64,
             ..Default::default()
         };
-        // Unrank + filter (sequential; embarrassingly parallel in principle
-        // and on the simulated GPU).
-        let sets: Vec<RelSet> = KSubsets::new(n, i)
-            .filter(|s| q.graph.is_connected(*s))
-            .collect();
-        level.sets = sets.len() as u64;
+        memo.reserve(lvl.sets.len());
 
         // Evaluate in parallel against the read-only memo.
         let memo_ref = &memo;
-        let results: Vec<ChunkResult> = parallel_chunks(&sets, threads, |chunk| {
+        let results: Vec<ChunkResult> = parallel_chunks(lvl.sets, threads, |chunk| {
             let mut r = ChunkResult {
                 candidates: Vec::new(),
                 evaluated: 0,
@@ -229,6 +230,7 @@ pub fn run_dpsize_parallel(ctx: &OptContext<'_>, threads: usize) -> Result<OptRe
     let mut profile = Profile::default();
     let mut sets_by_size: Vec<Vec<RelSet>> = vec![Vec::new(); n + 1];
     sets_by_size[1] = (0..n).map(RelSet::singleton).collect();
+    let mut enumerator = LevelEnumerator::new(&q.graph, ctx.enumeration);
 
     for i in 2..=n {
         ctx.check_deadline()?;
@@ -236,6 +238,13 @@ pub fn run_dpsize_parallel(ctx: &OptContext<'_>, threads: usize) -> Result<OptRe
             size: i,
             ..Default::default()
         };
+        if ctx.enumeration == EnumerationMode::Frontier {
+            // The level's plan list comes straight from the enumerator; the
+            // legacy path below discovers it from the workers' candidates.
+            let lvl = enumerator.level(ctx, i)?;
+            memo.reserve(lvl.sets.len());
+            sets_by_size[i] = lvl.sets.to_vec();
+        }
         // Work items: (k, index into left list). Workers scan the whole
         // right list per item.
         let mut items: Vec<(usize, RelSet)> = Vec::new();
@@ -268,12 +277,15 @@ pub fn run_dpsize_parallel(ctx: &OptContext<'_>, threads: usize) -> Result<OptRe
             }
             r
         });
+        // Legacy mode discovers the level's list from the workers'
+        // candidates; frontier mode already enumerated it above.
+        let discover = ctx.enumeration != EnumerationMode::Frontier;
         let mut new_sets: HashMap<u64, ()> = HashMap::new();
         for r in results {
             level.evaluated += r.evaluated;
             level.ccp += r.ccp;
             for c in r.candidates {
-                let is_new = memo.get(c.set).is_none();
+                let is_new = discover && memo.get(c.set).is_none();
                 if memo.insert_if_better(c.set, c.left, c.cost, c.rows) {
                     level.memo_writes += 1;
                 }
@@ -282,10 +294,14 @@ pub fn run_dpsize_parallel(ctx: &OptContext<'_>, threads: usize) -> Result<OptRe
                 }
             }
         }
-        let mut discovered: Vec<RelSet> = new_sets.keys().map(|&b| RelSet(b)).collect();
-        discovered.sort_unstable();
-        level.sets = discovered.len() as u64;
-        sets_by_size[i] = discovered;
+        if discover {
+            level.sets = new_sets.len() as u64;
+            let mut discovered: Vec<RelSet> = new_sets.keys().map(|&b| RelSet(b)).collect();
+            discovered.sort_unstable();
+            sets_by_size[i] = discovered;
+        } else {
+            level.sets = sets_by_size[i].len() as u64;
+        }
         counters.evaluated += level.evaluated;
         counters.ccp += level.ccp;
         counters.sets += level.sets;
@@ -394,6 +410,28 @@ mod tests {
                 .unwrap();
             check_matches_sequential(&q);
         }
+    }
+
+    #[test]
+    fn frontier_and_unranked_modes_match_in_parallel() {
+        let m = PgLikeCost::new();
+        let q = gen::cycle(8, 5, &m).to_query_info().unwrap();
+        let frontier = OptContext::new(&q, &m);
+        let unranked = OptContext::new(&q, &m).with_enumeration(EnumerationMode::Unranked);
+        for algo in [LevelAlgo::Mpdp, LevelAlgo::DpSub] {
+            let f = run_level_parallel(&frontier, algo, 2).unwrap();
+            let u = run_level_parallel(&unranked, algo, 2).unwrap();
+            assert_eq!(f.cost.to_bits(), u.cost.to_bits());
+            assert_eq!(f.counters.evaluated, u.counters.evaluated);
+            assert_eq!(f.counters.ccp, u.counters.ccp);
+            assert_eq!(f.counters.sets, u.counters.sets);
+            assert_eq!(f.counters.unranked, 0);
+            assert!(u.counters.unranked > 0);
+        }
+        let fp = run_dpsize_parallel(&frontier, 2).unwrap();
+        let up = run_dpsize_parallel(&unranked, 2).unwrap();
+        assert_eq!(fp.cost.to_bits(), up.cost.to_bits());
+        assert_eq!(fp.counters, up.counters);
     }
 
     #[test]

@@ -61,6 +61,8 @@ pub use planner::{
 };
 pub use registry::{registry, Registry};
 
+pub use mpdp_core::EnumerationMode;
+
 use mpdp_core::{LargeQuery, OptError};
 use mpdp_cost::model::CostModel;
 use mpdp_heuristics::LargeOptResult;
@@ -86,7 +88,9 @@ pub mod prelude {
         Backend, ExactAlgo, LargeAlgo, Planned, Planner, PlannerBuilder, Strategy,
     };
     pub use crate::registry::registry;
-    pub use mpdp_core::{JoinGraph, LargeQuery, OptError, PlanTree, QueryInfo, RelInfo, RelSet};
+    pub use mpdp_core::{
+        EnumerationMode, JoinGraph, LargeQuery, OptError, PlanTree, QueryInfo, RelInfo, RelSet,
+    };
     pub use mpdp_cost::{CostModel, CoutCost, PgLikeCost};
     pub use mpdp_dp::{DpCcp, DpSize, DpSub, Mpdp, MpdpTree, OptContext};
     pub use mpdp_heuristics::LargeOptResult;

@@ -19,9 +19,16 @@
 //! `"mpdp (gpu)"`), knows the aliases used across the paper's figures, and
 //! resolves *parameterized* families on the fly: `"IDP2-MPDP (7)"`,
 //! `"UnionDP-MPDP (20)"`, `"DPE (8CPU)"`, `"MPDP (4CPU)"` all work without
-//! being pre-registered.
+//! being pre-registered. Every *level-structured* exact name also resolves
+//! with a ` [unranked]` suffix (`"MPDP [unranked]"`,
+//! `"DPSub (GPU) [unranked]"`, …), selecting the legacy generate-and-filter
+//! enumeration instead of the default connected-subset frontier — the mode
+//! the paper's `unranked`-counter ablations (e.g. Figure 12) are stated in.
+//! Edge-based algorithms (DPCCP, DPE) never unrank, so the suffix does not
+//! resolve for them.
 
 use crate::planner::{ExactAlgo, ExactStrategy, HeuristicStrategy, LargeAlgo, Planner, Strategy};
+use mpdp_core::enumerate::EnumerationMode;
 use std::sync::{Arc, OnceLock};
 
 /// One registered strategy: canonical paper label plus lookup aliases.
@@ -29,6 +36,9 @@ struct Entry {
     canonical: &'static str,
     aliases: &'static [&'static str],
     strategy: Arc<dyn Strategy>,
+    /// Set for exact entries, so mode-suffixed lookups (`… [unranked]`) can
+    /// re-instantiate the algorithm with a different enumeration mode.
+    exact_algo: Option<ExactAlgo>,
 }
 
 /// The name-keyed strategy registry. Obtain the process-wide instance with
@@ -47,100 +57,125 @@ fn normalize(name: &str) -> String {
 
 impl Registry {
     fn build() -> Registry {
-        fn exact(algo: ExactAlgo) -> Arc<dyn Strategy> {
-            Arc::new(ExactStrategy::new(algo))
+        fn exact(
+            canonical: &'static str,
+            aliases: &'static [&'static str],
+            algo: ExactAlgo,
+        ) -> Entry {
+            Entry {
+                canonical,
+                aliases,
+                strategy: Arc::new(ExactStrategy::new(algo)),
+                exact_algo: Some(algo),
+            }
         }
-        fn heur(algo: LargeAlgo) -> Arc<dyn Strategy> {
-            Arc::new(HeuristicStrategy::new(algo))
+        fn unranked(canonical: &'static str, algo: ExactAlgo) -> Entry {
+            Entry {
+                canonical,
+                aliases: &[],
+                strategy: Arc::new(
+                    ExactStrategy::new(algo).with_enumeration(EnumerationMode::Unranked),
+                ),
+                exact_algo: Some(algo),
+            }
         }
-        let e = |canonical, aliases, strategy| Entry {
-            canonical,
-            aliases,
-            strategy,
-        };
+        fn heur(
+            canonical: &'static str,
+            aliases: &'static [&'static str],
+            algo: LargeAlgo,
+        ) -> Entry {
+            Entry {
+                canonical,
+                aliases,
+                strategy: Arc::new(HeuristicStrategy::new(algo)),
+                exact_algo: None,
+            }
+        }
         const NO_ALIAS: &[&str] = &[];
         let entries = vec![
             // Exact, sequential (legend order of Figures 6–9 where present).
-            e(
+            exact(
                 "Postgres (1CPU)",
-                &["DPSize", "DPSize (1CPU)"] as &[&str],
-                exact(ExactAlgo::DpSize),
+                &["DPSize", "DPSize (1CPU)"],
+                ExactAlgo::DpSize,
             ),
-            e("DPSub (1CPU)", &["DPSub"], exact(ExactAlgo::DpSub)),
-            e("DPCCP (1CPU)", &["DPCCP"], exact(ExactAlgo::DpCcp)),
-            e("MPDP", &["MPDP (1CPU)"], exact(ExactAlgo::Mpdp)),
-            e("MPDP-Tree", NO_ALIAS, exact(ExactAlgo::MpdpTree)),
+            exact("DPSub (1CPU)", &["DPSub"], ExactAlgo::DpSub),
+            exact("DPCCP (1CPU)", &["DPCCP"], ExactAlgo::DpCcp),
+            exact("MPDP", &["MPDP (1CPU)"], ExactAlgo::Mpdp),
+            exact("MPDP-Tree", NO_ALIAS, ExactAlgo::MpdpTree),
             // Exact, CPU-parallel (24 cores = the paper's evaluation box).
-            e(
-                "DPE (24CPU)",
-                NO_ALIAS,
-                exact(ExactAlgo::Dpe { threads: 24 }),
-            ),
-            e(
-                "MPDP (24CPU)",
-                NO_ALIAS,
-                exact(ExactAlgo::MpdpCpu { threads: 24 }),
-            ),
-            e(
+            exact("DPE (24CPU)", NO_ALIAS, ExactAlgo::Dpe { threads: 24 }),
+            exact("MPDP (24CPU)", NO_ALIAS, ExactAlgo::MpdpCpu { threads: 24 }),
+            exact(
                 "DPSub (24CPU)",
                 NO_ALIAS,
-                exact(ExactAlgo::DpSubCpu { threads: 24 }),
+                ExactAlgo::DpSubCpu { threads: 24 },
             ),
-            e(
-                "PDP (24CPU)",
-                NO_ALIAS,
-                exact(ExactAlgo::Pdp { threads: 24 }),
-            ),
+            exact("PDP (24CPU)", NO_ALIAS, ExactAlgo::Pdp { threads: 24 }),
             // Exact, simulated GPU.
-            e(
+            exact(
                 "MPDP (GPU)",
                 NO_ALIAS,
-                exact(ExactAlgo::MpdpGpu {
+                ExactAlgo::MpdpGpu {
                     fused_prune: true,
                     ccc: true,
-                }),
+                },
             ),
-            e(
+            exact(
                 "MPDP (GPU, baseline)",
                 NO_ALIAS,
-                exact(ExactAlgo::MpdpGpu {
+                ExactAlgo::MpdpGpu {
                     fused_prune: false,
                     ccc: false,
-                }),
+                },
             ),
-            e(
+            exact(
                 "MPDP (GPU, +fusion)",
                 NO_ALIAS,
-                exact(ExactAlgo::MpdpGpu {
+                ExactAlgo::MpdpGpu {
                     fused_prune: true,
                     ccc: false,
-                }),
+                },
             ),
-            e(
+            exact(
                 "MPDP (GPU, +CCC)",
                 NO_ALIAS,
-                exact(ExactAlgo::MpdpGpu {
+                ExactAlgo::MpdpGpu {
                     fused_prune: false,
                     ccc: true,
-                }),
+                },
             ),
-            e("DPSub (GPU)", NO_ALIAS, exact(ExactAlgo::DpSubGpu)),
-            e("DPSize (GPU)", NO_ALIAS, exact(ExactAlgo::DpSizeGpu)),
+            exact("DPSub (GPU)", NO_ALIAS, ExactAlgo::DpSubGpu),
+            exact("DPSize (GPU)", NO_ALIAS, ExactAlgo::DpSizeGpu),
+            // Legacy generate-and-filter variants of the flagship entries
+            // (any other exact name resolves with the same suffix on the
+            // fly; these are registered so `names()` advertises the mode).
+            unranked("MPDP [unranked]", ExactAlgo::Mpdp),
+            unranked("DPSub (1CPU) [unranked]", ExactAlgo::DpSub),
+            unranked(
+                "MPDP (GPU) [unranked]",
+                ExactAlgo::MpdpGpu {
+                    fused_prune: true,
+                    ccc: true,
+                },
+            ),
+            unranked("DPSub (GPU) [unranked]", ExactAlgo::DpSubGpu),
             // Heuristics (Tables 1–2).
-            e("GE-QO", &["GEQO"], heur(LargeAlgo::Geqo)),
-            e("GOO", NO_ALIAS, heur(LargeAlgo::Goo)),
-            e("LinDP", NO_ALIAS, heur(LargeAlgo::LinDp)),
-            e("IKKBZ", NO_ALIAS, heur(LargeAlgo::Ikkbz)),
-            e("IDP1-MPDP (15)", NO_ALIAS, heur(LargeAlgo::Idp1 { k: 15 })),
-            e("IDP2-MPDP (15)", NO_ALIAS, heur(LargeAlgo::Idp2 { k: 15 })),
-            e("IDP2-MPDP (25)", NO_ALIAS, heur(LargeAlgo::Idp2 { k: 25 })),
-            e(
-                "UnionDP-MPDP (15)",
-                NO_ALIAS,
-                heur(LargeAlgo::UnionDp { k: 15 }),
-            ),
+            heur("GE-QO", &["GEQO"], LargeAlgo::Geqo),
+            heur("GOO", NO_ALIAS, LargeAlgo::Goo),
+            heur("LinDP", NO_ALIAS, LargeAlgo::LinDp),
+            heur("IKKBZ", NO_ALIAS, LargeAlgo::Ikkbz),
+            heur("IDP1-MPDP (15)", NO_ALIAS, LargeAlgo::Idp1 { k: 15 }),
+            heur("IDP2-MPDP (15)", NO_ALIAS, LargeAlgo::Idp2 { k: 15 }),
+            heur("IDP2-MPDP (25)", NO_ALIAS, LargeAlgo::Idp2 { k: 25 }),
+            heur("UnionDP-MPDP (15)", NO_ALIAS, LargeAlgo::UnionDp { k: 15 }),
             // The adaptive deployment (§6): exact MPDP ≤ 18, UnionDP beyond.
-            e("Adaptive", NO_ALIAS, Arc::new(Planner::adaptive_default())),
+            Entry {
+                canonical: "Adaptive",
+                aliases: NO_ALIAS,
+                strategy: Arc::new(Planner::adaptive_default()),
+                exact_algo: None,
+            },
         ];
         Registry { entries }
     }
@@ -156,7 +191,10 @@ impl Registry {
     /// Tries canonical names and aliases first (whitespace/case-insensitive),
     /// then the parameterized families `IDP1-MPDP (k)`, `IDP2-MPDP (k)`,
     /// `UnionDP-MPDP (k)`, `DPE (nCPU)`, `MPDP (nCPU)`, `DPSub (nCPU)`,
-    /// `PDP (nCPU)`.
+    /// `PDP (nCPU)`. A trailing ` [unranked]` on a *level-structured* exact
+    /// name (static or parameterized) selects the legacy generate-and-filter
+    /// enumeration; edge-based algorithms (DPCCP, DPE) never unrank, so the
+    /// suffix does not resolve for them rather than yield a misleading label.
     pub fn get(&self, name: &str) -> Option<Arc<dyn Strategy>> {
         let key = normalize(name);
         for e in &self.entries {
@@ -164,12 +202,43 @@ impl Registry {
                 return Some(Arc::clone(&e.strategy));
             }
         }
-        parse_parameterized(&key)
+        if let Some(base) = key.strip_suffix("[unranked]") {
+            let algo = self
+                .exact_algo_for(base)
+                .or_else(|| match parse_parameterized(base)? {
+                    Parameterized::Exact(a) => Some(a),
+                    Parameterized::Heuristic(_) => None,
+                })
+                .filter(|a| a.has_enumeration_mode())?;
+            return Some(Arc::new(
+                ExactStrategy::new(algo).with_enumeration(EnumerationMode::Unranked),
+            ));
+        }
+        match parse_parameterized(&key)? {
+            Parameterized::Exact(a) => Some(Arc::new(ExactStrategy::new(a))),
+            Parameterized::Heuristic(a) => Some(Arc::new(HeuristicStrategy::new(a))),
+        }
+    }
+
+    /// The [`ExactAlgo`] registered under a normalized name, if any.
+    fn exact_algo_for(&self, key: &str) -> Option<ExactAlgo> {
+        self.entries
+            .iter()
+            .find(|e| {
+                normalize(e.canonical) == key || e.aliases.iter().any(|a| normalize(a) == key)
+            })
+            .and_then(|e| e.exact_algo)
     }
 }
 
+/// Outcome of parameterized-name parsing.
+enum Parameterized {
+    Exact(ExactAlgo),
+    Heuristic(LargeAlgo),
+}
+
 /// Resolves `base(param)`-shaped names not in the static table.
-fn parse_parameterized(key: &str) -> Option<Arc<dyn Strategy>> {
+fn parse_parameterized(key: &str) -> Option<Parameterized> {
     let open = key.find('(')?;
     if !key.ends_with(')') {
         return None;
@@ -186,7 +255,7 @@ fn parse_parameterized(key: &str) -> Option<Arc<dyn Strategy>> {
             "dpsize" | "postgres" => ExactAlgo::Pdp { threads },
             _ => return None,
         };
-        return Some(Arc::new(ExactStrategy::new(algo)));
+        return Some(Parameterized::Exact(algo));
     }
     let k: usize = param.parse().ok().filter(|&k| k >= 2)?;
     let algo = match base {
@@ -195,7 +264,7 @@ fn parse_parameterized(key: &str) -> Option<Arc<dyn Strategy>> {
         "uniondp-mpdp" | "uniondp" => LargeAlgo::UnionDp { k },
         _ => return None,
     };
-    Some(Arc::new(HeuristicStrategy::new(algo)))
+    Some(Parameterized::Heuristic(algo))
 }
 
 /// The process-wide strategy registry.

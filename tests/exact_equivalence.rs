@@ -117,6 +117,76 @@ fn mpdp_dominates_dpsub_in_evaluated_pairs() {
 }
 
 #[test]
+fn frontier_and_unranked_counters_equivalent_everywhere() {
+    // Acceptance invariant of the frontier engine: on every test query, each
+    // level-structured backend produces bit-identical costs and identical
+    // ccp/evaluated counters in both enumeration modes; only `unranked`
+    // (dead candidate visits) differs.
+    let m = PgLikeCost::new();
+    let budget = Some(Duration::from_secs(60));
+    for (name, q) in queries() {
+        for series in [
+            "MPDP",
+            "DPSub (1CPU)",
+            "MPDP (GPU)",
+            "DPSub (GPU)",
+            "MPDP (24CPU)",
+        ] {
+            let f = mpdp::registry()
+                .get(series)
+                .unwrap()
+                .plan_exact(&q, &m, budget)
+                .unwrap_or_else(|e| panic!("{name}/{series}: {e}"));
+            let u = mpdp::registry()
+                .get(&format!("{series} [unranked]"))
+                .unwrap_or_else(|| panic!("{series} [unranked] must resolve"))
+                .plan_exact(&q, &m, budget)
+                .unwrap_or_else(|e| panic!("{name}/{series} [unranked]: {e}"));
+            assert_eq!(
+                f.cost.to_bits(),
+                u.cost.to_bits(),
+                "{name}/{series}: cost must be bit-identical across modes"
+            );
+            assert_eq!(f.plan.render(), u.plan.render(), "{name}/{series}");
+            let (fc, uc) = (f.counters.unwrap(), u.counters.unwrap());
+            assert_eq!(fc.ccp, uc.ccp, "{name}/{series}");
+            assert_eq!(fc.evaluated, uc.evaluated, "{name}/{series}");
+            assert_eq!(fc.sets, uc.sets, "{name}/{series}");
+            assert_eq!(fc.unranked, 0, "{name}/{series}: frontier never unranks");
+            assert!(uc.unranked >= uc.sets, "{name}/{series}");
+        }
+    }
+}
+
+#[test]
+fn unranked_registry_variants_roundtrip() {
+    // Registered mode-suffixed names round-trip; the suffix also resolves on
+    // the fly for any exact name, parameterized families included.
+    for name in ["MPDP [unranked]", "DPSub (GPU) [unranked]"] {
+        let s = mpdp::registry().get(name).unwrap();
+        assert_eq!(s.name(), name);
+    }
+    for (query, canonical) in [
+        ("mpdp[unranked]", "MPDP [unranked]"),
+        ("Postgres (1CPU) [unranked]", "Postgres (1CPU) [unranked]"),
+        ("MPDP (4CPU) [unranked]", "MPDP (4CPU) [unranked]"),
+    ] {
+        let s = mpdp::registry()
+            .get(query)
+            .unwrap_or_else(|| panic!("{query:?} did not resolve"));
+        assert_eq!(s.name(), canonical);
+    }
+    // Heuristics have no enumeration mode, and DPCCP/DPE enumerate
+    // edge-based (they never unrank): the suffix must not resolve rather
+    // than return a misleadingly labeled no-op variant.
+    assert!(mpdp::registry().get("GOO [unranked]").is_none());
+    assert!(mpdp::registry().get("IDP2-MPDP (7) [unranked]").is_none());
+    assert!(mpdp::registry().get("DPCCP (1CPU) [unranked]").is_none());
+    assert!(mpdp::registry().get("DPE (24CPU) [unranked]").is_none());
+    assert!(mpdp::registry().get("DPSize (GPU) [unranked]").is_none());
+}
+
+#[test]
 fn every_registered_name_resolves_and_roundtrips() {
     let reg = mpdp::registry();
     let names = reg.names();

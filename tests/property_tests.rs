@@ -5,7 +5,9 @@
 // Explicit imports (not the facade prelude glob): both `mpdp::prelude` and
 // `proptest::prelude` export a `Strategy` trait, and the glob-glob collision
 // would make either unusable.
-use mpdp::prelude::{DpCcp, DpSize, DpSub, LargeQuery, Mpdp, OptContext, RelSet};
+use mpdp::core::combinatorics::KSubsets;
+use mpdp::core::enumerate::FrontierEnumerator;
+use mpdp::prelude::{DpCcp, DpSize, DpSub, EnumerationMode, LargeQuery, Mpdp, OptContext, RelSet};
 use mpdp_cost::{CoutCost, PgLikeCost};
 use mpdp_heuristics::{validate_large, Goo, LargeOptimizer, UnionDp};
 use mpdp_workload::gen;
@@ -15,6 +17,16 @@ use proptest::prelude::*;
 /// (cycle-forming) edges.
 fn query_strategy() -> impl Strategy<Value = LargeQuery> {
     (2usize..=9, 0usize..=6, any::<u64>()).prop_map(|(n, extra, seed)| {
+        let m = PgLikeCost::new();
+        gen::random_connected(n, extra, seed, &m)
+    })
+}
+
+/// Strategy: a connected random query with up to 12 relations (the frontier
+/// enumeration property sweeps every DP level, so sizes stay exhaustive but
+/// cheap).
+fn enumeration_query_strategy() -> impl Strategy<Value = LargeQuery> {
+    (2usize..=12, 0usize..=8, any::<u64>()).prop_map(|(n, extra, seed)| {
         let m = PgLikeCost::new();
         gen::random_connected(n, extra, seed, &m)
     })
@@ -90,6 +102,47 @@ proptest! {
                 * g.selectivity_between(part, rest);
             prop_assert!((total - recomposed).abs() <= 1e-9 * total.max(1.0));
         }
+    }
+
+    #[test]
+    fn frontier_enumeration_matches_filtered_unranking(q in enumeration_query_strategy()) {
+        // The tentpole invariant: per DP level, the frontier enumerator must
+        // yield exactly the connected sets the KSubsets + is_connected
+        // filter yields — same family, same (ascending bitmap) order.
+        let qi = q.to_query_info().unwrap();
+        let g = &qi.graph;
+        let n = qi.query_size();
+        let mut fe = FrontierEnumerator::new(g);
+        for i in 2..=n {
+            let frontier: Vec<RelSet> = fe.advance().to_vec();
+            let filtered: Vec<RelSet> = KSubsets::new(n, i)
+                .filter(|s| g.is_connected(*s))
+                .collect();
+            prop_assert_eq!(frontier, filtered, "level {}", i);
+        }
+        prop_assert!(fe.advance().is_empty());
+    }
+
+    #[test]
+    fn enumeration_modes_bit_identical(q in query_strategy()) {
+        // Frontier and unranked modes must produce bit-identical costs and
+        // identical ccp/evaluated counters for every level-structured DP.
+        let m = PgLikeCost::new();
+        let qi = q.to_query_info().unwrap();
+        let frontier = OptContext::new(&qi, &m);
+        let unranked = OptContext::new(&qi, &m).with_enumeration(EnumerationMode::Unranked);
+        let fs = DpSub::run(&frontier).unwrap();
+        let us = DpSub::run(&unranked).unwrap();
+        prop_assert_eq!(fs.cost.to_bits(), us.cost.to_bits());
+        prop_assert_eq!(fs.counters.evaluated, us.counters.evaluated);
+        prop_assert_eq!(fs.counters.ccp, us.counters.ccp);
+        prop_assert_eq!(fs.plan.render(), us.plan.render());
+        let fm = Mpdp::run(&frontier).unwrap();
+        let um = Mpdp::run(&unranked).unwrap();
+        prop_assert_eq!(fm.cost.to_bits(), um.cost.to_bits());
+        prop_assert_eq!(fm.counters.evaluated, um.counters.evaluated);
+        prop_assert_eq!(fm.counters.ccp, um.counters.ccp);
+        prop_assert_eq!(fm.plan.render(), um.plan.render());
     }
 
     #[test]
