@@ -3,12 +3,14 @@
 //! ```text
 //! repro <experiment> [..]     experiments: fig2 fig4 fig6 fig7 fig8 fig9
 //!                             fig10 fig11 fig12 fig13 table1 table2 table3
-//!                             ablation bench all
+//!                             ablation bench serve all
 //! --emit-json <path>          (bench) write per-algorithm wall/model times
 //!                             and counters as JSON
 //! --check-against <path>      (bench) compare wall times against a
 //!                             committed baseline JSON; exit 1 if any
 //!                             algorithm regressed more than 2x
+//! --queries <n>               (serve) stream length (default 10000)
+//! --workers <n>               (serve) worker threads (default 4)
 //! REPRO_SCALE={quick,paper}   sweep sizes (default quick)
 //! REPRO_TIMEOUT_MS=<ms>       per-query optimization budget
 //! ```
@@ -38,11 +40,15 @@ fn main() {
     let mut args: Vec<String> = Vec::new();
     let mut emit_json: Option<String> = None;
     let mut check_against: Option<String> = None;
+    let mut serve_queries: usize = 10_000;
+    let mut serve_workers: usize = 4;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--emit-json" => emit_json = it.next(),
             "--check-against" => check_against = it.next(),
+            "--queries" => serve_queries = parse_count_flag("--queries", it.next()),
+            "--workers" => serve_workers = parse_count_flag("--workers", it.next()),
             _ => args.push(a),
         }
     }
@@ -50,7 +56,7 @@ fn main() {
     let what: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "ablation", "table1", "table2", "table3", "bench",
+            "ablation", "table1", "table2", "table3", "bench", "serve",
         ]
     } else {
         args.iter().map(|s| s.as_str()).collect()
@@ -73,10 +79,26 @@ fn main() {
             "fig13" => fig13(scale),
             "ablation" => ablation(scale),
             "bench" => bench(scale, emit_json.as_deref(), check_against.as_deref()),
+            "serve" => serve(serve_queries, serve_workers),
             "table1" => heuristic_table(scale, "table1", "snowflake", scale.table1_sizes()),
             "table2" => heuristic_table(scale, "table2", "star", scale.table2_sizes()),
             "table3" => heuristic_table(scale, "table3", "clique", scale.table3_sizes()),
             other => eprintln!("unknown experiment: {other}"),
+        }
+    }
+}
+
+/// Parses a positive integer flag value; a missing or malformed value is a
+/// usage error, not a silent fallback to the default.
+fn parse_count_flag(flag: &str, value: Option<String>) -> usize {
+    match value.as_deref().map(str::parse::<usize>) {
+        Some(Ok(n)) if n >= 1 => n,
+        _ => {
+            eprintln!(
+                "error: {flag} requires a positive integer (got {})",
+                value.as_deref().unwrap_or("nothing")
+            );
+            std::process::exit(2);
         }
     }
 }
@@ -885,6 +907,49 @@ fn json_num(line: &str, key: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+// ------------------------------------------------------------------ serve
+
+/// `repro serve`: replay a Zipf-distributed stream of relabeled generated +
+/// JOB + MusicBrainz queries against a [`mpdp::PlanService`] from a worker
+/// pool; report throughput, cache hit rate and latency percentiles.
+fn serve(queries: usize, workers: usize) {
+    use mpdp::PlanServiceBuilder;
+    use mpdp_bench::serve::{replay, ServeConfig};
+    use mpdp_workload::StreamSpec;
+
+    println!(
+        "\n## serve — PlanService replay ({queries} queries, {workers} workers, Zipf skew 1.1)"
+    );
+    let model = PgLikeCost::new();
+    let service = PlanServiceBuilder::new()
+        .budget(Duration::from_secs(30))
+        .build();
+    let config = ServeConfig {
+        total: queries,
+        workers,
+        stream: StreamSpec::default(),
+    };
+    match replay(&service, &model, &config) {
+        Ok(report) => {
+            print!("{}", report.render());
+            // The CI smoke leg runs this: a serving layer that errors on
+            // queries (or serves none) must fail the step, not just print.
+            if report.failed > 0 || report.served == 0 {
+                eprintln!(
+                    "# serve FAILED: {} of {} queries errored",
+                    report.failed,
+                    report.failed + report.served
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Helper for tests: expose a tiny end-to-end sanity run.

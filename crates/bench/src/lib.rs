@@ -20,8 +20,10 @@
 pub mod aws;
 pub mod runner;
 pub mod scale;
+pub mod serve;
 pub mod starform;
 pub mod stats;
 
 pub use runner::{run_exact, AlgoKind, RunOutcome, EXACT_ROSTER};
 pub use scale::Scale;
+pub use serve::{replay, ServeConfig, ServeReport};

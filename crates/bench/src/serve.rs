@@ -1,0 +1,258 @@
+//! Serving-layer replay harness: drive a [`PlanService`] with a Zipf query
+//! stream from a worker pool and report throughput, cache effectiveness and
+//! latency percentiles.
+//!
+//! This is the measurement side of the `repro serve` experiment: the stream
+//! (`mpdp_workload::stream`) emits isomorphic-but-relabeled repetitions of a
+//! template pool, the service canonicalizes and caches, and this module
+//! records per-request service latencies split by cache hit/miss so the
+//! cached path's speedup over cold planning is directly visible.
+
+use mpdp::service::{PlanService, ServedPlan};
+use mpdp_core::counters::CacheSnapshot;
+use mpdp_core::{LargeQuery, OptError};
+use mpdp_cost::model::CostModel;
+use mpdp_workload::stream::{StreamSpec, ZipfStream};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::stats::percentile;
+
+/// Configuration of one replay run.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Number of queries to replay.
+    pub total: usize,
+    /// Worker threads sharing the service.
+    pub workers: usize,
+    /// The Zipf stream the replay draws from.
+    pub stream: StreamSpec,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            total: 10_000,
+            workers: 4,
+            stream: StreamSpec::default(),
+        }
+    }
+}
+
+/// One request's measurement.
+#[derive(Copy, Clone, Debug)]
+struct Sample {
+    micros: f64,
+    hit: bool,
+}
+
+/// Aggregated outcome of a replay run.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Requests served successfully.
+    pub served: usize,
+    /// Requests that failed (per-query planning errors; kept separate so a
+    /// pathological template can't silently vanish from the stats).
+    pub failed: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall time of the whole replay.
+    pub elapsed: Duration,
+    /// Cache activity of this replay window (delta over the run, so reports
+    /// stay self-consistent even on a reused, pre-warmed service).
+    pub cache: CacheSnapshot,
+    /// Service-latency percentiles over all requests (µs).
+    pub p50_us: f64,
+    /// See [`ServeReport::p50_us`].
+    pub p99_us: f64,
+    /// Median service latency of cache hits (µs); 0.0 if none.
+    pub hit_p50_us: f64,
+    /// Median service latency of cache misses, i.e. cold plans (µs).
+    pub miss_p50_us: f64,
+    /// Requests per strategy label actually planned (misses only).
+    pub routes: BTreeMap<String, usize>,
+}
+
+impl ServeReport {
+    /// Served queries per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.served as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Median cold-planning latency over median cached latency — the
+    /// amortization factor the serving layer exists for.
+    pub fn cached_speedup(&self) -> f64 {
+        if self.hit_p50_us <= 0.0 {
+            0.0
+        } else {
+            self.miss_p50_us / self.hit_p50_us
+        }
+    }
+
+    /// Renders the tab-separated summary block `repro serve` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("metric\tvalue\n");
+        out.push_str(&format!("queries_served\t{}\n", self.served));
+        out.push_str(&format!("queries_failed\t{}\n", self.failed));
+        out.push_str(&format!("workers\t{}\n", self.workers));
+        out.push_str(&format!("elapsed_s\t{:.3}\n", self.elapsed.as_secs_f64()));
+        out.push_str(&format!(
+            "throughput_plans_per_s\t{:.0}\n",
+            self.throughput()
+        ));
+        out.push_str(&format!("cache_hit_rate\t{:.4}\n", self.cache.hit_rate()));
+        out.push_str(&format!(
+            "cache_hits\t{}\ncache_misses\t{}\ncache_evictions\t{}\n",
+            self.cache.hits, self.cache.misses, self.cache.evictions
+        ));
+        out.push_str(&format!("latency_p50_us\t{:.1}\n", self.p50_us));
+        out.push_str(&format!("latency_p99_us\t{:.1}\n", self.p99_us));
+        out.push_str(&format!("hit_latency_p50_us\t{:.1}\n", self.hit_p50_us));
+        out.push_str(&format!("cold_latency_p50_us\t{:.1}\n", self.miss_p50_us));
+        out.push_str(&format!(
+            "cached_speedup_p50\t{:.0}x\n",
+            self.cached_speedup()
+        ));
+        for (route, count) in &self.routes {
+            out.push_str(&format!("route[{route}]\t{count}\n"));
+        }
+        out
+    }
+}
+
+/// Replays `config.total` Zipf-stream queries against `service` from
+/// `config.workers` threads and aggregates the measurements.
+///
+/// The stream is materialized up front (generation cost must not pollute
+/// service latencies); workers then race down a shared cursor, so the replay
+/// order interleaves arbitrarily across threads — exactly the contention
+/// pattern a concurrent service must tolerate.
+pub fn replay(
+    service: &PlanService,
+    model: &dyn CostModel,
+    config: &ServeConfig,
+) -> Result<ServeReport, OptError> {
+    let mut stream = ZipfStream::new(&config.stream, model);
+    let queries: Vec<(usize, LargeQuery)> = stream.take(config.total);
+    let workers = config.workers.max(1);
+
+    let cursor = AtomicUsize::new(0);
+    let samples: Mutex<Vec<Sample>> = Mutex::new(Vec::with_capacity(config.total));
+    let routes: Mutex<BTreeMap<String, usize>> = Mutex::new(BTreeMap::new());
+    let failed = AtomicUsize::new(0);
+    // Counters are cumulative per service; report only this replay's window
+    // so reusing one (warm) service still yields a self-consistent report.
+    let counters_before = service.cache_counters();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<Sample> = Vec::new();
+                let mut local_routes: BTreeMap<String, usize> = BTreeMap::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    match service.plan(&queries[i].1, model) {
+                        Ok(ServedPlan {
+                            planned,
+                            cache_hit,
+                            service_time,
+                            ..
+                        }) => {
+                            local.push(Sample {
+                                micros: service_time.as_secs_f64() * 1e6,
+                                hit: cache_hit,
+                            });
+                            if !cache_hit {
+                                *local_routes.entry(planned.strategy).or_insert(0) += 1;
+                            }
+                        }
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                samples.lock().expect("samples").extend_from_slice(&local);
+                let mut shared = routes.lock().expect("routes");
+                for (k, v) in local_routes {
+                    *shared.entry(k).or_insert(0) += v;
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let samples = samples.into_inner().expect("samples");
+    let all: Vec<f64> = samples.iter().map(|s| s.micros).collect();
+    let hits: Vec<f64> = samples.iter().filter(|s| s.hit).map(|s| s.micros).collect();
+    let misses: Vec<f64> = samples
+        .iter()
+        .filter(|s| !s.hit)
+        .map(|s| s.micros)
+        .collect();
+
+    Ok(ServeReport {
+        served: samples.len(),
+        failed: failed.into_inner(),
+        workers,
+        elapsed,
+        cache: service.cache_counters().since(&counters_before),
+        p50_us: percentile(&all, 50.0),
+        p99_us: percentile(&all, 99.0),
+        hit_p50_us: percentile(&hits, 50.0),
+        miss_p50_us: percentile(&misses, 50.0),
+        routes: routes.into_inner().expect("routes"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp::service::PlanServiceBuilder;
+    use mpdp_cost::PgLikeCost;
+
+    #[test]
+    fn small_replay_hits_and_reports() {
+        let model = PgLikeCost::new();
+        let service = PlanServiceBuilder::new().build();
+        let config = ServeConfig {
+            total: 300,
+            workers: 3,
+            stream: StreamSpec {
+                templates: 20,
+                skew: 1.1,
+                min_rels: 6,
+                max_rels: 10,
+                seed: 11,
+            },
+        };
+        let report = replay(&service, &model, &config).unwrap();
+        assert_eq!(report.served + report.failed, 300);
+        assert_eq!(report.failed, 0);
+        // 20 templates over 300 draws: most arrivals repeat a shape.
+        assert_eq!(
+            report.cache.hits + report.cache.misses,
+            300,
+            "every request is exactly one hit or one miss"
+        );
+        assert!(
+            report.cache.hit_rate() > 0.5,
+            "hit rate {}",
+            report.cache.hit_rate()
+        );
+        assert!(report.throughput() > 0.0);
+        let text = report.render();
+        assert!(text.contains("cache_hit_rate"));
+        assert!(text.contains("route["));
+    }
+}

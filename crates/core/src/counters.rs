@@ -98,6 +98,101 @@ impl Profile {
     }
 }
 
+/// Thread-safe hit/miss/eviction counters for a serving-layer cache.
+///
+/// The same observability idea as [`Counters`] — cheap monotonic counts that
+/// summarize a run — lifted from one optimization to a cache serving many.
+/// All updates are relaxed atomics: the counts are statistics, not
+/// synchronization, and a [`CacheCounters::snapshot`] taken after all
+/// requests have drained is exact (asserted by the concurrent hammer test).
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+    insertions: std::sync::atomic::AtomicU64,
+    evictions: std::sync::atomic::AtomicU64,
+    expirations: std::sync::atomic::AtomicU64,
+}
+
+/// A point-in-time copy of [`CacheCounters`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing (or only an expired entry).
+    pub misses: u64,
+    /// Entries written.
+    pub insertions: u64,
+    /// Entries evicted by capacity (LRU order).
+    pub evictions: u64,
+    /// Entries dropped because their TTL had lapsed.
+    pub expirations: u64,
+}
+
+impl CacheSnapshot {
+    /// `hits / (hits + misses)`; 0.0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The activity between `earlier` and `self` (counters are monotonic,
+    /// so a field-wise difference is a window's worth of traffic).
+    pub fn since(&self, earlier: &CacheSnapshot) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            insertions: self.insertions - earlier.insertions,
+            evictions: self.evictions - earlier.evictions,
+            expirations: self.expirations - earlier.expirations,
+        }
+    }
+}
+
+impl CacheCounters {
+    const ORD: std::sync::atomic::Ordering = std::sync::atomic::Ordering::Relaxed;
+
+    /// Records a cache hit.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Self::ORD);
+    }
+
+    /// Records a cache miss.
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Self::ORD);
+    }
+
+    /// Records an insertion.
+    pub fn record_insertion(&self) {
+        self.insertions.fetch_add(1, Self::ORD);
+    }
+
+    /// Records a capacity eviction.
+    pub fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Self::ORD);
+    }
+
+    /// Records a TTL expiration.
+    pub fn record_expiration(&self) {
+        self.expirations.fetch_add(1, Self::ORD);
+    }
+
+    /// Copies the current counts.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.load(Self::ORD),
+            misses: self.misses.load(Self::ORD),
+            insertions: self.insertions.load(Self::ORD),
+            evictions: self.evictions.load(Self::ORD),
+            expirations: self.expirations.load(Self::ORD),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,302 @@
+//! Query canonicalization and fingerprinting for whole-query plan caching.
+//!
+//! The DP memo already caches canonical *subplans* within one optimization;
+//! a serving layer wants the same amortization across *whole queries*: the
+//! same query shape arrives over and over with its relations listed in a
+//! different order (different FROM-clause order, different alias numbering),
+//! and re-running the full DP for each arrival wastes the latency budget.
+//!
+//! [`canonicalize`] relabels a [`LargeQuery`]'s relations into a canonical
+//! order so that *isomorphic* queries — identical up to a permutation of
+//! relation indices — collide on one key. The canonical order is produced by
+//! a degree/cardinality-sorted BFS:
+//!
+//! 1. every vertex gets a local signature (degree, row count, scan cost, the
+//!    sorted multiset of its incident selectivities);
+//! 2. two rounds of Weisfeiler–Lehman-style refinement mix each signature
+//!    with the sorted signatures of its neighbours, separating vertices that
+//!    are locally identical but sit in different graph positions;
+//! 3. a BFS-style traversal starts from the vertex with the smallest refined
+//!    signature and repeatedly appends the frontier vertex with the smallest
+//!    (signature, edge-selectivity-to-visited) key.
+//!
+//! Relabeled copies of one query have identical signature multisets, so the
+//! traversal visits corresponding vertices in the same order and the
+//! canonical form — and therefore the fingerprint — is identical. (Exact
+//! attribute ties between genuinely different vertices can in principle order
+//! differently across relabelings; with real-valued cardinalities and
+//! selectivities such ties are vanishing, and a tie that *is* hit only costs
+//! a cache miss, never a wrong plan: the fingerprint still hashes the full
+//! canonical structure.)
+//!
+//! The fingerprint itself hashes the canonical edge list (endpoints +
+//! selectivity bits) and the canonical per-relation cardinalities/costs with
+//! the workspace's Murmur3 finalizer ([`crate::memo::murmur3_fmix64`]) into
+//! 128 bits — two independently-seeded 64-bit lanes, so a serving cache can
+//! key on it without practical collision concern.
+
+use crate::memo::murmur3_fmix64;
+use crate::query::LargeQuery;
+use std::fmt;
+
+/// A 128-bit query fingerprint: equal for isomorphic (relabeled) queries.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint {
+    /// High 64 bits (lane seeded independently from [`Fingerprint::lo`]).
+    pub hi: u64,
+    /// Low 64 bits.
+    pub lo: u64,
+}
+
+impl Fingerprint {
+    /// The fingerprint as one 128-bit integer (cache shard/key form).
+    #[inline]
+    pub fn as_u128(self) -> u128 {
+        ((self.hi as u128) << 64) | self.lo as u128
+    }
+}
+
+impl fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fingerprint({:016x}{:016x})", self.hi, self.lo)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// The canonical form of a query: its fingerprint plus the permutations
+/// needed to translate plans between the caller's labels and canonical ones.
+#[derive(Clone, Debug)]
+pub struct CanonicalQuery {
+    /// The 128-bit fingerprint of the canonical form.
+    pub fingerprint: Fingerprint,
+    /// `order[c]` = the caller's relation index occupying canonical slot `c`.
+    pub order: Vec<u32>,
+    /// `slot[r]` = the canonical slot of the caller's relation `r`
+    /// (the inverse permutation of [`CanonicalQuery::order`]).
+    pub slot: Vec<u32>,
+}
+
+/// Hashes one 64-bit word into both fingerprint lanes.
+#[inline]
+fn mix(acc: &mut (u64, u64), word: u64) {
+    // Distinct odd constants decorrelate the lanes; each absorb step is a
+    // multiply-xor feed into the Murmur3 finalizer.
+    acc.0 = murmur3_fmix64(acc.0.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ word);
+    acc.1 = murmur3_fmix64(acc.1.wrapping_mul(0xc2b2_ae3d_27d4_eb4f) ^ word);
+}
+
+/// One refinement round: `sig'(v) = H(sig(v), sorted sigs of neighbours)`.
+fn refine(q: &LargeQuery, sig: &[u64]) -> Vec<u64> {
+    let mut next = Vec::with_capacity(sig.len());
+    let mut neigh: Vec<u64> = Vec::new();
+    for v in 0..q.num_rels() {
+        neigh.clear();
+        for &(w, sel) in &q.adj[v] {
+            neigh.push(murmur3_fmix64(sig[w as usize] ^ sel.to_bits()));
+        }
+        neigh.sort_unstable();
+        let mut h = murmur3_fmix64(sig[v]);
+        for &nh in &neigh {
+            h = murmur3_fmix64(h.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ nh);
+        }
+        next.push(h);
+    }
+    next
+}
+
+/// Computes the canonical order and fingerprint of `q`.
+///
+/// Runs in `O(E log E)` per refinement round plus `O(V^2)` for the sorted
+/// traversal — microseconds for serving-sized queries, against DP planning
+/// times in the millisecond-to-second range.
+pub fn canonicalize(q: &LargeQuery) -> CanonicalQuery {
+    let n = q.num_rels();
+
+    // Local signatures: degree, cardinality, scan cost, incident sels.
+    let mut sig: Vec<u64> = (0..n)
+        .map(|v| {
+            let mut h = murmur3_fmix64(q.adj[v].len() as u64);
+            h = murmur3_fmix64(h ^ q.rels[v].rows.to_bits());
+            h = murmur3_fmix64(h ^ q.rels[v].cost.to_bits());
+            let mut sels: Vec<u64> = q.adj[v].iter().map(|&(_, s)| s.to_bits()).collect();
+            sels.sort_unstable();
+            for s in sels {
+                h = murmur3_fmix64(h.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ s);
+            }
+            h
+        })
+        .collect();
+    // Two WL rounds separate locally-identical vertices by position.
+    sig = refine(q, &sig);
+    sig = refine(q, &sig);
+
+    // Degree/cardinality-sorted BFS: visit order is determined entirely by
+    // label-invariant keys, so relabeled copies traverse identically.
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut slot: Vec<u32> = vec![u32::MAX; n];
+    let mut visited = vec![false; n];
+    // Selectivity product between each vertex and the visited set — the BFS
+    // tie-breaker that keeps the traversal deterministic across relabelings
+    // even when two signatures collide.
+    let mut link: Vec<f64> = vec![1.0; n];
+    for _ in 0..n {
+        // Frontier = unvisited vertices adjacent to the visited set (or, if
+        // none — start/new component — every unvisited vertex).
+        let mut best: Option<usize> = None;
+        let mut best_key = (false, 0u64, 0u64);
+        for v in 0..n {
+            if visited[v] {
+                continue;
+            }
+            let on_frontier =
+                link[v] != 1.0 || q.adj[v].iter().any(|&(w, _)| slot[w as usize] != u32::MAX);
+            let key = (!on_frontier, sig[v], link[v].to_bits());
+            if best.is_none() || key < best_key {
+                best = Some(v);
+                best_key = key;
+            }
+        }
+        let v = best.expect("one unvisited vertex per iteration");
+        slot[v] = order.len() as u32;
+        order.push(v as u32);
+        visited[v] = true;
+        for &(w, sel) in &q.adj[v] {
+            link[w as usize] *= sel;
+        }
+    }
+
+    // Fingerprint the canonical form.
+    let mut acc = (0x6d70_6470_5f66_7031_u64, 0x6d70_6470_5f66_7032_u64);
+    mix(&mut acc, n as u64);
+    for &v in &order {
+        mix(&mut acc, q.rels[v as usize].rows.to_bits());
+        mix(&mut acc, q.rels[v as usize].cost.to_bits());
+    }
+    // Canonical edge list, sorted by canonical endpoints.
+    let mut edges: Vec<(u32, u32, u64)> = q
+        .edges
+        .iter()
+        .map(|e| {
+            let (a, b) = (slot[e.u as usize], slot[e.v as usize]);
+            let (a, b) = if a < b { (a, b) } else { (b, a) };
+            (a, b, e.sel.to_bits())
+        })
+        .collect();
+    edges.sort_unstable();
+    mix(&mut acc, edges.len() as u64);
+    for (a, b, s) in edges {
+        mix(&mut acc, (a as u64) << 32 | b as u64);
+        mix(&mut acc, s);
+    }
+
+    CanonicalQuery {
+        fingerprint: Fingerprint {
+            hi: acc.0,
+            lo: acc.1,
+        },
+        order,
+        slot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::RelInfo;
+
+    fn chain(n: usize) -> LargeQuery {
+        let mut q = LargeQuery::new(
+            (0..n)
+                .map(|i| RelInfo::new(100.0 * (i + 1) as f64, 10.0 * (i + 1) as f64))
+                .collect(),
+        );
+        for i in 1..n {
+            q.add_edge(i - 1, i, 0.01 * i as f64);
+        }
+        q
+    }
+
+    #[test]
+    fn relabeled_queries_share_a_fingerprint() {
+        let q = chain(8);
+        // Reverse relabeling: old index i -> new index n-1-i.
+        let perm: Vec<usize> = (0..8).rev().collect();
+        let r = q.relabel(&perm);
+        let cq = canonicalize(&q);
+        let cr = canonicalize(&r);
+        assert_eq!(cq.fingerprint, cr.fingerprint);
+        // The canonical orders must name corresponding originals: canonical
+        // slot c of `r` holds the relabeled image of `q`'s slot-c relation.
+        for c in 0..8 {
+            assert_eq!(perm[cq.order[c] as usize] as u32, cr.order[c]);
+        }
+    }
+
+    #[test]
+    fn different_statistics_change_the_fingerprint() {
+        let a = chain(6);
+        let mut b = chain(6);
+        b.rels[3].rows *= 2.0;
+        assert_ne!(canonicalize(&a).fingerprint, canonicalize(&b).fingerprint);
+        // Different selectivity.
+        let mut c = chain(6);
+        c.edges[2].sel *= 0.5;
+        c.adj[2].iter_mut().for_each(|e| {
+            if e.0 == 3 {
+                e.1 *= 0.5;
+            }
+        });
+        c.adj[3].iter_mut().for_each(|e| {
+            if e.0 == 2 {
+                e.1 *= 0.5;
+            }
+        });
+        assert_ne!(canonicalize(&a).fingerprint, canonicalize(&c).fingerprint);
+    }
+
+    #[test]
+    fn different_shapes_change_the_fingerprint() {
+        let chain = chain(5);
+        // A star with the same RelInfos: different edge structure.
+        let mut star = LargeQuery::new(chain.rels.clone());
+        for i in 1..5 {
+            star.add_edge(0, i, 0.01 * i as f64);
+        }
+        assert_ne!(
+            canonicalize(&chain).fingerprint,
+            canonicalize(&star).fingerprint
+        );
+    }
+
+    #[test]
+    fn order_and_slot_are_inverse_permutations() {
+        let q = chain(9);
+        let c = canonicalize(&q);
+        for (canon, &orig) in c.order.iter().enumerate() {
+            assert_eq!(c.slot[orig as usize] as usize, canon);
+        }
+    }
+
+    #[test]
+    fn singleton_and_disconnected_queries_canonicalize() {
+        let one = LargeQuery::new(vec![RelInfo::new(5.0, 1.0)]);
+        let c = canonicalize(&one);
+        assert_eq!(c.order, vec![0]);
+        // Two-component query (cross-product at the top): still deterministic.
+        let mut two = LargeQuery::new(vec![
+            RelInfo::new(10.0, 1.0),
+            RelInfo::new(20.0, 2.0),
+            RelInfo::new(30.0, 3.0),
+        ]);
+        two.add_edge(0, 1, 0.5);
+        let ct = canonicalize(&two);
+        let perm = vec![2usize, 0, 1];
+        let cr = canonicalize(&two.relabel(&perm));
+        assert_eq!(ct.fingerprint, cr.fingerprint);
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`combinatorics`] — Gosper iteration, combinatorial unranking, `pdep`;
 //! * [`enumerate`] — connected-subset frontier enumeration (the fast
 //!   alternative to unrank-and-filter for level-structured DP);
+//! * [`fingerprint`] — query canonicalization + 128-bit fingerprints, the
+//!   key function of the whole-query plan cache in the facade;
 //! * [`graph::JoinGraph`] — join graphs, connectivity, the §3.2.1 `grow`
 //!   function;
 //! * [`blocks`] — Hopcroft–Tarjan biconnected components of induced
@@ -31,6 +33,7 @@ pub mod combinatorics;
 pub mod counters;
 pub mod enumerate;
 pub mod error;
+pub mod fingerprint;
 pub mod graph;
 pub mod memo;
 pub mod plan;
@@ -39,9 +42,10 @@ pub mod query;
 pub use bigset::BigSet;
 pub use bitset::RelSet;
 pub use blocks::{find_blocks, BlockDecomposition};
-pub use counters::{Counters, LevelStats, Profile};
+pub use counters::{CacheCounters, CacheSnapshot, Counters, LevelStats, Profile};
 pub use enumerate::{EnumerationMode, FrontierEnumerator, SeenTable};
 pub use error::OptError;
+pub use fingerprint::{canonicalize, CanonicalQuery, Fingerprint};
 pub use graph::{Edge, JoinGraph};
 pub use memo::{MemoEntry, MemoTable};
 pub use plan::{extract_plan, PlanTree};

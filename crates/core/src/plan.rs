@@ -110,6 +110,34 @@ impl PlanTree {
         }
     }
 
+    /// Returns the same tree with each leaf's relation `r` renamed to
+    /// `new_of_old[r]`. Costs and cardinalities are untouched — a pure
+    /// relabeling, valid because plan statistics are label-invariant.
+    ///
+    /// The serving layer uses this in both directions: storing plans in
+    /// canonical relation slots, and remapping a cached canonical plan onto
+    /// a caller's own relation ids.
+    pub fn relabel(&self, new_of_old: &[u32]) -> PlanTree {
+        match self {
+            PlanTree::Scan { rel, rows, cost } => PlanTree::Scan {
+                rel: new_of_old[*rel as usize],
+                rows: *rows,
+                cost: *cost,
+            },
+            PlanTree::Join {
+                left,
+                right,
+                rows,
+                cost,
+            } => PlanTree::Join {
+                left: Box::new(left.relabel(new_of_old)),
+                right: Box::new(right.relabel(new_of_old)),
+                rows: *rows,
+                cost: *cost,
+            },
+        }
+    }
+
     /// Renders an indented tree, e.g. for the examples.
     pub fn render(&self) -> String {
         let mut out = String::new();

@@ -198,6 +198,30 @@ impl LargeQuery {
         Some(QueryInfo::new(g, self.rels.clone()))
     }
 
+    /// Returns the same query with relation `i` renamed to `new_of_old[i]`
+    /// (`new_of_old` must be a permutation of `0..num_rels()`).
+    ///
+    /// Statistics and selectivities are untouched, so the result is
+    /// isomorphic to `self` — the identity the serving layer's fingerprint
+    /// cache is built on (see `crate::fingerprint`). Also how the Zipf
+    /// replay stream disguises repeated query shapes.
+    pub fn relabel(&self, new_of_old: &[usize]) -> LargeQuery {
+        let n = self.num_rels();
+        assert_eq!(new_of_old.len(), n, "permutation length mismatch");
+        let mut rels = vec![RelInfo::new(0.0, 0.0); n];
+        let mut seen = vec![false; n];
+        for (old, &new) in new_of_old.iter().enumerate() {
+            assert!(new < n && !seen[new], "not a permutation");
+            seen[new] = true;
+            rels[new] = self.rels[old];
+        }
+        let mut q = LargeQuery::new(rels);
+        for e in &self.edges {
+            q.add_edge(new_of_old[e.u as usize], new_of_old[e.v as usize], e.sel);
+        }
+        q
+    }
+
     /// Projects the sub-problem induced by `vertices` (given as original
     /// relation indices, at most 64 of them) onto a fresh [`QueryInfo`].
     ///

@@ -1,0 +1,221 @@
+//! Zipf-distributed query streams for serving-layer experiments.
+//!
+//! Production planners see heavy-tailed traffic: a handful of query shapes
+//! dominate while a long tail of rare shapes trickles in. [`ZipfStream`]
+//! reproduces that regime over this workspace's generators — a pool of
+//! distinct *templates* (generated star / snowflake / chain / cycle shapes
+//! plus JOB-like and MusicBrainz queries) drawn by Zipf-ranked popularity.
+//!
+//! Each emission **relabels** the template's relations with a fresh random
+//! permutation. Repeated arrivals of one template are therefore not
+//! byte-identical — they are isomorphic, the way the same application query
+//! re-arrives with different FROM-clause ordering or alias numbering — so a
+//! whole-query cache only benefits if it canonicalizes
+//! (`mpdp_core::fingerprint`), never by hashing raw bytes.
+
+use crate::{gen, ImdbSchema, MusicBrainz};
+use mpdp_core::query::LargeQuery;
+use mpdp_cost::model::CostModel;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a [`ZipfStream`].
+#[derive(Clone, Debug)]
+pub struct StreamSpec {
+    /// Number of distinct query templates in the pool.
+    pub templates: usize,
+    /// Zipf exponent: draw probability of rank-`r` template ∝ `1/r^skew`.
+    /// 0.0 is uniform; production query traffic is typically near 1.
+    pub skew: f64,
+    /// Smallest / largest template size (relations). Sizes cycle through
+    /// this range across templates.
+    pub min_rels: usize,
+    /// See [`StreamSpec::min_rels`].
+    pub max_rels: usize,
+    /// Master seed: streams are fully deterministic given the spec.
+    pub seed: u64,
+}
+
+impl Default for StreamSpec {
+    fn default() -> Self {
+        StreamSpec {
+            templates: 400,
+            skew: 1.1,
+            min_rels: 8,
+            max_rels: 18,
+            seed: 42,
+        }
+    }
+}
+
+/// One template of the pool.
+#[derive(Clone, Debug)]
+pub struct Template {
+    /// Popularity rank (0 = most popular).
+    pub rank: usize,
+    /// Generator family this template came from.
+    pub family: &'static str,
+    /// The query shape (canonical arrival; emissions are relabelings).
+    pub query: LargeQuery,
+}
+
+/// A deterministic, Zipf-distributed, relabeling query stream.
+#[derive(Clone, Debug)]
+pub struct ZipfStream {
+    templates: Vec<Template>,
+    /// Cumulative draw distribution over template ranks.
+    cdf: Vec<f64>,
+    rng: StdRng,
+    emitted: usize,
+}
+
+/// The generator families templates cycle through.
+const FAMILIES: [&str; 6] = ["star", "snowflake", "chain", "cycle", "job", "musicbrainz"];
+
+impl ZipfStream {
+    /// Builds the template pool and the Zipf distribution.
+    pub fn new(spec: &StreamSpec, model: &dyn CostModel) -> Self {
+        assert!(spec.templates >= 1, "empty template pool");
+        assert!(
+            1 <= spec.min_rels && spec.min_rels <= spec.max_rels,
+            "bad size range"
+        );
+        let job = ImdbSchema::new();
+        let mb = MusicBrainz::new();
+        let span = spec.max_rels - spec.min_rels + 1;
+        let templates: Vec<Template> = (0..spec.templates)
+            .map(|rank| {
+                let family = FAMILIES[rank % FAMILIES.len()];
+                let n = spec.min_rels + (rank / FAMILIES.len()) % span;
+                let seed = spec.seed ^ (rank as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let query = match family {
+                    "star" => gen::star(n, seed, model),
+                    "snowflake" => gen::snowflake(n, 4, seed, model),
+                    "chain" => gen::chain(n, seed, model),
+                    "cycle" => gen::cycle(n.max(3), seed, model),
+                    "job" => job.query(n.clamp(4, 17), seed, model),
+                    "musicbrainz" => {
+                        mb.random_walk_query(n.min(mb.num_tables()), seed, true, model)
+                    }
+                    _ => unreachable!("family table covers all"),
+                };
+                Template {
+                    rank,
+                    family,
+                    query,
+                }
+            })
+            .collect();
+        // Zipf CDF over ranks.
+        let weights: Vec<f64> = (0..spec.templates)
+            .map(|r| 1.0 / ((r + 1) as f64).powf(spec.skew))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        ZipfStream {
+            templates,
+            cdf,
+            rng: StdRng::seed_from_u64(spec.seed ^ 0x5a49_5046),
+            emitted: 0,
+        }
+    }
+
+    /// The template pool, in rank order.
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+
+    /// Draws the next query: a Zipf-ranked template relabeled by a fresh
+    /// random permutation.
+    pub fn next_query(&mut self) -> (usize, LargeQuery) {
+        let u: f64 = self.rng.gen();
+        let rank = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
+        let template = &self.templates[rank].query;
+        let mut perm: Vec<usize> = (0..template.num_rels()).collect();
+        perm.shuffle(&mut self.rng);
+        self.emitted += 1;
+        (rank, template.relabel(&perm))
+    }
+
+    /// Materializes the next `count` draws (rank + relabeled query).
+    pub fn take(&mut self, count: usize) -> Vec<(usize, LargeQuery)> {
+        (0..count).map(|_| self.next_query()).collect()
+    }
+
+    /// Number of queries emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_core::fingerprint::canonicalize;
+    use mpdp_cost::pglike::PgLikeCost;
+
+    fn small_spec() -> StreamSpec {
+        StreamSpec {
+            templates: 24,
+            skew: 1.1,
+            min_rels: 6,
+            max_rels: 10,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn templates_cover_families_and_sizes() {
+        let m = PgLikeCost::new();
+        let s = ZipfStream::new(&small_spec(), &m);
+        assert_eq!(s.templates().len(), 24);
+        for fam in FAMILIES {
+            assert!(
+                s.templates().iter().any(|t| t.family == fam),
+                "family {fam} missing"
+            );
+        }
+        for t in s.templates() {
+            assert!(t.query.is_connected(), "template {} disconnected", t.rank);
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_skewed() {
+        let m = PgLikeCost::new();
+        let spec = small_spec();
+        let mut a = ZipfStream::new(&spec, &m);
+        let mut b = ZipfStream::new(&spec, &m);
+        let da: Vec<usize> = a.take(500).into_iter().map(|(r, _)| r).collect();
+        let db: Vec<usize> = b.take(500).into_iter().map(|(r, _)| r).collect();
+        assert_eq!(da, db, "same spec, same stream");
+        // Rank 0 must dominate any deep-tail rank under skew 1.1.
+        let head = da.iter().filter(|&&r| r == 0).count();
+        let tail = da.iter().filter(|&&r| r >= 12).count() / 12;
+        assert!(head > tail, "head {head} not more popular than tail {tail}");
+    }
+
+    #[test]
+    fn emissions_are_isomorphic_to_their_template() {
+        let m = PgLikeCost::new();
+        let mut s = ZipfStream::new(&small_spec(), &m);
+        for (rank, q) in s.take(50) {
+            let t = &s.templates()[rank].query;
+            assert_eq!(q.num_rels(), t.num_rels());
+            assert_eq!(q.edges.len(), t.edges.len());
+            assert_eq!(
+                canonicalize(&q).fingerprint,
+                canonicalize(t).fingerprint,
+                "emission of rank {rank} lost isomorphism"
+            );
+        }
+    }
+}

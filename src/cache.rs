@@ -1,0 +1,322 @@
+//! Sharded LRU plan cache keyed by query fingerprint.
+//!
+//! The memo table already amortizes planning *within* one query by caching
+//! canonical subplans; [`PlanCache`] lifts the same idea to whole queries
+//! across a serving workload. Keys are the 128-bit canonical fingerprints of
+//! `mpdp_core::fingerprint`, so isomorphic (relabeled) queries share one
+//! entry; values are the full [`Planned`] result with its plan relabeled
+//! into *canonical* relation slots, plus enough information for the service
+//! layer to remap leaves back into each caller's own relation ids.
+//!
+//! Concurrency: the key space is split across N independently mutex-guarded
+//! shards (fingerprints are uniform, so `fp mod N` balances). A lookup locks
+//! exactly one shard for a hash probe and an LRU-stamp bump — never the
+//! whole cache — which keeps the hit path contention-free for realistic
+//! worker counts. Eviction is per shard: capacity is divided evenly and the
+//! least-recently-used entry of the *shard* is evicted, which approximates
+//! global LRU the same way any sharded LRU (e.g. a CPU's set-associative
+//! cache) does.
+//!
+//! Observability rides the workspace's counters machinery:
+//! [`CacheCounters`] (hits / misses / insertions / evictions / expirations)
+//! is shared across shards and snapshotted via [`PlanCache::counters`].
+
+use crate::planner::Planned;
+use mpdp_core::counters::{CacheCounters, CacheSnapshot};
+use mpdp_core::fingerprint::Fingerprint;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`PlanCache`].
+#[derive(Copy, Clone, Debug)]
+pub struct CacheConfig {
+    /// Total entry capacity. Shard quotas sum to exactly this (base +
+    /// remainder spread over the first shards), so the configured bound is
+    /// never exceeded; with more shards than capacity, zero-quota shards
+    /// store nothing. 0 disables caching: every lookup misses, nothing is
+    /// stored.
+    pub capacity: usize,
+    /// Number of mutex-guarded shards. Clamped to at least 1; powers of two
+    /// divide fingerprints most evenly but any count works.
+    pub shards: usize,
+    /// Entries older than this are treated as absent and dropped on contact.
+    /// `None` disables expiry.
+    pub ttl: Option<Duration>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            // 4096 plans ≈ a few MB for serving-sized queries — plans are a
+            // few hundred bytes of tree nodes each.
+            capacity: 4096,
+            // 16 shards keeps p(two workers collide on a shard) low for the
+            // worker counts a single box runs (see DESIGN.md §5).
+            shards: 16,
+            ttl: None,
+        }
+    }
+}
+
+/// One cached plan: the planned result in canonical relation slots.
+///
+/// The payload sits behind an `Arc` so a hit clones a refcount under the
+/// shard lock, not a plan tree; the service relabels leaves outside the
+/// lock.
+#[derive(Clone, Debug)]
+pub struct CachedPlan {
+    /// The planning outcome; `planned.plan` leaves are canonical slots, and
+    /// `planned.wall`/`planned.reported` are the original (cold) times.
+    pub planned: std::sync::Arc<Planned>,
+}
+
+struct Entry {
+    value: CachedPlan,
+    /// LRU stamp: shard-local logical clock value of the last touch.
+    last_used: u64,
+    inserted_at: Instant,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u128, Entry>,
+    /// Shard-local logical clock; bumped on every touch.
+    clock: u64,
+}
+
+/// A thread-safe, sharded, LRU+TTL plan cache. See the module docs.
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard entry quota; quotas sum to exactly the configured total
+    /// capacity (base = capacity / shards, the remainder spread one entry
+    /// each over the first shards).
+    shard_capacity: Vec<usize>,
+    ttl: Option<Duration>,
+    counters: CacheCounters,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.shard_capacity.iter().sum::<usize>())
+            .field("ttl", &self.ttl)
+            .field("counters", &self.counters.snapshot())
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// Creates a cache from `config`.
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        let (base, rem) = (config.capacity / shards, config.capacity % shards);
+        PlanCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity: (0..shards).map(|i| base + usize::from(i < rem)).collect(),
+            ttl: config.ttl,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    #[inline]
+    fn shard_index(&self, fp: Fingerprint) -> usize {
+        // The fingerprint is already uniform; fold both lanes so sharding
+        // never depends on only one.
+        ((fp.hi ^ fp.lo) % self.shards.len() as u64) as usize
+    }
+
+    #[inline]
+    fn shard_of(&self, fp: Fingerprint) -> &Mutex<Shard> {
+        &self.shards[self.shard_index(fp)]
+    }
+
+    /// Looks up a fingerprint, refreshing its LRU stamp on a hit. Expired
+    /// entries are dropped and reported as misses (plus an expiration tick).
+    pub fn get(&self, fp: Fingerprint) -> Option<CachedPlan> {
+        let mut shard = self.shard_of(fp).lock().expect("cache shard poisoned");
+        let key = fp.as_u128();
+        shard.clock += 1;
+        let clock = shard.clock;
+        match shard.map.get_mut(&key) {
+            None => {
+                self.counters.record_miss();
+                None
+            }
+            Some(entry)
+                if self
+                    .ttl
+                    .is_some_and(|ttl| entry.inserted_at.elapsed() > ttl) =>
+            {
+                shard.map.remove(&key);
+                self.counters.record_expiration();
+                self.counters.record_miss();
+                None
+            }
+            Some(entry) => {
+                entry.last_used = clock;
+                self.counters.record_hit();
+                Some(entry.value.clone())
+            }
+        }
+    }
+
+    /// Inserts (or replaces) the plan for a fingerprint, evicting the
+    /// shard's least-recently-used entry when at capacity.
+    pub fn insert(&self, fp: Fingerprint, value: CachedPlan) {
+        let idx = self.shard_index(fp);
+        let capacity = self.shard_capacity[idx];
+        if capacity == 0 {
+            // Zero total capacity, or this shard drew no quota (more shards
+            // than entries): nothing is ever stored here.
+            return;
+        }
+        let mut shard = self.shards[idx].lock().expect("cache shard poisoned");
+        let key = fp.as_u128();
+        shard.clock += 1;
+        let clock = shard.clock;
+        if !shard.map.contains_key(&key) && shard.map.len() >= capacity {
+            // Evict the LRU entry. The scan is O(shard entries); shards are
+            // small (capacity / shards) and eviction only runs on full
+            // shards, so this stays off the hit path entirely.
+            if let Some((&victim, _)) = shard.map.iter().min_by_key(|(_, e)| e.last_used) {
+                shard.map.remove(&victim);
+                self.counters.record_eviction();
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: clock,
+                inserted_at: Instant::now(),
+            },
+        );
+        self.counters.record_insertion();
+    }
+
+    /// Number of live entries across all shards (expired entries still
+    /// count until touched).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// `true` if no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters are preserved).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("cache shard poisoned").map.clear();
+        }
+    }
+
+    /// A point-in-time copy of the hit/miss/insertion/eviction/expiration
+    /// counters.
+    pub fn counters(&self) -> CacheSnapshot {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_core::plan::PlanTree;
+
+    fn fp(i: u64) -> Fingerprint {
+        Fingerprint { hi: i, lo: !i }
+    }
+
+    fn plan(cost: f64) -> CachedPlan {
+        CachedPlan {
+            planned: std::sync::Arc::new(Planned {
+                plan: PlanTree::Scan {
+                    rel: 0,
+                    rows: 1.0,
+                    cost,
+                },
+                cost,
+                rows: 1.0,
+                wall: Duration::from_millis(1),
+                reported: Duration::from_millis(1),
+                counters: None,
+                profile: None,
+                gpu: None,
+                strategy: "test".into(),
+            }),
+        }
+    }
+
+    /// A single-shard cache so LRU order is globally observable.
+    fn single_shard(capacity: usize, ttl: Option<Duration>) -> PlanCache {
+        PlanCache::new(CacheConfig {
+            capacity,
+            shards: 1,
+            ttl,
+        })
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let c = single_shard(4, None);
+        assert!(c.get(fp(1)).is_none());
+        c.insert(fp(1), plan(10.0));
+        let hit = c.get(fp(1)).expect("hit");
+        assert_eq!(hit.planned.cost, 10.0);
+        let s = c.counters();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let c = single_shard(2, None);
+        c.insert(fp(1), plan(1.0));
+        c.insert(fp(2), plan(2.0));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(fp(1)).is_some());
+        c.insert(fp(3), plan(3.0));
+        assert!(c.get(fp(2)).is_none(), "LRU entry evicted");
+        assert!(c.get(fp(1)).is_some(), "recently-used entry survived");
+        assert!(c.get(fp(3)).is_some());
+        assert_eq!(c.counters().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let c = single_shard(4, Some(Duration::ZERO));
+        c.insert(fp(7), plan(1.0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(c.get(fp(7)).is_none());
+        let s = c.counters();
+        assert_eq!(s.expirations, 1);
+        assert_eq!(s.hits, 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = single_shard(0, None);
+        c.insert(fp(1), plan(1.0));
+        assert!(c.get(fp(1)).is_none());
+        assert_eq!(c.counters().insertions, 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let c = single_shard(2, None);
+        c.insert(fp(1), plan(1.0));
+        c.insert(fp(2), plan(2.0));
+        c.insert(fp(1), plan(9.0));
+        assert_eq!(c.counters().evictions, 0);
+        assert_eq!(c.get(fp(1)).unwrap().planned.cost, 9.0);
+        assert_eq!(c.len(), 2);
+    }
+}

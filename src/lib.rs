@@ -12,7 +12,11 @@
 //! * [`PlannerBuilder`] / [`Planner`] — the adaptive deployment the paper
 //!   recommends: exact MPDP up to a hardware-dependent relation limit, a
 //!   heuristic hybrid beyond it, with sequential / CPU-parallel / GPU
-//!   backends swapped in per platform.
+//!   backends swapped in per platform;
+//! * [`PlanService`] — the concurrent serving layer: a sharded LRU cache
+//!   keyed by canonical query fingerprints plus adaptive size/density
+//!   routing, for workloads that plan repeated query shapes under latency
+//!   budgets (see `service`).
 //!
 //! ```
 //! use mpdp::prelude::*;
@@ -52,35 +56,20 @@ pub use mpdp_heuristics as heuristics;
 pub use mpdp_parallel as parallel;
 pub use mpdp_workload as workload;
 
+pub mod cache;
 pub mod planner;
 pub mod registry;
+pub mod service;
 
+pub use cache::{CacheConfig, CachedPlan, PlanCache};
 pub use planner::{
     Backend, ExactAlgo, ExactStrategy, HeuristicStrategy, LargeAlgo, Planned, Planner,
     PlannerBuilder, Strategy, EXACT_MAX_RELS,
 };
 pub use registry::{registry, Registry};
+pub use service::{PlanRequest, PlanService, PlanServiceBuilder, RouterConfig, ServedPlan};
 
 pub use mpdp_core::EnumerationMode;
-
-use mpdp_core::{LargeQuery, OptError};
-use mpdp_cost::model::CostModel;
-use mpdp_heuristics::LargeOptResult;
-use std::time::Duration;
-
-/// Deprecated exact-optimizer trait, superseded by [`Strategy`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use mpdp::Strategy (via mpdp::registry() or PlannerBuilder) instead"
-)]
-pub use mpdp_dp::JoinOrderOptimizer;
-
-/// Deprecated heuristic-optimizer trait, superseded by [`Strategy`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use mpdp::Strategy (via mpdp::registry() or PlannerBuilder) instead"
-)]
-pub use mpdp_heuristics::LargeOptimizer;
 
 /// Most-used items in one import.
 pub mod prelude {
@@ -88,6 +77,7 @@ pub mod prelude {
         Backend, ExactAlgo, LargeAlgo, Planned, Planner, PlannerBuilder, Strategy,
     };
     pub use crate::registry::registry;
+    pub use crate::service::{PlanRequest, PlanService, PlanServiceBuilder, RouterConfig};
     pub use mpdp_core::{
         EnumerationMode, JoinGraph, LargeQuery, OptError, PlanTree, QueryInfo, RelInfo, RelSet,
     };
@@ -96,89 +86,17 @@ pub mod prelude {
     pub use mpdp_heuristics::LargeOptResult;
 }
 
-/// Adaptive join-order optimizer (deprecated shim over [`Planner`]).
-///
-/// Small queries (≤ [`Optimizer::exact_limit`]) are solved exactly with MPDP;
-/// larger ones fall back to UnionDP-MPDP — the configuration the paper
-/// recommends after raising PostgreSQL's heuristic-fall-back limit
-/// ("we are able to increase the heuristic-fall-back limit from 12 relations
-/// to 25 relations with same time budget").
-///
-/// Unlike the pre-`Planner` implementation, an `exact_limit` above 64 no
-/// longer risks [`OptError::TooLarge`]: queries beyond the 64-relation
-/// bitmap ceiling always route to the heuristic path.
-#[deprecated(since = "0.2.0", note = "use mpdp::PlannerBuilder instead")]
-#[derive(Copy, Clone, Debug)]
-pub struct Optimizer {
-    /// Largest query size optimized exactly.
-    pub exact_limit: usize,
-    /// UnionDP partition bound for larger queries.
-    pub partition_k: usize,
-    /// Optional optimization budget.
-    pub budget: Option<Duration>,
-}
-
-#[allow(deprecated)]
-impl Default for Optimizer {
-    fn default() -> Self {
-        Optimizer {
-            // 18 is a sensible exact limit for a single CPU core; the paper
-            // reaches 25 with a GPU.
-            exact_limit: 18,
-            partition_k: 15,
-            budget: None,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl Optimizer {
-    /// Default adaptive optimizer.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Sets the optimization budget.
-    pub fn with_budget(mut self, budget: Duration) -> Self {
-        self.budget = Some(budget);
-        self
-    }
-
-    /// Optimizes `query`, choosing exact MPDP or UnionDP-MPDP by size.
-    pub fn optimize(
-        &self,
-        query: &LargeQuery,
-        model: &dyn CostModel,
-    ) -> Result<LargeOptResult, OptError> {
-        let mut builder = PlannerBuilder::new()
-            .exact(ExactAlgo::Mpdp)
-            .fallback(LargeAlgo::UnionDp {
-                k: self.partition_k,
-            })
-            .exact_limit(self.exact_limit);
-        if let Some(b) = self.budget {
-            builder = builder.budget(b);
-        }
-        let planned = builder.build()?.plan_query(query, model)?;
-        Ok(LargeOptResult {
-            cost: planned.cost,
-            rows: planned.rows,
-            plan: planned.plan,
-        })
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use mpdp_cost::PgLikeCost;
+    use std::time::Duration;
 
     #[test]
     fn adaptive_small_is_exact() {
         let model = PgLikeCost::new();
         let q = workload::gen::cycle(8, 3, &model);
-        let adaptive = Optimizer::new().optimize(&q, &model).unwrap();
+        let adaptive = Planner::adaptive_default().plan_query(&q, &model).unwrap();
         let qi = q.to_query_info().unwrap();
         let exact = mpdp_dp::Mpdp::run(&mpdp_dp::OptContext::new(&qi, &model)).unwrap();
         assert!((adaptive.cost - exact.cost).abs() < 1e-6 * exact.cost.max(1.0));
@@ -188,9 +106,11 @@ mod tests {
     fn adaptive_large_uses_heuristic() {
         let model = PgLikeCost::new();
         let q = workload::gen::snowflake(80, 4, 5, &model);
-        let r = Optimizer::new()
-            .with_budget(Duration::from_secs(60))
-            .optimize(&q, &model)
+        let r = PlannerBuilder::new()
+            .budget(Duration::from_secs(60))
+            .build()
+            .unwrap()
+            .plan_query(&q, &model)
             .unwrap();
         assert_eq!(r.plan.num_rels(), 80);
         assert!(mpdp_heuristics::validate_large(&r.plan, &q).is_none());
@@ -202,9 +122,13 @@ mod tests {
         // the large path instead of failing with TooLarge.
         let model = PgLikeCost::new();
         let q = workload::gen::snowflake(80, 4, 5, &model);
-        let mut opt = Optimizer::new().with_budget(Duration::from_secs(60));
-        opt.exact_limit = 200;
-        let r = opt.optimize(&q, &model).unwrap();
+        let r = PlannerBuilder::new()
+            .budget(Duration::from_secs(60))
+            .exact_limit(200)
+            .build()
+            .unwrap()
+            .plan_query(&q, &model)
+            .unwrap();
         assert_eq!(r.plan.num_rels(), 80);
         assert!(mpdp_heuristics::validate_large(&r.plan, &q).is_none());
     }

@@ -76,6 +76,28 @@ pub struct Planned {
     pub strategy: String,
 }
 
+impl Planned {
+    /// The same result with plan leaves renamed through `new_of_old`
+    /// (see [`PlanTree::relabel`]); every other field carries over.
+    ///
+    /// Built field-wise so the only tree allocated is the relabeled one —
+    /// this is the serving layer's canonical-slot translation, run on every
+    /// cache hit and store.
+    pub fn with_relabeled_plan(&self, new_of_old: &[u32]) -> Planned {
+        Planned {
+            plan: self.plan.relabel(new_of_old),
+            cost: self.cost,
+            rows: self.rows,
+            wall: self.wall,
+            reported: self.reported,
+            counters: self.counters,
+            profile: self.profile.clone(),
+            gpu: self.gpu,
+            strategy: self.strategy.clone(),
+        }
+    }
+}
+
 /// A join-order planning algorithm selectable by name.
 ///
 /// This is the single front door that replaces the historical

@@ -1,0 +1,412 @@
+//! `PlanService` — a concurrent, plan-caching serving layer with adaptive
+//! algorithm routing.
+//!
+//! The paper frames join-order optimization as the latency-critical inner
+//! loop of a query optimizer; a deployment serves a *stream* of queries, not
+//! one. [`PlanService`] is the workspace's front door for that regime:
+//!
+//! * **Fingerprint cache** — every request is canonicalized
+//!   (`mpdp_core::fingerprint`) so isomorphic queries collide on a 128-bit
+//!   key; results live in a sharded LRU [`PlanCache`], and a hit answers in
+//!   microseconds with the cached plan remapped onto the caller's own
+//!   relation ids.
+//! * **Adaptive routing** — misses are routed to the cheapest adequate
+//!   algorithm by query size and join-graph density, in the spirit of the
+//!   paper's budget-aware fallback cascade (exact DPCCP for small queries,
+//!   MPDP — simulated-GPU for dense mid-range graphs — up to the exact
+//!   limit, UnionDP-MPDP beyond). Any request can override the route with an
+//!   explicit registry strategy name.
+//! * **Thread safety** — the service is `Send + Sync` and lock-free outside
+//!   the touched cache shard; a worker pool shares one service behind an
+//!   `Arc` (see `mpdp-bench`'s `repro serve` replay harness).
+//!
+//! Cold keys are *not* single-flighted: workers missing the same fingerprint
+//! concurrently each plan it and race to insert (last write wins — the
+//! payloads are identical, so any winner is correct). The duplicated work is
+//! bounded by the worker count and lasts only until the first insert;
+//! keeping the miss path guard-free avoids holding a per-key lock across an
+//! arbitrarily long DP run (up to the request budget).
+
+use crate::cache::{CacheConfig, CachedPlan, PlanCache};
+use crate::planner::{Planned, Strategy};
+use crate::registry;
+use mpdp_core::fingerprint::{canonicalize, Fingerprint};
+use mpdp_core::{LargeQuery, OptError};
+use mpdp_cost::model::CostModel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Folds a cost model's identity into a query fingerprint, producing the
+/// plan-cache key: plans are only comparable under one model, so entries
+/// from different models must never collide.
+fn keyed_by_model(fp: Fingerprint, model: &dyn CostModel) -> Fingerprint {
+    use mpdp_core::memo::murmur3_fmix64;
+    let mut h: u64 = 0x636f_7374_6d6f_6465; // "costmode"
+    for b in model.name().bytes() {
+        h = murmur3_fmix64(h.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ b as u64);
+    }
+    Fingerprint {
+        hi: fp.hi ^ h,
+        lo: fp.lo ^ murmur3_fmix64(h),
+    }
+}
+
+/// Routing thresholds: which algorithm serves which (size, density) regime.
+///
+/// Density is `2|E| / (n (n - 1))` — the filled fraction of the join graph.
+/// Defaults follow the paper's deployment guidance: DPCCP's edge-based
+/// enumeration is unbeatable while the search space is tiny; MPDP owns the
+/// mid-range (with the simulated-GPU driver for dense graphs, where
+/// level-parallel width pays); UnionDP-MPDP takes everything beyond the
+/// exact limit.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Queries up to this many relations go to exact DPCCP.
+    pub dpccp_limit: usize,
+    /// Queries up to this many relations go to MPDP (the paper's exact
+    /// limit for one CPU core; the GPU raises it to 25).
+    pub exact_limit: usize,
+    /// At or above this density, mid-range queries use the simulated-GPU
+    /// MPDP driver instead of sequential MPDP.
+    pub gpu_density: f64,
+    /// UnionDP partition bound for queries beyond the exact limit.
+    pub fallback_k: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            dpccp_limit: 10,
+            exact_limit: 18,
+            gpu_density: 0.5,
+            fallback_k: 15,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// The registry label this configuration routes `q` to.
+    pub fn route(&self, q: &LargeQuery) -> String {
+        let n = q.num_rels();
+        if n <= self.dpccp_limit.min(crate::planner::EXACT_MAX_RELS) {
+            return "DPCCP (1CPU)".to_string();
+        }
+        if n <= self.exact_limit.min(crate::planner::EXACT_MAX_RELS) {
+            return if self.density(q) >= self.gpu_density {
+                "MPDP (GPU)".to_string()
+            } else {
+                "MPDP".to_string()
+            };
+        }
+        format!("UnionDP-MPDP ({})", self.fallback_k)
+    }
+
+    /// Filled fraction of the join graph, in `[0, 1]`.
+    pub fn density(&self, q: &LargeQuery) -> f64 {
+        let n = q.num_rels();
+        if n < 2 {
+            return 1.0;
+        }
+        2.0 * q.edges.len() as f64 / (n * (n - 1)) as f64
+    }
+}
+
+/// Per-request options for [`PlanService::plan_with`].
+#[derive(Clone, Debug, Default)]
+pub struct PlanRequest {
+    /// Overrides the router with an explicit registry strategy name
+    /// (resolved through [`crate::registry()`], so aliases and
+    /// parameterized names work). An override implies a cache bypass: the
+    /// cache is keyed by fingerprint alone, so serving an override from it
+    /// could return some other strategy's plan, and storing the override's
+    /// plan would poison the default route for every later request.
+    pub strategy: Option<String>,
+    /// Overrides the service-level budget for this request.
+    pub budget: Option<Duration>,
+    /// Skips both cache lookup and insertion (e.g. for EXPLAIN ANALYZE-style
+    /// calls that must measure cold planning).
+    pub bypass_cache: bool,
+}
+
+/// The outcome of one served request.
+#[derive(Clone, Debug)]
+pub struct ServedPlan {
+    /// The planning result, with plan leaves in the *caller's* relation ids.
+    /// On a cache hit, `wall`/`reported`/counters describe the original cold
+    /// run that populated the cache.
+    pub planned: Planned,
+    /// `true` if the plan came from the cache.
+    pub cache_hit: bool,
+    /// End-to-end service latency of this request (canonicalization + cache
+    /// + planning + remap) — the number the throughput harness reports.
+    pub service_time: Duration,
+    /// The request's canonical fingerprint.
+    pub fingerprint: Fingerprint,
+}
+
+/// Builder for [`PlanService`].
+#[derive(Clone, Debug, Default)]
+pub struct PlanServiceBuilder {
+    cache: CacheConfig,
+    router: RouterConfig,
+    budget: Option<Duration>,
+}
+
+impl PlanServiceBuilder {
+    /// Default configuration: 4096-entry 16-shard cache, no TTL, default
+    /// routing thresholds, no budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total plan-cache capacity (0 disables caching).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache.capacity = capacity;
+        self
+    }
+
+    /// Number of cache shards.
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.cache.shards = shards;
+        self
+    }
+
+    /// Time-to-live for cached plans (plans for churning statistics should
+    /// not outlive the statistics).
+    pub fn cache_ttl(mut self, ttl: Duration) -> Self {
+        self.cache.ttl = Some(ttl);
+        self
+    }
+
+    /// Replaces the routing thresholds.
+    pub fn router(mut self, router: RouterConfig) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Default per-request optimization budget.
+    pub fn budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Builds the service.
+    pub fn build(self) -> PlanService {
+        PlanService {
+            cache: PlanCache::new(self.cache),
+            router: self.router,
+            budget: self.budget,
+        }
+    }
+}
+
+/// The concurrent serving layer. See the module docs; construct via
+/// [`PlanServiceBuilder`] and share across workers with an `Arc`.
+#[derive(Debug)]
+pub struct PlanService {
+    cache: PlanCache,
+    router: RouterConfig,
+    budget: Option<Duration>,
+}
+
+impl Default for PlanService {
+    fn default() -> Self {
+        PlanServiceBuilder::new().build()
+    }
+}
+
+impl PlanService {
+    /// A service with default cache and routing configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serves one query with default options.
+    pub fn plan(&self, q: &LargeQuery, model: &dyn CostModel) -> Result<ServedPlan, OptError> {
+        self.plan_with(q, model, &PlanRequest::default())
+    }
+
+    /// Serves one query: canonicalize, consult the cache, route a miss to
+    /// the configured algorithm, populate the cache, and return the plan in
+    /// the caller's relation ids.
+    pub fn plan_with(
+        &self,
+        q: &LargeQuery,
+        model: &dyn CostModel,
+        req: &PlanRequest,
+    ) -> Result<ServedPlan, OptError> {
+        let start = Instant::now();
+        let canonical = canonicalize(q);
+        let fp = canonical.fingerprint;
+        // Plans are only meaningful under the cost model that produced
+        // them, so the cache key folds the model's identity into the query
+        // fingerprint: a service shared across models (PgLike vs C_out)
+        // never serves one model's plan as another's. Models are identified
+        // by `CostModel::name()` — two models sharing a name must be
+        // identical (all in-tree ones are).
+        let cache_key = keyed_by_model(fp, model);
+        // A strategy override bypasses the cache (see `PlanRequest::strategy`).
+        let use_cache = !req.bypass_cache && req.strategy.is_none();
+
+        if use_cache {
+            if let Some(cached) = self.cache.get(cache_key) {
+                // Cached plan leaves are canonical slots; `order` maps slot
+                // -> this caller's relation id.
+                return Ok(ServedPlan {
+                    planned: cached.planned.with_relabeled_plan(&canonical.order),
+                    cache_hit: true,
+                    service_time: start.elapsed(),
+                    fingerprint: fp,
+                });
+            }
+        }
+
+        let strategy = self.resolve(q, req)?;
+        let budget = req.budget.or(self.budget);
+        let planned = strategy.plan(q, model, budget)?;
+
+        if use_cache {
+            // Store with plan leaves relabeled into canonical slots so any
+            // isomorphic future request can remap them onto its own ids.
+            self.cache.insert(
+                cache_key,
+                CachedPlan {
+                    planned: Arc::new(planned.with_relabeled_plan(&canonical.slot)),
+                },
+            );
+        }
+
+        Ok(ServedPlan {
+            planned,
+            cache_hit: false,
+            service_time: start.elapsed(),
+            fingerprint: fp,
+        })
+    }
+
+    /// The registry label the router (or the request override) picks for `q`.
+    pub fn route_for(&self, q: &LargeQuery, req: &PlanRequest) -> String {
+        req.strategy.clone().unwrap_or_else(|| self.router.route(q))
+    }
+
+    fn resolve(&self, q: &LargeQuery, req: &PlanRequest) -> Result<Arc<dyn Strategy>, OptError> {
+        let name = self.route_for(q, req);
+        registry()
+            .get(&name)
+            .ok_or_else(|| OptError::Internal(format!("unknown strategy \"{name}\"")))
+    }
+
+    /// Cache hit/miss/insertion/eviction/expiration counters.
+    pub fn cache_counters(&self) -> mpdp_core::counters::CacheSnapshot {
+        self.cache.counters()
+    }
+
+    /// Number of plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops all cached plans (e.g. after a statistics refresh).
+    pub fn clear_cache(&self) {
+        self.cache.clear()
+    }
+
+    /// The routing configuration.
+    pub fn router_config(&self) -> &RouterConfig {
+        &self.router
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_cost::PgLikeCost;
+    use mpdp_workload::gen;
+
+    #[test]
+    fn router_thresholds() {
+        let r = RouterConfig::default();
+        let m = PgLikeCost::new();
+        assert_eq!(r.route(&gen::chain(8, 1, &m)), "DPCCP (1CPU)");
+        assert_eq!(r.route(&gen::chain(16, 1, &m)), "MPDP");
+        // A 12-relation clique is fully dense -> simulated GPU.
+        assert_eq!(r.route(&gen::clique(12, 1, &m)), "MPDP (GPU)");
+        assert_eq!(r.route(&gen::chain(40, 1, &m)), "UnionDP-MPDP (15)");
+    }
+
+    #[test]
+    fn hit_returns_callers_labels() {
+        let m = PgLikeCost::new();
+        let svc = PlanService::new();
+        let q = gen::star(12, 5, &m);
+        let cold = svc.plan(&q, &m).unwrap();
+        assert!(!cold.cache_hit);
+        // Same query, relations listed in reverse: must hit and validate
+        // against the *relabeled* query.
+        let perm: Vec<usize> = (0..12).rev().collect();
+        let r = q.relabel(&perm);
+        let hit = svc.plan(&r, &m).unwrap();
+        assert!(hit.cache_hit);
+        assert_eq!(hit.fingerprint, cold.fingerprint);
+        assert!((hit.planned.cost - cold.planned.cost).abs() < 1e-9 * cold.planned.cost.max(1.0));
+        let qi = r.to_query_info().unwrap();
+        assert!(hit.planned.plan.validate(&qi.graph).is_none());
+    }
+
+    #[test]
+    fn different_cost_models_never_share_entries() {
+        use mpdp_cost::CoutCost;
+        let m_pg = PgLikeCost::new();
+        let m_cout = CoutCost;
+        let svc = PlanService::new();
+        let q = gen::chain(9, 4, &m_pg);
+        let pg = svc.plan(&q, &m_pg).unwrap();
+        assert!(!pg.cache_hit);
+        // Same query under another model must miss and re-plan, not be
+        // served the PgLike plan/cost.
+        let cout = svc.plan(&q, &m_cout).unwrap();
+        assert!(!cout.cache_hit, "model identity must separate cache keys");
+        assert_ne!(pg.planned.cost, cout.planned.cost);
+        // Each model's entry still hits for itself.
+        assert!(svc.plan(&q, &m_pg).unwrap().cache_hit);
+        assert!(svc.plan(&q, &m_cout).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn bypass_and_override() {
+        let m = PgLikeCost::new();
+        let svc = PlanService::new();
+        let q = gen::chain(9, 2, &m);
+        let bypass = PlanRequest {
+            bypass_cache: true,
+            ..Default::default()
+        };
+        svc.plan_with(&q, &m, &bypass).unwrap();
+        assert_eq!(svc.cached_plans(), 0);
+        let forced = PlanRequest {
+            strategy: Some("MPDP".into()),
+            ..Default::default()
+        };
+        let served = svc.plan_with(&q, &m, &forced).unwrap();
+        assert_eq!(served.planned.strategy, "MPDP");
+        // An override implies a cache bypass: it must neither poison the
+        // cache for default requests nor be answered from it.
+        assert!(!served.cache_hit);
+        assert_eq!(svc.cached_plans(), 0);
+        let default_served = svc.plan(&q, &m).unwrap();
+        assert!(!default_served.cache_hit, "override must not populate");
+        let forced_again = svc.plan_with(&q, &m, &forced).unwrap();
+        assert!(
+            !forced_again.cache_hit,
+            "override must not be served another strategy's cached plan"
+        );
+        // Unknown strategy name surfaces as an error, not a panic (bypass
+        // the cache so resolution actually runs — a hit never routes).
+        let bogus = PlanRequest {
+            strategy: Some("NoSuchPlanner".into()),
+            bypass_cache: true,
+            ..Default::default()
+        };
+        assert!(svc.plan_with(&q, &m, &bogus).is_err());
+    }
+}

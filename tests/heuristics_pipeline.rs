@@ -126,17 +126,20 @@ fn adaptive_registry_entry_matches_planner() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_optimizer_facade_still_works() {
-    // The pre-Planner entry point must keep compiling and producing valid
-    // plans for one deprecation cycle.
+fn adaptive_planner_covers_both_regimes() {
+    // The composed deployment (successor of the removed pre-Planner
+    // `Optimizer` facade) must produce valid plans on both sides of the
+    // exact limit.
     let m = PgLikeCost::new();
     let small = gen::chain(6, 1, &m);
     let large = gen::snowflake(120, 4, 1, &m);
-    let opt = mpdp::Optimizer::new().with_budget(Duration::from_secs(60));
-    let rs = opt.optimize(&small, &m).unwrap();
+    let planner = mpdp::PlannerBuilder::new()
+        .budget(Duration::from_secs(60))
+        .build()
+        .unwrap();
+    let rs = planner.plan_query(&small, &m).unwrap();
     assert_eq!(rs.plan.num_rels(), 6);
-    let rl = opt.optimize(&large, &m).unwrap();
+    let rl = planner.plan_query(&large, &m).unwrap();
     assert_eq!(rl.plan.num_rels(), 120);
     assert!(validate_large(&rl.plan, &large).is_none());
 }

@@ -1,0 +1,210 @@
+//! Integration tests for the serving layer: fingerprint canonicalization,
+//! the sharded LRU plan cache, and `PlanService` under concurrency.
+
+use mpdp::cache::{CacheConfig, PlanCache};
+use mpdp::service::{PlanRequest, PlanService, PlanServiceBuilder};
+use mpdp_core::fingerprint::canonicalize;
+use mpdp_core::LargeQuery;
+use mpdp_cost::PgLikeCost;
+use mpdp_workload::gen;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A random permutation of `0..n`, deterministic in `seed`.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(&mut rng);
+    perm
+}
+
+/// A random connected query of 4–14 relations, deterministic in `seed`.
+fn random_query(seed: u64) -> LargeQuery {
+    let m = PgLikeCost::new();
+    let n = 4 + (seed % 11) as usize;
+    let extra = (seed % 5) as usize;
+    gen::random_connected(n, extra, seed, &m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Canonical fingerprints are equal exactly when the queries are
+    /// relabelings of one another — equal across every random permutation
+    /// of one query, different across queries from different seeds — and an
+    /// equal fingerprint really does mean the cached plan remaps onto the
+    /// relabeled query as a valid, cost-identical plan.
+    #[test]
+    fn fingerprints_collide_iff_plans_remap(seed in 0u64..10_000) {
+        let m = PgLikeCost::new();
+        let q = random_query(seed);
+        let n = q.num_rels();
+        let fp = canonicalize(&q).fingerprint;
+
+        // Equal for every relabeling...
+        let relabeled = q.relabel(&permutation(n, seed ^ 0xabcd));
+        prop_assert_eq!(canonicalize(&relabeled).fingerprint, fp);
+
+        // ...different for a different query (same size family, other seed).
+        let other = random_query(seed + 17);
+        prop_assert_ne!(canonicalize(&other).fingerprint, fp);
+
+        // Remap equivalence: plan q cold, then serve the relabeling from
+        // cache; the remapped plan must be valid for the relabeled query
+        // and cost-identical (plan quality survives the round trip).
+        let svc = PlanService::new();
+        let cold = svc.plan(&q, &m).unwrap();
+        prop_assert!(!cold.cache_hit);
+        let hit = svc.plan(&relabeled, &m).unwrap();
+        prop_assert!(hit.cache_hit, "equal fingerprints must hit");
+        let qi = relabeled.to_query_info().unwrap();
+        prop_assert!(hit.planned.plan.validate(&qi.graph).is_none());
+        let tol = 1e-9 * cold.planned.cost.max(1.0);
+        prop_assert!((hit.planned.cost - cold.planned.cost).abs() <= tol);
+    }
+}
+
+#[test]
+fn lru_eviction_order_across_the_facade() {
+    // Single shard, capacity 3: inserting a 4th evicts the least recently
+    // *used* (not least recently inserted) entry.
+    let m = PgLikeCost::new();
+    let svc = PlanServiceBuilder::new()
+        .cache_capacity(3)
+        .cache_shards(1)
+        .build();
+    let queries: Vec<LargeQuery> = (0..4).map(|i| gen::chain(6, 100 + i, &m)).collect();
+    for q in &queries[..3] {
+        assert!(!svc.plan(q, &m).unwrap().cache_hit);
+    }
+    // Touch query 0 so query 1 becomes the LRU victim.
+    assert!(svc.plan(&queries[0], &m).unwrap().cache_hit);
+    assert!(!svc.plan(&queries[3], &m).unwrap().cache_hit);
+    assert_eq!(svc.cache_counters().evictions, 1);
+    // 0, 2, 3 still cached; 1 was evicted.
+    assert!(svc.plan(&queries[0], &m).unwrap().cache_hit);
+    assert!(svc.plan(&queries[2], &m).unwrap().cache_hit);
+    assert!(svc.plan(&queries[3], &m).unwrap().cache_hit);
+    assert!(!svc.plan(&queries[1], &m).unwrap().cache_hit);
+}
+
+#[test]
+fn sharded_cache_respects_total_capacity() {
+    let cache = PlanCache::new(CacheConfig {
+        capacity: 8,
+        shards: 4,
+        ttl: None,
+    });
+    assert!(cache.is_empty());
+    // The cache only ever holds ceil(capacity/shards) entries per shard.
+    let m = PgLikeCost::new();
+    let svc = PlanServiceBuilder::new()
+        .cache_capacity(8)
+        .cache_shards(4)
+        .build();
+    for i in 0..40 {
+        svc.plan(&gen::chain(5, i, &m), &m).unwrap();
+    }
+    assert!(
+        svc.cached_plans() <= 8,
+        "40 inserts, capacity 8, got {}",
+        svc.cached_plans()
+    );
+    assert!(svc.cache_counters().evictions >= 32);
+}
+
+#[test]
+fn concurrent_hammer_counts_stay_consistent() {
+    // 8 threads × 200 requests over 10 shapes: every request is exactly one
+    // hit or one miss, and every plan is valid for its (relabeled) query.
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 200;
+    const SHAPES: usize = 10;
+
+    let m = PgLikeCost::new();
+    let svc = Arc::new(
+        PlanServiceBuilder::new()
+            .cache_capacity(256)
+            .cache_shards(8)
+            .build(),
+    );
+    let shapes: Arc<Vec<LargeQuery>> = Arc::new(
+        (0..SHAPES as u64)
+            .map(|i| gen::star(8 + (i % 4) as usize, 900 + i, &m))
+            .collect(),
+    );
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let svc = Arc::clone(&svc);
+            let shapes = Arc::clone(&shapes);
+            scope.spawn(move || {
+                let m = PgLikeCost::new();
+                let mut rng = StdRng::seed_from_u64(t as u64);
+                for i in 0..PER_THREAD {
+                    let shape = &shapes[(t + i) % SHAPES];
+                    let q = shape.relabel(&permutation(shape.num_rels(), rng.gen()));
+                    let served = svc.plan(&q, &m).expect("plan");
+                    let qi = q.to_query_info().unwrap();
+                    assert!(
+                        served.planned.plan.validate(&qi.graph).is_none(),
+                        "thread {t} request {i} got an invalid plan"
+                    );
+                }
+            });
+        }
+    });
+
+    let s = svc.cache_counters();
+    assert_eq!(
+        s.hits + s.misses,
+        (THREADS * PER_THREAD) as u64,
+        "hit/miss accounting lost requests: {s:?}"
+    );
+    // Every miss leads to exactly one insertion (capacity 256 > 10 shapes,
+    // so nothing is evicted and re-planned).
+    assert_eq!(s.misses, s.insertions, "{s:?}");
+    assert_eq!(s.evictions, 0, "{s:?}");
+    // At least one thread must have missed per shape; everything else hits.
+    assert!(s.misses >= SHAPES as u64, "{s:?}");
+    assert!(
+        s.hit_rate() > 0.9,
+        "10 shapes over 1600 requests should mostly hit: {s:?}"
+    );
+}
+
+#[test]
+fn per_request_override_and_bypass_coexist_with_concurrency() {
+    // A bypassed request must not pollute the cache; an override must
+    // resolve through the registry even while other threads hit the cache.
+    let m = PgLikeCost::new();
+    let svc = Arc::new(PlanService::new());
+    let q = gen::cycle(10, 77, &m);
+    svc.plan(&q, &m).unwrap();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let svc = Arc::clone(&svc);
+            let q = q.clone();
+            scope.spawn(move || {
+                let m = PgLikeCost::new();
+                let bypass = PlanRequest {
+                    bypass_cache: true,
+                    strategy: Some("DPSub (1CPU)".into()),
+                    ..Default::default()
+                };
+                for _ in 0..20 {
+                    let cold = svc.plan_with(&q, &m, &bypass).unwrap();
+                    assert!(!cold.cache_hit);
+                    assert_eq!(cold.planned.strategy, "DPSub (1CPU)");
+                    let hit = svc.plan(&q, &m).unwrap();
+                    assert!(hit.cache_hit);
+                }
+            });
+        }
+    });
+    // One cold plan populated the cache; bypasses added nothing.
+    assert_eq!(svc.cache_counters().insertions, 1);
+}
