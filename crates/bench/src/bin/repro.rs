@@ -3,14 +3,17 @@
 //! ```text
 //! repro <experiment> [..]     experiments: fig2 fig4 fig6 fig7 fig8 fig9
 //!                             fig10 fig11 fig12 fig13 table1 table2 table3
-//!                             ablation bench serve all
-//! --emit-json <path>          (bench) write per-algorithm wall/model times
+//!                             ablation bench scale serve all
+//! --emit-json <path>          (bench, scale) write per-run wall/model times
 //!                             and counters as JSON
-//! --check-against <path>      (bench) compare wall times against a
+//! --check-against <path>      (bench, scale) compare wall times against a
 //!                             committed baseline JSON; exit 1 if any
 //!                             algorithm regressed more than 2x
 //! --queries <n>               (serve) stream length (default 10000)
-//! --workers <n>               (serve) worker threads (default 4)
+//! --workers <n>               (serve) worker threads (default 4);
+//!                             (scale) max worker count of the 1/2/4/…
+//!                             sweep (default 8)
+//! --queries-small             (scale) reduced shape set for CI smoke
 //! REPRO_SCALE={quick,paper}   sweep sizes (default quick)
 //! REPRO_TIMEOUT_MS=<ms>       per-query optimization budget
 //! ```
@@ -22,8 +25,10 @@
 
 use mpdp::registry;
 use mpdp_bench::aws;
+use mpdp_bench::regress::{check_regressions, WallRun};
 use mpdp_bench::runner::{run_exact, AlgoKind, EXACT_ROSTER};
 use mpdp_bench::scale::Scale;
+use mpdp_bench::scaling::{self, figure5_query, ScaleConfig};
 use mpdp_bench::starform;
 use mpdp_bench::stats::{fmt_ms, mean, percentile};
 use mpdp_core::{LargeQuery, OptError, QueryInfo};
@@ -42,13 +47,19 @@ fn main() {
     let mut check_against: Option<String> = None;
     let mut serve_queries: usize = 10_000;
     let mut serve_workers: usize = 4;
+    let mut workers_given = false;
+    let mut queries_small = false;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--emit-json" => emit_json = it.next(),
             "--check-against" => check_against = it.next(),
             "--queries" => serve_queries = parse_count_flag("--queries", it.next()),
-            "--workers" => serve_workers = parse_count_flag("--workers", it.next()),
+            "--workers" => {
+                serve_workers = parse_count_flag("--workers", it.next());
+                workers_given = true;
+            }
+            "--queries-small" => queries_small = true,
             _ => args.push(a),
         }
     }
@@ -56,7 +67,7 @@ fn main() {
     let what: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "ablation", "table1", "table2", "table3", "bench", "serve",
+            "ablation", "table1", "table2", "table3", "bench", "scale", "serve",
         ]
     } else {
         args.iter().map(|s| s.as_str()).collect()
@@ -79,6 +90,12 @@ fn main() {
             "fig13" => fig13(scale),
             "ablation" => ablation(scale),
             "bench" => bench(scale, emit_json.as_deref(), check_against.as_deref()),
+            "scale" => scale_experiment(
+                if workers_given { serve_workers } else { 8 },
+                queries_small,
+                emit_json.as_deref(),
+                check_against.as_deref(),
+            ),
             "serve" => serve(serve_queries, serve_workers),
             "table1" => heuristic_table(scale, "table1", "snowflake", scale.table1_sizes()),
             "table2" => heuristic_table(scale, "table2", "star", scale.table2_sizes()),
@@ -613,6 +630,9 @@ struct BenchRecord {
     ccp: u64,
     sets: u64,
     unranked: u64,
+    memo_load: f64,
+    memo_probes: u64,
+    cas_retries: u64,
 }
 
 impl BenchRecord {
@@ -622,7 +642,8 @@ impl BenchRecord {
         format!(
             "{{\"shape\": \"{}\", \"n\": {}, \"algorithm\": \"{}\", \"wall_ms\": {:.3}, \
              \"reported_ms\": {:.3}, \"reported_is_model\": {}, \"cost\": {:.6e}, \
-             \"evaluated\": {}, \"ccp\": {}, \"sets\": {}, \"unranked\": {}}}",
+             \"evaluated\": {}, \"ccp\": {}, \"sets\": {}, \"unranked\": {}, \
+             \"memo_load\": {:.3}, \"memo_probes\": {}, \"cas_retries\": {}}}",
             self.shape,
             self.n,
             self.algorithm,
@@ -634,36 +655,11 @@ impl BenchRecord {
             self.ccp,
             self.sets,
             self.unranked,
+            self.memo_load,
+            self.memo_probes,
+            self.cas_retries,
         )
     }
-}
-
-/// The Figure 5 nine-relation cyclic query (two 4-blocks + two bridges).
-fn figure5_query(model: &PgLikeCost) -> QueryInfo {
-    use mpdp_core::{JoinGraph, RelInfo};
-    use mpdp_cost::model::CostModel;
-    let mut g = JoinGraph::new(9);
-    for &(u, v) in &[
-        (1, 2),
-        (2, 4),
-        (4, 3),
-        (3, 1),
-        (4, 5),
-        (5, 9),
-        (6, 7),
-        (7, 8),
-        (8, 9),
-        (9, 6),
-    ] {
-        g.add_edge(u - 1, v - 1, 0.01);
-    }
-    let rels = (0..9)
-        .map(|i| {
-            let rows = 1000.0 * (i + 1) as f64;
-            RelInfo::new(rows, model.scan_cost(rows))
-        })
-        .collect();
-    QueryInfo::new(g, rels)
 }
 
 /// The tier-1 algorithms covered by the committed `BENCH_baseline.json` and
@@ -690,7 +686,10 @@ fn bench(_scale: Scale, emit_json: Option<&str>, check_against: Option<&str>) {
         Err(_) => Duration::from_secs(120),
     };
     println!("\n## bench — CI shape set, per-algorithm times and counters");
-    println!("shape\tn\talgorithm\twall_ms\treported_ms\tevaluated\tccp\tsets\tunranked");
+    println!(
+        "shape\tn\talgorithm\twall_ms\treported_ms\tevaluated\tccp\tsets\tunranked\t\
+         memo_load\tprobes\tcas_retries"
+    );
     let shapes: Vec<(&'static str, usize, QueryInfo)> = vec![
         (
             "chain",
@@ -716,6 +715,9 @@ fn bench(_scale: Scale, emit_json: Option<&str>, check_against: Option<&str>) {
             match strat.plan_exact(q, &model, Some(budget)) {
                 Ok(r) => {
                     let c = r.counters.unwrap_or_default();
+                    let health = r.profile.as_ref().and_then(|p| p.memo);
+                    let (probes, retries) =
+                        health.map(|h| (h.probes, h.cas_retries)).unwrap_or((0, 0));
                     let rec = BenchRecord {
                         shape,
                         n: *n,
@@ -728,15 +730,21 @@ fn bench(_scale: Scale, emit_json: Option<&str>, check_against: Option<&str>) {
                         ccp: c.ccp,
                         sets: c.sets,
                         unranked: c.unranked,
+                        memo_load: health.map(|h| h.load_factor()).unwrap_or(0.0),
+                        memo_probes: probes,
+                        cas_retries: retries,
                     };
                     println!(
-                        "{shape}\t{n}\t{name}\t{:.2}\t{:.2}\t{}\t{}\t{}\t{}",
+                        "{shape}\t{n}\t{name}\t{:.2}\t{:.2}\t{}\t{}\t{}\t{}\t{:.2}\t{}\t{}",
                         rec.wall_ms,
                         rec.reported_ms,
                         rec.evaluated,
                         rec.ccp,
                         rec.sets,
-                        rec.unranked
+                        rec.unranked,
+                        rec.memo_load,
+                        rec.memo_probes,
+                        rec.cas_retries
                     );
                     records.push(rec);
                 }
@@ -803,15 +811,72 @@ fn bench(_scale: Scale, emit_json: Option<&str>, check_against: Option<&str>) {
     }
 
     if let Some(path) = check_against {
-        let regressions = check_regressions(path, &records);
-        if !regressions.is_empty() {
-            eprintln!("# BENCH REGRESSIONS (>2x wall time vs {path}):");
-            for r in &regressions {
-                eprintln!("#   {r}");
-            }
+        let runs: Vec<WallRun> = records
+            .iter()
+            .map(|r| WallRun {
+                shape: r.shape.to_string(),
+                n: r.n,
+                algorithm: r.algorithm.clone(),
+                wall_ms: r.wall_ms,
+            })
+            .collect();
+        gate_or_exit(path, &runs, "BENCH", true);
+    }
+}
+
+/// Runs the shared regression gate and exits non-zero on findings.
+fn gate_or_exit(path: &str, runs: &[WallRun], label: &str, require_full_coverage: bool) {
+    let regressions = check_regressions(path, runs, require_full_coverage);
+    if !regressions.is_empty() {
+        eprintln!("# {label} REGRESSIONS (>2x wall time vs {path}):");
+        for r in &regressions {
+            eprintln!("#   {r}");
+        }
+        std::process::exit(1);
+    }
+    println!("# no >2x wall-time regression against {path}");
+}
+
+// ------------------------------------------------------------------ scale
+
+/// `repro scale`: strong-scaling sweep of the shared-atomic-memo parallel
+/// MPDP (see `mpdp_bench::scaling`). `max_workers` bounds a 1/2/4/8 sweep;
+/// `small` selects the reduced CI shape set.
+fn scale_experiment(
+    max_workers: usize,
+    small: bool,
+    emit_json: Option<&str>,
+    check_against: Option<&str>,
+) {
+    let mut config = ScaleConfig::default_full();
+    config.workers.retain(|&w| w <= max_workers.max(1));
+    config.small = small;
+    println!(
+        "\n## scale — lock-free shared memo: MPDP (CPU) strong scaling ({} shapes, workers {:?})",
+        if small { "small" } else { "full" },
+        config.workers
+    );
+    let model = PgLikeCost::new();
+    let report = match scaling::run_scale(&config, &model) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scale failed: {e}");
             std::process::exit(1);
         }
-        println!("# no >2x wall-time regression against {path}");
+    };
+    print!("{}", report.render());
+    if let Some(s) = report.model_speedup("job", 4) {
+        println!("# JOB-sized query, 4 workers: {s:.2}x model speedup over 1 worker");
+    }
+    if let Some(path) = emit_json {
+        std::fs::write(path, report.to_json()).expect("write scale JSON");
+        println!("# wrote {path}");
+    }
+    if let Some(path) = check_against {
+        // Intersection coverage: the committed BENCH_scale.json carries the
+        // union of the full and small sweeps, so any single invocation
+        // re-times a deliberate subset of it.
+        gate_or_exit(path, &report.wall_runs(), "SCALE", false);
     }
 }
 
@@ -822,91 +887,6 @@ fn make_query_shape(shape: &str, n: usize, seed: u64, model: &PgLikeCost) -> Que
         "cycle" => gen::cycle(n, seed, model).to_query_info().unwrap(),
         other => panic!("unknown bench shape {other}"),
     }
-}
-
-/// Reads `(shape, n, algorithm) -> wall_ms` from a bench JSON produced by
-/// `--emit-json` (one record per line) and reports >2× regressions.
-///
-/// The baseline was timed on one specific machine, so raw ratios would flag
-/// every run on a uniformly slower CI runner. The check therefore
-/// normalizes by the *median* current/baseline ratio across all matched
-/// runs (the machine-speed factor) and only flags algorithm-specific
-/// regressions beyond 2× of that. Noise floor: a run is only flagged once
-/// its absolute wall time exceeds 5 ms — sub-millisecond rows jitter far
-/// more than 2× between invocations, but a genuine blow-up still crosses
-/// the floor.
-fn check_regressions(path: &str, current: &[BenchRecord]) -> Vec<String> {
-    const FACTOR: f64 = 2.0;
-    const FLOOR_MS: f64 = 5.0;
-    let baseline = match std::fs::read_to_string(path) {
-        Ok(s) => s,
-        Err(e) => return vec![format!("cannot read baseline {path}: {e}")],
-    };
-    let mut out = Vec::new();
-    // (label, baseline wall, current wall) for every matched run.
-    let mut matched: Vec<(String, f64, f64)> = Vec::new();
-    for line in baseline.lines() {
-        let line = line.trim().trim_end_matches(',');
-        if !line.starts_with('{') || !line.contains("\"algorithm\"") {
-            continue;
-        }
-        let (Some(shape), Some(algo), Some(n), Some(wall)) = (
-            json_str(line, "shape"),
-            json_str(line, "algorithm"),
-            json_num(line, "n"),
-            json_num(line, "wall_ms"),
-        ) else {
-            continue;
-        };
-        let Some(cur) = current
-            .iter()
-            .find(|r| r.shape == shape && r.algorithm == algo && (r.n as f64 - n).abs() < 0.5)
-        else {
-            out.push(format!(
-                "{shape}({n})/{algo}: present in baseline, missing now"
-            ));
-            continue;
-        };
-        matched.push((format!("{shape}({n})/{algo}"), wall, cur.wall_ms));
-    }
-    if matched.is_empty() {
-        out.push(format!("no baseline runs matched in {path}"));
-        return out;
-    }
-    let mut ratios: Vec<f64> = matched
-        .iter()
-        .map(|(_, base, cur)| cur / base.max(1e-9))
-        .collect();
-    ratios.sort_unstable_by(|a, b| a.total_cmp(b));
-    let machine_factor = ratios[ratios.len() / 2].max(1e-9);
-    println!("# machine-speed factor vs baseline (median wall ratio): {machine_factor:.2}");
-    for (label, base, cur) in matched {
-        if cur > FLOOR_MS && cur > FACTOR * machine_factor * base {
-            out.push(format!(
-                "{label}: {cur:.1} ms vs baseline {base:.1} ms (machine factor {machine_factor:.2})"
-            ));
-        }
-    }
-    out
-}
-
-/// Extracts `"key": "value"` from a single-line JSON object.
-fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let tag = format!("\"{key}\": \"");
-    let start = line.find(&tag)? + tag.len();
-    let end = line[start..].find('"')? + start;
-    Some(&line[start..end])
-}
-
-/// Extracts `"key": <number>` from a single-line JSON object.
-fn json_num(line: &str, key: &str) -> Option<f64> {
-    let tag = format!("\"{key}\": ");
-    let start = line.find(&tag)? + tag.len();
-    let rest = &line[start..];
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }
 
 // ------------------------------------------------------------------ serve

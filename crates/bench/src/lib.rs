@@ -18,12 +18,16 @@
 #![warn(missing_docs)]
 
 pub mod aws;
+pub mod regress;
 pub mod runner;
 pub mod scale;
+pub mod scaling;
 pub mod serve;
 pub mod starform;
 pub mod stats;
 
+pub use regress::{check_regressions, WallRun};
 pub use runner::{run_exact, AlgoKind, RunOutcome, EXACT_ROSTER};
 pub use scale::Scale;
+pub use scaling::{run_scale, ScaleConfig, ScaleReport};
 pub use serve::{replay, ServeConfig, ServeReport};

@@ -1,0 +1,183 @@
+//! The wall-time regression gate shared by `repro bench` and `repro scale`.
+//!
+//! A baseline JSON (committed as `BENCH_baseline.json` / `BENCH_scale.json`)
+//! holds one self-contained object per line with at least `shape`, `n`,
+//! `algorithm` and `wall_ms`; the gate re-times the same runs and flags
+//! algorithm-specific slowdowns beyond 2× after normalizing out the
+//! machine-speed difference.
+
+/// One timed run, keyed the way baselines store it.
+#[derive(Clone, Debug)]
+pub struct WallRun {
+    /// Query shape label (`"chain"`, `"fig5"`, …).
+    pub shape: String,
+    /// Relation count.
+    pub n: usize,
+    /// Algorithm label; `repro scale` encodes the worker count here
+    /// (`"MPDP (4CPU)"`).
+    pub algorithm: String,
+    /// Measured wall time in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Reads `(shape, n, algorithm) -> wall_ms` records from a baseline JSON
+/// produced with `--emit-json` (one record per line) and reports >2×
+/// regressions among `current`. `require_full_coverage` makes a baseline
+/// row with no current counterpart a finding (the bench gate re-runs its
+/// whole roster); the scale smoke leg re-times a deliberate subset of its
+/// committed full-sweep baseline, so it passes `false` and only the
+/// intersection is compared.
+///
+/// The baseline was timed on one specific machine, so raw ratios would flag
+/// every run on a uniformly slower CI runner. The check therefore
+/// normalizes by the *median* current/baseline ratio across all matched
+/// runs (the machine-speed factor) and only flags algorithm-specific
+/// regressions beyond 2× of that. Noise floor: a run is only flagged once
+/// its absolute wall time exceeds 5 ms — sub-millisecond rows jitter far
+/// more than 2× between invocations, but a genuine blow-up still crosses
+/// the floor.
+pub fn check_regressions(
+    path: &str,
+    current: &[WallRun],
+    require_full_coverage: bool,
+) -> Vec<String> {
+    const FACTOR: f64 = 2.0;
+    const FLOOR_MS: f64 = 5.0;
+    let baseline = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => return vec![format!("cannot read baseline {path}: {e}")],
+    };
+    let mut out = Vec::new();
+    // (label, baseline wall, current wall) for every matched run.
+    let mut matched: Vec<(String, f64, f64)> = Vec::new();
+    for line in baseline.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.contains("\"algorithm\"") {
+            continue;
+        }
+        let (Some(shape), Some(algo), Some(n), Some(wall)) = (
+            json_str(line, "shape"),
+            json_str(line, "algorithm"),
+            json_num(line, "n"),
+            json_num(line, "wall_ms"),
+        ) else {
+            continue;
+        };
+        let Some(cur) = current
+            .iter()
+            .find(|r| r.shape == shape && r.algorithm == algo && (r.n as f64 - n).abs() < 0.5)
+        else {
+            if require_full_coverage {
+                out.push(format!(
+                    "{shape}({n})/{algo}: present in baseline, missing now"
+                ));
+            }
+            continue;
+        };
+        matched.push((format!("{shape}({n})/{algo}"), wall, cur.wall_ms));
+    }
+    if matched.is_empty() {
+        out.push(format!("no baseline runs matched in {path}"));
+        return out;
+    }
+    let mut ratios: Vec<f64> = matched
+        .iter()
+        .map(|(_, base, cur)| cur / base.max(1e-9))
+        .collect();
+    ratios.sort_unstable_by(|a, b| a.total_cmp(b));
+    let machine_factor = ratios[ratios.len() / 2].max(1e-9);
+    println!("# machine-speed factor vs baseline (median wall ratio): {machine_factor:.2}");
+    for (label, base, cur) in matched {
+        if cur > FLOOR_MS && cur > FACTOR * machine_factor * base {
+            out.push(format!(
+                "{label}: {cur:.1} ms vs baseline {base:.1} ms (machine factor {machine_factor:.2})"
+            ));
+        }
+    }
+    out
+}
+
+/// Extracts `"key": "value"` from a single-line JSON object.
+pub fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+/// Extracts `"key": <number>` from a single-line JSON object.
+pub fn json_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(shape: &str, n: usize, algo: &str, wall: f64) -> WallRun {
+        WallRun {
+            shape: shape.into(),
+            n,
+            algorithm: algo.into(),
+            wall_ms: wall,
+        }
+    }
+
+    #[test]
+    fn json_field_extraction() {
+        let line = r#"{"shape": "chain", "n": 16, "algorithm": "MPDP", "wall_ms": 12.5}"#;
+        assert_eq!(json_str(line, "shape"), Some("chain"));
+        assert_eq!(json_str(line, "algorithm"), Some("MPDP"));
+        assert_eq!(json_num(line, "n"), Some(16.0));
+        assert_eq!(json_num(line, "wall_ms"), Some(12.5));
+        assert_eq!(json_num(line, "missing"), None);
+    }
+
+    #[test]
+    fn gate_flags_only_specific_regressions() {
+        let dir = std::env::temp_dir().join(format!("regress-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("base.json");
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"shape\": \"a\", \"n\": 10, \"algorithm\": \"X\", \"wall_ms\": 10.0},\n",
+                "{\"shape\": \"b\", \"n\": 10, \"algorithm\": \"X\", \"wall_ms\": 10.0},\n",
+                "{\"shape\": \"c\", \"n\": 10, \"algorithm\": \"X\", \"wall_ms\": 10.0}\n",
+            ),
+        )
+        .unwrap();
+        let p = path.to_str().unwrap();
+        // Uniform 1.5x slowdown (slower machine): no flags.
+        let uniform = [
+            run("a", 10, "X", 15.0),
+            run("b", 10, "X", 15.0),
+            run("c", 10, "X", 15.0),
+        ];
+        assert!(check_regressions(p, &uniform, true).is_empty());
+        // One run blown up 10x beyond the machine factor: flagged.
+        let blown = [
+            run("a", 10, "X", 10.0),
+            run("b", 10, "X", 10.0),
+            run("c", 10, "X", 100.0),
+        ];
+        let flags = check_regressions(p, &blown, true);
+        assert_eq!(flags.len(), 1);
+        assert!(flags[0].contains('c'), "{flags:?}");
+        // Missing run: reported.
+        let missing = [run("a", 10, "X", 10.0), run("b", 10, "X", 10.0)];
+        assert!(check_regressions(p, &missing, true)
+            .iter()
+            .any(|f| f.contains("missing now")));
+        // Subset mode: the same gap is tolerated (scale smoke re-times a
+        // deliberate subset of the committed full sweep).
+        assert!(check_regressions(p, &missing, false).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

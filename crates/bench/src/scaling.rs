@@ -1,0 +1,341 @@
+//! `repro scale` — intra-query strong scaling of the shared-atomic-memo
+//! parallel MPDP (threads × query shape → speedup curve).
+//!
+//! For every shape the experiment runs the *real* `run_level_parallel`
+//! implementation at each worker count (actual threads hammering one
+//! [`mpdp_core::atomic_memo::AtomicMemo`]) and reports:
+//!
+//! * measured wall time on this host (on a single-core container this is
+//!   flat-to-worse with more workers — real fan-out adds contention, which
+//!   is itself worth seeing; on a multi-core CI runner it shows the real
+//!   curve);
+//! * the calibrated work/span-model time for the same worker count
+//!   (`[model]`, the repo's standard reporting for multi-core hardware we
+//!   don't have — DESIGN.md §2), whose speedup column is the headline;
+//! * the prediction for the *deferred-merge* design this PR replaced
+//!   (thread-local candidate buffers + sequential per-level merge), so the
+//!   shared-memo win is quantified against its predecessor;
+//! * memo health: final load factor, insert probes, and CAS retries at that
+//!   worker count.
+//!
+//! Every run is also checked for result integrity: plans, costs and
+//! counters must be bit-identical across all worker counts (the lock-free
+//! memo's determinism guarantee), and the run aborts loudly if not.
+
+use crate::regress::WallRun;
+use mpdp_core::{JoinGraph, OptError, QueryInfo, RelInfo};
+use mpdp_cost::model::CostModel;
+use mpdp_cost::pglike::PgLikeCost;
+use mpdp_dp::common::OptContext;
+use mpdp_parallel::hwmodel::{Calibration, CpuModel};
+use mpdp_parallel::level_par::{run_level_parallel, LevelAlgo};
+use mpdp_workload::ImdbSchema;
+use std::time::{Duration, Instant};
+
+/// The Figure 5 nine-relation cyclic query (two 4-blocks + two bridges) —
+/// the paper's running example, shared by `repro bench` and `repro scale`.
+pub fn figure5_query(model: &PgLikeCost) -> QueryInfo {
+    let mut g = JoinGraph::new(9);
+    for &(u, v) in &[
+        (1, 2),
+        (2, 4),
+        (4, 3),
+        (3, 1),
+        (4, 5),
+        (5, 9),
+        (6, 7),
+        (7, 8),
+        (8, 9),
+        (9, 6),
+    ] {
+        g.add_edge(u - 1, v - 1, 0.01);
+    }
+    let rels = (0..9)
+        .map(|i| {
+            let rows = 1000.0 * (i + 1) as f64;
+            RelInfo::new(rows, model.scan_cost(rows))
+        })
+        .collect();
+    QueryInfo::new(g, rels)
+}
+
+/// Configuration of one `repro scale` run.
+pub struct ScaleConfig {
+    /// Worker counts to sweep (1 is always included for the baseline).
+    pub workers: Vec<usize>,
+    /// Reduced shape set for the CI smoke leg (`--queries-small`).
+    pub small: bool,
+    /// Per-run optimization budget.
+    pub budget: Duration,
+}
+
+impl ScaleConfig {
+    /// The sweep `repro scale` runs by default: 1/2/4/8 workers, full shape
+    /// set, 300 s budget. The CLI narrows `workers`/`small` from its flags
+    /// so the budget cannot drift between callers.
+    pub fn default_full() -> Self {
+        ScaleConfig {
+            workers: vec![1, 2, 4, 8],
+            small: false,
+            budget: Duration::from_secs(300),
+        }
+    }
+}
+
+/// One (shape × worker-count) measurement.
+pub struct ScaleRow {
+    /// Shape label.
+    pub shape: &'static str,
+    /// Relation count.
+    pub n: usize,
+    /// Worker threads in the real run.
+    pub workers: usize,
+    /// Measured wall time (best of 3) on this host.
+    pub wall_ms: f64,
+    /// Work/span-model time for this worker count (atomic shared memo).
+    pub model_ms: f64,
+    /// Model time for the replaced deferred-merge design.
+    pub deferred_ms: f64,
+    /// `model_ms(1) / model_ms(workers)` — the headline speedup.
+    pub speedup_model: f64,
+    /// Same ratio under the deferred-merge model.
+    pub speedup_deferred: f64,
+    /// Final memo load factor of the real run.
+    pub load_factor: f64,
+    /// Insert probe steps across all levels.
+    pub probes: u64,
+    /// CAS retries across all levels (0 at one worker).
+    pub cas_retries: u64,
+}
+
+/// A full `repro scale` result.
+pub struct ScaleReport {
+    /// All rows, grouped by shape in worker order.
+    pub rows: Vec<ScaleRow>,
+}
+
+/// The sweep's query set. JOB sizes the paper calls "large real-world"
+/// (17 relations full, 11 small); synthetic shapes cover sparse, dense and
+/// cyclic topologies; fig5 is the paper's running example.
+fn shapes(small: bool, model: &PgLikeCost) -> Vec<(&'static str, QueryInfo)> {
+    use mpdp_workload::gen;
+    let job = ImdbSchema::new();
+    if small {
+        vec![
+            ("fig5", figure5_query(model)),
+            ("chain", gen::chain(12, 1, model).to_query_info().unwrap()),
+            ("star", gen::star(10, 1, model).to_query_info().unwrap()),
+            ("cycle", gen::cycle(10, 1, model).to_query_info().unwrap()),
+            ("job", job.query(11, 7, model).to_query_info().unwrap()),
+        ]
+    } else {
+        vec![
+            ("fig5", figure5_query(model)),
+            ("chain", gen::chain(18, 1, model).to_query_info().unwrap()),
+            ("star", gen::star(16, 1, model).to_query_info().unwrap()),
+            ("cycle", gen::cycle(16, 1, model).to_query_info().unwrap()),
+            ("job", job.query(17, 7, model).to_query_info().unwrap()),
+        ]
+    }
+}
+
+/// Memo health of one run: (final load factor, total insert probes, total
+/// CAS retries).
+fn health_of(r: &mpdp_dp::common::OptResult) -> (f64, u64, u64) {
+    (
+        r.profile.memo.map(|h| h.load_factor()).unwrap_or(0.0),
+        r.profile.levels.iter().map(|l| l.memo_probes).sum(),
+        r.profile.levels.iter().map(|l| l.cas_retries).sum(),
+    )
+}
+
+/// Best-of-3 timed run at `w` workers.
+fn timed_run(
+    ctx: &OptContext<'_>,
+    w: usize,
+) -> Result<(mpdp_dp::common::OptResult, Duration), OptError> {
+    let mut best_wall = Duration::MAX;
+    let mut kept = None;
+    for _ in 0..3 {
+        let started = Instant::now();
+        let r = run_level_parallel(ctx, LevelAlgo::Mpdp, w)?;
+        best_wall = best_wall.min(started.elapsed());
+        kept = Some(r);
+    }
+    Ok((kept.expect("three repetitions ran"), best_wall))
+}
+
+/// Runs the scaling sweep. Fails with [`OptError::Internal`] if any worker
+/// count produces a result that is not bit-identical to the 1-worker run.
+pub fn run_scale(config: &ScaleConfig, model: &PgLikeCost) -> Result<ScaleReport, OptError> {
+    let mut workers = config.workers.clone();
+    if !workers.contains(&1) {
+        workers.push(1);
+    }
+    workers.sort_unstable();
+    workers.dedup();
+
+    let mut rows = Vec::new();
+    for (shape, q) in shapes(config.small, model) {
+        let ctx = OptContext::with_budget(&q, model, config.budget);
+        let n = q.query_size();
+        // Single-worker baseline: calibrates the model and anchors the
+        // bit-identity check.
+        let (base, wall1) = timed_run(&ctx, 1)?;
+        let cal = Calibration::from_measurement(&base.profile, wall1);
+        let model1_ms = CpuModel::new(1)
+            .predict_level_parallel(&base.profile, &cal)
+            .as_secs_f64()
+            * 1e3;
+        let deferred1_ms = CpuModel::new(1)
+            .predict_deferred_merge(&base.profile, &cal)
+            .as_secs_f64()
+            * 1e3;
+        for &w in &workers {
+            let (r, wall) = if w == 1 {
+                (None, wall1)
+            } else {
+                let (r, wall) = timed_run(&ctx, w)?;
+                // Integrity: bit-identical plans, costs and counters at
+                // every worker count — the lock-free memo's guarantee.
+                if r.cost.to_bits() != base.cost.to_bits()
+                    || r.plan != base.plan
+                    || r.counters != base.counters
+                {
+                    return Err(OptError::Internal(format!(
+                        "{shape}: result diverged at {w} workers"
+                    )));
+                }
+                (Some(r), wall)
+            };
+            let (load_factor, probes, cas_retries) = health_of(r.as_ref().unwrap_or(&base));
+            let mw = CpuModel::new(w);
+            let model_ms = mw.predict_level_parallel(&base.profile, &cal).as_secs_f64() * 1e3;
+            let deferred_ms = mw.predict_deferred_merge(&base.profile, &cal).as_secs_f64() * 1e3;
+            rows.push(ScaleRow {
+                shape,
+                n,
+                workers: w,
+                wall_ms: wall.as_secs_f64() * 1e3,
+                model_ms,
+                deferred_ms,
+                speedup_model: model1_ms / model_ms.max(1e-9),
+                speedup_deferred: deferred1_ms / deferred_ms.max(1e-9),
+                load_factor,
+                probes,
+                cas_retries,
+            });
+        }
+    }
+    Ok(ScaleReport { rows })
+}
+
+impl ScaleReport {
+    /// Tab-separated report in the house style of `repro`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "shape\tn\tworkers\twall_ms\tmodel_ms[model]\tdeferred_ms[model]\t\
+             speedup[model]\tdeferred_speedup[model]\tmemo_load\tprobes\tcas_retries\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.2}\t{:.2}\t{:.2}\t{}\t{}\n",
+                r.shape,
+                r.n,
+                r.workers,
+                r.wall_ms,
+                r.model_ms,
+                r.deferred_ms,
+                r.speedup_model,
+                r.speedup_deferred,
+                r.load_factor,
+                r.probes,
+                r.cas_retries,
+            ));
+        }
+        out
+    }
+
+    /// The `BENCH_scale.json` payload: one self-contained object per row,
+    /// parseable by the shared regression gate (`shape`/`n`/`algorithm`/
+    /// `wall_ms`) with the model and health figures alongside.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"mpdp-scale-v1\",\n  \"runs\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let sep = if i + 1 == self.rows.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"shape\": \"{}\", \"n\": {}, \"algorithm\": \"MPDP ({}CPU)\", \
+                 \"workers\": {}, \"wall_ms\": {:.3}, \"model_ms\": {:.3}, \
+                 \"deferred_ms\": {:.3}, \"speedup_model\": {:.2}, \
+                 \"deferred_speedup\": {:.2}, \"memo_load\": {:.3}, \"probes\": {}, \
+                 \"cas_retries\": {}}}{sep}\n",
+                r.shape,
+                r.n,
+                r.workers,
+                r.workers,
+                r.wall_ms,
+                r.model_ms,
+                r.deferred_ms,
+                r.speedup_model,
+                r.speedup_deferred,
+                r.load_factor,
+                r.probes,
+                r.cas_retries,
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// The rows as gate-comparable wall runs.
+    pub fn wall_runs(&self) -> Vec<WallRun> {
+        self.rows
+            .iter()
+            .map(|r| WallRun {
+                shape: r.shape.to_string(),
+                n: r.n,
+                algorithm: format!("MPDP ({}CPU)", r.workers),
+                wall_ms: r.wall_ms,
+            })
+            .collect()
+    }
+
+    /// Model speedup at `workers` for `shape`, if measured.
+    pub fn model_speedup(&self, shape: &str, workers: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.shape == shape && r.workers == workers)
+            .map(|r| r.speedup_model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_runs_and_scales() {
+        let model = PgLikeCost::new();
+        let config = ScaleConfig {
+            workers: vec![1, 2, 4],
+            small: true,
+            budget: Duration::from_secs(60),
+        };
+        let report = run_scale(&config, &model).unwrap();
+        // 5 shapes × 3 worker counts.
+        assert_eq!(report.rows.len(), 15);
+        // The modeled curve must show the acceptance-level speedup on the
+        // paper-example and JOB shapes even at the small sizes.
+        for shape in ["fig5", "job"] {
+            let s = report.model_speedup(shape, 4).unwrap();
+            assert!(s >= 2.0, "{shape}: model speedup at 4 workers = {s:.2}");
+        }
+        // Render and JSON contain every row.
+        let rendered = report.render();
+        assert_eq!(rendered.lines().count(), 16);
+        let json = report.to_json();
+        assert_eq!(json.matches("\"algorithm\"").count(), 15);
+        assert_eq!(report.wall_runs().len(), 15);
+    }
+}

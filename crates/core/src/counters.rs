@@ -59,6 +59,11 @@ pub struct LevelStats {
     pub ccp: u64,
     /// Memo-table writes performed at this level.
     pub memo_writes: u64,
+    /// Open-addressing probe steps taken by memo inserts at this level.
+    pub memo_probes: u64,
+    /// CAS retries in the shared atomic memo at this level (0 for
+    /// single-threaded stores and single-worker runs).
+    pub cas_retries: u64,
 }
 
 /// A whole run's per-level profile, consumed by the hardware model.
@@ -68,6 +73,9 @@ pub struct Profile {
     /// a level structure (e.g. DPCCP's graph-order enumeration) record a
     /// single pseudo-level.
     pub levels: Vec<LevelStats>,
+    /// Final memo health (load factor, probes, CAS retries), filled by the
+    /// run's `finish` step.
+    pub memo: Option<crate::memo::MemoHealth>,
 }
 
 impl Profile {
@@ -92,6 +100,8 @@ impl Profile {
             l.evaluated += stats.evaluated;
             l.ccp += stats.ccp;
             l.memo_writes += stats.memo_writes;
+            l.memo_probes += stats.memo_probes;
+            l.cas_retries += stats.cas_retries;
         } else {
             self.levels.push(stats);
         }
@@ -239,6 +249,7 @@ mod tests {
             evaluated: 20,
             ccp: 8,
             memo_writes: 5,
+            ..Default::default()
         });
         p.record(LevelStats {
             size: 2,
@@ -247,6 +258,7 @@ mod tests {
             evaluated: 2,
             ccp: 2,
             memo_writes: 1,
+            ..Default::default()
         });
         p.record(LevelStats {
             size: 3,
@@ -255,6 +267,7 @@ mod tests {
             evaluated: 12,
             ccp: 6,
             memo_writes: 4,
+            ..Default::default()
         });
         assert_eq!(p.levels.len(), 2);
         let t = p.totals();

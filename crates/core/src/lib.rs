@@ -19,13 +19,17 @@
 //!   subgraphs (MPDP's block decomposition);
 //! * [`query`] — [`query::QueryInfo`] / [`query::LargeQuery`] problem
 //!   descriptions and sub-problem projection;
-//! * [`memo::MemoTable`] — the Murmur3 open-addressing memo of §5;
+//! * [`memo::MemoTable`] — the Murmur3 open-addressing memo of §5, and the
+//!   [`memo::MemoStore`] interface both memo implementations speak;
+//! * [`atomic_memo::AtomicMemo`] — the lock-free shared memo the parallel
+//!   backends update in place (the paper's global table with `atomicMin`);
 //! * [`plan::PlanTree`] — join trees, validation, memo extraction;
 //! * [`counters`] — `EvaluatedCounter` / `CCP-Counter` instrumentation and
 //!   per-level profiles.
 
 #![warn(missing_docs)]
 
+pub mod atomic_memo;
 pub mod bigset;
 pub mod bitset;
 pub mod blocks;
@@ -39,6 +43,7 @@ pub mod memo;
 pub mod plan;
 pub mod query;
 
+pub use atomic_memo::AtomicMemo;
 pub use bigset::BigSet;
 pub use bitset::RelSet;
 pub use blocks::{find_blocks, BlockDecomposition};
@@ -47,6 +52,6 @@ pub use enumerate::{EnumerationMode, FrontierEnumerator, SeenTable};
 pub use error::OptError;
 pub use fingerprint::{canonicalize, CanonicalQuery, Fingerprint};
 pub use graph::{Edge, JoinGraph};
-pub use memo::{MemoEntry, MemoTable};
+pub use memo::{MemoEntry, MemoHealth, MemoStore, MemoTable};
 pub use plan::{extract_plan, PlanTree};
 pub use query::{LargeEdge, LargeQuery, QueryInfo, RelInfo};

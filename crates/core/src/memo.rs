@@ -11,6 +11,15 @@
 //! split. The right side is implicit (`S \ left`), which keeps an entry at 32
 //! bytes. Plans are reconstructed by walking the table from the root set —
 //! exactly how the paper extracts the final join tree from GPU memory.
+//!
+//! Two implementations share the [`MemoStore`] interface: this module's
+//! single-threaded [`MemoTable`] and the lock-free
+//! [`AtomicMemo`](crate::atomic_memo::AtomicMemo) that the parallel backends
+//! update in place (the CPU analogue of the paper's global hash table with
+//! `atomicMin`). Both break best-plan ties on `(cost, left.bits())` so the
+//! winning split is a pure function of the candidate *set*, never of the
+//! order — sequential, thread-interleaved or simulated-SIMT — in which
+//! candidates arrive.
 
 use crate::bitset::RelSet;
 
@@ -23,6 +32,104 @@ pub fn murmur3_fmix64(mut k: u64) -> u64 {
     k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
     k ^= k >> 33;
     k
+}
+
+/// Maps an `f64` cost to a `u64` whose unsigned order matches the float
+/// order (the standard IEEE-754 total-order fold).
+///
+/// For non-negative finite floats the raw bit pattern is already
+/// monotonically increasing, so on the costs a cost model produces the fold
+/// reduces to setting the sign bit — a constant offset that preserves every
+/// comparison (it is *not* the identity on the bits; always compare two
+/// folded values, never a folded value against raw `to_bits`). For negative
+/// inputs the fold inverts all bits, keeping the mapping a total order even
+/// for `-0.0` or negative values rather than relying on the caller never
+/// producing them.
+#[inline]
+pub fn ordered_cost_bits(cost: f64) -> u64 {
+    let b = cost.to_bits();
+    b ^ ((((b as i64) >> 63) as u64) | 0x8000_0000_0000_0000)
+}
+
+/// The `(cost, left)` ordering key under which every memo keeps the minimum:
+/// lexicographic on (order-preserving cost bits, left bitmap). All stores —
+/// sequential [`MemoTable`] and concurrent
+/// [`AtomicMemo`](crate::atomic_memo::AtomicMemo) — use this exact key, which
+/// is what makes plans bit-identical across backends and worker counts even
+/// on exact cost ties.
+#[inline]
+pub fn candidate_key(cost: f64, left: RelSet) -> (u64, u64) {
+    (ordered_cost_bits(cost), left.bits())
+}
+
+/// Point-in-time health metrics of a memo store (observability for the
+/// bench reports; none of these feed back into planning).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemoHealth {
+    /// Occupied entries.
+    pub entries: usize,
+    /// Total slots (open-addressing capacity).
+    pub slots: usize,
+    /// Cumulative linear-probe steps taken by inserts.
+    pub probes: u64,
+    /// Cumulative CAS retries (always 0 for the single-threaded table).
+    pub cas_retries: u64,
+}
+
+impl MemoHealth {
+    /// `entries / slots` (0.0 for an empty table).
+    pub fn load_factor(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.entries as f64 / self.slots as f64
+        }
+    }
+}
+
+/// The interface every DP backend's memo speaks: leaf loading, best-plan
+/// lookup, the Algorithm-1 `insert_if_better` update, and capacity
+/// management. Implemented by the single-threaded [`MemoTable`] and the
+/// lock-free [`AtomicMemo`](crate::atomic_memo::AtomicMemo); `mpdp-dp`'s
+/// shared plumbing (`init_memo` / `emit_pair` / `finish` /
+/// [`extract_plan`](crate::plan::extract_plan)) is generic over it, so the
+/// sequential algorithms are untouched while the parallel ones swap in the
+/// shared-state table.
+///
+/// Writes take `&mut self` here; `AtomicMemo` additionally exposes the same
+/// operations through `&self` for concurrent workers (the trait methods
+/// simply delegate).
+pub trait MemoStore {
+    /// Creates a store sized for roughly `expected` entries.
+    fn with_capacity(expected: usize) -> Self
+    where
+        Self: Sized;
+
+    /// Number of entries.
+    fn len(&self) -> usize;
+
+    /// `true` if no entry is stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up the best entry for `set`.
+    fn get(&self, set: RelSet) -> Option<MemoEntry>;
+
+    /// Inserts a leaf entry for a base relation.
+    fn insert_leaf(&mut self, rel: usize, rows: f64, cost: f64);
+
+    /// Records a candidate plan for `set`, keeping it only if its
+    /// [`candidate_key`] beats the incumbent's. Returns `true` if the
+    /// candidate became the new best.
+    fn insert_if_better(&mut self, set: RelSet, left: RelSet, cost: f64, rows: f64) -> bool;
+
+    /// Ensures capacity for `additional` more entries without growth during
+    /// the insertions (level-structured backends call this once per level).
+    fn reserve(&mut self, additional: usize);
+
+    /// Current health metrics.
+    fn health(&self) -> MemoHealth;
 }
 
 /// One memo entry: the best plan known for the key set.
@@ -186,8 +293,10 @@ impl MemoTable {
     }
 
     /// Records a candidate plan for `set` with the given split and cost,
-    /// keeping it only if it beats the incumbent (Algorithm 1, lines 20–21).
-    /// Returns `true` if the candidate became the new best.
+    /// keeping it only if it beats the incumbent (Algorithm 1, lines 20–21)
+    /// under the deterministic [`candidate_key`] order — strictly cheaper
+    /// wins, exact cost ties go to the smaller `left` bitmap. Returns `true`
+    /// if the candidate became the new best.
     pub fn insert_if_better(&mut self, set: RelSet, left: RelSet, cost: f64, rows: f64) -> bool {
         debug_assert!(!set.is_empty() && left.is_subset(set));
         if (self.len + 1) * 10 > self.slots.len() * 7 {
@@ -208,7 +317,7 @@ impl MemoTable {
                 return true;
             }
             if s.key == set.bits() {
-                if cost < s.cost {
+                if candidate_key(cost, left) < (ordered_cost_bits(s.cost), s.left) {
                     s.left = left.bits();
                     s.cost = cost;
                     s.rows = rows;
@@ -235,6 +344,41 @@ impl MemoTable {
             cost: s.cost,
             rows: s.rows,
         })
+    }
+}
+
+impl MemoStore for MemoTable {
+    fn with_capacity(expected: usize) -> Self {
+        MemoTable::with_capacity(expected)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, set: RelSet) -> Option<MemoEntry> {
+        MemoTable::get(self, set)
+    }
+
+    fn insert_leaf(&mut self, rel: usize, rows: f64, cost: f64) {
+        MemoTable::insert_leaf(self, rel, rows, cost)
+    }
+
+    fn insert_if_better(&mut self, set: RelSet, left: RelSet, cost: f64, rows: f64) -> bool {
+        MemoTable::insert_if_better(self, set, left, cost, rows)
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        MemoTable::reserve(self, additional)
+    }
+
+    fn health(&self) -> MemoHealth {
+        MemoHealth {
+            entries: self.len,
+            slots: self.slots.len(),
+            probes: self.probes,
+            cas_retries: 0,
+        }
     }
 }
 
@@ -276,6 +420,37 @@ mod tests {
         assert_eq!(e.cost, 8.0);
         assert_eq!(e.right(), l);
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn ties_break_on_left_bits() {
+        let mut m = MemoTable::with_capacity(4);
+        let s = RelSet::from_indices([0, 1, 2]);
+        let hi = RelSet::from_indices([1, 2]);
+        let lo = RelSet::singleton(0);
+        assert!(m.insert_if_better(s, hi, 5.0, 1.0));
+        // Equal cost, smaller left bitmap: replaces.
+        assert!(m.insert_if_better(s, lo, 5.0, 1.0));
+        assert_eq!(m.get(s).unwrap().left, lo);
+        // Equal cost, larger left bitmap: rejected.
+        assert!(!m.insert_if_better(s, hi, 5.0, 1.0));
+        // Exact duplicate: rejected (not an improvement).
+        assert!(!m.insert_if_better(s, lo, 5.0, 1.0));
+        assert_eq!(m.get(s).unwrap().left, lo);
+    }
+
+    #[test]
+    fn ordered_cost_bits_monotone() {
+        let vals = [-1.0, -0.0, 0.0, 1e-300, 0.5, 1.0, 2.0, 1e300, f64::INFINITY];
+        for w in vals.windows(2) {
+            // Strict except the -0.0/0.0 pair, which the total order splits.
+            assert!(
+                ordered_cost_bits(w[0]) < ordered_cost_bits(w[1]),
+                "{} !< {}",
+                w[0],
+                w[1]
+            );
+        }
     }
 
     #[test]

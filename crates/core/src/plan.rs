@@ -2,7 +2,7 @@
 
 use crate::bitset::RelSet;
 use crate::graph::JoinGraph;
-use crate::memo::MemoTable;
+use crate::memo::MemoStore;
 use std::fmt;
 
 /// A (bushy) join tree annotated with cost estimates.
@@ -173,13 +173,15 @@ impl fmt::Display for PlanTree {
     }
 }
 
-/// Reconstructs the best plan for `root` from a filled memo table (the final
+/// Reconstructs the best plan for `root` from a filled memo store (the final
 /// step of Algorithm 5: "The final relation is recursively fetched using its
-/// left and right join relations, building a join tree in CPU memory").
+/// left and right join relations, building a join tree in CPU memory") —
+/// generic over [`MemoStore`], so it walks the sequential table and the
+/// lock-free shared one identically.
 ///
 /// Returns `None` if the memo has no entry for `root` or one of its splits —
 /// which indicates a bug in the filling algorithm.
-pub fn extract_plan(memo: &MemoTable, root: RelSet) -> Option<PlanTree> {
+pub fn extract_plan<M: MemoStore>(memo: &M, root: RelSet) -> Option<PlanTree> {
     let e = memo.get(root)?;
     if e.is_leaf() {
         let rel = root.first()? as u32;

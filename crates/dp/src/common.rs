@@ -5,7 +5,7 @@ use mpdp_core::combinatorics::{binomial, KSubsets};
 use mpdp_core::counters::{Counters, Profile};
 use mpdp_core::enumerate::{EnumerationMode, FrontierEnumerator};
 use mpdp_core::graph::JoinGraph;
-use mpdp_core::memo::MemoTable;
+use mpdp_core::memo::MemoStore;
 use mpdp_core::plan::{extract_plan, PlanTree};
 use mpdp_core::query::QueryInfo;
 use mpdp_core::{OptError, RelSet};
@@ -109,10 +109,13 @@ pub struct OptResult {
     pub memo_entries: usize,
 }
 
-/// Creates a memo table pre-loaded with the base-relation leaves
-/// (Algorithm 1 lines 1–3 / Algorithm 5 lines 2–4).
-pub fn init_memo(q: &QueryInfo) -> MemoTable {
-    let mut memo = MemoTable::with_capacity(q.query_size() * 4);
+/// Creates a memo store pre-loaded with the base-relation leaves
+/// (Algorithm 1 lines 1–3 / Algorithm 5 lines 2–4). Generic over
+/// [`MemoStore`]: sequential backends instantiate the single-threaded
+/// [`mpdp_core::MemoTable`], the parallel and simulated-GPU backends the
+/// lock-free [`mpdp_core::AtomicMemo`].
+pub fn init_memo<M: MemoStore>(q: &QueryInfo) -> M {
+    let mut memo = M::with_capacity(q.query_size() * 4);
     for (i, rel) in q.rels.iter().enumerate() {
         memo.insert_leaf(i, rel.rows, rel.cost);
     }
@@ -128,26 +131,23 @@ pub struct EmitOutcome {
     pub new_set: bool,
 }
 
-/// Prices the ordered Join-Pair `(sl, sr)` and records it in the memo if it
-/// beats the incumbent plan for `sl ∪ sr` (`CreatePlan` + best-plan update in
-/// Algorithms 1–3).
+/// Prices the ordered Join-Pair `(sl, sr)` against a read-only view of the
+/// memo, returning `(cost, output rows)` — the `CreatePlan` step shared by
+/// every backend. Returns `None` if either side has no memo entry yet.
 ///
-/// Both sides must already have memo entries; a missing entry indicates an
-/// enumeration-order bug and is reported as [`OptError::Internal`].
+/// This is the exact costing the parallel workers run against the shared
+/// atomic memo before their `insert_if_better`; keeping it in one place is
+/// what makes costs bit-identical across backends.
 #[inline]
-pub fn emit_pair(
-    memo: &mut MemoTable,
+pub fn price_pair<M: MemoStore>(
+    memo: &M,
     q: &QueryInfo,
     model: &dyn CostModel,
     sl: RelSet,
     sr: RelSet,
-) -> Result<EmitOutcome, OptError> {
-    let el = memo
-        .get(sl)
-        .ok_or_else(|| OptError::Internal(format!("no memo entry for left side {sl}")))?;
-    let er = memo
-        .get(sr)
-        .ok_or_else(|| OptError::Internal(format!("no memo entry for right side {sr}")))?;
+) -> Option<(f64, f64)> {
+    let el = memo.get(sl)?;
+    let er = memo.get(sr)?;
     let sel = q.graph.selectivity_between(sl, sr);
     let out_rows = el.rows * er.rows * sel;
     let cost = model.join_cost(
@@ -161,6 +161,25 @@ pub fn emit_pair(
         },
         out_rows,
     );
+    Some((cost, out_rows))
+}
+
+/// Prices the ordered Join-Pair `(sl, sr)` and records it in the memo if it
+/// beats the incumbent plan for `sl ∪ sr` (`CreatePlan` + best-plan update in
+/// Algorithms 1–3).
+///
+/// Both sides must already have memo entries; a missing entry indicates an
+/// enumeration-order bug and is reported as [`OptError::Internal`].
+#[inline]
+pub fn emit_pair<M: MemoStore>(
+    memo: &mut M,
+    q: &QueryInfo,
+    model: &dyn CostModel,
+    sl: RelSet,
+    sr: RelSet,
+) -> Result<EmitOutcome, OptError> {
+    let (cost, out_rows) = price_pair(memo, q, model, sl, sr)
+        .ok_or_else(|| OptError::Internal(format!("missing memo entry for {sl} ⋈ {sr}")))?;
     let union = sl.union(sr);
     let new_set = memo.get(union).is_none();
     let improved = memo.insert_if_better(union, sl, cost, out_rows);
@@ -243,16 +262,18 @@ impl<'g> LevelEnumerator<'g> {
     }
 }
 
-/// Extracts the final plan and packages the run result.
-pub fn finish(
-    memo: &MemoTable,
+/// Extracts the final plan and packages the run result, stamping the memo's
+/// final health (load factor, probes, CAS retries) into the profile.
+pub fn finish<M: MemoStore>(
+    memo: &M,
     q: &QueryInfo,
     counters: Counters,
-    profile: Profile,
+    mut profile: Profile,
 ) -> Result<OptResult, OptError> {
     let root = q.graph.all_vertices();
     let plan = extract_plan(memo, root)
         .ok_or_else(|| OptError::Internal("memo has no plan for the full query".into()))?;
+    profile.memo = Some(memo.health());
     Ok(OptResult {
         cost: plan.cost(),
         rows: plan.rows(),
@@ -267,6 +288,7 @@ pub fn finish(
 mod tests {
     use super::*;
     use mpdp_core::graph::JoinGraph;
+    use mpdp_core::memo::MemoTable;
     use mpdp_core::query::RelInfo;
     use mpdp_cost::pglike::PgLikeCost;
 
@@ -279,7 +301,7 @@ mod tests {
     #[test]
     fn init_memo_loads_leaves() {
         let q = two_rel_query();
-        let memo = init_memo(&q);
+        let memo: MemoTable = init_memo(&q);
         assert_eq!(memo.len(), 2);
         let e = memo.get(RelSet::singleton(1)).unwrap();
         assert_eq!(e.rows, 200.0);
@@ -290,7 +312,7 @@ mod tests {
     fn emit_pair_costs_and_stores() {
         let q = two_rel_query();
         let model = PgLikeCost::new();
-        let mut memo = init_memo(&q);
+        let mut memo: MemoTable = init_memo(&q);
         let sl = RelSet::singleton(0);
         let sr = RelSet::singleton(1);
         let o = emit_pair(&mut memo, &q, &model, sl, sr).unwrap();
@@ -308,7 +330,7 @@ mod tests {
     fn emit_pair_missing_side_is_internal_error() {
         let q = two_rel_query();
         let model = PgLikeCost::new();
-        let mut memo = init_memo(&q);
+        let mut memo: MemoTable = init_memo(&q);
         let err = emit_pair(
             &mut memo,
             &q,

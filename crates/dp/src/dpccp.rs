@@ -114,7 +114,7 @@ impl DpCcp {
         ctx.validate_exact()?;
         let q = ctx.query;
         let n = q.query_size();
-        let memo = init_memo(q);
+        let memo: MemoTable = init_memo(q);
         let mut st = CcpState {
             ctx,
             memo,
@@ -144,6 +144,7 @@ impl DpCcp {
             evaluated: st.counters.evaluated,
             ccp: st.counters.ccp,
             memo_writes: st.memo_writes,
+            ..Default::default()
         });
         let counters = st.counters;
         finish(&st.memo, q, counters, profile)

@@ -13,6 +13,7 @@ use crate::common::{emit_pair, finish, init_memo, LevelEnumerator, OptContext, O
 use crate::JoinOrderOptimizer;
 use mpdp_core::counters::{Counters, LevelStats, Profile};
 use mpdp_core::enumerate::EnumerationMode;
+use mpdp_core::memo::MemoTable;
 use mpdp_core::{OptError, RelSet};
 
 /// The DPSIZE optimizer.
@@ -25,7 +26,7 @@ impl DpSize {
         ctx.validate_exact()?;
         let q = ctx.query;
         let n = q.query_size();
-        let mut memo = init_memo(q);
+        let mut memo: MemoTable = init_memo(q);
         let mut counters = Counters::default();
         let mut profile = Profile::default();
 

@@ -10,6 +10,7 @@
 use crate::common::{emit_pair, finish, init_memo, LevelEnumerator, OptContext, OptResult};
 use crate::JoinOrderOptimizer;
 use mpdp_core::counters::{Counters, LevelStats, Profile};
+use mpdp_core::memo::MemoTable;
 use mpdp_core::OptError;
 
 /// The DPSUB optimizer.
@@ -22,7 +23,7 @@ impl DpSub {
         ctx.validate_exact()?;
         let q = ctx.query;
         let n = q.query_size();
-        let mut memo = init_memo(q);
+        let mut memo: MemoTable = init_memo(q);
         let mut counters = Counters::default();
         let mut profile = Profile::default();
 

@@ -20,6 +20,7 @@ use crate::common::{emit_pair, finish, init_memo, LevelEnumerator, OptContext, O
 use crate::JoinOrderOptimizer;
 use mpdp_core::blocks::find_blocks;
 use mpdp_core::counters::{Counters, LevelStats, Profile};
+use mpdp_core::memo::MemoTable;
 use mpdp_core::{OptError, RelSet};
 
 /// MPDP specialized to tree (acyclic) join graphs — Algorithm 2.
@@ -40,7 +41,7 @@ impl MpdpTree {
                 n
             )));
         }
-        let mut memo = init_memo(q);
+        let mut memo: MemoTable = init_memo(q);
         let mut counters = Counters::default();
         let mut profile = Profile::default();
 
@@ -165,7 +166,7 @@ impl Mpdp {
         ctx.validate_exact()?;
         let q = ctx.query;
         let n = q.query_size();
-        let mut memo = init_memo(q);
+        let mut memo: MemoTable = init_memo(q);
         let mut counters = Counters::default();
         let mut profile = Profile::default();
 

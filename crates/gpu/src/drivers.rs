@@ -18,13 +18,14 @@
 
 use crate::kernels::{
     self, evaluate_dpsub_kernel, evaluate_mpdp_kernel, expand_kernel, filter_kernel,
-    level_transfer, scatter_kernel, unrank_kernel, GpuCandidate,
+    level_transfer, unrank_kernel,
 };
 use crate::simt::{GpuConfig, GpuStats, WarpPolicy};
+use mpdp_core::atomic_memo::AtomicMemo;
 use mpdp_core::counters::{Counters, LevelStats, Profile};
 use mpdp_core::enumerate::EnumerationMode;
 use mpdp_core::{OptError, RelSet};
-use mpdp_dp::common::{finish, init_memo, OptContext, OptResult};
+use mpdp_dp::common::{finish, init_memo, price_pair, LevelEnumerator, OptContext, OptResult};
 use mpdp_dp::JoinOrderOptimizer;
 use std::time::Duration;
 
@@ -98,14 +99,22 @@ fn run_level_structured(
     ctx.validate_exact()?;
     let q = ctx.query;
     let n = q.query_size();
-    let mut memo = init_memo(q);
+    // The simulated *device-global* memo: the lock-free table every kernel
+    // lane publishes into with atomic min-updates. The host loop only sizes
+    // it between levels (reserve) and extracts the plan at the end.
+    let mut memo: AtomicMemo = init_memo(q);
     let mut counters = Counters::default();
     let mut profile = Profile::default();
     let mut stats = GpuStats::default();
 
-    // DPSIZE-GPU keeps per-size plan lists instead of unranking subsets.
+    // DPSIZE-GPU keeps per-size plan lists instead of unranking subsets;
+    // the lists are the levels' connected sets, which the host enumerates
+    // through the frontier engine (free of stats charges — the real H+F
+    // driver reads them back from the previous scatter, which is the same
+    // list).
     let mut sets_by_size: Vec<Vec<RelSet>> = vec![Vec::new(); n + 1];
     sets_by_size[1] = (0..n).map(RelSet::singleton).collect();
+    let mut dpsize_levels = LevelEnumerator::new(&q.graph, EnumerationMode::Frontier);
     // Previous level's connected sets, device-resident — the frontier
     // expand kernel's input (unused in unranked mode).
     let mut prev_sets: Vec<RelSet> = (0..n).map(RelSet::singleton).collect();
@@ -116,7 +125,8 @@ fn run_level_structured(
             size: i,
             ..Default::default()
         };
-        let (best, evaluated, ccp, sets_count): (Vec<GpuCandidate>, u64, u64, u64) = match algo {
+        let marks = (memo.probe_count(), memo.cas_retry_count());
+        match algo {
             GpuAlgo::Mpdp | GpuAlgo::DpSub => {
                 match ctx.enumeration {
                     EnumerationMode::Frontier => {
@@ -151,23 +161,28 @@ fn run_level_structured(
                         &mut stats,
                     )
                 };
-                let cnt = sets.len() as u64;
-                (out.best, out.evaluated, out.ccp, cnt)
+                level.evaluated = out.evaluated;
+                level.ccp = out.ccp;
+                level.sets = sets.len() as u64;
+                level.memo_writes = out.memo_writes;
             }
             GpuAlgo::DpSize => {
                 // H+F-GPU: lanes take (left, right) pairs from the size-(k,
                 // i-k) lists; invalid (overlapping / cross-product) pairs
-                // stall their warp.
-                let mut best_for: std::collections::HashMap<u64, GpuCandidate> =
-                    std::collections::HashMap::new();
-                let mut evaluated = 0u64;
-                let mut ccp = 0u64;
+                // stall their warp. Survivors hit the global table with
+                // their own atomicMin (fused: one per set after an in-warp
+                // reduction).
+                let lvl = dpsize_levels.level(ctx, i)?;
+                memo.reserve(lvl.sets.len());
+                sets_by_size[i] = lvl.sets.to_vec();
                 stats.kernel_launches += 1;
+                let probes_before = memo.probe_count();
                 let mut lane_costs: Vec<u32> = Vec::new();
+                let mut publishes = 0u64;
                 for k in 1..i {
                     for &left in &sets_by_size[k] {
                         for &right in &sets_by_size[i - k] {
-                            evaluated += 1;
+                            level.evaluated += 1;
                             let mut lane = kernels::cycles::CHECK;
                             if !left.is_disjoint(right) {
                                 lane_costs.push(lane);
@@ -178,15 +193,15 @@ fn run_level_structured(
                                 lane_costs.push(lane);
                                 continue;
                             }
-                            ccp += 1;
+                            level.ccp += 1;
                             lane += kernels::cycles::COST_EVAL;
                             lane_costs.push(lane);
-                            if let Some(c) = price_into(q, ctx, &memo, left, right, &mut stats) {
-                                match best_for.get(&c.set.bits()) {
-                                    Some(b) if b.cost <= c.cost => {}
-                                    _ => {
-                                        best_for.insert(c.set.bits(), c);
-                                    }
+                            if let Some((cost, rows)) = price_pair(&memo, q, ctx.model, left, right)
+                            {
+                                stats.global_reads += 2; // two memo probes
+                                publishes += 1;
+                                if memo.insert_if_better(left.union(right), left, cost, rows) {
+                                    level.memo_writes += 1;
                                 }
                             }
                         }
@@ -196,27 +211,21 @@ fn run_level_structured(
                 stats.warp_cycles += cyc;
                 stats.busy_cycles += lane_costs.iter().map(|&x| x as u64).sum::<u64>();
                 stats.shared_ops += sh;
+                stats.global_reads += memo.probe_count() - probes_before;
                 if cfg.fused_prune {
-                    stats.global_writes += best_for.len() as u64;
+                    // In-warp reduction first: one global atomic per set.
+                    stats.global_writes += sets_by_size[i].len() as u64;
                 } else {
-                    stats.global_writes += ccp + best_for.len() as u64;
-                    stats.global_reads += ccp;
+                    stats.global_writes += publishes + sets_by_size[i].len() as u64;
+                    stats.global_reads += publishes;
                     stats.kernel_launches += 1;
                 }
-                let mut best: Vec<GpuCandidate> = best_for.into_values().collect();
-                best.sort_unstable_by_key(|c| c.set.bits());
-                let cnt = best.len() as u64;
-                (best, evaluated, ccp, cnt)
+                level.sets = sets_by_size[i].len() as u64;
             }
-        };
-        level.evaluated = evaluated;
-        level.ccp = ccp;
-        level.sets = sets_count;
-        level.memo_writes = scatter_kernel(&mut memo, &best, &mut stats);
-        if algo == GpuAlgo::DpSize {
-            sets_by_size[i] = best.iter().map(|c| c.set).collect();
         }
-        level_transfer(sets_count as usize, &mut stats);
+        level.memo_probes = memo.probe_count() - marks.0;
+        level.cas_retries = memo.cas_retry_count() - marks.1;
+        level_transfer(level.sets as usize, &mut stats);
         counters.evaluated += level.evaluated;
         counters.ccp += level.ccp;
         counters.sets += level.sets;
@@ -230,39 +239,6 @@ fn run_level_structured(
         result,
         stats,
         simulated_time,
-    })
-}
-
-fn price_into(
-    q: &mpdp_core::QueryInfo,
-    ctx: &OptContext<'_>,
-    memo: &mpdp_core::MemoTable,
-    left: RelSet,
-    right: RelSet,
-    stats: &mut GpuStats,
-) -> Option<GpuCandidate> {
-    use mpdp_cost::model::InputEst;
-    let el = memo.get(left)?;
-    let er = memo.get(right)?;
-    stats.global_reads += 2;
-    let sel = q.graph.selectivity_between(left, right);
-    let rows = el.rows * er.rows * sel;
-    let cost = ctx.model.join_cost(
-        InputEst {
-            cost: el.cost,
-            rows: el.rows,
-        },
-        InputEst {
-            cost: er.cost,
-            rows: er.rows,
-        },
-        rows,
-    );
-    Some(GpuCandidate {
-        set: left.union(right),
-        left,
-        cost,
-        rows,
     })
 }
 
@@ -512,7 +488,10 @@ mod tests {
         let ctx = OptContext::new(&q, &m);
         let run = MpdpGpu::new().run(&ctx).unwrap();
         assert!(run.simulated_time > Duration::ZERO);
-        assert!(run.stats.kernel_launches >= 4 * 5); // ≥4 kernels × 5 levels
+        // ≥3 kernels × 5 levels: expand (map + compaction) + fused
+        // evaluate — the scatter launch is gone, the table is updated by
+        // the evaluate lanes themselves.
+        assert!(run.stats.kernel_launches >= 3 * 5);
         assert!(run.stats.bytes_transferred > 0);
         assert_eq!(run.stats.levels, 5);
     }

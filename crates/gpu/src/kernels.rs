@@ -1,5 +1,5 @@
-//! The Algorithm 5 kernel pipeline: unrank → filter → evaluate (→ prune) →
-//! scatter, executed on the software SIMT machine.
+//! The Algorithm 5 kernel pipeline: unrank → filter → evaluate (→ prune),
+//! executed on the software SIMT machine.
 //!
 //! Each phase does its *real* work (the same enumeration and costing as the
 //! CPU algorithms, producing bit-identical memo contents) while charging
@@ -8,10 +8,21 @@
 //! times are therefore approximate, but the *relative* behaviour the paper's
 //! figures rest on — evaluated-pair counts, divergence, global-write volume —
 //! is measured, not assumed.
+//!
+//! The device memo is the lock-free [`AtomicMemo`] — the same global hash
+//! table the paper's lanes hit with `atomicMin`. Evaluate kernels publish
+//! winners into it directly: with kernel fusion (§5) a warp first reduces
+//! its set's candidates in shared memory and issues *one* atomic publish per
+//! set; without fusion every surviving pair performs its own global
+//! `atomicMin` and a separate prune launch is charged, as in the \[23\]
+//! baselines. Either way the table converges to the identical
+//! `(cost, left)`-minimum — the fusion flag only changes the *traffic*, which
+//! is exactly what the §7.2.5 ablation measures. The former host-side
+//! `scatter` merge no longer exists.
 
 use crate::simt::{schedule_warp, GpuStats, WarpPolicy};
+use mpdp_core::atomic_memo::AtomicMemo;
 use mpdp_core::combinatorics::{binomial, unrank_subset};
-use mpdp_core::memo::MemoTable;
 use mpdp_core::query::QueryInfo;
 use mpdp_core::RelSet;
 use mpdp_cost::model::{CostModel, InputEst};
@@ -125,7 +136,7 @@ pub fn expand_kernel(q: &QueryInfo, prev: &[RelSet], stats: &mut GpuStats) -> Ve
 fn price_pair(
     q: &QueryInfo,
     model: &dyn CostModel,
-    memo: &MemoTable,
+    memo: &AtomicMemo,
     sl: RelSet,
     sr: RelSet,
     stats: &mut GpuStats,
@@ -154,25 +165,69 @@ fn price_pair(
     })
 }
 
-/// Per-warp outcome of an evaluate kernel over one set.
+/// Outcome of an evaluate kernel over a level's sets. Winners are already
+/// in the device memo (published atomically); only counters come back.
 pub struct EvaluateOutcome {
-    /// Best candidate per evaluated set (after the in-warp or separate
-    /// pruning step).
-    pub best: Vec<GpuCandidate>,
     /// Join-Pairs evaluated.
     pub evaluated: u64,
     /// CCP pairs found.
     pub ccp: u64,
+    /// Successful memo min-updates (the level's `memo_writes`).
+    pub memo_writes: u64,
+}
+
+/// Publishes candidates into the device memo as atomic min-updates,
+/// charging the traffic: one global atomic per candidate plus the table's
+/// probe reads (the paper's "parallel store on the GPU hash table").
+/// Returns the number of successful updates.
+fn publish_atomic(
+    memo: &AtomicMemo,
+    candidates: impl IntoIterator<Item = GpuCandidate>,
+    stats: &mut GpuStats,
+) -> u64 {
+    let probes_before = memo.probe_count();
+    let mut attempts = 0u64;
+    let mut writes = 0u64;
+    for c in candidates {
+        attempts += 1;
+        if memo.insert_if_better(c.set, c.left, c.cost, c.rows) {
+            writes += 1;
+        }
+    }
+    stats.global_writes += attempts;
+    stats.global_reads += memo.probe_count() - probes_before;
+    let costs = vec![cycles::HASH_PROBE; attempts as usize];
+    let (cyc, _) = schedule_warp(WarpPolicy::Lockstep, &costs);
+    stats.warp_cycles += cyc;
+    stats.busy_cycles += costs.iter().map(|&x| x as u64).sum::<u64>();
+    writes
+}
+
+/// Keeps the better of two candidates for the same set under the memo's
+/// deterministic `(cost, left)` order — the in-warp shared-memory reduction
+/// of the fused prune. Using the memo's own tie-break is what keeps the
+/// fused and unfused paths (and every CPU backend) bit-identical on exact
+/// cost ties.
+#[inline]
+fn warp_min(best: &mut Option<GpuCandidate>, c: GpuCandidate) {
+    match best {
+        Some(b)
+            if mpdp_core::memo::candidate_key(b.cost, b.left)
+                <= mpdp_core::memo::candidate_key(c.cost, c.left) => {}
+        _ => *best = Some(c),
+    }
 }
 
 /// Evaluate kernel, DPSUB style (§5 / \[23\] COMB-GPU): one warp per set; each
 /// lane takes one submask (expanded with PDEP), runs the CCP block and costs
 /// survivors. Highly divergent: most lanes fail an early check while a few
-/// run the full costing.
+/// run the full costing. Winners go straight into the device-global
+/// [`AtomicMemo`]: one reduced publish per set with the fused prune, one
+/// `atomicMin` per surviving pair (plus a separate prune launch) without.
 pub fn evaluate_dpsub_kernel(
     q: &QueryInfo,
     model: &dyn CostModel,
-    memo: &MemoTable,
+    memo: &AtomicMemo,
     sets: &[RelSet],
     policy: WarpPolicy,
     fused_prune: bool,
@@ -180,14 +235,14 @@ pub fn evaluate_dpsub_kernel(
 ) -> EvaluateOutcome {
     stats.kernel_launches += 1;
     let mut out = EvaluateOutcome {
-        best: Vec::with_capacity(sets.len()),
         evaluated: 0,
         ccp: 0,
+        memo_writes: 0,
     };
+    let mut pending: Vec<GpuCandidate> = Vec::new();
     for &s in sets {
         let mut lane_costs: Vec<u32> = Vec::with_capacity(1 << s.len());
         let mut best: Option<GpuCandidate> = None;
-        let mut pair_outputs = 0u64;
         for sl in s.subsets() {
             out.evaluated += 1;
             let mut lane = cycles::CHECK; // emptiness checks
@@ -213,10 +268,10 @@ pub fn evaluate_dpsub_kernel(
                 price_pair(q, model, memo, sl, sr, stats)
             };
             if let Some(c) = candidate {
-                pair_outputs += 1;
-                match &best {
-                    Some(b) if b.cost <= c.cost => {}
-                    _ => best = Some(c),
+                if fused_prune {
+                    warp_min(&mut best, c);
+                } else {
+                    pending.push(c);
                 }
             }
             lane_costs.push(lane);
@@ -226,25 +281,17 @@ pub fn evaluate_dpsub_kernel(
         stats.busy_cycles += lane_costs.iter().map(|&x| x as u64).sum::<u64>();
         stats.shared_ops += sh;
         if fused_prune {
-            // In-warp reduction in shared memory; one global write per set.
+            // In-warp reduction in shared memory; one atomic publish per set.
             stats.shared_ops += lane_costs.len() as u64;
-            stats.global_writes += 1;
-        } else {
-            // Separate prune kernel: every surviving pair is written to
-            // global memory, then re-read and reduced.
-            stats.global_writes += pair_outputs + 1;
-            stats.global_reads += pair_outputs;
-            stats.kernel_launches += 1; // the prune kernel (amortized per set batch below)
-        }
-        if let Some(b) = best {
-            out.best.push(b);
+            out.memo_writes += publish_atomic(memo, best, stats);
         }
     }
     if !fused_prune {
-        // The per-set launch accounting above overcounts: a real separate
-        // prune is one launch per level, not per set. Correct it.
-        stats.kernel_launches -= sets.len() as u64;
+        // Separate prune kernel: every surviving pair re-read from global
+        // memory and min-merged into the table with its own atomic.
         stats.kernel_launches += 1;
+        stats.global_reads += pending.len() as u64;
+        out.memo_writes += publish_atomic(memo, pending, stats);
     }
     out
 }
@@ -252,11 +299,13 @@ pub fn evaluate_dpsub_kernel(
 /// Evaluate kernel, MPDP style (§5 "Evaluate"): one warp per set; the warp
 /// first finds the blocks of the set (the parallel Find-Blocks of \[29\]),
 /// then each lane takes one block submask, grows it, and costs the pair.
+/// Winners publish into the device-global [`AtomicMemo`] exactly as in
+/// [`evaluate_dpsub_kernel`].
 #[allow(clippy::too_many_arguments)]
 pub fn evaluate_mpdp_kernel(
     q: &QueryInfo,
     model: &dyn CostModel,
-    memo: &MemoTable,
+    memo: &AtomicMemo,
     sets: &[RelSet],
     policy: WarpPolicy,
     fused_prune: bool,
@@ -264,17 +313,17 @@ pub fn evaluate_mpdp_kernel(
 ) -> EvaluateOutcome {
     stats.kernel_launches += 1;
     let mut out = EvaluateOutcome {
-        best: Vec::with_capacity(sets.len()),
         evaluated: 0,
         ccp: 0,
+        memo_writes: 0,
     };
+    let mut pending: Vec<GpuCandidate> = Vec::new();
     for &s in sets {
         // Warp-cooperative block finding: charged once per set.
         let decomposition = mpdp_core::blocks::find_blocks(&q.graph, s);
         let block_cost = cycles::BLOCKS_PER_VERTEX * s.len() as u32;
         let mut lane_costs: Vec<u32> = vec![block_cost];
         let mut best: Option<GpuCandidate> = None;
-        let mut pair_outputs = 0u64;
         for &block in &decomposition.blocks {
             for lb in block.subsets() {
                 if lb == block {
@@ -307,10 +356,10 @@ pub fn evaluate_mpdp_kernel(
                     price_pair(q, model, memo, sleft, sright, stats)
                 };
                 if let Some(c) = candidate {
-                    pair_outputs += 1;
-                    match &best {
-                        Some(b) if b.cost <= c.cost => {}
-                        _ => best = Some(c),
+                    if fused_prune {
+                        warp_min(&mut best, c);
+                    } else {
+                        pending.push(c);
                     }
                 }
                 lane_costs.push(lane);
@@ -322,40 +371,15 @@ pub fn evaluate_mpdp_kernel(
         stats.shared_ops += sh;
         if fused_prune {
             stats.shared_ops += lane_costs.len() as u64;
-            stats.global_writes += 1;
-        } else {
-            stats.global_writes += pair_outputs + 1;
-            stats.global_reads += pair_outputs;
-        }
-        if let Some(b) = best {
-            out.best.push(b);
+            out.memo_writes += publish_atomic(memo, best, stats);
         }
     }
     if !fused_prune {
         stats.kernel_launches += 1; // the separate prune kernel for the level
+        stats.global_reads += pending.len() as u64;
+        out.memo_writes += publish_atomic(memo, pending, stats);
     }
     out
-}
-
-/// Scatter kernel: write the level's best plans into the device memo
-/// (§5 "Scatter" — "a parallel store on the GPU hash table").
-pub fn scatter_kernel(memo: &mut MemoTable, best: &[GpuCandidate], stats: &mut GpuStats) -> u64 {
-    stats.kernel_launches += 1;
-    let probes_before = memo.probe_count();
-    let mut writes = 0u64;
-    for c in best {
-        if memo.insert_if_better(c.set, c.left, c.cost, c.rows) {
-            writes += 1;
-        }
-    }
-    let probes = memo.probe_count() - probes_before;
-    stats.global_writes += writes;
-    stats.global_reads += probes;
-    let costs = vec![cycles::HASH_PROBE; best.len()];
-    let (c, _) = schedule_warp(WarpPolicy::Lockstep, &costs);
-    stats.warp_cycles += c;
-    stats.busy_cycles += costs.iter().map(|&x| x as u64).sum::<u64>();
-    writes
 }
 
 /// Charges the per-level host↔device transfer: the host ships level metadata
@@ -372,10 +396,10 @@ mod tests {
     use mpdp_dp::common::init_memo;
     use mpdp_workload::gen;
 
-    fn setup(n: usize) -> (QueryInfo, PgLikeCost, MemoTable) {
+    fn setup(n: usize) -> (QueryInfo, PgLikeCost, AtomicMemo) {
         let m = PgLikeCost::new();
         let q = gen::star(n, 5, &m).to_query_info().unwrap();
-        let memo = init_memo(&q);
+        let memo: AtomicMemo = init_memo(&q);
         (q, m, memo)
     }
 
@@ -407,28 +431,48 @@ mod tests {
         let sets: Vec<RelSet> = (1..4).map(|d| RelSet::from_indices([0, d])).collect();
         let out =
             evaluate_dpsub_kernel(&q, &m, &memo, &sets, WarpPolicy::Lockstep, true, &mut stats);
-        assert_eq!(out.best.len(), 3);
+        assert_eq!(out.memo_writes, 3); // one published winner per set
         assert_eq!(out.ccp, 6); // 2 ordered pairs per 2-set
         assert_eq!(out.evaluated, 9); // 2^2-1 submasks per set
+        for s in sets {
+            assert!(memo.get(s).is_some(), "winner for {s} is in the table");
+        }
     }
 
     #[test]
     fn fused_prune_writes_less() {
-        let (q, m, memo) = setup(6);
+        let (q, m, _) = setup(6);
         let sets: Vec<RelSet> = (1..6).map(|d| RelSet::from_indices([0, d])).collect();
         let mut fused = GpuStats::default();
         let mut separate = GpuStats::default();
-        evaluate_dpsub_kernel(&q, &m, &memo, &sets, WarpPolicy::Lockstep, true, &mut fused);
-        evaluate_dpsub_kernel(
+        let memo_a: AtomicMemo = init_memo(&q);
+        let memo_b: AtomicMemo = init_memo(&q);
+        let a = evaluate_dpsub_kernel(
             &q,
             &m,
-            &memo,
+            &memo_a,
+            &sets,
+            WarpPolicy::Lockstep,
+            true,
+            &mut fused,
+        );
+        let b = evaluate_dpsub_kernel(
+            &q,
+            &m,
+            &memo_b,
             &sets,
             WarpPolicy::Lockstep,
             false,
             &mut separate,
         );
         assert!(fused.global_writes < separate.global_writes);
+        // Both paths converge the table to the identical winners.
+        assert_eq!(a.ccp, b.ccp);
+        for s in &sets {
+            let (ea, eb) = (memo_a.get(*s).unwrap(), memo_b.get(*s).unwrap());
+            assert_eq!(ea.cost.to_bits(), eb.cost.to_bits());
+            assert_eq!(ea.left, eb.left);
+        }
     }
 
     #[test]
@@ -437,11 +481,12 @@ mod tests {
         // check while two run the full costing — classic divergence.
         let m = PgLikeCost::new();
         let q = gen::star(8, 5, &m).to_query_info().unwrap();
-        let mut memo = init_memo(&q);
+        let memo: AtomicMemo = init_memo(&q);
         let mut memo_stats = GpuStats::default();
-        // Fill level 2 so pricing works at level 3.
+        // Fill level 2 so pricing works at level 3 (the evaluate kernel
+        // publishes winners directly into the device table).
         let l2: Vec<RelSet> = (1..8).map(|d| RelSet::from_indices([0, d])).collect();
-        let out2 = evaluate_dpsub_kernel(
+        evaluate_dpsub_kernel(
             &q,
             &m,
             &memo,
@@ -450,7 +495,6 @@ mod tests {
             true,
             &mut memo_stats,
         );
-        scatter_kernel(&mut memo, &out2.best, &mut memo_stats);
         // Level 3 sets {0, a, b}.
         let mut l3 = Vec::new();
         for a in 1..8 {
@@ -486,14 +530,16 @@ mod tests {
     }
 
     #[test]
-    fn scatter_then_lookup() {
-        let (q, m, mut memo) = setup(3);
+    fn evaluate_publishes_then_lookup() {
+        let (q, m, memo) = setup(3);
         let mut stats = GpuStats::default();
         let sets: Vec<RelSet> = (1..3).map(|d| RelSet::from_indices([0, d])).collect();
         let out =
             evaluate_dpsub_kernel(&q, &m, &memo, &sets, WarpPolicy::Lockstep, true, &mut stats);
-        let w = scatter_kernel(&mut memo, &out.best, &mut stats);
-        assert_eq!(w, 2);
+        assert_eq!(out.memo_writes, 2);
         assert!(memo.get(RelSet::from_indices([0, 1])).is_some());
+        // Publishing charged the hash-table traffic.
+        assert!(stats.global_writes >= 2);
+        assert!(stats.global_reads >= 2);
     }
 }

@@ -13,13 +13,14 @@
 //! reordering buffer adds per-pair overhead — Amdahl caps the speedup near
 //! `(t_enum + t_cost) / t_enum`.
 
-use crate::pool::{parallel_chunks, Candidate};
+use crate::pool::{chunk_range, with_pool};
+use mpdp_core::atomic_memo::AtomicMemo;
 use mpdp_core::counters::{Counters, LevelStats, Profile};
 use mpdp_core::enumerate::SeenTable;
 use mpdp_core::{OptError, RelSet};
-use mpdp_cost::model::InputEst;
-use mpdp_dp::common::{finish, init_memo, OptContext, OptResult};
+use mpdp_dp::common::{finish, init_memo, price_pair, OptContext, OptResult};
 use mpdp_dp::JoinOrderOptimizer;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One enumerated ordered pair in the dependency buffer.
 #[derive(Copy, Clone, Debug)]
@@ -110,94 +111,86 @@ pub struct Dpe {
 
 impl Dpe {
     /// Runs DPE: sequential DPCCP enumeration into a dependency buffer,
-    /// parallel costing per dependency class.
+    /// parallel costing per dependency class with winners published straight
+    /// into the shared atomic memo (no per-thread candidate lists).
     pub fn run(ctx: &OptContext<'_>, threads: usize) -> Result<OptResult, OptError> {
         ctx.validate_exact()?;
         let q = ctx.query;
         let n = q.query_size();
-        let mut memo = init_memo(q);
-        let mut counters = Counters::default();
-        let mut profile = Profile::default();
+        with_pool(threads, |pool| {
+            let mut memo: AtomicMemo = init_memo(q);
+            let mut counters = Counters::default();
+            let mut profile = Profile::default();
 
-        if n > 1 {
-            // Producer: enumerate all pairs (sequential).
-            let mut buffer = Vec::new();
-            enumerate_all_pairs(q, ctx, &mut buffer)?;
+            if n > 1 {
+                // Producer: enumerate all pairs (sequential).
+                let mut buffer = Vec::new();
+                enumerate_all_pairs(q, ctx, &mut buffer)?;
 
-            // Dependency-aware reordering: bucket by union size.
-            let mut classes: Vec<Vec<PendingPair>> = vec![Vec::new(); n + 1];
-            for p in buffer {
-                classes[p.left.union(p.right).len()].push(p);
+                // Dependency-aware reordering: bucket by union size.
+                let mut classes: Vec<Vec<PendingPair>> = vec![Vec::new(); n + 1];
+                for p in buffer {
+                    classes[p.left.union(p.right).len()].push(p);
+                }
+
+                // Consumers: cost each class in parallel; the class barrier
+                // is the pool's run boundary.
+                #[allow(clippy::needless_range_loop)]
+                for k in 2..=n {
+                    ctx.check_deadline()?;
+                    let class = &classes[k];
+                    if class.is_empty() {
+                        continue;
+                    }
+                    // Pre-size the memo for the class's distinct union sets
+                    // (the connected sets materialized at this dependency
+                    // level); the table never grows during the parallel
+                    // phase.
+                    let mut unions = SeenTable::with_capacity(class.len() / 2 + 8);
+                    let mut class_sets = 0u64;
+                    for p in class {
+                        if unions.insert(p.left.union(p.right).bits()) {
+                            class_sets += 1;
+                        }
+                    }
+                    memo.reserve(class_sets as usize);
+                    let probes0 = memo.probe_count();
+                    let retries0 = memo.cas_retry_count();
+                    let memo_ref = &memo;
+                    let writes = AtomicU64::new(0);
+                    pool.run(&|worker| {
+                        let mut mine = 0u64;
+                        for p in &class[chunk_range(class.len(), pool.workers(), worker)] {
+                            let Some((cost, rows)) =
+                                price_pair(memo_ref, q, ctx.model, p.left, p.right)
+                            else {
+                                continue;
+                            };
+                            if memo_ref.insert_if_better(p.left.union(p.right), p.left, cost, rows)
+                            {
+                                mine += 1;
+                            }
+                        }
+                        writes.fetch_add(mine, Ordering::Relaxed);
+                    });
+                    let level = LevelStats {
+                        size: k,
+                        evaluated: class.len() as u64,
+                        ccp: class.len() as u64,
+                        sets: class_sets,
+                        memo_writes: writes.load(Ordering::Relaxed),
+                        memo_probes: memo.probe_count() - probes0,
+                        cas_retries: memo.cas_retry_count() - retries0,
+                        ..Default::default()
+                    };
+                    counters.evaluated += level.evaluated;
+                    counters.ccp += level.ccp;
+                    counters.sets += level.sets;
+                    profile.record(level);
+                }
             }
-
-            // Consumers: cost each class in parallel, merge, advance.
-            #[allow(clippy::needless_range_loop)]
-            for k in 2..=n {
-                ctx.check_deadline()?;
-                let class = &classes[k];
-                if class.is_empty() {
-                    continue;
-                }
-                // Pre-size the memo for the class's distinct union sets (the
-                // connected sets materialized at this dependency level), so
-                // the merge below never grows the table mid-class.
-                let mut unions = SeenTable::with_capacity(class.len() / 2 + 8);
-                let mut class_sets = 0u64;
-                for p in class {
-                    if unions.insert(p.left.union(p.right).bits()) {
-                        class_sets += 1;
-                    }
-                }
-                memo.reserve(class_sets as usize);
-                let memo_ref = &memo;
-                let results: Vec<Vec<Candidate>> = parallel_chunks(class, threads, |chunk| {
-                    let mut out = Vec::with_capacity(chunk.len());
-                    for p in chunk {
-                        let (el, er) = match (memo_ref.get(p.left), memo_ref.get(p.right)) {
-                            (Some(l), Some(r)) => (l, r),
-                            _ => continue,
-                        };
-                        let sel = q.graph.selectivity_between(p.left, p.right);
-                        let rows = el.rows * er.rows * sel;
-                        let cost = ctx.model.join_cost(
-                            InputEst {
-                                cost: el.cost,
-                                rows: el.rows,
-                            },
-                            InputEst {
-                                cost: er.cost,
-                                rows: er.rows,
-                            },
-                            rows,
-                        );
-                        out.push(Candidate {
-                            set: p.left.union(p.right),
-                            left: p.left,
-                            cost,
-                            rows,
-                        });
-                    }
-                    out
-                });
-                let mut level = LevelStats {
-                    size: k,
-                    evaluated: class.len() as u64,
-                    ccp: class.len() as u64,
-                    sets: class_sets,
-                    ..Default::default()
-                };
-                for cand in results.into_iter().flatten() {
-                    if memo.insert_if_better(cand.set, cand.left, cand.cost, cand.rows) {
-                        level.memo_writes += 1;
-                    }
-                }
-                counters.evaluated += level.evaluated;
-                counters.ccp += level.ccp;
-                counters.sets += level.sets;
-                profile.record(level);
-            }
-        }
-        finish(&memo, q, counters, profile)
+            finish(&memo, q, counters, profile)
+        })
     }
 }
 

@@ -109,12 +109,15 @@ pub struct CpuModel {
 
 impl CpuModel {
     /// A model for `threads` workers with the defaults used throughout the
-    /// benchmarks.
+    /// benchmarks. The 2 µs level sync reflects the persistent worker pool's
+    /// barrier crossings (`mpdp-parallel::pool`); the old per-level
+    /// spawn/join + sequential candidate merge is modelled separately by
+    /// [`CpuModel::predict_deferred_merge`].
     pub fn new(threads: usize) -> Self {
         CpuModel {
             threads,
             contention: 0.04,
-            level_sync: Duration::from_micros(15),
+            level_sync: Duration::from_micros(2),
         }
     }
 
@@ -135,6 +138,31 @@ impl CpuModel {
                 + l.memo_writes as f64 * cal.weights.write;
             total_ns += units * cal.ns_per_unit / self.speedup();
             total_ns += self.level_sync.as_nanos() as f64;
+        }
+        Duration::from_nanos(total_ns as u64)
+    }
+
+    /// Predicted wall time of the *pre-atomic* level-parallel design —
+    /// thread-local `Vec<Candidate>` buffers, a sequential per-level merge
+    /// into the memo, and a spawn/join round per level (the "deferred
+    /// pruning" shape of PDP). `repro scale` reports this next to
+    /// [`CpuModel::predict_level_parallel`] so the shared-memo win is
+    /// measured against the design it replaced, not asserted.
+    pub fn predict_deferred_merge(&self, profile: &Profile, cal: &Calibration) -> Duration {
+        // The old pool spawned + joined scoped threads every level.
+        const SPAWN_JOIN: Duration = Duration::from_micros(15);
+        let mut total_ns = 0.0;
+        for l in &profile.levels {
+            let par_units = l.unranked as f64 * cal.weights.unrank
+                + l.sets as f64 * cal.weights.set
+                + l.evaluated as f64 * cal.weights.pair;
+            // Every CCP pair became a buffered candidate that the main
+            // thread later merged sequentially (insert_if_better + the
+            // buffer push/drain, ~3 write-equivalents per candidate).
+            let merge_units = l.ccp as f64 * cal.weights.write * 3.0;
+            total_ns += par_units * cal.ns_per_unit / self.speedup();
+            total_ns += merge_units * cal.ns_per_unit;
+            total_ns += SPAWN_JOIN.as_nanos() as f64;
         }
         Duration::from_nanos(total_ns as u64)
     }
@@ -234,6 +262,7 @@ mod tests {
                 evaluated,
                 ccp: evaluated / 2,
                 memo_writes: sets,
+                ..Default::default()
             });
         }
         p
@@ -257,6 +286,40 @@ mod tests {
         let t8 = CpuModel::new(8).predict_level_parallel(&p, &cal);
         let t24 = CpuModel::new(24).predict_level_parallel(&p, &cal);
         assert!(t1 > t8 && t8 > t24);
+    }
+
+    #[test]
+    fn deferred_merge_slower_than_atomic_at_scale() {
+        // The sequential merge is an Amdahl term the atomic design deletes:
+        // at 8+ threads the deferred model must trail, and its speedup over
+        // one thread must cap below the atomic design's.
+        let p = profile(&[(2, 0, 1000, 200_000), (3, 0, 2000, 800_000)]);
+        let cal = Calibration::default_for_container();
+        for threads in [4usize, 8, 24] {
+            let m = CpuModel::new(threads);
+            assert!(
+                m.predict_deferred_merge(&p, &cal) > m.predict_level_parallel(&p, &cal),
+                "threads={threads}"
+            );
+        }
+        let atomic_speedup = CpuModel::new(8)
+            .predict_level_parallel(&p, &cal)
+            .as_secs_f64();
+        let atomic_speedup = CpuModel::new(1)
+            .predict_level_parallel(&p, &cal)
+            .as_secs_f64()
+            / atomic_speedup;
+        let deferred_speedup = CpuModel::new(8)
+            .predict_deferred_merge(&p, &cal)
+            .as_secs_f64();
+        let deferred_speedup = CpuModel::new(1)
+            .predict_deferred_merge(&p, &cal)
+            .as_secs_f64()
+            / deferred_speedup;
+        assert!(
+            atomic_speedup > deferred_speedup,
+            "atomic {atomic_speedup:.2} vs deferred {deferred_speedup:.2}"
+        );
     }
 
     #[test]

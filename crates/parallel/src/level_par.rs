@@ -1,29 +1,33 @@
 //! CPU-parallel level-synchronous DP: parallel MPDP, DPSUB and DPSIZE (PDP).
 //!
-//! All three share the same skeleton (the paper's "MPDP (24CPU)", the DPSUB
-//! parallelization of §2.2.2, and PDP \[10\]):
+//! All three share the paper's MPDP-GPU skeleton (§5), transplanted to
+//! shared-memory CPUs:
 //!
 //! 1. enumerate the level's work items sequentially (cheap),
-//! 2. fan the items out to workers; each worker evaluates Join-Pairs against
-//!    the previous levels' memo (read-only) and keeps thread-local best
-//!    candidates,
-//! 3. merge candidates into the memo (the deferred pruning step),
-//! 4. barrier, next level.
+//! 2. fan the items out to the persistent worker pool; each worker evaluates
+//!    Join-Pairs against the previous levels' entries (quiescent, read-only)
+//!    and writes winners *straight into the shared
+//!    [`mpdp_core::atomic_memo::AtomicMemo`]* with CAS min-updates — the CPU
+//!    analogue of the paper's `atomicMin` on the device-global hash table,
+//! 3. barrier, next level.
 //!
-//! Result equality with the sequential algorithms is exact: the same pairs
-//! are evaluated with the same cost function; only the reduction order
-//! differs, and `min` is order-insensitive.
+//! There is no thread-local candidate buffering and no sequential merge
+//! step (the "deferred pruning" shape of PDP \[10\] that used to live here):
+//! the table itself is the reduction. Result equality with the sequential
+//! algorithms is exact and bit-identical at any worker count: the same pairs
+//! are priced by the same shared costing (`mpdp_dp::common::price_pair`),
+//! and every memo keeps the minimum under the same deterministic
+//! `(cost, left)` tie-break, which is order-insensitive.
 
-use crate::pool::{parallel_chunks, Candidate};
+use crate::pool::{chunk_range, with_pool};
+use mpdp_core::atomic_memo::AtomicMemo;
 use mpdp_core::blocks::find_blocks;
 use mpdp_core::counters::{Counters, LevelStats, Profile};
 use mpdp_core::enumerate::EnumerationMode;
-use mpdp_core::memo::MemoTable;
 use mpdp_core::{OptError, RelSet};
-use mpdp_cost::model::InputEst;
-use mpdp_dp::common::{finish, init_memo, LevelEnumerator, OptContext, OptResult};
+use mpdp_dp::common::{finish, init_memo, price_pair, LevelEnumerator, OptContext, OptResult};
 use mpdp_dp::JoinOrderOptimizer;
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which level-parallel algorithm to run.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -34,21 +38,44 @@ pub enum LevelAlgo {
     DpSub,
 }
 
-/// Worker result for one chunk of sets.
-struct ChunkResult {
-    candidates: Vec<Candidate>,
+/// One worker's tallies for its slice of a level, merged into the level's
+/// atomic accumulators when the slice is done (sums are partition-invariant,
+/// so totals are deterministic at any worker count).
+#[derive(Default)]
+struct SliceTally {
     evaluated: u64,
     ccp: u64,
+    writes: u64,
+}
+
+/// Level-wide accumulators the workers fold their tallies into.
+#[derive(Default)]
+struct LevelTally {
+    evaluated: AtomicU64,
+    ccp: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl LevelTally {
+    fn absorb(&self, t: &SliceTally) {
+        self.evaluated.fetch_add(t.evaluated, Ordering::Relaxed);
+        self.ccp.fetch_add(t.ccp, Ordering::Relaxed);
+        self.writes.fetch_add(t.writes, Ordering::Relaxed);
+    }
+
+    fn fill(&self, level: &mut LevelStats) {
+        level.evaluated += self.evaluated.load(Ordering::Relaxed);
+        level.ccp += self.ccp.load(Ordering::Relaxed);
+        level.memo_writes += self.writes.load(Ordering::Relaxed);
+    }
 }
 
 fn eval_set_mpdp(
     q: &mpdp_core::QueryInfo,
     model: &dyn mpdp_cost::model::CostModel,
-    memo: &MemoTable,
+    memo: &AtomicMemo,
     s: RelSet,
-    out: &mut Vec<Candidate>,
-    evaluated: &mut u64,
-    ccp: &mut u64,
+    tally: &mut SliceTally,
 ) {
     let decomposition = find_blocks(&q.graph, s);
     for &block in &decomposition.blocks {
@@ -57,7 +84,7 @@ fn eval_set_mpdp(
                 continue;
             }
             let rb = block.difference(lb);
-            *evaluated += 1;
+            tally.evaluated += 1;
             if lb.is_empty() || rb.is_empty() {
                 continue;
             }
@@ -67,10 +94,10 @@ fn eval_set_mpdp(
             if !q.graph.sets_connected(lb, rb) {
                 continue;
             }
-            *ccp += 1;
+            tally.ccp += 1;
             let sleft = q.graph.grow(lb, s.difference(rb));
             let sright = s.difference(sleft);
-            push_candidate(q, model, memo, sleft, sright, out);
+            emit_atomic(q, model, memo, sleft, sright, tally);
         }
     }
 }
@@ -78,14 +105,12 @@ fn eval_set_mpdp(
 fn eval_set_dpsub(
     q: &mpdp_core::QueryInfo,
     model: &dyn mpdp_cost::model::CostModel,
-    memo: &MemoTable,
+    memo: &AtomicMemo,
     s: RelSet,
-    out: &mut Vec<Candidate>,
-    evaluated: &mut u64,
-    ccp: &mut u64,
+    tally: &mut SliceTally,
 ) {
     for sl in s.subsets() {
-        *evaluated += 1;
+        tally.evaluated += 1;
         let sr = s.difference(sl);
         if sl.is_empty() || sr.is_empty() {
             continue;
@@ -96,50 +121,55 @@ fn eval_set_dpsub(
         if !q.graph.sets_connected(sl, sr) {
             continue;
         }
-        *ccp += 1;
-        push_candidate(q, model, memo, sl, sr, out);
+        tally.ccp += 1;
+        emit_atomic(q, model, memo, sl, sr, tally);
     }
 }
 
-/// Prices `(sl, sr)` against the read-only memo and records the candidate.
-fn push_candidate(
+/// Prices `(sl, sr)` against the shared memo and publishes the candidate
+/// with an atomic min-update — the worker-side `CreatePlan` + `atomicMin`.
+/// Both sides live in strictly smaller (quiescent) levels; a missing entry
+/// is skipped here and surfaces as a plan-extraction failure, exactly as in
+/// the old deferred-merge path.
+#[inline]
+fn emit_atomic(
     q: &mpdp_core::QueryInfo,
     model: &dyn mpdp_cost::model::CostModel,
-    memo: &MemoTable,
+    memo: &AtomicMemo,
     sl: RelSet,
     sr: RelSet,
-    out: &mut Vec<Candidate>,
+    tally: &mut SliceTally,
 ) {
-    let (el, er) = match (memo.get(sl), memo.get(sr)) {
-        (Some(l), Some(r)) => (l, r),
-        // Sub-entries are complete for all strictly smaller sets, so this
-        // cannot happen; workers cannot return Result without complicating
-        // the merge, so candidates for missing entries are skipped and the
-        // final plan extraction reports the inconsistency.
-        _ => return,
-    };
-    let sel = q.graph.selectivity_between(sl, sr);
-    let rows = el.rows * er.rows * sel;
-    let cost = model.join_cost(
-        InputEst {
-            cost: el.cost,
-            rows: el.rows,
-        },
-        InputEst {
-            cost: er.cost,
-            rows: er.rows,
-        },
-        rows,
-    );
-    out.push(Candidate {
-        set: sl.union(sr),
-        left: sl,
-        cost,
-        rows,
-    });
+    if let Some((cost, rows)) = price_pair(memo, q, model, sl, sr) {
+        if memo.insert_if_better(sl.union(sr), sl, cost, rows) {
+            tally.writes += 1;
+        }
+    }
 }
 
-/// Runs a level-parallel algorithm with `threads` workers.
+/// Snapshot of the memo's cumulative probe/CAS counters, used to attribute
+/// per-level deltas to [`LevelStats`].
+struct MemoMarks {
+    probes: u64,
+    retries: u64,
+}
+
+impl MemoMarks {
+    fn take(memo: &AtomicMemo) -> MemoMarks {
+        MemoMarks {
+            probes: memo.probe_count(),
+            retries: memo.cas_retry_count(),
+        }
+    }
+
+    fn delta_into(&self, memo: &AtomicMemo, level: &mut LevelStats) {
+        level.memo_probes = memo.probe_count() - self.probes;
+        level.cas_retries = memo.cas_retry_count() - self.retries;
+    }
+}
+
+/// Runs a level-parallel algorithm with `threads` workers sharing one
+/// atomic memo.
 pub fn run_level_parallel(
     ctx: &OptContext<'_>,
     algo: LevelAlgo,
@@ -148,166 +178,127 @@ pub fn run_level_parallel(
     ctx.validate_exact()?;
     let q = ctx.query;
     let n = q.query_size();
-    let mut memo = init_memo(q);
-    let mut counters = Counters::default();
-    let mut profile = Profile::default();
-
-    let mut enumerator = LevelEnumerator::new(&q.graph, ctx.enumeration);
-    for i in 2..=n {
-        ctx.check_deadline()?;
-        // Frontier expansion (or legacy unrank + filter) — sequential here;
-        // the frontier expansion of disjoint chunks is itself embarrassingly
-        // parallel in principle and on the simulated GPU.
-        let lvl = enumerator.level(ctx, i)?;
-        let mut level = LevelStats {
-            size: i,
-            unranked: lvl.unranked,
-            sets: lvl.sets.len() as u64,
-            ..Default::default()
-        };
-        memo.reserve(lvl.sets.len());
-
-        // Evaluate in parallel against the read-only memo.
-        let memo_ref = &memo;
-        let results: Vec<ChunkResult> = parallel_chunks(lvl.sets, threads, |chunk| {
-            let mut r = ChunkResult {
-                candidates: Vec::new(),
-                evaluated: 0,
-                ccp: 0,
+    with_pool(threads, |pool| {
+        let mut memo: AtomicMemo = init_memo(q);
+        let mut counters = Counters::default();
+        let mut profile = Profile::default();
+        let mut enumerator = LevelEnumerator::new(&q.graph, ctx.enumeration);
+        for i in 2..=n {
+            ctx.check_deadline()?;
+            // Frontier expansion (or legacy unrank + filter) — sequential
+            // here; the per-level table sizing happens between barriers,
+            // which is the only time the memo may grow.
+            let lvl = enumerator.level(ctx, i)?;
+            let mut level = LevelStats {
+                size: i,
+                unranked: lvl.unranked,
+                sets: lvl.sets.len() as u64,
+                ..Default::default()
             };
-            for &s in chunk {
-                match algo {
-                    LevelAlgo::Mpdp => eval_set_mpdp(
-                        q,
-                        ctx.model,
-                        memo_ref,
-                        s,
-                        &mut r.candidates,
-                        &mut r.evaluated,
-                        &mut r.ccp,
-                    ),
-                    LevelAlgo::DpSub => eval_set_dpsub(
-                        q,
-                        ctx.model,
-                        memo_ref,
-                        s,
-                        &mut r.candidates,
-                        &mut r.evaluated,
-                        &mut r.ccp,
-                    ),
-                }
-            }
-            r
-        });
+            memo.reserve(lvl.sets.len());
+            let marks = MemoMarks::take(&memo);
 
-        // Merge (deferred pruning).
-        for r in results {
-            level.evaluated += r.evaluated;
-            level.ccp += r.ccp;
-            for c in r.candidates {
-                if memo.insert_if_better(c.set, c.left, c.cost, c.rows) {
-                    level.memo_writes += 1;
+            let sets = lvl.sets;
+            let memo_ref = &memo;
+            let tally = LevelTally::default();
+            pool.run(&|worker| {
+                let mut mine = SliceTally::default();
+                for &s in &sets[chunk_range(sets.len(), pool.workers(), worker)] {
+                    match algo {
+                        LevelAlgo::Mpdp => eval_set_mpdp(q, ctx.model, memo_ref, s, &mut mine),
+                        LevelAlgo::DpSub => eval_set_dpsub(q, ctx.model, memo_ref, s, &mut mine),
+                    }
                 }
-            }
+                tally.absorb(&mine);
+            });
+            // Implicit level barrier: pool.run returned, so every winner of
+            // this level is published before the next level reads it.
+            tally.fill(&mut level);
+            marks.delta_into(&memo, &mut level);
+            counters.evaluated += level.evaluated;
+            counters.ccp += level.ccp;
+            counters.sets += level.sets;
+            counters.unranked += level.unranked;
+            profile.record(level);
         }
-        counters.evaluated += level.evaluated;
-        counters.ccp += level.ccp;
-        counters.sets += level.sets;
-        counters.unranked += level.unranked;
-        profile.record(level);
-    }
-    finish(&memo, q, counters, profile)
+        finish(&memo, q, counters, profile)
+    })
 }
 
 /// PDP — parallel DPSIZE \[10\]: per level, the cross products of the
-/// previous levels' plan lists are split among workers.
+/// previous levels' plan lists are split among workers, which now publish
+/// winners straight into the shared atomic memo (no deferred pruning).
+///
+/// The per-size plan lists come from the frontier enumerator in *both*
+/// enumeration modes: DPSIZE never unranks subsets (its candidates are
+/// cross products of plan lists), and the discovered-set list of the legacy
+/// merge was provably identical to the frontier's connected-set list, so
+/// this keeps counters and results bit-identical while letting the memo be
+/// sized before each parallel phase.
 pub fn run_dpsize_parallel(ctx: &OptContext<'_>, threads: usize) -> Result<OptResult, OptError> {
     ctx.validate_exact()?;
     let q = ctx.query;
     let n = q.query_size();
-    let mut memo = init_memo(q);
-    let mut counters = Counters::default();
-    let mut profile = Profile::default();
-    let mut sets_by_size: Vec<Vec<RelSet>> = vec![Vec::new(); n + 1];
-    sets_by_size[1] = (0..n).map(RelSet::singleton).collect();
-    let mut enumerator = LevelEnumerator::new(&q.graph, ctx.enumeration);
+    with_pool(threads, |pool| {
+        let mut memo: AtomicMemo = init_memo(q);
+        let mut counters = Counters::default();
+        let mut profile = Profile::default();
+        let mut sets_by_size: Vec<Vec<RelSet>> = vec![Vec::new(); n + 1];
+        sets_by_size[1] = (0..n).map(RelSet::singleton).collect();
+        let mut enumerator = LevelEnumerator::new(&q.graph, EnumerationMode::Frontier);
+        // Work items, reused across levels: (right-size, left set).
+        let mut items: Vec<(usize, RelSet)> = Vec::new();
 
-    for i in 2..=n {
-        ctx.check_deadline()?;
-        let mut level = LevelStats {
-            size: i,
-            ..Default::default()
-        };
-        if ctx.enumeration == EnumerationMode::Frontier {
-            // The level's plan list comes straight from the enumerator; the
-            // legacy path below discovers it from the workers' candidates.
+        for i in 2..=n {
+            ctx.check_deadline()?;
+            let mut level = LevelStats {
+                size: i,
+                ..Default::default()
+            };
             let lvl = enumerator.level(ctx, i)?;
             memo.reserve(lvl.sets.len());
             sets_by_size[i] = lvl.sets.to_vec();
-        }
-        // Work items: (k, index into left list). Workers scan the whole
-        // right list per item.
-        let mut items: Vec<(usize, RelSet)> = Vec::new();
-        #[allow(clippy::needless_range_loop)]
-        for k in 1..i {
-            for &l in &sets_by_size[k] {
-                items.push((i - k, l));
-            }
-        }
-        let memo_ref = &memo;
-        let sizes_ref = &sets_by_size;
-        let results: Vec<ChunkResult> = parallel_chunks(&items, threads, |chunk| {
-            let mut r = ChunkResult {
-                candidates: Vec::new(),
-                evaluated: 0,
-                ccp: 0,
-            };
-            for &(rk, left) in chunk {
-                for &right in &sizes_ref[rk] {
-                    r.evaluated += 1;
-                    if !left.is_disjoint(right) {
-                        continue;
-                    }
-                    if !q.graph.sets_connected(left, right) {
-                        continue;
-                    }
-                    r.ccp += 1;
-                    push_candidate(q, ctx.model, memo_ref, left, right, &mut r.candidates);
-                }
-            }
-            r
-        });
-        // Legacy mode discovers the level's list from the workers'
-        // candidates; frontier mode already enumerated it above.
-        let discover = ctx.enumeration != EnumerationMode::Frontier;
-        let mut new_sets: HashMap<u64, ()> = HashMap::new();
-        for r in results {
-            level.evaluated += r.evaluated;
-            level.ccp += r.ccp;
-            for c in r.candidates {
-                let is_new = discover && memo.get(c.set).is_none();
-                if memo.insert_if_better(c.set, c.left, c.cost, c.rows) {
-                    level.memo_writes += 1;
-                }
-                if is_new {
-                    new_sets.insert(c.set.bits(), ());
-                }
-            }
-        }
-        if discover {
-            level.sets = new_sets.len() as u64;
-            let mut discovered: Vec<RelSet> = new_sets.keys().map(|&b| RelSet(b)).collect();
-            discovered.sort_unstable();
-            sets_by_size[i] = discovered;
-        } else {
             level.sets = sets_by_size[i].len() as u64;
+
+            items.clear();
+            #[allow(clippy::needless_range_loop)]
+            for k in 1..i {
+                for &l in &sets_by_size[k] {
+                    items.push((i - k, l));
+                }
+            }
+            let marks = MemoMarks::take(&memo);
+            let memo_ref = &memo;
+            let items_ref = &items;
+            let sizes_ref = &sets_by_size;
+            let tally = LevelTally::default();
+            pool.run(&|worker| {
+                let mut mine = SliceTally::default();
+                for &(rk, left) in &items_ref[chunk_range(items_ref.len(), pool.workers(), worker)]
+                {
+                    for &right in &sizes_ref[rk] {
+                        mine.evaluated += 1;
+                        if !left.is_disjoint(right) {
+                            continue;
+                        }
+                        if !q.graph.sets_connected(left, right) {
+                            continue;
+                        }
+                        mine.ccp += 1;
+                        emit_atomic(q, ctx.model, memo_ref, left, right, &mut mine);
+                    }
+                }
+                tally.absorb(&mine);
+            });
+            tally.fill(&mut level);
+            marks.delta_into(&memo, &mut level);
+            counters.evaluated += level.evaluated;
+            counters.ccp += level.ccp;
+            counters.sets += level.sets;
+            profile.record(level);
         }
-        counters.evaluated += level.evaluated;
-        counters.ccp += level.ccp;
-        counters.sets += level.sets;
-        profile.record(level);
-    }
-    finish(&memo, q, counters, profile)
+        finish(&memo, q, counters, profile)
+    })
 }
 
 /// Parallel MPDP on CPU ("MPDP (24CPU)" in Figures 6–9).
@@ -380,7 +371,7 @@ mod tests {
             );
             assert_eq!(par_mpdp.counters.ccp, seq.counters.ccp);
             let par_sub = run_level_parallel(&ctx, LevelAlgo::DpSub, threads).unwrap();
-            assert!((par_sub.cost - seq.cost).abs() < 1e-6 * seq.cost.max(1.0));
+            assert_eq!(par_sub.cost.to_bits(), seq.cost.to_bits());
             assert_eq!(par_sub.counters.evaluated, seq.counters.evaluated);
             let pdp = run_dpsize_parallel(&ctx, threads).unwrap();
             assert!((pdp.cost - seq.cost).abs() < 1e-6 * seq.cost.max(1.0));
@@ -442,5 +433,38 @@ mod tests {
         let r = run_level_parallel(&ctx, LevelAlgo::Mpdp, 3).unwrap();
         assert!(r.plan.validate(&q.graph).is_none());
         assert_eq!(r.plan.num_rels(), 9);
+    }
+
+    #[test]
+    fn plans_bit_identical_across_worker_counts() {
+        // The tie-break makes the whole memo — and therefore the extracted
+        // plan — a pure function of the candidate multiset, independent of
+        // scheduling. Compare the plan trees structurally.
+        let m = PgLikeCost::new();
+        for q in [
+            gen::star(8, 2, &m).to_query_info().unwrap(),
+            gen::random_connected(9, 5, 7, &m).to_query_info().unwrap(),
+        ] {
+            let ctx = OptContext::new(&q, &m);
+            let base = run_level_parallel(&ctx, LevelAlgo::Mpdp, 1).unwrap();
+            for threads in [2, 4, 8] {
+                let r = run_level_parallel(&ctx, LevelAlgo::Mpdp, threads).unwrap();
+                assert_eq!(r.plan, base.plan, "threads={threads}");
+                assert_eq!(r.cost.to_bits(), base.cost.to_bits());
+                assert_eq!(r.counters, base.counters);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_reports_memo_health() {
+        let m = PgLikeCost::new();
+        let q = gen::cycle(8, 1, &m).to_query_info().unwrap();
+        let ctx = OptContext::new(&q, &m);
+        let r = run_level_parallel(&ctx, LevelAlgo::Mpdp, 2).unwrap();
+        let health = r.profile.memo.expect("finish stamps memo health");
+        assert_eq!(health.entries, r.memo_entries);
+        assert!(health.load_factor() > 0.0 && health.load_factor() <= 0.7 + 1e-9);
+        assert!(r.profile.levels.iter().map(|l| l.memo_probes).sum::<u64>() > 0);
     }
 }

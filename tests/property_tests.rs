@@ -146,6 +146,74 @@ proptest! {
     }
 
     #[test]
+    fn atomic_memo_hammer_converges_to_sequential_min(
+        params in (2u64..48, any::<u64>(), 64usize..1500)
+    ) {
+        // 8 threads race pseudorandom insert_if_better streams (few distinct
+        // costs -> frequent exact ties) against one AtomicMemo; the table
+        // must converge to exactly the sequential MemoTable's (cost, left)
+        // minimum per key. Streams are derived deterministically from the
+        // drawn seed so the parallel run and the sequential replay see the
+        // same candidate multiset.
+        use mpdp::core::atomic_memo::AtomicMemo;
+        use mpdp::core::memo::{murmur3_fmix64, MemoStore, MemoTable};
+        let (keys, seed, per_thread) = params;
+        let step = |state: &mut u64| -> (RelSet, RelSet, f64) {
+            *state = murmur3_fmix64(state.wrapping_add(0xa076_1d64_78bd_642f));
+            let raw = *state;
+            let key = RelSet(raw % keys + 1);
+            let l = RelSet((raw >> 13) & key.bits()).lowest_bit();
+            let left = if l.is_empty() { key.lowest_bit() } else { l };
+            (key, left, ((raw >> 32) % 5) as f64)
+        };
+        let mut atomic = AtomicMemo::with_capacity(keys as usize);
+        MemoStore::reserve(&mut atomic, keys as usize);
+        let atomic_ref = &atomic;
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                scope.spawn(move || {
+                    let mut state = seed ^ (t + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    for _ in 0..per_thread {
+                        let (key, left, cost) = step(&mut state);
+                        atomic_ref.insert_if_better(key, left, cost, 1.0);
+                    }
+                });
+            }
+        });
+        let mut expected = MemoTable::with_capacity(keys as usize);
+        for t in 0..8u64 {
+            let mut state = seed ^ (t + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            for _ in 0..per_thread {
+                let (key, left, cost) = step(&mut state);
+                expected.insert_if_better(key, left, cost, 1.0);
+            }
+        }
+        prop_assert_eq!(MemoStore::len(&atomic), expected.len());
+        for e in expected.iter() {
+            let got = atomic.get(e.set).unwrap();
+            prop_assert_eq!(got.cost.to_bits(), e.cost.to_bits());
+            prop_assert_eq!(got.left, e.left);
+        }
+    }
+
+    #[test]
+    fn parallel_backends_bit_identical_to_sequential(q in query_strategy()) {
+        // The shared-memo guarantee over arbitrary topologies: identical
+        // plans, costs and counters at any worker count.
+        use mpdp_parallel::level_par::{run_level_parallel, LevelAlgo};
+        let m = PgLikeCost::new();
+        let qi = q.to_query_info().unwrap();
+        let ctx = OptContext::new(&qi, &m);
+        let seq = Mpdp::run(&ctx).unwrap();
+        for w in [2usize, 4] {
+            let r = run_level_parallel(&ctx, LevelAlgo::Mpdp, w).unwrap();
+            prop_assert_eq!(r.cost.to_bits(), seq.cost.to_bits(), "{} workers", w);
+            prop_assert_eq!(&r.plan, &seq.plan, "{} workers", w);
+            prop_assert_eq!(r.counters, seq.counters, "{} workers", w);
+        }
+    }
+
+    #[test]
     fn cout_model_also_consistent(q in query_strategy()) {
         // The whole stack is cost-model generic: rerun equivalence under Cout.
         let m = CoutCost;
