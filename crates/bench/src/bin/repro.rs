@@ -3,12 +3,12 @@
 //! ```text
 //! repro <experiment> [..]     experiments: fig2 fig4 fig6 fig7 fig8 fig9
 //!                             fig10 fig11 fig12 fig13 table1 table2 table3
-//!                             ablation bench scale serve all
-//! --emit-json <path>          (bench, scale) write per-run wall/model times
-//!                             and counters as JSON
-//! --check-against <path>      (bench, scale) compare wall times against a
-//!                             committed baseline JSON; exit 1 if any
-//!                             algorithm regressed more than 2x
+//!                             ablation bench scale serve exec all
+//! --emit-json <path>          (bench, scale, exec) write per-run wall/model
+//!                             times and counters as JSON
+//! --check-against <path>      (bench, scale, exec) compare wall times
+//!                             against a committed baseline JSON; exit 1 if
+//!                             any algorithm regressed more than 2x
 //! --queries <n>               (serve) stream length (default 10000)
 //! --workers <n>               (serve) worker threads (default 4);
 //!                             (scale) max worker count of the 1/2/4/…
@@ -67,7 +67,7 @@ fn main() {
     let what: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "ablation", "table1", "table2", "table3", "bench", "scale", "serve",
+            "ablation", "table1", "table2", "table3", "bench", "scale", "serve", "exec",
         ]
     } else {
         args.iter().map(|s| s.as_str()).collect()
@@ -97,6 +97,7 @@ fn main() {
                 check_against.as_deref(),
             ),
             "serve" => serve(serve_queries, serve_workers),
+            "exec" => exec_experiment(emit_json.as_deref(), check_against.as_deref()),
             "table1" => heuristic_table(scale, "table1", "snowflake", scale.table1_sizes()),
             "table2" => heuristic_table(scale, "table2", "star", scale.table2_sizes()),
             "table3" => heuristic_table(scale, "table3", "clique", scale.table3_sizes()),
@@ -886,6 +887,45 @@ fn make_query_shape(shape: &str, n: usize, seed: u64, model: &PgLikeCost) -> Que
         "star" => gen::star(n, seed, model).to_query_info().unwrap(),
         "cycle" => gen::cycle(n, seed, model).to_query_info().unwrap(),
         other => panic!("unknown bench shape {other}"),
+    }
+}
+
+// ------------------------------------------------------------------- exec
+
+/// `repro exec`: materialize tables from catalog statistics, execute every
+/// [`mpdp_bench::exec::EXEC_STRATEGIES`] plan per shape, report modeled cost
+/// vs measured runtime (+ Spearman correlations), run the oracle check and
+/// the PlanService feedback-loop demo. See `mpdp_bench::exec`.
+fn exec_experiment(emit_json: Option<&str>, check_against: Option<&str>) {
+    println!("\n## exec — vectorized executor: modeled cost vs measured runtime (seed 42)");
+    let model = PgLikeCost::new();
+    let report = match mpdp_bench::exec::run_exec_bench(&model, 42) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("exec failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render());
+    // Emit before any gating, so a failing CI leg still uploads the run
+    // JSON for diagnosis (same convention as bench/scale).
+    if let Some(path) = emit_json {
+        std::fs::write(path, report.to_json()).expect("write exec JSON");
+        println!("# wrote {path}");
+    }
+    // The feedback demo is a check, not just a narrative: the skewed run
+    // must invalidate and the corrected plan must be cheaper.
+    let d = &report.demo;
+    if !d.invalidated || !d.converged || d.replanned_cost >= d.stale_cost_corrected {
+        eprintln!(
+            "# exec FAILED: feedback loop did not improve the plan \
+             (invalidated={}, converged={}, {:.3e} -> {:.3e})",
+            d.invalidated, d.converged, d.stale_cost_corrected, d.replanned_cost
+        );
+        std::process::exit(1);
+    }
+    if let Some(path) = check_against {
+        gate_or_exit(path, &report.wall_runs(), "EXEC", true);
     }
 }
 

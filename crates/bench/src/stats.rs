@@ -28,6 +28,54 @@ pub fn geomean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 
+/// Tie-aware average ranks (1-based) of a sample.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Tied values share the average of the ranks they span.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (tie-aware, Pearson over average ranks);
+/// 0.0 when either side is constant or the samples are shorter than 2.
+///
+/// This is the executor experiment's headline number: how well the cost
+/// model's *ordering* of candidate plans predicts the ordering of their
+/// measured runtimes (the absolute scales are incomparable by design).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "paired samples");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let (rx, ry) = (ranks(xs), ranks(ys));
+    let (mx, my) = (mean(&rx), mean(&ry));
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for (a, b) in rx.iter().zip(&ry) {
+        num += (a - mx) * (b - my);
+        dx += (a - mx).powi(2);
+        dy += (b - my).powi(2);
+    }
+    if dx == 0.0 || dy == 0.0 {
+        return 0.0;
+    }
+    num / (dx * dy).sqrt()
+}
+
 /// Formats a duration in the figures' milliseconds convention.
 pub fn fmt_ms(d: std::time::Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1000.0)
@@ -54,6 +102,20 @@ mod tests {
         let xs = [1.0, 4.0];
         assert!((geomean(&xs) - 2.0).abs() < 1e-12);
         assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn spearman_basics() {
+        // Perfect monotone agreement / disagreement.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert!((spearman(&a, &[10.0, 20.0, 30.0, 40.0]) - 1.0).abs() < 1e-12);
+        assert!((spearman(&a, &[40.0, 30.0, 20.0, 10.0]) + 1.0).abs() < 1e-12);
+        // Constant side: defined as 0.
+        assert_eq!(spearman(&a, &[5.0; 4]), 0.0);
+        assert_eq!(spearman(&[1.0], &[2.0]), 0.0);
+        // Ties share average ranks: still positively correlated.
+        let r = spearman(&[1.0, 1.0, 2.0, 3.0], &[5.0, 6.0, 7.0, 8.0]);
+        assert!(r > 0.8 && r < 1.0, "{r}");
     }
 
     #[test]

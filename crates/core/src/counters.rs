@@ -108,6 +108,50 @@ impl Profile {
     }
 }
 
+/// Aggregate counters for one plan execution (`mpdp-exec`).
+///
+/// The execution-side sibling of [`Counters`]: where `evaluated`/`ccp`
+/// summarize what an *optimizer* did, these summarize what the chosen plan
+/// then *cost* to run — rows through the hash-join build and probe phases,
+/// rows emitted, probe morsels processed. `feedback_invalidations` counts
+/// cached plans a serving layer evicted because this (or an aggregated)
+/// execution observed a root cardinality far from the estimate; the
+/// executor itself leaves it 0.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecCounters {
+    /// Rows inserted into hash tables across all joins.
+    pub build_rows: u64,
+    /// Rows streamed through probe sides across all joins.
+    pub probe_rows: u64,
+    /// Rows emitted by join operators (intermediate + root).
+    pub output_rows: u64,
+    /// Probe morsels processed.
+    pub batches: u64,
+    /// Join operators executed.
+    pub joins: u64,
+    /// Cached plans invalidated by cardinality feedback (serving layer).
+    pub feedback_invalidations: u64,
+}
+
+impl ExecCounters {
+    /// Adds another counter set (e.g. when aggregating a workload's runs).
+    pub fn merge(&mut self, other: &ExecCounters) {
+        self.build_rows += other.build_rows;
+        self.probe_rows += other.probe_rows;
+        self.output_rows += other.output_rows;
+        self.batches += other.batches;
+        self.joins += other.joins;
+        self.feedback_invalidations += other.feedback_invalidations;
+    }
+
+    /// Total rows touched by join machinery (built + probed + emitted) —
+    /// the executor's coarse "work" measure, used by the bench report to
+    /// compare plans of one query independent of wall-clock noise.
+    pub fn rows_touched(&self) -> u64 {
+        self.build_rows + self.probe_rows + self.output_rows
+    }
+}
+
 /// Thread-safe hit/miss/eviction counters for a serving-layer cache.
 ///
 /// The same observability idea as [`Counters`] — cheap monotonic counts that
@@ -122,6 +166,8 @@ pub struct CacheCounters {
     insertions: std::sync::atomic::AtomicU64,
     evictions: std::sync::atomic::AtomicU64,
     expirations: std::sync::atomic::AtomicU64,
+    feedback_checks: std::sync::atomic::AtomicU64,
+    feedback_invalidations: std::sync::atomic::AtomicU64,
 }
 
 /// A point-in-time copy of [`CacheCounters`].
@@ -137,6 +183,11 @@ pub struct CacheSnapshot {
     pub evictions: u64,
     /// Entries dropped because their TTL had lapsed.
     pub expirations: u64,
+    /// Execution reports fed back through the service's `observe` hook.
+    pub feedback_checks: u64,
+    /// Cached plans evicted because an observed root cardinality deviated
+    /// from the estimate beyond the feedback threshold.
+    pub feedback_invalidations: u64,
 }
 
 impl CacheSnapshot {
@@ -159,6 +210,8 @@ impl CacheSnapshot {
             insertions: self.insertions - earlier.insertions,
             evictions: self.evictions - earlier.evictions,
             expirations: self.expirations - earlier.expirations,
+            feedback_checks: self.feedback_checks - earlier.feedback_checks,
+            feedback_invalidations: self.feedback_invalidations - earlier.feedback_invalidations,
         }
     }
 }
@@ -191,6 +244,16 @@ impl CacheCounters {
         self.expirations.fetch_add(1, Self::ORD);
     }
 
+    /// Records a cardinality-feedback check (`observe` call).
+    pub fn record_feedback_check(&self) {
+        self.feedback_checks.fetch_add(1, Self::ORD);
+    }
+
+    /// Records a cardinality-feedback invalidation.
+    pub fn record_feedback_invalidation(&self) {
+        self.feedback_invalidations.fetch_add(1, Self::ORD);
+    }
+
     /// Copies the current counts.
     pub fn snapshot(&self) -> CacheSnapshot {
         CacheSnapshot {
@@ -199,6 +262,8 @@ impl CacheCounters {
             insertions: self.insertions.load(Self::ORD),
             evictions: self.evictions.load(Self::ORD),
             expirations: self.expirations.load(Self::ORD),
+            feedback_checks: self.feedback_checks.load(Self::ORD),
+            feedback_invalidations: self.feedback_invalidations.load(Self::ORD),
         }
     }
 }

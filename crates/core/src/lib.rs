@@ -47,7 +47,7 @@ pub use atomic_memo::AtomicMemo;
 pub use bigset::BigSet;
 pub use bitset::RelSet;
 pub use blocks::{find_blocks, BlockDecomposition};
-pub use counters::{CacheCounters, CacheSnapshot, Counters, LevelStats, Profile};
+pub use counters::{CacheCounters, CacheSnapshot, Counters, ExecCounters, LevelStats, Profile};
 pub use enumerate::{EnumerationMode, FrontierEnumerator, SeenTable};
 pub use error::OptError;
 pub use fingerprint::{canonicalize, CanonicalQuery, Fingerprint};

@@ -10,6 +10,7 @@
 
 use crate::model::CostModel;
 use mpdp_core::query::{LargeQuery, RelInfo};
+use std::collections::HashMap;
 
 /// A column with its distinct-value statistic.
 #[derive(Clone, Debug)]
@@ -68,11 +69,26 @@ pub struct JoinPredicate {
     pub right_col: String,
 }
 
+/// Canonical key of an equi-join predicate: the two `(table, column)` ends
+/// ordered so `a.x = b.y` and `b.y = a.x` key identically.
+type PredKey = (usize, String, usize, String);
+
+fn pred_key(p: &JoinPredicate) -> PredKey {
+    let l = (p.left_table, p.left_col.clone());
+    let r = (p.right_table, p.right_col.clone());
+    let (a, b) = if l <= r { (l, r) } else { (r, l) };
+    (a.0, a.1, b.0, b.1)
+}
+
 /// A catalog of tables plus the join predicates of one query.
 #[derive(Clone, Debug, Default)]
 pub struct Catalog {
     /// The tables, indexed by position.
     pub tables: Vec<Table>,
+    /// Observed-selectivity overrides keyed by canonical predicate; consulted
+    /// before the NDV-derived estimate (the executor's cardinality feedback
+    /// lands here — see `mpdp-exec::feedback`).
+    overrides: HashMap<PredKey, f64>,
 }
 
 impl Catalog {
@@ -92,12 +108,78 @@ impl Catalog {
         self.tables.iter().position(|t| t.name == name)
     }
 
+    /// The catalog scaled by `factor` (a TPC-H-style scale factor): every
+    /// table's row count and every column's NDV are multiplied by `factor`
+    /// and clamped to at least 1, so PK–FK selectivities track the scaled
+    /// parent sizes (`sel = 1/(factor · |parent|)`). Selectivity overrides
+    /// are *not* carried over — they are observations about one dataset,
+    /// not statistics that scale.
+    ///
+    /// The executor experiments use this to shrink warehouse-sized schemas
+    /// (IMDB, MusicBrainz) to an in-memory-executable scale while keeping
+    /// the join-cardinality *ratios* the optimizer reasons about.
+    pub fn scaled(&self, factor: f64) -> Catalog {
+        assert!(factor.is_finite() && factor > 0.0, "scale factor {factor}");
+        let tables = self
+            .tables
+            .iter()
+            .map(|t| {
+                let columns = t
+                    .columns
+                    .iter()
+                    .map(|c| Column {
+                        name: c.name.clone(),
+                        ndv: (c.ndv * factor).max(1.0),
+                        primary_key: c.primary_key,
+                    })
+                    .collect();
+                Table::new(t.name.clone(), (t.rows * factor).max(1.0).round(), columns)
+            })
+            .collect();
+        Catalog {
+            tables,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Pins an observed selectivity for a predicate, shadowing the
+    /// NDV-derived estimate in [`Catalog::predicate_selectivity`] (and
+    /// therefore in every later [`Catalog::build_query`]). Direction is
+    /// normalized: overriding `a.x = b.y` also covers `b.y = a.x`.
+    pub fn set_selectivity_override(&mut self, p: &JoinPredicate, sel: f64) {
+        assert!(
+            sel.is_finite() && sel > 0.0 && sel <= 1.0,
+            "override selectivity {sel} out of (0, 1]"
+        );
+        self.overrides.insert(pred_key(p), sel);
+    }
+
+    /// Drops all selectivity overrides (e.g. after an ANALYZE-style full
+    /// statistics refresh makes the base estimates trustworthy again).
+    pub fn clear_selectivity_overrides(&mut self) {
+        self.overrides.clear();
+    }
+
+    /// Number of predicates currently overridden by observed selectivities.
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+
     /// Estimated selectivity of an equi-join predicate:
-    /// `1 / max(ndv(left), ndv(right))`, clamped to `(0, 1]`.
+    /// `1 / max(ndv(left), ndv(right))`, clamped to `(0, 1]` — unless an
+    /// observed-selectivity override is pinned for the predicate, which wins
+    /// unconditionally (an observation beats an independence assumption).
     ///
     /// Unknown columns fall back to NDV = rows / 10 (a mild correlation
     /// assumption, akin to PostgreSQL's defaults for unanalyzed columns).
     pub fn predicate_selectivity(&self, p: &JoinPredicate) -> f64 {
+        // `pred_key` clones both column names; skip it entirely on the
+        // common override-free catalog.
+        if !self.overrides.is_empty() {
+            if let Some(&sel) = self.overrides.get(&pred_key(p)) {
+                return sel;
+            }
+        }
         let ndv = |ti: usize, col: &str| -> f64 {
             let t = &self.tables[ti];
             t.column(col)
@@ -260,6 +342,79 @@ mod tests {
             .any(|e| (e.u, e.v) == (1, 2) || (e.u, e.v) == (2, 1)));
         // Scan costs priced by the model.
         assert!(q.rels[0].cost > q.rels[3].cost);
+    }
+
+    #[test]
+    fn scaled_catalog_tracks_parent_sizes() {
+        let c = tpc_ish();
+        let s = c.scaled(0.01);
+        assert_eq!(s.tables[c.table_index("orders").unwrap()].rows, 150.0);
+        let p = JoinPredicate {
+            left_table: c.table_index("orders").unwrap(),
+            left_col: "o_orderkey".into(),
+            right_table: c.table_index("lineitem").unwrap(),
+            right_col: "l_orderkey".into(),
+        };
+        // PK-FK selectivity follows the scaled PK table.
+        assert!((s.predicate_selectivity(&p) - 1.0 / 150.0).abs() < 1e-12);
+        // Tiny factors clamp to 1 row rather than vanishing.
+        let tiny = c.scaled(1e-9);
+        assert!(tiny.tables.iter().all(|t| t.rows >= 1.0));
+    }
+
+    #[test]
+    fn override_shadows_estimate_both_directions() {
+        let mut c = tpc_ish();
+        let p = JoinPredicate {
+            left_table: c.table_index("orders").unwrap(),
+            left_col: "o_orderkey".into(),
+            right_table: c.table_index("lineitem").unwrap(),
+            right_col: "l_orderkey".into(),
+        };
+        let base = c.predicate_selectivity(&p);
+        c.set_selectivity_override(&p, 0.25);
+        assert_eq!(c.override_count(), 1);
+        assert_eq!(c.predicate_selectivity(&p), 0.25);
+        // Flipped predicate hits the same canonical key.
+        let flipped = JoinPredicate {
+            left_table: p.right_table,
+            left_col: p.right_col.clone(),
+            right_table: p.left_table,
+            right_col: p.left_col.clone(),
+        };
+        assert_eq!(c.predicate_selectivity(&flipped), 0.25);
+        // Re-overriding replaces; clearing restores the NDV estimate.
+        c.set_selectivity_override(&flipped, 0.5);
+        assert_eq!(c.override_count(), 1);
+        assert_eq!(c.predicate_selectivity(&p), 0.5);
+        c.clear_selectivity_overrides();
+        assert_eq!(c.override_count(), 0);
+        assert_eq!(c.predicate_selectivity(&p), base);
+    }
+
+    #[test]
+    fn build_query_uses_overrides() {
+        let mut c = tpc_ish();
+        let model = PgLikeCost::new();
+        let oi = c.table_index("orders").unwrap();
+        let li = c.table_index("lineitem").unwrap();
+        let pred = JoinPredicate {
+            left_table: 0, // query relation index (orders)
+            left_col: "o_orderkey".into(),
+            right_table: 1, // lineitem
+            right_col: "l_orderkey".into(),
+        };
+        // Overrides are keyed by *catalog* tables, as the feedback path
+        // stores them.
+        let catalog_pred = JoinPredicate {
+            left_table: oi,
+            left_col: "o_orderkey".into(),
+            right_table: li,
+            right_col: "l_orderkey".into(),
+        };
+        c.set_selectivity_override(&catalog_pred, 0.125);
+        let q = c.build_query(&[oi, li], std::slice::from_ref(&pred), &model);
+        assert!((q.edges[0].sel - 0.125).abs() < 1e-15);
     }
 
     #[test]

@@ -1,0 +1,630 @@
+//! The vectorized in-memory join executor.
+//!
+//! [`Executor::execute`] walks a [`PlanTree`] bottom-up and runs every join
+//! as a batch-at-a-time hash join:
+//!
+//! * the **build side** is the child with the smaller *modeled* cardinality
+//!   (the optimizer's own estimate — a mis-estimate therefore costs real
+//!   wall time, which is exactly what the feedback loop measures);
+//! * the probe side streams through in fixed-size **morsels**
+//!   ([`ExecConfig::batch`], default 1024 rows), each gathered column-wise;
+//! * intermediate results are **rowid vectors** — one `u32` column per
+//!   participating base relation — so any upper join can gather the key
+//!   column it needs straight from the base tables without copying payloads
+//!   through every operator.
+//!
+//! A join's predicate set is derived from the query graph: every edge with
+//! one endpoint on each side participates. Hash keys combine all crossing
+//! edges' values; candidate matches are verified value-by-value, so hash
+//! collisions can never fabricate output rows (the cross-strategy oracle
+//! test relies on every plan of a query producing the identical result
+//! cardinality). A join with no crossing edge degenerates to a guarded
+//! cross product (heuristic plans on degenerate graphs can contain them).
+//!
+//! Per operator the executor records [`ExecStats`] (build/probe/output rows,
+//! batch count, wall time) and per join it records the **observed combined
+//! selectivity** `output / (left × right)` — the raw material the feedback
+//! path folds back into the catalog.
+
+use crate::datagen::Dataset;
+use mpdp_core::bitset::RelSet;
+use mpdp_core::counters::ExecCounters;
+use mpdp_core::plan::PlanTree;
+use mpdp_core::query::LargeQuery;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Execution knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct ExecConfig {
+    /// Probe-side morsel size in rows.
+    pub batch: usize,
+    /// Hard cap on any operator's output cardinality; exceeding it aborts
+    /// the run with [`ExecError::OutputCap`] instead of filling memory.
+    pub max_output_rows: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            batch: 1024,
+            max_output_rows: 20_000_000,
+        }
+    }
+}
+
+/// Executor errors.
+#[derive(Clone, Debug)]
+pub enum ExecError {
+    /// An operator exceeded [`ExecConfig::max_output_rows`].
+    OutputCap {
+        /// The relations joined by the offending operator.
+        rels: RelSet,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// The plan does not fit the query/dataset (wrong relation index, >64
+    /// relations, mismatched table count).
+    BadPlan(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutputCap { rels, cap } => {
+                write!(f, "join over {rels} exceeded the output cap of {cap} rows")
+            }
+            ExecError::BadPlan(msg) => write!(f, "plan does not fit dataset: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Per-operator execution statistics.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ExecStats {
+    /// Base relations covered by this operator's output.
+    pub rels: RelSet,
+    /// Rows inserted into the hash table (0 for scans).
+    pub build_rows: u64,
+    /// Rows streamed through the probe side (0 for scans).
+    pub probe_rows: u64,
+    /// Output cardinality.
+    pub output_rows: u64,
+    /// Probe morsels processed.
+    pub batches: u64,
+    /// The optimizer's estimated output cardinality for this operator.
+    pub est_rows: f64,
+    /// Wall time spent in this operator (excluding its children).
+    pub wall: Duration,
+}
+
+/// One observed join: which sides met, over which edges, and what came out.
+#[derive(Clone, Debug)]
+pub struct ObservedJoin {
+    /// Left (probe) input's relation set.
+    pub left: RelSet,
+    /// Right (build) input's relation set.
+    pub right: RelSet,
+    /// Indices into `query.edges` of the predicates this join applied.
+    pub edges: Vec<usize>,
+    /// Input cardinalities (left, right).
+    pub inputs: (u64, u64),
+    /// Observed output cardinality.
+    pub output: u64,
+    /// Observed combined selectivity `output / (left × right)`; 0 when an
+    /// input was empty.
+    pub observed_sel: f64,
+    /// The optimizer's estimated output cardinality.
+    pub est_rows: f64,
+}
+
+/// The outcome of executing one plan.
+#[derive(Clone, Debug)]
+pub struct ExecReport {
+    /// Per-operator statistics in bottom-up (post-order) execution order.
+    pub stats: Vec<ExecStats>,
+    /// Per-join observations (same order as the join operators in `stats`).
+    pub joins: Vec<ObservedJoin>,
+    /// Result cardinality at the plan root.
+    pub root_rows: u64,
+    /// Estimated root cardinality (from the plan).
+    pub est_root_rows: f64,
+    /// End-to-end wall time of the run.
+    pub wall: Duration,
+    /// Aggregate counters (rows built/probed/emitted, batches).
+    pub counters: ExecCounters,
+    /// Payload bytes the result set stands for: root rows × the summed
+    /// payload widths of all participating tables.
+    pub result_bytes: u64,
+}
+
+impl ExecReport {
+    /// Ratio by which the root estimate missed the observation (always
+    /// ≥ 1; both directions count). 1.0 for a perfect estimate.
+    pub fn root_deviation(&self) -> f64 {
+        let est = self.est_root_rows.max(1.0);
+        let obs = (self.root_rows as f64).max(1.0);
+        (est / obs).max(obs / est)
+    }
+}
+
+/// Intermediate result: rowid vectors per participating base relation.
+struct Intermediate {
+    /// Participating relations, ascending.
+    rels: Vec<u32>,
+    /// `rowids[i]` holds one row index into base table `rels[i]` per output
+    /// row (all columns share one length).
+    rowids: Vec<Vec<u32>>,
+    len: usize,
+}
+
+impl Intermediate {
+    fn column_of(&self, rel: u32) -> &[u32] {
+        let i = self
+            .rels
+            .iter()
+            .position(|&r| r == rel)
+            .expect("relation present in intermediate");
+        &self.rowids[i]
+    }
+}
+
+/// The vectorized executor: borrow a query and its dataset, execute plans.
+pub struct Executor<'a> {
+    query: &'a LargeQuery,
+    data: &'a Dataset,
+    config: ExecConfig,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor over a materialized dataset. The plans passed to
+    /// [`Executor::execute`] must have been optimized for
+    /// [`Dataset::scaled`] (or a query with the same relation indices), so
+    /// their modeled cardinalities live at the dataset's scale.
+    pub fn new(query: &'a LargeQuery, data: &'a Dataset, config: ExecConfig) -> Self {
+        Executor {
+            query,
+            data,
+            config,
+        }
+    }
+
+    /// Executes a plan and reports per-operator statistics and per-join
+    /// observed selectivities.
+    pub fn execute(&self, plan: &PlanTree) -> Result<ExecReport, ExecError> {
+        if self.query.num_rels() > 64 {
+            return Err(ExecError::BadPlan(format!(
+                "executor covers the exact regime (≤64 relations), got {}",
+                self.query.num_rels()
+            )));
+        }
+        if self.data.tables.len() != self.query.num_rels() {
+            return Err(ExecError::BadPlan(format!(
+                "dataset has {} tables for a {}-relation query",
+                self.data.tables.len(),
+                self.query.num_rels()
+            )));
+        }
+        let start = Instant::now();
+        let mut stats = Vec::new();
+        let mut joins = Vec::new();
+        let root = self.run(plan, &mut stats, &mut joins)?;
+        let wall = start.elapsed();
+        // Aggregate from the joins vec (not a rows>0 heuristic on stats):
+        // a join of two empty intermediates is still a join operator and
+        // must keep `counters.joins` consistent with `joins.len()`.
+        let mut counters = ExecCounters {
+            joins: joins.len() as u64,
+            ..Default::default()
+        };
+        for j in &joins {
+            counters.probe_rows += j.inputs.0;
+            counters.build_rows += j.inputs.1;
+            counters.output_rows += j.output;
+        }
+        for s in &stats {
+            counters.batches += s.batches;
+        }
+        let width: u64 = root
+            .rels
+            .iter()
+            .map(|&r| self.data.tables[r as usize].payload_width as u64)
+            .sum();
+        Ok(ExecReport {
+            root_rows: root.len as u64,
+            est_root_rows: plan.rows(),
+            stats,
+            joins,
+            wall,
+            counters,
+            result_bytes: root.len as u64 * width,
+        })
+    }
+
+    fn run(
+        &self,
+        plan: &PlanTree,
+        stats: &mut Vec<ExecStats>,
+        joins: &mut Vec<ObservedJoin>,
+    ) -> Result<Intermediate, ExecError> {
+        match plan {
+            PlanTree::Scan { rel, rows, .. } => {
+                let r = *rel as usize;
+                if r >= self.data.tables.len() {
+                    return Err(ExecError::BadPlan(format!("scan of unknown relation {r}")));
+                }
+                let n = self.data.tables[r].rows;
+                stats.push(ExecStats {
+                    rels: RelSet::singleton(r),
+                    build_rows: 0,
+                    probe_rows: 0,
+                    output_rows: n as u64,
+                    batches: 0,
+                    est_rows: *rows,
+                    wall: Duration::ZERO,
+                });
+                Ok(Intermediate {
+                    rels: vec![*rel],
+                    rowids: vec![(0..n as u32).collect()],
+                    len: n,
+                })
+            }
+            PlanTree::Join {
+                left, right, rows, ..
+            } => {
+                let l = self.run(left, stats, joins)?;
+                let r = self.run(right, stats, joins)?;
+                let t0 = Instant::now();
+                // Build on the smaller *modeled* side; ties build right,
+                // matching the cost models' build-right convention.
+                let (probe, build) = if right.rows() <= left.rows() {
+                    (l, r)
+                } else {
+                    (r, l)
+                };
+                let out = self.hash_join(&probe, &build, *rows, stats, joins)?;
+                if let Some(s) = stats.last_mut() {
+                    s.wall = t0.elapsed();
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// The crossing edges between two relation sets, as indices into
+    /// `query.edges`.
+    fn crossing_edges(&self, a: RelSet, b: RelSet) -> Vec<usize> {
+        self.query
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                let (u, v) = (e.u as usize, e.v as usize);
+                (a.contains(u) && b.contains(v)) || (a.contains(v) && b.contains(u))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn hash_join(
+        &self,
+        probe: &Intermediate,
+        build: &Intermediate,
+        est_rows: f64,
+        stats: &mut Vec<ExecStats>,
+        joins: &mut Vec<ObservedJoin>,
+    ) -> Result<Intermediate, ExecError> {
+        let probe_set = RelSet::from_indices(probe.rels.iter().map(|&r| r as usize));
+        let build_set = RelSet::from_indices(build.rels.iter().map(|&r| r as usize));
+        let edges = self.crossing_edges(probe_set, build_set);
+
+        // Resolve each crossing edge to direct (rowid column, key column)
+        // slices once — the probe inner loop must not re-derive them per
+        // candidate (a skewed key can put thousands of candidates behind
+        // one probe row, and this wall time is the experiment's signal).
+        struct EdgeAccess<'c> {
+            probe_rowids: &'c [u32],
+            probe_keys: &'c [u64],
+            build_rowids: &'c [u32],
+            build_keys: &'c [u64],
+        }
+        fn resolve<'c>(
+            query: &LargeQuery,
+            data: &'c Dataset,
+            side: &'c Intermediate,
+            set: RelSet,
+            ei: usize,
+        ) -> (&'c [u32], &'c [u64]) {
+            let e = &query.edges[ei];
+            let rel = if set.contains(e.u as usize) { e.u } else { e.v };
+            let keys = data.tables[rel as usize].keys[ei]
+                .as_ref()
+                .expect("endpoint tables carry the edge's key column");
+            (side.column_of(rel), keys)
+        }
+        let access: Vec<EdgeAccess<'_>> = edges
+            .iter()
+            .map(|&ei| {
+                let (probe_rowids, probe_keys) =
+                    resolve(self.query, self.data, probe, probe_set, ei);
+                let (build_rowids, build_keys) =
+                    resolve(self.query, self.data, build, build_set, ei);
+                EdgeAccess {
+                    probe_rowids,
+                    probe_keys,
+                    build_rowids,
+                    build_keys,
+                }
+            })
+            .collect();
+        let build_key = |a: &EdgeAccess<'_>, row: usize| a.build_keys[a.build_rowids[row] as usize];
+
+        // Build phase: composite key hash -> build-row indices. Keys of all
+        // crossing edges are folded into one u64; equality is re-verified on
+        // probe, so the fold only needs to be a good hash.
+        let fold = |h: u64, key: u64| mpdp_core::memo::murmur3_fmix64(h ^ key);
+        let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(build.len.max(1));
+        for row in 0..build.len {
+            let h = access
+                .iter()
+                .fold(0x9e37_79b9_7f4a_7c15_u64, |h, a| fold(h, build_key(a, row)));
+            table.entry(h).or_default().push(row as u32);
+        }
+
+        // Probe phase, one morsel at a time.
+        let out_rels: Vec<u32> = {
+            let mut v: Vec<u32> = probe
+                .rels
+                .iter()
+                .chain(build.rels.iter())
+                .copied()
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let mut out_rowids: Vec<Vec<u32>> = vec![Vec::new(); out_rels.len()];
+        let mut out_len = 0usize;
+        let mut batches = 0u64;
+        let batch = self.config.batch.max(1);
+        let mut morsel: Vec<(u32, u32)> = Vec::with_capacity(batch); // (probe row, build row)
+        let mut probe_keys: Vec<u64> = vec![0; access.len()];
+        let mut probe_row = 0usize;
+        while probe_row < probe.len {
+            let end = (probe_row + batch).min(probe.len);
+            batches += 1;
+            morsel.clear();
+            for row in probe_row..end {
+                // This probe row's key per crossing edge, gathered once —
+                // invariant across however many candidates hash here.
+                let mut h = 0x9e37_79b9_7f4a_7c15_u64;
+                for (k, a) in probe_keys.iter_mut().zip(&access) {
+                    *k = a.probe_keys[a.probe_rowids[row] as usize];
+                    h = fold(h, *k);
+                }
+                if let Some(cands) = table.get(&h) {
+                    for &b in cands {
+                        // Verify every crossing edge value-for-value: the
+                        // fold above may collide, equality may not.
+                        let all_match = probe_keys
+                            .iter()
+                            .zip(&access)
+                            .all(|(&k, a)| k == build_key(a, b as usize));
+                        if all_match {
+                            morsel.push((row as u32, b));
+                        }
+                    }
+                }
+            }
+            out_len += morsel.len();
+            if out_len > self.config.max_output_rows {
+                return Err(ExecError::OutputCap {
+                    rels: probe_set.union(build_set),
+                    cap: self.config.max_output_rows,
+                });
+            }
+            // Gather the morsel's rowids column-wise into the output.
+            for (oi, &rel) in out_rels.iter().enumerate() {
+                let col = &mut out_rowids[oi];
+                col.reserve(morsel.len());
+                if probe_set.contains(rel as usize) {
+                    let src = probe.column_of(rel);
+                    col.extend(morsel.iter().map(|&(p, _)| src[p as usize]));
+                } else {
+                    let src = build.column_of(rel);
+                    col.extend(morsel.iter().map(|&(_, b)| src[b as usize]));
+                }
+            }
+            probe_row = end;
+        }
+
+        let observed_sel = if probe.len == 0 || build.len == 0 {
+            0.0
+        } else {
+            out_len as f64 / (probe.len as f64 * build.len as f64)
+        };
+        stats.push(ExecStats {
+            rels: probe_set.union(build_set),
+            build_rows: build.len as u64,
+            probe_rows: probe.len as u64,
+            output_rows: out_len as u64,
+            batches,
+            est_rows,
+            wall: Duration::ZERO, // filled by the caller around the join
+        });
+        joins.push(ObservedJoin {
+            left: probe_set,
+            right: build_set,
+            edges,
+            inputs: (probe.len as u64, build.len as u64),
+            output: out_len as u64,
+            observed_sel,
+            est_rows,
+        });
+        Ok(Intermediate {
+            rels: out_rels,
+            rowids: out_rowids,
+            len: out_len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{materialize, GenConfig};
+    use mpdp_core::query::RelInfo;
+    use mpdp_cost::PgLikeCost;
+
+    /// Two 4-row tables joining on a domain of 2: keys are deterministic, so
+    /// the expected matches can be counted by hand from the generated data.
+    #[test]
+    fn two_way_join_matches_nested_loop_count() {
+        let m = PgLikeCost::new();
+        let mut q = LargeQuery::new(vec![RelInfo::new(40.0, 1.0), RelInfo::new(30.0, 1.0)]);
+        q.add_edge(0, 1, 0.5); // domain 2
+        let d = materialize(&q, &GenConfig::default(), &m);
+        let a = d.tables[0].keys[0].as_ref().unwrap();
+        let b = d.tables[1].keys[0].as_ref().unwrap();
+        let expected: usize = a
+            .iter()
+            .map(|ka| b.iter().filter(|&&kb| kb == *ka).count())
+            .sum();
+        let plan = PlanTree::Join {
+            left: Box::new(PlanTree::Scan {
+                rel: 0,
+                rows: 40.0,
+                cost: 1.0,
+            }),
+            right: Box::new(PlanTree::Scan {
+                rel: 1,
+                rows: 30.0,
+                cost: 1.0,
+            }),
+            rows: 40.0 * 30.0 * 0.5,
+            cost: 10.0,
+        };
+        let ex = Executor::new(&d.scaled, &d, ExecConfig::default());
+        let r = ex.execute(&plan).unwrap();
+        assert_eq!(r.root_rows as usize, expected);
+        assert_eq!(r.joins.len(), 1);
+        assert_eq!(r.joins[0].output as usize, expected);
+        assert_eq!(r.counters.joins, 1);
+    }
+
+    /// Morsel boundaries must not change results: a probe side that is not a
+    /// multiple of the batch size still emits every match.
+    #[test]
+    fn batch_size_is_result_invariant() {
+        let m = PgLikeCost::new();
+        let mut q = LargeQuery::new(vec![RelInfo::new(2_500.0, 1.0), RelInfo::new(1_333.0, 1.0)]);
+        q.add_edge(0, 1, 1.0 / 37.0);
+        let d = materialize(&q, &GenConfig::default(), &m);
+        let plan = PlanTree::Join {
+            left: Box::new(PlanTree::Scan {
+                rel: 0,
+                rows: 2_500.0,
+                cost: 1.0,
+            }),
+            right: Box::new(PlanTree::Scan {
+                rel: 1,
+                rows: 1_333.0,
+                cost: 1.0,
+            }),
+            rows: 2_500.0 * 1_333.0 / 37.0,
+            cost: 10.0,
+        };
+        let mut outs = Vec::new();
+        for batch in [1usize, 7, 1024, 1_000_000] {
+            let ex = Executor::new(
+                &d.scaled,
+                &d,
+                ExecConfig {
+                    batch,
+                    ..Default::default()
+                },
+            );
+            let r = ex.execute(&plan).unwrap();
+            outs.push(r.root_rows);
+            let expected_batches = 2_500_u64.div_ceil(batch as u64);
+            assert_eq!(r.stats.last().unwrap().batches, expected_batches);
+        }
+        assert!(outs.windows(2).all(|w| w[0] == w[1]), "{outs:?}");
+    }
+
+    /// Uniform keys: observed selectivity matches the catalog estimate to
+    /// within sampling error.
+    #[test]
+    fn observed_selectivity_tracks_estimate_on_uniform_keys() {
+        let m = PgLikeCost::new();
+        let mut q = LargeQuery::new(vec![RelInfo::new(8_000.0, 1.0), RelInfo::new(8_000.0, 1.0)]);
+        let sel = 1.0 / 200.0;
+        q.add_edge(0, 1, sel);
+        let d = materialize(
+            &q,
+            &GenConfig {
+                seed: 3,
+                ..Default::default()
+            },
+            &m,
+        );
+        let plan = PlanTree::Join {
+            left: Box::new(PlanTree::Scan {
+                rel: 0,
+                rows: 8_000.0,
+                cost: 1.0,
+            }),
+            right: Box::new(PlanTree::Scan {
+                rel: 1,
+                rows: 8_000.0,
+                cost: 1.0,
+            }),
+            rows: 8_000.0 * 8_000.0 * sel,
+            cost: 10.0,
+        };
+        let ex = Executor::new(&d.scaled, &d, ExecConfig::default());
+        let r = ex.execute(&plan).unwrap();
+        let obs = r.joins[0].observed_sel;
+        assert!(
+            (obs - sel).abs() / sel < 0.15,
+            "observed {obs} vs estimated {sel}"
+        );
+        assert!(r.root_deviation() < 1.2, "{}", r.root_deviation());
+    }
+
+    #[test]
+    fn output_cap_aborts_blowups() {
+        let m = PgLikeCost::new();
+        let mut q = LargeQuery::new(vec![RelInfo::new(5_000.0, 1.0), RelInfo::new(5_000.0, 1.0)]);
+        q.add_edge(0, 1, 1.0); // every pair matches (domain 1)
+        let d = materialize(&q, &GenConfig::default(), &m);
+        let plan = PlanTree::Join {
+            left: Box::new(PlanTree::Scan {
+                rel: 0,
+                rows: 5_000.0,
+                cost: 1.0,
+            }),
+            right: Box::new(PlanTree::Scan {
+                rel: 1,
+                rows: 5_000.0,
+                cost: 1.0,
+            }),
+            rows: 25_000_000.0,
+            cost: 10.0,
+        };
+        let ex = Executor::new(
+            &d.scaled,
+            &d,
+            ExecConfig {
+                max_output_rows: 10_000,
+                ..Default::default()
+            },
+        );
+        match ex.execute(&plan) {
+            Err(ExecError::OutputCap { cap, .. }) => assert_eq!(cap, 10_000),
+            other => panic!("expected OutputCap, got {other:?}"),
+        }
+    }
+}

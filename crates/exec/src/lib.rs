@@ -1,0 +1,33 @@
+//! # mpdp-exec
+//!
+//! A vectorized in-memory join executor that closes the workspace's
+//! estimate→observe→re-optimize loop. Every other crate optimizes against
+//! *modeled* costs; this one runs the chosen join orders on real (generated)
+//! tuples and feeds what it saw back into the statistics:
+//!
+//! * [`datagen`] — deterministic columnar table generation from catalog
+//!   statistics (`u64` key columns whose domains realize the estimated
+//!   selectivities, optional per-edge skew to violate them on purpose);
+//! * [`executor`] — batch-at-a-time hash-join execution of any
+//!   [`mpdp_core::plan::PlanTree`], building on the smaller modeled side,
+//!   with per-operator [`executor::ExecStats`] and per-join observed
+//!   selectivities;
+//! * [`feedback`] — folding observations back into a
+//!   [`mpdp_cost::Catalog`] as selectivity overrides, plus plan re-pricing
+//!   under corrected statistics.
+//!
+//! The serving layer's `PlanService::observe` consumes this crate's
+//! [`ExecReport`] to invalidate cached plans whose estimated root
+//! cardinality proved wrong by more than a configurable factor.
+
+#![warn(missing_docs)]
+
+pub mod datagen;
+pub mod executor;
+pub mod feedback;
+
+pub use datagen::{materialize, Dataset, ExecTable, GenConfig, SkewedEdge};
+pub use executor::{ExecConfig, ExecError, ExecReport, ExecStats, Executor, ObservedJoin};
+pub use feedback::{
+    fold_observations, recost_plan, selectivity_overrides, synthesize_catalog, SyntheticCatalog,
+};

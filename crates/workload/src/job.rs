@@ -9,9 +9,77 @@
 //! Optimization time depends only on this structure.
 
 use mpdp_core::query::{LargeQuery, RelInfo};
+use mpdp_cost::catalog::{Catalog, Column, JoinPredicate, Table};
 use mpdp_cost::model::CostModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Builds a [`Catalog`] from a schema's `(name, rows)` tables and
+/// `(child, parent)` FK edges: every table gets a primary-key column `id`,
+/// every FK edge a `{parent}_id` column on the child with NDV
+/// `min(child rows, parent rows)` — so the catalog's equi-join estimate for
+/// `child.{parent}_id = parent.id` reproduces the `1 / |parent|` PK–FK
+/// selectivity the random-walk generators use. Duplicate FKs to one parent
+/// get numbered columns (`{parent}_id2`, …).
+pub(crate) fn schema_catalog(tables: &[(&str, f64)], fks: &[(usize, usize)]) -> Catalog {
+    let mut cols: Vec<Vec<Column>> = tables
+        .iter()
+        .map(|_| {
+            vec![Column {
+                name: "id".into(),
+                ndv: 0.0,
+                primary_key: true,
+            }]
+        })
+        .collect();
+    for &(c, p) in fks {
+        let base = format!("{}_id", tables[p].0);
+        // Count only this parent's columns (`base` or `base<digits>`): a
+        // prefix match would also hit another parent whose name extends
+        // this one (e.g. `movie_info_idx_id` vs `movie_info_id`).
+        let dups = cols[c]
+            .iter()
+            .filter(|col| {
+                col.name == base
+                    || col
+                        .name
+                        .strip_prefix(&base)
+                        .is_some_and(|s| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()))
+            })
+            .count();
+        let name = if dups == 0 {
+            base
+        } else {
+            format!("{base}{}", dups + 1)
+        };
+        cols[c].push(Column {
+            name,
+            ndv: tables[c].1.min(tables[p].1),
+            primary_key: false,
+        });
+    }
+    let mut catalog = Catalog::new();
+    for (i, &(name, rows)) in tables.iter().enumerate() {
+        catalog.add_table(Table::new(name, rows, std::mem::take(&mut cols[i])));
+    }
+    catalog
+}
+
+/// The FK predicate `child.{parent}_id = parent.id` between two *query
+/// relation* indices backed by the given schema tables.
+pub(crate) fn fk_predicate(
+    tables: &[(&str, f64)],
+    child_rel: usize,
+    parent_rel: usize,
+    parent_table: usize,
+) -> JoinPredicate {
+    JoinPredicate {
+        left_table: child_rel,
+        left_col: format!("{}_id", tables[parent_table].0),
+        right_table: parent_rel,
+        right_col: "id".into(),
+    }
+}
 
 /// IMDB-like schema: 21 tables around the `title` hub.
 #[derive(Clone, Debug)]
@@ -79,6 +147,54 @@ impl ImdbSchema {
             adj[p].push(c);
         }
         ImdbSchema { tables, fks, adj }
+    }
+
+    /// The schema as a statistics [`Catalog`]: one table per IMDB-like
+    /// table with a PK `id` column and one `{parent}_id` FK column per FK
+    /// edge. This is the entry point for executor-backed experiments — data
+    /// is materialized from these statistics and predicate selectivities
+    /// come from [`Catalog::predicate_selectivity`] (including any
+    /// cardinality-feedback overrides) rather than being hardcoded.
+    pub fn catalog(&self) -> Catalog {
+        schema_catalog(&self.tables, &self.fks)
+    }
+
+    /// A fixed JOB-shaped catalog query joining `title` with `n - 1` of its
+    /// satellite tables in FK order (`n ≤ 8`): the table list and
+    /// [`JoinPredicate`]s to pass to [`Catalog::build_query`]. Deterministic
+    /// by construction — the executor experiments need one stable,
+    /// catalog-derived query, not a random walk.
+    pub fn catalog_query(&self, n: usize) -> (Vec<usize>, Vec<JoinPredicate>) {
+        assert!((2..=8).contains(&n), "catalog query covers 2..=8 tables");
+        // title plus FK-connected satellites: (schema table, connecting rel).
+        let chosen: [(usize, usize); 8] = [
+            (0, usize::MAX), // title
+            (1, 0),          // movie_companies -> title
+            (2, 1),          // company_name <- movie_companies
+            (4, 0),          // movie_info -> title
+            (5, 3),          // info_type <- movie_info
+            (7, 0),          // movie_keyword -> title
+            (8, 5),          // keyword <- movie_keyword
+            (6, 0),          // movie_info_idx -> title
+        ];
+        let tables: Vec<usize> = chosen[..n].iter().map(|&(t, _)| t).collect();
+        let preds = chosen[1..n]
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, other_rel))| {
+                // The child side of the FK is whichever of the pair holds
+                // the FK column in `self.fks`.
+                let rel = i + 1;
+                let other_table = tables[other_rel];
+                if self.fks.contains(&(t, other_table)) {
+                    fk_predicate(&self.tables, rel, other_rel, other_table)
+                } else {
+                    debug_assert!(self.fks.contains(&(other_table, t)));
+                    fk_predicate(&self.tables, other_rel, rel, t)
+                }
+            })
+            .collect();
+        (tables, preds)
     }
 
     /// Generates a connected query of `n` relations by random walk over the
@@ -201,6 +317,44 @@ mod tests {
                 let q = s.query(n, seed, &m);
                 assert_eq!(q.num_rels(), n, "n={n} seed={seed}");
                 assert!(q.is_connected(), "n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_reproduces_pk_fk_selectivities() {
+        let s = ImdbSchema::new();
+        let c = s.catalog();
+        assert_eq!(c.tables.len(), s.tables.len());
+        // Every FK edge's predicate estimate is 1 / |parent|.
+        for &(child, parent) in &s.fks {
+            let p = fk_predicate(&s.tables, child, parent, parent);
+            let sel = c.predicate_selectivity(&p);
+            let expect = 1.0 / s.tables[parent].1;
+            assert!(
+                (sel - expect).abs() / expect < 1e-12,
+                "{} -> {}: {sel} vs {expect}",
+                s.tables[child].0,
+                s.tables[parent].0
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_query_builds_connected_job_shape() {
+        let s = ImdbSchema::new();
+        let c = s.catalog();
+        let m = PgLikeCost::new();
+        for n in [2, 5, 7, 8] {
+            let (tables, preds) = s.catalog_query(n);
+            assert_eq!(tables.len(), n);
+            assert_eq!(preds.len(), n - 1);
+            let q = c.build_query(&tables, &preds, &m);
+            assert_eq!(q.num_rels(), n);
+            assert!(q.is_connected(), "n={n}");
+            // PK-FK selectivities derived from the catalog, not hardcoded.
+            for e in &q.edges {
+                assert!(e.sel > 0.0 && e.sel < 1.0);
             }
         }
     }

@@ -185,6 +185,15 @@ impl MusicBrainz {
         self.tables.len()
     }
 
+    /// The schema as a statistics [`mpdp_cost::Catalog`] (PK `id` column
+    /// per table, one `{parent}_id` FK column per FK edge), for
+    /// executor-backed experiments that materialize MusicBrainz-shaped
+    /// tables from catalog statistics.
+    pub fn catalog(&self) -> mpdp_cost::Catalog {
+        let tables: Vec<(&str, f64)> = self.tables.iter().map(|t| (t.name, t.rows)).collect();
+        crate::job::schema_catalog(&tables, &self.fks)
+    }
+
     /// `true` if every table is reachable from `artist` — required for random
     /// walks to reach any size.
     pub fn is_connected(&self) -> bool {
@@ -304,6 +313,27 @@ mod tests {
         let mb = MusicBrainz::new();
         assert_eq!(mb.num_tables(), 56);
         assert!(mb.is_connected(), "schema graph must be connected");
+    }
+
+    #[test]
+    fn catalog_covers_every_table_and_fk() {
+        let mb = MusicBrainz::new();
+        let c = mb.catalog();
+        assert_eq!(c.tables.len(), 56);
+        for (t, schema) in c.tables.iter().zip(&mb.tables) {
+            assert_eq!(t.name, schema.name);
+            assert_eq!(t.rows, schema.rows);
+            // PK column present with NDV = rows.
+            let pk = t.columns.iter().find(|col| col.name == "id").unwrap();
+            assert_eq!(pk.ndv, schema.rows);
+        }
+        // One FK column per FK edge, on the child side.
+        let fk_cols: usize = c
+            .tables
+            .iter()
+            .map(|t| t.columns.iter().filter(|col| !col.primary_key).count())
+            .sum();
+        assert_eq!(fk_cols, mb.fks.len());
     }
 
     #[test]

@@ -196,6 +196,68 @@ impl PlanCache {
         self.counters.record_insertion();
     }
 
+    /// Looks up a fingerprint *without* touching LRU order or the hit/miss
+    /// counters — the feedback path inspects cached estimates without
+    /// counting as traffic or keeping a doomed entry warm. Expired entries
+    /// read as absent (but are left for `get` to reap).
+    pub fn peek(&self, fp: Fingerprint) -> Option<CachedPlan> {
+        let shard = self.shard_of(fp).lock().expect("cache shard poisoned");
+        let entry = shard.map.get(&fp.as_u128())?;
+        if self
+            .ttl
+            .is_some_and(|ttl| entry.inserted_at.elapsed() > ttl)
+        {
+            return None;
+        }
+        Some(entry.value.clone())
+    }
+
+    /// Removes a fingerprint's entry; `true` if one was present. Does not
+    /// count as an eviction (capacity) or expiration (TTL) — callers with a
+    /// reason (e.g. cardinality-feedback invalidation) track their own.
+    pub fn remove(&self, fp: Fingerprint) -> bool {
+        let mut shard = self.shard_of(fp).lock().expect("cache shard poisoned");
+        shard.map.remove(&fp.as_u128()).is_some()
+    }
+
+    /// Removes the entry iff `condemn` approves the *currently stored*
+    /// value, atomically under the shard lock; `true` if removed. This is
+    /// the feedback path's compare-and-remove: a plain peek-then-remove
+    /// could evict a fresh plan some other thread inserted between the two
+    /// steps, whose estimate was never the one found wanting.
+    pub fn remove_if(&self, fp: Fingerprint, condemn: impl FnOnce(&CachedPlan) -> bool) -> bool {
+        let mut shard = self.shard_of(fp).lock().expect("cache shard poisoned");
+        let key = fp.as_u128();
+        match shard.map.get(&key) {
+            // An expired entry reads as absent (matching `peek`/`get`): it
+            // could never have served another hit, so condemning it would
+            // overstate the caller's invalidation count. Left for `get` to
+            // reap as an expiration.
+            Some(entry)
+                if self
+                    .ttl
+                    .is_some_and(|ttl| entry.inserted_at.elapsed() > ttl) =>
+            {
+                false
+            }
+            Some(entry) if condemn(&entry.value) => {
+                shard.map.remove(&key);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Records a cardinality-feedback check on the shared counters.
+    pub fn record_feedback_check(&self) {
+        self.counters.record_feedback_check();
+    }
+
+    /// Records a cardinality-feedback invalidation on the shared counters.
+    pub fn record_feedback_invalidation(&self) {
+        self.counters.record_feedback_invalidation();
+    }
+
     /// Number of live entries across all shards (expired entries still
     /// count until touched).
     pub fn len(&self) -> usize {
@@ -307,6 +369,45 @@ mod tests {
         assert!(c.get(fp(1)).is_none());
         assert_eq!(c.counters().insertions, 0);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn peek_and_remove_bypass_lru_and_counters() {
+        let c = single_shard(2, None);
+        c.insert(fp(1), plan(1.0));
+        c.insert(fp(2), plan(2.0));
+        // Peek at 1: must NOT refresh its LRU stamp or count a hit.
+        assert_eq!(c.peek(fp(1)).unwrap().planned.cost, 1.0);
+        assert!(c.peek(fp(9)).is_none());
+        let s = c.counters();
+        assert_eq!((s.hits, s.misses), (0, 0));
+        // 1 stays the LRU victim despite the peek.
+        c.insert(fp(3), plan(3.0));
+        assert!(c.peek(fp(1)).is_none(), "peek must not keep entries warm");
+        assert!(c.peek(fp(2)).is_some());
+        // Remove reports presence and counts neither eviction nor expiry.
+        assert!(c.remove(fp(2)));
+        assert!(!c.remove(fp(2)));
+        let s = c.counters();
+        assert_eq!(s.evictions, 1, "only the LRU capacity eviction");
+        assert_eq!(s.expirations, 0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove_if_judges_the_stored_value() {
+        let c = single_shard(4, None);
+        c.insert(fp(1), plan(10.0));
+        // Condemnation sees the *current* entry; a rejecting predicate
+        // leaves it in place.
+        assert!(!c.remove_if(fp(1), |p| p.planned.cost > 100.0));
+        assert!(c.peek(fp(1)).is_some());
+        // A re-insert between judgement attempts is judged on its own
+        // merits (the compare-and-remove the feedback path relies on).
+        c.insert(fp(1), plan(500.0));
+        assert!(c.remove_if(fp(1), |p| p.planned.cost > 100.0));
+        assert!(c.peek(fp(1)).is_none());
+        assert!(!c.remove_if(fp(1), |_| true), "absent key is a no-op");
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! * [`PlanService`] — the concurrent serving layer: a sharded LRU cache
 //!   keyed by canonical query fingerprints plus adaptive size/density
 //!   routing, for workloads that plan repeated query shapes under latency
-//!   budgets (see `service`).
+//!   budgets (see `service`); its [`PlanService::observe`] hook closes the
+//!   loop with the [`exec`] executor by invalidating cached plans whose
+//!   cardinality estimates an execution disproved.
 //!
 //! ```
 //! use mpdp::prelude::*;
@@ -51,6 +53,7 @@
 pub use mpdp_core as core;
 pub use mpdp_cost as cost;
 pub use mpdp_dp as dp;
+pub use mpdp_exec as exec;
 pub use mpdp_gpu as gpu;
 pub use mpdp_heuristics as heuristics;
 pub use mpdp_parallel as parallel;
@@ -83,6 +86,7 @@ pub mod prelude {
     };
     pub use mpdp_cost::{CostModel, CoutCost, PgLikeCost};
     pub use mpdp_dp::{DpCcp, DpSize, DpSub, Mpdp, MpdpTree, OptContext};
+    pub use mpdp_exec::{ExecConfig, ExecReport, Executor, GenConfig};
     pub use mpdp_heuristics::LargeOptResult;
 }
 

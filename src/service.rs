@@ -33,6 +33,7 @@ use crate::registry;
 use mpdp_core::fingerprint::{canonicalize, Fingerprint};
 use mpdp_core::{LargeQuery, OptError};
 use mpdp_cost::model::CostModel;
+use mpdp_exec::ExecReport;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -150,6 +151,7 @@ pub struct PlanServiceBuilder {
     cache: CacheConfig,
     router: RouterConfig,
     budget: Option<Duration>,
+    feedback_threshold: Option<f64>,
 }
 
 impl PlanServiceBuilder {
@@ -190,12 +192,26 @@ impl PlanServiceBuilder {
         self
     }
 
+    /// Cardinality-feedback invalidation threshold for
+    /// [`PlanService::observe`]: a cached plan whose estimated root
+    /// cardinality deviates from the observed one by more than this factor
+    /// (in either direction) is evicted. Must be > 1. Default 10.
+    pub fn feedback_threshold(mut self, factor: f64) -> Self {
+        assert!(
+            factor > 1.0,
+            "feedback threshold must exceed 1, got {factor}"
+        );
+        self.feedback_threshold = Some(factor);
+        self
+    }
+
     /// Builds the service.
     pub fn build(self) -> PlanService {
         PlanService {
             cache: PlanCache::new(self.cache),
             router: self.router,
             budget: self.budget,
+            feedback_threshold: self.feedback_threshold.unwrap_or(10.0),
         }
     }
 }
@@ -207,6 +223,7 @@ pub struct PlanService {
     cache: PlanCache,
     router: RouterConfig,
     budget: Option<Duration>,
+    feedback_threshold: f64,
 }
 
 impl Default for PlanService {
@@ -294,6 +311,48 @@ impl PlanService {
         registry()
             .get(&name)
             .ok_or_else(|| OptError::Internal(format!("unknown strategy \"{name}\"")))
+    }
+
+    /// Feeds an execution report back into the serving layer: if the plan
+    /// cached for `fingerprint` (as returned in [`ServedPlan::fingerprint`])
+    /// estimated a root cardinality that the execution contradicted by more
+    /// than the configured feedback threshold (default 10×, either
+    /// direction), the entry is evicted so the next arrival of that query
+    /// shape re-plans — ideally against statistics corrected with the same
+    /// report (see `mpdp_exec::feedback`). Returns `true` iff a cached plan
+    /// was invalidated.
+    ///
+    /// `model` must be the cost model the plan was served under (the cache
+    /// key folds the model's identity). Deviation is measured against the
+    /// *cached* estimate, not the report's own, so a report produced by one
+    /// strategy's plan can invalidate the (isomorphic-fingerprint) entry
+    /// another strategy populated.
+    pub fn observe(
+        &self,
+        fingerprint: Fingerprint,
+        model: &dyn CostModel,
+        report: &ExecReport,
+    ) -> bool {
+        self.cache.record_feedback_check();
+        let key = keyed_by_model(fingerprint, model);
+        let obs = (report.root_rows as f64).max(1.0);
+        // Compare-and-remove under the shard lock: the deviation is judged
+        // against whatever plan is stored *at removal time*, so a concurrent
+        // re-plan that already refreshed the entry is never evicted on the
+        // strength of the old plan's miss.
+        let invalidated = self.cache.remove_if(key, |cached| {
+            let est = cached.planned.rows.max(1.0);
+            (est / obs).max(obs / est) > self.feedback_threshold
+        });
+        if invalidated {
+            self.cache.record_feedback_invalidation();
+        }
+        invalidated
+    }
+
+    /// The configured feedback-invalidation threshold.
+    pub fn feedback_threshold(&self) -> f64 {
+        self.feedback_threshold
     }
 
     /// Cache hit/miss/insertion/eviction/expiration counters.

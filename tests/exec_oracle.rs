@@ -1,0 +1,206 @@
+//! Cross-strategy execution oracle + determinism guarantees.
+//!
+//! Joins are commutative and associative: *every* valid join order of one
+//! query over one dataset must produce the identical root cardinality. The
+//! oracle test runs the plans of five registry strategies (three exact, two
+//! heuristic) through the executor and asserts exactly that — any
+//! divergence is a planner bug (invalid plan) or an executor bug (join
+//! order leaking into results).
+//!
+//! The determinism tests pin the data generator's contract: the same
+//! catalog statistics and seed produce bit-identical tables and identical
+//! per-operator row counts on every run and from any number of concurrent
+//! threads (generation is a pure per-cell hash; execution is
+//! morsel-sequential).
+
+use mpdp::exec::{materialize, ExecConfig, ExecStats, Executor, GenConfig};
+use mpdp::registry;
+use mpdp_bench::exec::{run_case, ExecCase, EXEC_STRATEGIES};
+use mpdp_core::{LargeQuery, RelInfo};
+use mpdp_cost::{CostModel, PgLikeCost};
+
+/// Executor-scale test queries: key domains commensurate with row counts so
+/// multi-way joins produce non-trivial results.
+fn oracle_queries(model: &PgLikeCost) -> Vec<(&'static str, LargeQuery)> {
+    let rel = |rows: f64| RelInfo::new(rows, model.scan_cost(rows));
+    // chain 0-1-2-3-4
+    let mut chain = LargeQuery::new((0..5).map(|i| rel(1_000.0 + 300.0 * i as f64)).collect());
+    for i in 1..5 {
+        chain.add_edge(i - 1, i, 1.0 / 700.0);
+    }
+    // star: fact + 4 dims
+    let mut star = LargeQuery::new(vec![
+        rel(4_000.0),
+        rel(400.0),
+        rel(300.0),
+        rel(500.0),
+        rel(250.0),
+    ]);
+    for (i, base) in [(1, 500.0), (2, 450.0), (3, 600.0), (4, 400.0)] {
+        star.add_edge(0, i, 1.0 / base);
+    }
+    // cycle of 5 with a weak closing predicate
+    let mut cycle = chain.clone();
+    cycle.add_edge(4, 0, 1.0 / 20.0);
+    // dense-ish: star plus two dimension-dimension equivalence edges
+    let mut dense = star.clone();
+    dense.add_edge(1, 2, 1.0 / 25.0);
+    dense.add_edge(3, 4, 1.0 / 25.0);
+    vec![
+        ("chain", chain),
+        ("star", star),
+        ("cycle", cycle),
+        ("dense", dense),
+    ]
+}
+
+#[test]
+fn all_strategies_agree_on_root_cardinality() {
+    let model = PgLikeCost::new();
+    for (shape, q) in oracle_queries(&model) {
+        let data = materialize(
+            &q,
+            &GenConfig {
+                seed: 31,
+                ..Default::default()
+            },
+            &model,
+        );
+        let executor = Executor::new(&data.scaled, &data, ExecConfig::default());
+        let mut roots = Vec::new();
+        for name in EXEC_STRATEGIES {
+            let planned = registry()
+                .get(name)
+                .unwrap()
+                .plan(&data.scaled, &model, None)
+                .unwrap_or_else(|e| panic!("{shape}/{name}: {e}"));
+            // The plan must be structurally valid before it is executed.
+            let qi = data.scaled.to_query_info().unwrap();
+            assert!(
+                planned.plan.validate(&qi.graph).is_none(),
+                "{shape}/{name}: invalid plan"
+            );
+            let report = executor
+                .execute(&planned.plan)
+                .unwrap_or_else(|e| panic!("{shape}/{name}: {e}"));
+            roots.push((name, report.root_rows));
+        }
+        let expected = roots[0].1;
+        assert!(
+            expected > 0,
+            "{shape}: degenerate dataset (0 rows) makes the oracle vacuous"
+        );
+        for (name, root) in &roots {
+            assert_eq!(
+                *root, expected,
+                "{shape}: {name} produced {root} root rows, {} produced {expected}",
+                roots[0].0
+            );
+        }
+    }
+}
+
+/// The bench harness's own shape set (including the catalog-scaled JOB
+/// query) runs end-to-end with the oracle check inside `run_case`.
+#[test]
+fn bench_cases_pass_oracle_at_reduced_scale() {
+    let model = PgLikeCost::new();
+    for mut case in mpdp_bench::exec::default_cases(&model) {
+        // Reduced scale for test runtime; domains are untouched so the
+        // shapes stay non-degenerate except where capping starves matches.
+        case = ExecCase {
+            max_table_rows: case.max_table_rows.min(5_000),
+            ..case
+        };
+        let report = run_case(&case, &model, 42).unwrap_or_else(|e| panic!("{}: {e}", case.shape));
+        assert_eq!(report.runs.len(), EXEC_STRATEGIES.len());
+    }
+}
+
+#[test]
+fn same_seed_same_tables_and_stats_across_threads() {
+    let model = PgLikeCost::new();
+    let (_, q) = oracle_queries(&model).remove(3); // dense
+    let config = GenConfig {
+        seed: 77,
+        ..Default::default()
+    };
+    /// Wall time legitimately varies between runs; every other stat field
+    /// is covered by the determinism contract.
+    fn row_counts(stats: &[ExecStats]) -> Vec<(u64, u64, u64, u64, u64)> {
+        stats
+            .iter()
+            .map(|s| {
+                (
+                    s.rels.bits(),
+                    s.build_rows,
+                    s.probe_rows,
+                    s.output_rows,
+                    s.batches,
+                )
+            })
+            .collect()
+    }
+    type RunResult = (
+        Vec<mpdp::exec::ExecTable>,
+        Vec<(u64, u64, u64, u64, u64)>,
+        u64,
+    );
+    let run_once = || -> RunResult {
+        let model = PgLikeCost::new();
+        let data = materialize(&q, &config, &model);
+        let planned = registry()
+            .get("MPDP")
+            .unwrap()
+            .plan(&data.scaled, &model, None)
+            .unwrap();
+        let report = Executor::new(&data.scaled, &data, ExecConfig::default())
+            .execute(&planned.plan)
+            .unwrap();
+        (
+            data.tables.clone(),
+            row_counts(&report.stats),
+            report.root_rows,
+        )
+    };
+    let baseline = run_once();
+    // Same thread, run again: bit-identical.
+    let again = run_once();
+    assert_eq!(baseline.0, again.0, "tables must be bit-identical");
+    assert_eq!(baseline.1, again.1, "per-operator stats must be identical");
+    // Four concurrent threads: generation and execution have no shared
+    // state, so results cannot depend on the thread count.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4).map(|_| scope.spawn(run_once)).collect();
+        for h in handles {
+            let (tables, stats, root) = h.join().expect("worker panicked");
+            assert_eq!(tables, baseline.0);
+            assert_eq!(stats, baseline.1);
+            assert_eq!(root, baseline.2);
+        }
+    });
+}
+
+/// The modeled build-side choice is visible in the stats: the smaller
+/// estimated side is built, whatever side of the tree it is on.
+#[test]
+fn build_side_follows_model_estimate() {
+    let model = PgLikeCost::new();
+    let mut q = LargeQuery::new(vec![
+        RelInfo::new(5_000.0, model.scan_cost(5_000.0)),
+        RelInfo::new(200.0, model.scan_cost(200.0)),
+    ]);
+    q.add_edge(0, 1, 1.0 / 250.0);
+    let data = materialize(&q, &GenConfig::default(), &model);
+    let planned = registry()
+        .get("MPDP")
+        .unwrap()
+        .plan(&data.scaled, &model, None)
+        .unwrap();
+    let report = Executor::new(&data.scaled, &data, ExecConfig::default())
+        .execute(&planned.plan)
+        .unwrap();
+    let join = report.stats.last().unwrap();
+    assert_eq!(join.build_rows, 200, "the smaller modeled side is built");
+    assert_eq!(join.probe_rows, 5_000);
+}
