@@ -4,16 +4,21 @@
 //! repro <experiment> [..]     experiments: fig2 fig4 fig6 fig7 fig8 fig9
 //!                             fig10 fig11 fig12 fig13 table1 table2 table3
 //!                             ablation bench scale serve exec all
-//! --emit-json <path>          (bench, scale, exec) write per-run wall/model
-//!                             times and counters as JSON
-//! --check-against <path>      (bench, scale, exec) compare wall times
-//!                             against a committed baseline JSON; exit 1 if
-//!                             any algorithm regressed more than 2x
+//! --emit-json <path>          (bench, scale, exec, serve) write per-run
+//!                             wall/model times and counters as JSON
+//! --check-against <path>      (bench, scale, exec, serve) compare wall
+//!                             times against a committed baseline JSON; exit
+//!                             1 if any algorithm regressed more than 2x
 //! --queries <n>               (serve) stream length (default 10000)
 //! --workers <n>               (serve) worker threads (default 4);
 //!                             (scale) max worker count of the 1/2/4/…
 //!                             sweep (default 8)
-//! --queries-small             (scale) reduced shape set for CI smoke
+//! --open-loop                 (serve) also sweep open-loop offered load
+//!                             against the mpdp-serve front-end (overload
+//!                             curve: achieved throughput, sheds, p99)
+//! --rate <n>                  (serve) open-loop base offered rate in
+//!                             requests/s (default 120000)
+//! --queries-small             (scale, serve) reduced shape set for CI smoke
 //! REPRO_SCALE={quick,paper}   sweep sizes (default quick)
 //! REPRO_TIMEOUT_MS=<ms>       per-query optimization budget
 //! ```
@@ -46,20 +51,28 @@ fn main() {
     let mut emit_json: Option<String> = None;
     let mut check_against: Option<String> = None;
     let mut serve_queries: usize = 10_000;
+    let mut queries_given = false;
     let mut serve_workers: usize = 4;
     let mut workers_given = false;
     let mut queries_small = false;
+    let mut open_loop = false;
+    let mut serve_rate: f64 = 120_000.0;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--emit-json" => emit_json = it.next(),
             "--check-against" => check_against = it.next(),
-            "--queries" => serve_queries = parse_count_flag("--queries", it.next()),
+            "--queries" => {
+                serve_queries = parse_count_flag("--queries", it.next());
+                queries_given = true;
+            }
             "--workers" => {
                 serve_workers = parse_count_flag("--workers", it.next());
                 workers_given = true;
             }
             "--queries-small" => queries_small = true,
+            "--open-loop" => open_loop = true,
+            "--rate" => serve_rate = parse_count_flag("--rate", it.next()) as f64,
             _ => args.push(a),
         }
     }
@@ -96,7 +109,20 @@ fn main() {
                 emit_json.as_deref(),
                 check_against.as_deref(),
             ),
-            "serve" => serve(serve_queries, serve_workers),
+            "serve" => serve(
+                // The CI smoke leg shrinks the replay unless an explicit
+                // stream length was requested.
+                if queries_given || !queries_small {
+                    serve_queries
+                } else {
+                    2_000
+                },
+                serve_workers,
+                open_loop.then_some(serve_rate),
+                queries_small,
+                emit_json.as_deref(),
+                check_against.as_deref(),
+            ),
             "exec" => exec_experiment(emit_json.as_deref(), check_against.as_deref()),
             "table1" => heuristic_table(scale, "table1", "snowflake", scale.table1_sizes()),
             "table2" => heuristic_table(scale, "table2", "star", scale.table2_sizes()),
@@ -933,14 +959,42 @@ fn exec_experiment(emit_json: Option<&str>, check_against: Option<&str>) {
 
 /// `repro serve`: replay a Zipf-distributed stream of relabeled generated +
 /// JOB + MusicBrainz queries against a [`mpdp::PlanService`] from a worker
-/// pool; report throughput, cache hit rate and latency percentiles.
-fn serve(queries: usize, workers: usize) {
+/// pool (closed loop: throughput, cache hit rate, latency split), then —
+/// with `--open-loop` — sweep offered load against an `mpdp_serve`
+/// front-end for the overload curve. Both phases contribute gate rows
+/// (encoded as ms per 1k plans, so "slower" still means "bigger number")
+/// for `--check-against BENCH_serve.json`.
+fn serve(
+    queries: usize,
+    workers: usize,
+    open_loop_rate: Option<f64>,
+    small: bool,
+    emit_json: Option<&str>,
+    check_against: Option<&str>,
+) {
     use mpdp::PlanServiceBuilder;
-    use mpdp_bench::serve::{replay, ServeConfig};
+    use mpdp_bench::serve::{open_loop, replay, OpenLoopConfig, ServeConfig};
     use mpdp_workload::StreamSpec;
+    use std::sync::Arc;
 
+    // `shape` keys the gate rows; the committed baseline carries both the
+    // full and the CI-small configuration, so each invocation re-times a
+    // subset (hence `require_full_coverage = false` below).
+    let shape = if small { "serve-small" } else { "serve" };
+    let stream = if small {
+        StreamSpec {
+            templates: 80,
+            min_rels: 6,
+            max_rels: 12,
+            ..StreamSpec::default()
+        }
+    } else {
+        StreamSpec::default()
+    };
     println!(
-        "\n## serve — PlanService replay ({queries} queries, {workers} workers, Zipf skew 1.1)"
+        "\n## serve — PlanService replay ({queries} queries, {workers} workers, \
+         Zipf skew {:.1}, {} templates)",
+        stream.skew, stream.templates
     );
     let model = PgLikeCost::new();
     let service = PlanServiceBuilder::new()
@@ -949,9 +1003,9 @@ fn serve(queries: usize, workers: usize) {
     let config = ServeConfig {
         total: queries,
         workers,
-        stream: StreamSpec::default(),
+        stream: stream.clone(),
     };
-    match replay(&service, &model, &config) {
+    let report = match replay(&service, &model, &config) {
         Ok(report) => {
             print!("{}", report.render());
             // The CI smoke leg runs this: a serving layer that errors on
@@ -964,11 +1018,118 @@ fn serve(queries: usize, workers: usize) {
                 );
                 std::process::exit(1);
             }
+            report
         }
         Err(e) => {
             eprintln!("serve failed: {e}");
             std::process::exit(1);
         }
+    };
+    let mut runs: Vec<WallRun> = vec![WallRun {
+        shape: shape.to_string(),
+        n: queries,
+        algorithm: format!("closed-loop replay ({workers}w, ms per 1k plans)"),
+        wall_ms: 1e6 / report.throughput().max(1e-9),
+    }];
+
+    let ol_report = open_loop_rate.map(|rate| {
+        let ol_config = OpenLoopConfig {
+            rate,
+            window: if small {
+                Duration::from_millis(250)
+            } else {
+                Duration::from_secs(2)
+            },
+            stream: stream.clone(),
+            ..OpenLoopConfig::default()
+        };
+        println!(
+            "\n## serve — open-loop overload sweep (base rate {rate:.0}/s, \
+             window {:.2}s, queue {})",
+            ol_config.window.as_secs_f64(),
+            ol_config.queue_depth
+        );
+        match open_loop(&ol_config, Arc::new(PgLikeCost::new())) {
+            Ok(r) => {
+                print!("{}", r.render());
+                let sheds: u64 = r.windows.iter().map(|w| w.serve.sheds()).sum();
+                let served: u64 = r.windows.iter().map(|w| w.serve.completed).sum();
+                // Broken-admission checks. "Zero sheds" alone is healthy (a
+                // fast machine legitimately keeps up with the whole sweep);
+                // the broken signature is falling far behind the offered
+                // rate *without* shedding — silent buffering, exactly what
+                // admission control exists to prevent. The 25% slack
+                // tolerates harvest tails and slow-host jitter on windows
+                // that completed everything, merely late.
+                let behind_without_shed = r
+                    .windows
+                    .iter()
+                    .any(|w| w.serve.sheds() == 0 && w.achieved < 0.75 * w.offered_rate);
+                let errored = r.windows.iter().any(|w| w.serve.failed > 0);
+                if served == 0 || errored || behind_without_shed {
+                    eprintln!(
+                        "# serve FAILED: open-loop sweep served {served} with {sheds} sheds \
+                         (errored: {errored}, fell >25% behind offered without shedding: \
+                         {behind_without_shed})"
+                    );
+                    std::process::exit(1);
+                }
+                runs.extend(r.wall_runs(shape));
+                r
+            }
+            Err(e) => {
+                eprintln!("open-loop failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
+
+    // Emit before any gating, so a failing CI leg still uploads the run
+    // JSON for diagnosis (same convention as bench/scale/exec).
+    if let Some(path) = emit_json {
+        let mut out = String::from("{\n  \"schema\": \"mpdp-serve-v1\",\n");
+        out.push_str(&format!(
+            "  \"config\": {{\"shape\": \"{shape}\", \"queries\": {queries}, \
+             \"workers\": {workers}, \"templates\": {}}},\n",
+            stream.templates
+        ));
+        out.push_str(&format!(
+            "  \"replay\": {{\"served\": {}, \"throughput\": {:.0}, \
+             \"request_hit_rate\": {:.4}, \"hit_p50_us\": {:.1}, \
+             \"cold_p50_us\": {:.1}, \"coalesced\": {}}},\n",
+            report.served,
+            report.throughput(),
+            report.cache.request_hit_rate(),
+            report.hit_p50_us,
+            report.miss_p50_us,
+            report.cache.coalesced,
+        ));
+        if let Some(r) = &ol_report {
+            out.push_str("  \"windows\": [\n");
+            for (i, w) in r.windows.iter().enumerate() {
+                let sep = if i + 1 == r.windows.len() { "" } else { "," };
+                out.push_str(&format!("    {}{sep}\n", w.to_json_line()));
+            }
+            out.push_str("  ],\n");
+        }
+        out.push_str("  \"runs\": [\n");
+        for (i, r) in runs.iter().enumerate() {
+            let sep = if i + 1 == runs.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"shape\": \"{}\", \"n\": {}, \"algorithm\": \"{}\", \
+                 \"wall_ms\": {:.3}}}{sep}\n",
+                r.shape, r.n, r.algorithm, r.wall_ms
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(path, out).expect("write serve JSON");
+        println!("# wrote {path}");
+    }
+
+    if let Some(path) = check_against {
+        // Intersection coverage: the committed BENCH_serve.json carries both
+        // the full and the CI-small configuration's rows.
+        gate_or_exit(path, &runs, "SERVE", false);
     }
 }
 

@@ -1,23 +1,34 @@
-//! Serving-layer replay harness: drive a [`PlanService`] with a Zipf query
-//! stream from a worker pool and report throughput, cache effectiveness and
-//! latency percentiles.
+//! Serving-layer harnesses: closed-loop replay and open-loop load.
 //!
-//! This is the measurement side of the `repro serve` experiment: the stream
-//! (`mpdp_workload::stream`) emits isomorphic-but-relabeled repetitions of a
-//! template pool, the service canonicalizes and caches, and this module
-//! records per-request service latencies split by cache hit/miss so the
-//! cached path's speedup over cold planning is directly visible.
+//! Two measurement modes drive the serving stack from the Zipf query stream
+//! (`mpdp_workload::stream`, isomorphic-but-relabeled repetitions of a
+//! template pool):
+//!
+//! - **Closed-loop replay** ([`replay`]): a worker pool races down a shared
+//!   cursor calling [`PlanService::plan_coalesced`] back-to-back. Each worker
+//!   waits for its previous request before issuing the next, so this measures
+//!   *service* latency and the cache's amortization factor (cold vs hit vs
+//!   coalesced split), not behavior under offered load.
+//! - **Open-loop load** ([`open_loop`]): generators submit to an
+//!   [`mpdp_serve::ServeFront`] on an absolute schedule — arrivals do not
+//!   slow down when the service does, exactly like production traffic.
+//!   Sweeping offered rates across a saturation point yields the overload
+//!   curve: achieved throughput tracks offered load below capacity, then
+//!   plateaus (never collapses) while admission control sheds the excess and
+//!   tail latency is bounded by the queue depth.
 
-use mpdp::service::{PlanService, ServedPlan};
-use mpdp_core::counters::CacheSnapshot;
+use mpdp::service::{PlanRequest, PlanService, ServedPlan, ServedVia};
+use mpdp_core::counters::{CacheSnapshot, ServeSnapshot};
 use mpdp_core::{LargeQuery, OptError};
 use mpdp_cost::model::CostModel;
+use mpdp_serve::{ServeFront, TenantConfig};
 use mpdp_workload::stream::{StreamSpec, ZipfStream};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::regress::WallRun;
 use crate::stats::percentile;
 
 /// Configuration of one replay run.
@@ -45,7 +56,7 @@ impl Default for ServeConfig {
 #[derive(Copy, Clone, Debug)]
 struct Sample {
     micros: f64,
-    hit: bool,
+    via: ServedVia,
 }
 
 /// Aggregated outcome of a replay run.
@@ -69,9 +80,13 @@ pub struct ServeReport {
     pub p99_us: f64,
     /// Median service latency of cache hits (µs); 0.0 if none.
     pub hit_p50_us: f64,
-    /// Median service latency of cache misses, i.e. cold plans (µs).
+    /// Median service latency of cold plans, i.e. flight leaders (µs).
     pub miss_p50_us: f64,
-    /// Requests per strategy label actually planned (misses only).
+    /// Median service latency of coalesced requests — single-flight joins
+    /// that waited on another request's in-flight planning (µs); 0.0 if the
+    /// replay never raced two cold arrivals of one fingerprint.
+    pub coalesced_p50_us: f64,
+    /// Requests per strategy label actually planned (cold plans only).
     pub routes: BTreeMap<String, usize>,
 }
 
@@ -109,13 +124,25 @@ impl ServeReport {
         ));
         out.push_str(&format!("cache_hit_rate\t{:.4}\n", self.cache.hit_rate()));
         out.push_str(&format!(
-            "cache_hits\t{}\ncache_misses\t{}\ncache_evictions\t{}\n",
-            self.cache.hits, self.cache.misses, self.cache.evictions
+            "request_hit_rate\t{:.4}\n",
+            self.cache.request_hit_rate()
+        ));
+        out.push_str(&format!(
+            "cache_hits\t{}\ncache_misses\t{}\ncache_coalesced\t{}\ncache_evictions\t{}\n",
+            self.cache.hits, self.cache.misses, self.cache.coalesced, self.cache.evictions
+        ));
+        out.push_str(&format!(
+            "feedback_checks\t{}\nfeedback_invalidations\t{}\n",
+            self.cache.feedback_checks, self.cache.feedback_invalidations
         ));
         out.push_str(&format!("latency_p50_us\t{:.1}\n", self.p50_us));
         out.push_str(&format!("latency_p99_us\t{:.1}\n", self.p99_us));
         out.push_str(&format!("hit_latency_p50_us\t{:.1}\n", self.hit_p50_us));
         out.push_str(&format!("cold_latency_p50_us\t{:.1}\n", self.miss_p50_us));
+        out.push_str(&format!(
+            "coalesced_latency_p50_us\t{:.1}\n",
+            self.coalesced_p50_us
+        ));
         out.push_str(&format!(
             "cached_speedup_p50\t{:.0}x\n",
             self.cached_speedup()
@@ -133,7 +160,10 @@ impl ServeReport {
 /// The stream is materialized up front (generation cost must not pollute
 /// service latencies); workers then race down a shared cursor, so the replay
 /// order interleaves arbitrarily across threads — exactly the contention
-/// pattern a concurrent service must tolerate.
+/// pattern a concurrent service must tolerate. Requests go through the
+/// single-flight path ([`PlanService::plan_coalesced`]), so two workers
+/// racing a cold fingerprint plan it once and the loser is counted
+/// `coalesced`, never as a second miss.
 pub fn replay(
     service: &PlanService,
     model: &dyn CostModel,
@@ -150,6 +180,7 @@ pub fn replay(
     // Counters are cumulative per service; report only this replay's window
     // so reusing one (warm) service still yields a self-consistent report.
     let counters_before = service.cache_counters();
+    let req = PlanRequest::default();
 
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -162,18 +193,18 @@ pub fn replay(
                     if i >= queries.len() {
                         break;
                     }
-                    match service.plan(&queries[i].1, model) {
+                    match service.plan_coalesced(&queries[i].1, model, &req) {
                         Ok(ServedPlan {
                             planned,
-                            cache_hit,
+                            via,
                             service_time,
                             ..
                         }) => {
                             local.push(Sample {
                                 micros: service_time.as_secs_f64() * 1e6,
-                                hit: cache_hit,
+                                via,
                             });
-                            if !cache_hit {
+                            if via == ServedVia::Cold {
                                 *local_routes.entry(planned.strategy).or_insert(0) += 1;
                             }
                         }
@@ -194,12 +225,16 @@ pub fn replay(
 
     let samples = samples.into_inner().expect("samples");
     let all: Vec<f64> = samples.iter().map(|s| s.micros).collect();
-    let hits: Vec<f64> = samples.iter().filter(|s| s.hit).map(|s| s.micros).collect();
-    let misses: Vec<f64> = samples
-        .iter()
-        .filter(|s| !s.hit)
-        .map(|s| s.micros)
-        .collect();
+    let split = |via: ServedVia| -> Vec<f64> {
+        samples
+            .iter()
+            .filter(|s| s.via == via)
+            .map(|s| s.micros)
+            .collect()
+    };
+    let hits = split(ServedVia::Hit);
+    let colds = split(ServedVia::Cold);
+    let coalesced = split(ServedVia::Coalesced);
 
     Ok(ServeReport {
         served: samples.len(),
@@ -210,8 +245,379 @@ pub fn replay(
         p50_us: percentile(&all, 50.0),
         p99_us: percentile(&all, 99.0),
         hit_p50_us: percentile(&hits, 50.0),
-        miss_p50_us: percentile(&misses, 50.0),
+        miss_p50_us: percentile(&colds, 50.0),
+        coalesced_p50_us: percentile(&coalesced, 50.0),
         routes: routes.into_inner().expect("routes"),
+    })
+}
+
+// ------------------------------------------------------------- open loop
+
+/// Configuration of one open-loop sweep over a [`ServeFront`].
+#[derive(Clone, Debug)]
+pub struct OpenLoopConfig {
+    /// Base offered load (requests/s); each window offers a multiple of it.
+    pub rate: f64,
+    /// Offered-rate multipliers, one measured window each. The default
+    /// sweeps from well under to well over saturation so the overload curve
+    /// (plateau, not collapse) is visible in a single run.
+    pub multipliers: Vec<f64>,
+    /// Duration of each window's submission schedule.
+    pub window: Duration,
+    /// Generator tasks; the stream is partitioned (`ZipfStream::partition`)
+    /// so generators never serialize on a shared stream.
+    pub generators: usize,
+    /// Submissions per pacing tick. Batching keeps timer traffic ~1k/s at
+    /// six-figure offered rates; within a batch submissions are back-to-back.
+    pub batch: usize,
+    /// Bounded admission-queue depth of the front-end under test.
+    pub queue_depth: usize,
+    /// Dispatcher tasks of the front-end under test.
+    pub dispatchers: usize,
+    /// The Zipf stream generators draw from.
+    pub stream: StreamSpec,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            rate: 120_000.0,
+            multipliers: vec![0.25, 0.5, 1.0, 2.0, 4.0],
+            window: Duration::from_secs(2),
+            // Tuned on a 1-core box: one generator with a large pacing
+            // batch keeps the submit path off the dispatchers' backs, and
+            // two dispatchers saturate the warm hit path without fighting
+            // each other for the queue lock. Deeper queues only stretch
+            // drain tails (worse p99 at the same throughput).
+            generators: 1,
+            batch: 512,
+            queue_depth: 1024,
+            dispatchers: 2,
+            stream: StreamSpec::default(),
+        }
+    }
+}
+
+/// One offered-rate window of an open-loop sweep.
+#[derive(Clone, Debug)]
+pub struct WindowReport {
+    /// Offered rate as a multiple of [`OpenLoopConfig::rate`].
+    pub multiplier: f64,
+    /// Offered load of this window (requests/s).
+    pub offered_rate: f64,
+    /// Requests submitted (accepted + shed).
+    pub offered: usize,
+    /// Window wall time: first scheduled arrival to last completion.
+    pub elapsed: Duration,
+    /// Completed plans per second over `elapsed` — the *achieved* throughput
+    /// the overload curve plots against `offered_rate`.
+    pub achieved: f64,
+    /// End-to-end (submit → completion) latency percentiles, ms.
+    pub p50_ms: f64,
+    /// See [`WindowReport::p50_ms`].
+    pub p99_ms: f64,
+    /// Median end-to-end latency of cache-hit requests (µs).
+    pub hit_p50_us: f64,
+    /// Median end-to-end latency of cold (flight-leader) requests (µs).
+    pub cold_p50_us: f64,
+    /// Median end-to-end latency of coalesced requests (µs).
+    pub coalesced_p50_us: f64,
+    /// Cache activity of this window (delta).
+    pub cache: CacheSnapshot,
+    /// Front-door activity of this window (delta; gauges are end-of-window).
+    pub serve: ServeSnapshot,
+    /// `true` if the window ran past saturation: admission control shed
+    /// requests, or achieved throughput fell visibly short of offered load.
+    pub saturated: bool,
+}
+
+impl WindowReport {
+    /// One self-contained JSON object per line. Deliberately does **not**
+    /// carry an `"algorithm"` key: the regression gate's line parser only
+    /// reads lines with one, so window rows are context, not gate rows.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"multiplier\": {:.2}, \"offered_rate\": {:.0}, \"offered\": {}, \
+             \"accepted\": {}, \"shed\": {}, \"completed\": {}, \"failed\": {}, \
+             \"elapsed_s\": {:.3}, \"achieved\": {:.0}, \"request_hit_rate\": {:.4}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"hit_p50_us\": {:.1}, \
+             \"cold_p50_us\": {:.1}, \"coalesced_p50_us\": {:.1}, \"hits\": {}, \
+             \"misses\": {}, \"coalesced\": {}, \"queue_depth_peak\": {}, \
+             \"saturated\": {}}}",
+            self.multiplier,
+            self.offered_rate,
+            self.offered,
+            self.serve.accepted,
+            self.serve.sheds(),
+            self.serve.completed,
+            self.serve.failed,
+            self.elapsed.as_secs_f64(),
+            self.achieved,
+            self.cache.request_hit_rate(),
+            self.p50_ms,
+            self.p99_ms,
+            self.hit_p50_us,
+            self.cold_p50_us,
+            self.coalesced_p50_us,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.coalesced,
+            self.serve.queue_depth_peak,
+            self.saturated,
+        )
+    }
+}
+
+/// Aggregated outcome of an open-loop sweep.
+#[derive(Clone, Debug)]
+pub struct OpenLoopReport {
+    /// The sweep's base offered rate (requests/s).
+    pub base_rate: f64,
+    /// Templates pre-planned before the measured windows (cache warm-up, so
+    /// windows measure steady-state serving; cold latency is measured by the
+    /// replay harness's split).
+    pub warmed_templates: usize,
+    /// Wall time of the warm-up phase.
+    pub warm_elapsed: Duration,
+    /// One report per offered-rate window, in sweep order.
+    pub windows: Vec<WindowReport>,
+}
+
+impl OpenLoopReport {
+    /// Highest achieved throughput across windows — the capacity the
+    /// overload curve plateaus at.
+    pub fn peak_achieved(&self) -> f64 {
+        self.windows.iter().fold(0.0, |a, w| a.max(w.achieved))
+    }
+
+    /// Request hit rate aggregated over every measured window.
+    pub fn measured_hit_rate(&self) -> f64 {
+        let mut total = CacheSnapshot::default();
+        for w in &self.windows {
+            total.hits += w.cache.hits;
+            total.misses += w.cache.misses;
+            total.coalesced += w.cache.coalesced;
+        }
+        total.request_hit_rate()
+    }
+
+    /// Gate rows for the shared regression check: one ms-per-1k-plans row
+    /// per *saturated* window (below saturation achieved throughput just
+    /// mirrors offered load, which would gate the generator, not the
+    /// service). `shape` distinguishes configs sharing one baseline file
+    /// (e.g. `"serve"` full vs `"serve-small"` CI smoke).
+    pub fn wall_runs(&self, shape: &str) -> Vec<WallRun> {
+        self.windows
+            .iter()
+            .filter(|w| w.saturated && w.achieved > 0.0)
+            .map(|w| WallRun {
+                shape: shape.to_string(),
+                n: w.offered_rate.round() as usize,
+                algorithm: format!("open-loop x{:.2} (ms per 1k plans)", w.multiplier),
+                wall_ms: 1e6 / w.achieved,
+            })
+            .collect()
+    }
+
+    /// Renders the tab-separated overload-curve block `repro serve` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# warmed {} templates in {:.2}s; offered load is open-loop \
+             (absolute schedule, arrivals independent of completions)\n",
+            self.warmed_templates,
+            self.warm_elapsed.as_secs_f64()
+        ));
+        out.push_str(
+            "mult\toffered_per_s\toffered\taccepted\tshed\tcompleted\tachieved_per_s\t\
+             hit_rate\tp50_ms\tp99_ms\thit_p50_us\tcold_p50_us\tcoal_p50_us\tsaturated\n",
+        );
+        for w in &self.windows {
+            out.push_str(&format!(
+                "x{:.2}\t{:.0}\t{}\t{}\t{}\t{}\t{:.0}\t{:.4}\t{:.3}\t{:.3}\t{:.1}\t{:.1}\t{:.1}\t{}\n",
+                w.multiplier,
+                w.offered_rate,
+                w.offered,
+                w.serve.accepted,
+                w.serve.sheds(),
+                w.serve.completed,
+                w.achieved,
+                w.cache.request_hit_rate(),
+                w.p50_ms,
+                w.p99_ms,
+                w.hit_p50_us,
+                w.cold_p50_us,
+                w.coalesced_p50_us,
+                w.saturated,
+            ));
+        }
+        out.push_str(&format!(
+            "# peak achieved: {:.0} plans/s at {:.1}% request hit rate\n",
+            self.peak_achieved(),
+            self.measured_hit_rate() * 100.0
+        ));
+        out
+    }
+}
+
+/// Runs an open-loop sweep: builds a [`ServeFront`], warms its cache with
+/// one plan per stream template, then measures one window per multiplier in
+/// [`OpenLoopConfig::multipliers`].
+///
+/// Each window pre-materializes its arrival pool from per-generator
+/// substreams ([`ZipfStream::partition`] — generation cost and stream
+/// locking stay out of the pacing loop), then generator tasks submit on an
+/// absolute schedule driven by the front-end's reactor (`sleep_until`
+/// deadlines accumulate no drift; a late batch is followed by an on-time
+/// one, not a shifted schedule). Admission is lazy: `submit_many` pulls
+/// from the pool only for *accepted* requests, so a shed costs a counter
+/// increment, and the pool's unconsumed tail is dropped after the window's
+/// clock stops — overload windows measure serving, not the disposal of
+/// rejected work. Sheds are counted by the front-end; the window's achieved
+/// throughput comes from its completion counters.
+pub fn open_loop(
+    config: &OpenLoopConfig,
+    model: Arc<dyn CostModel + Send + Sync>,
+) -> Result<OpenLoopReport, OptError> {
+    let generators = config.generators.max(1);
+    let batch = config.batch.max(1);
+    let root = ZipfStream::new(&config.stream, &*model);
+
+    let front = Arc::new(ServeFront::new(
+        mpdp_serve::ServeConfig {
+            queue_depth: config.queue_depth,
+            dispatchers: config.dispatchers,
+            // One worker per core, not per task: dispatchers and generators
+            // are tasks and share workers fine, but oversubscribing OS
+            // threads on a small machine turns every queue-mutex handoff
+            // into a context switch and collapses the warm hit path. On a
+            // single-core box this means ONE worker — fully cooperative
+            // scheduling, no futex ping-pong between workers at all.
+            executor_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .clamp(1, config.dispatchers + generators),
+            budget: Some(Duration::from_secs(30)),
+            tenants: vec![TenantConfig {
+                cache_capacity: (config.stream.templates * 2).max(1024),
+                ..TenantConfig::named("bench")
+            }],
+        },
+        Arc::clone(&model),
+    ));
+
+    // Warm the tenant's cache partition: one plan per template, through the
+    // same single-flight path requests take. The measured windows then show
+    // steady-state serving (the acceptance target); cold behavior is the
+    // replay harness's job.
+    let warm_start = Instant::now();
+    let req = PlanRequest::default();
+    for t in root.templates() {
+        front.service(0).plan_coalesced(&t.query, &*model, &req)?;
+    }
+    let warm_elapsed = warm_start.elapsed();
+
+    let mut windows = Vec::with_capacity(config.multipliers.len());
+    for &multiplier in &config.multipliers {
+        let offered_rate = config.rate * multiplier;
+        let total = (offered_rate * config.window.as_secs_f64()).round() as usize;
+        // Materialize each generator's arrivals from its own substream.
+        let mut inputs: Vec<Vec<LargeQuery>> = Vec::with_capacity(generators);
+        for (gi, mut sub) in root.partition(generators).into_iter().enumerate() {
+            let share = total / generators + usize::from(gi < total % generators);
+            inputs.push(sub.take(share).into_iter().map(|(_, q)| q).collect());
+        }
+        let serve_before = front.serve_counters();
+        let cache_before = front.cache_counters(0);
+
+        // All generators share one aligned start a beat in the future, and
+        // pace themselves with absolute deadlines from it.
+        let start = Instant::now() + Duration::from_millis(10);
+        let interval =
+            Duration::from_secs_f64(batch as f64 * generators as f64 / offered_rate.max(1.0));
+        let gens: Vec<_> = inputs
+            .into_iter()
+            .map(|queries| {
+                let f = Arc::clone(&front);
+                front.spawn(async move {
+                    let total_n = queries.len();
+                    let mut tickets = Vec::with_capacity(total_n);
+                    let mut it = queries.into_iter();
+                    let mut sent = 0usize;
+                    let mut tick = 0u32;
+                    while sent < total_n {
+                        f.sleep_until(start + interval * tick).await;
+                        tick += 1;
+                        let take = batch.min(total_n - sent);
+                        sent += take;
+                        // Batch admission: one quota reservation + one
+                        // queue lock per tick, and the pool is pulled only
+                        // for accepted requests — a shed never touches a
+                        // query. Sheds are counted by the front-end's
+                        // admission counters; only accepted requests
+                        // produce a ticket to harvest.
+                        f.submit_many(0, take, it.by_ref(), &mut tickets);
+                    }
+                    // Hand the unconsumed pool tail (shed arrivals) back so
+                    // its disposal happens after the window clock stops.
+                    (tickets, it)
+                })
+            })
+            .collect();
+
+        // Harvest: generators finish at the end of their schedule; tickets
+        // then drain (for saturated windows, roughly one queue's worth).
+        let mut all_ms: Vec<f64> = Vec::new();
+        let mut hit_us: Vec<f64> = Vec::new();
+        let mut cold_us: Vec<f64> = Vec::new();
+        let mut coal_us: Vec<f64> = Vec::new();
+        let mut shed_pools = Vec::with_capacity(gens.len());
+        for join in gens {
+            let (tickets, pool_tail) = join.wait();
+            shed_pools.push(pool_tail);
+            for ticket in tickets {
+                let done = ticket.wait();
+                if let Ok(plan) = done.result {
+                    let us = done.latency.as_secs_f64() * 1e6;
+                    all_ms.push(us / 1000.0);
+                    match plan.via {
+                        ServedVia::Hit => hit_us.push(us),
+                        ServedVia::Cold => cold_us.push(us),
+                        ServedVia::Coalesced => coal_us.push(us),
+                    }
+                }
+            }
+        }
+        let elapsed = start.elapsed();
+        let serve = front.serve_counters().delta(&serve_before);
+        let cache = front.cache_counters(0).delta(&cache_before);
+        // Shed arrivals were never materialized into requests; their pool
+        // slots are freed here, outside the measured window.
+        drop(shed_pools);
+        let achieved = serve.completed as f64 / elapsed.as_secs_f64().max(1e-9);
+        let saturated = serve.sheds() > 0 || achieved < offered_rate * 0.95;
+        windows.push(WindowReport {
+            multiplier,
+            offered_rate,
+            offered: total,
+            elapsed,
+            achieved,
+            p50_ms: percentile(&all_ms, 50.0),
+            p99_ms: percentile(&all_ms, 99.0),
+            hit_p50_us: percentile(&hit_us, 50.0),
+            cold_p50_us: percentile(&cold_us, 50.0),
+            coalesced_p50_us: percentile(&coal_us, 50.0),
+            cache,
+            serve,
+            saturated,
+        });
+    }
+
+    Ok(OpenLoopReport {
+        base_rate: config.rate,
+        warmed_templates: root.templates().len(),
+        warm_elapsed,
+        windows,
     })
 }
 
@@ -241,18 +647,75 @@ mod tests {
         assert_eq!(report.failed, 0);
         // 20 templates over 300 draws: most arrivals repeat a shape.
         assert_eq!(
-            report.cache.hits + report.cache.misses,
+            report.cache.hits + report.cache.misses + report.cache.coalesced,
             300,
-            "every request is exactly one hit or one miss"
+            "every request is exactly one hit, miss or coalesced join"
+        );
+        assert_eq!(
+            report.cache.misses, 20,
+            "single-flight: exactly one cold plan per template"
         );
         assert!(
-            report.cache.hit_rate() > 0.5,
+            report.cache.request_hit_rate() > 0.5,
             "hit rate {}",
-            report.cache.hit_rate()
+            report.cache.request_hit_rate()
         );
         assert!(report.throughput() > 0.0);
         let text = report.render();
-        assert!(text.contains("cache_hit_rate"));
+        assert!(text.contains("request_hit_rate"));
+        assert!(text.contains("feedback_checks"));
         assert!(text.contains("route["));
+    }
+
+    #[test]
+    fn open_loop_windows_account_for_every_arrival() {
+        let config = OpenLoopConfig {
+            rate: 2_000.0,
+            multipliers: vec![0.5, 2.0],
+            window: Duration::from_millis(300),
+            generators: 2,
+            batch: 16,
+            queue_depth: 64,
+            dispatchers: 2,
+            stream: StreamSpec {
+                templates: 12,
+                skew: 1.1,
+                min_rels: 5,
+                max_rels: 8,
+                seed: 3,
+            },
+        };
+        let report = open_loop(&config, Arc::new(PgLikeCost::new())).unwrap();
+        assert_eq!(report.windows.len(), 2);
+        assert_eq!(report.warmed_templates, 12);
+        for w in &report.windows {
+            // Every offered arrival is accounted: accepted + shed.
+            assert_eq!(
+                w.serve.accepted + w.serve.sheds(),
+                w.offered as u64,
+                "window x{} lost arrivals",
+                w.multiplier
+            );
+            // Every accepted request completed (ok or failed).
+            assert_eq!(w.serve.accepted, w.serve.completed + w.serve.failed);
+            assert_eq!(w.serve.failed, 0);
+            // Warmed cache + exact single-flight accounting per window.
+            assert_eq!(
+                w.cache.hits + w.cache.misses + w.cache.coalesced,
+                w.serve.completed
+            );
+            assert!(w.achieved > 0.0);
+        }
+        // The JSON window rows must stay invisible to the regression-gate
+        // parser (it keys on an "algorithm" field).
+        for w in &report.windows {
+            assert!(!w.to_json_line().contains("\"algorithm\""));
+        }
+        let runs = report.wall_runs("serve-test");
+        for r in &runs {
+            assert!(r.wall_ms > 0.0);
+            assert_eq!(r.shape, "serve-test");
+        }
+        assert!(report.render().contains("peak achieved"));
     }
 }

@@ -163,6 +163,7 @@ impl ExecCounters {
 pub struct CacheCounters {
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
+    coalesced: std::sync::atomic::AtomicU64,
     insertions: std::sync::atomic::AtomicU64,
     evictions: std::sync::atomic::AtomicU64,
     expirations: std::sync::atomic::AtomicU64,
@@ -175,8 +176,14 @@ pub struct CacheCounters {
 pub struct CacheSnapshot {
     /// Lookups answered from the cache.
     pub hits: u64,
-    /// Lookups that found nothing (or only an expired entry).
+    /// Lookups that found nothing (or only an expired entry). On the
+    /// single-flight serving path a miss is counted only for the one
+    /// request that actually plans (the flight leader).
     pub misses: u64,
+    /// Requests that joined an in-flight planning of the same fingerprint
+    /// instead of planning themselves (single-flight joins). Every
+    /// single-flight request is exactly one of hit / miss / coalesced.
+    pub coalesced: u64,
     /// Entries written.
     pub insertions: u64,
     /// Entries evicted by capacity (LRU order).
@@ -191,7 +198,10 @@ pub struct CacheSnapshot {
 }
 
 impl CacheSnapshot {
-    /// `hits / (hits + misses)`; 0.0 before any lookup.
+    /// `hits / (hits + misses)`; 0.0 before any lookup. Coalesced requests
+    /// are not counted in either side: they neither probed the cache to a
+    /// decision nor planned (see [`CacheSnapshot::request_hit_rate`] for the
+    /// per-request view).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -201,18 +211,38 @@ impl CacheSnapshot {
         }
     }
 
+    /// `hits / (hits + misses + coalesced)` — the fraction of *requests*
+    /// answered straight from the cache on the single-flight serving path;
+    /// 0.0 before any request.
+    pub fn request_hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.coalesced;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
     /// The activity between `earlier` and `self` (counters are monotonic,
-    /// so a field-wise difference is a window's worth of traffic).
-    pub fn since(&self, earlier: &CacheSnapshot) -> CacheSnapshot {
+    /// so a field-wise difference is a window's worth of traffic). This is
+    /// what lets `repro serve` print per-window rates instead of cumulative
+    /// totals on a long-lived, pre-warmed service.
+    pub fn delta(&self, earlier: &CacheSnapshot) -> CacheSnapshot {
         CacheSnapshot {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
+            coalesced: self.coalesced - earlier.coalesced,
             insertions: self.insertions - earlier.insertions,
             evictions: self.evictions - earlier.evictions,
             expirations: self.expirations - earlier.expirations,
             feedback_checks: self.feedback_checks - earlier.feedback_checks,
             feedback_invalidations: self.feedback_invalidations - earlier.feedback_invalidations,
         }
+    }
+
+    /// Alias of [`CacheSnapshot::delta`], kept for existing callers.
+    pub fn since(&self, earlier: &CacheSnapshot) -> CacheSnapshot {
+        self.delta(earlier)
     }
 }
 
@@ -227,6 +257,12 @@ impl CacheCounters {
     /// Records a cache miss.
     pub fn record_miss(&self) {
         self.misses.fetch_add(1, Self::ORD);
+    }
+
+    /// Records a single-flight join (a request served by an in-flight
+    /// planning of the same fingerprint).
+    pub fn record_coalesced(&self) {
+        self.coalesced.fetch_add(1, Self::ORD);
     }
 
     /// Records an insertion.
@@ -259,11 +295,188 @@ impl CacheCounters {
         CacheSnapshot {
             hits: self.hits.load(Self::ORD),
             misses: self.misses.load(Self::ORD),
+            coalesced: self.coalesced.load(Self::ORD),
             insertions: self.insertions.load(Self::ORD),
             evictions: self.evictions.load(Self::ORD),
             expirations: self.expirations.load(Self::ORD),
             feedback_checks: self.feedback_checks.load(Self::ORD),
             feedback_invalidations: self.feedback_invalidations.load(Self::ORD),
+        }
+    }
+}
+
+/// Thread-safe counters for an admission-controlled serving front-end.
+///
+/// The queue-facing sibling of [`CacheCounters`]: where cache counters
+/// account for what happened *inside* the plan cache, these account for what
+/// happened to *requests* at the front door — admission, shedding, dispatch
+/// and completion. `queue_depth` and `in_flight` are gauges (current values,
+/// not monotonic totals); everything else is monotonic, so a
+/// [`ServeSnapshot::delta`] over the monotonic fields is a window's traffic.
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    accepted: std::sync::atomic::AtomicU64,
+    shed_queue_full: std::sync::atomic::AtomicU64,
+    shed_quota: std::sync::atomic::AtomicU64,
+    completed: std::sync::atomic::AtomicU64,
+    failed: std::sync::atomic::AtomicU64,
+    /// Signed: a dispatcher can pop a request (and record the dispatch)
+    /// between the producer's successful queue push and its gauge increment,
+    /// transiently driving the gauge below zero. Readers clamp at 0.
+    queue_depth: std::sync::atomic::AtomicI64,
+    queue_depth_peak: std::sync::atomic::AtomicU64,
+    /// Signed for the same push/pop race as `queue_depth`.
+    in_flight: std::sync::atomic::AtomicI64,
+}
+
+/// A point-in-time copy of [`ServeCounters`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeSnapshot {
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests shed because the bounded queue was full.
+    pub shed_queue_full: u64,
+    /// Requests shed because the tenant's in-flight quota was exhausted.
+    pub shed_quota: u64,
+    /// Accepted requests that completed with a plan.
+    pub completed: u64,
+    /// Accepted requests that completed with a planning error.
+    pub failed: u64,
+    /// Requests currently queued (gauge).
+    pub queue_depth: u64,
+    /// Highest queue depth observed since the counters were created (gauge;
+    /// carried as-is through [`ServeSnapshot::delta`]).
+    pub queue_depth_peak: u64,
+    /// Requests currently being served by a dispatcher (gauge).
+    pub in_flight: u64,
+}
+
+impl ServeSnapshot {
+    /// Total requests shed by admission control, for any reason.
+    pub fn sheds(&self) -> u64 {
+        self.shed_queue_full + self.shed_quota
+    }
+
+    /// Requests offered to the front end (accepted + shed).
+    pub fn offered(&self) -> u64 {
+        self.accepted + self.sheds()
+    }
+
+    /// The traffic between `earlier` and `self`: monotonic fields are
+    /// subtracted field-wise, gauges (`queue_depth`, `queue_depth_peak`,
+    /// `in_flight`) keep their current value.
+    pub fn delta(&self, earlier: &ServeSnapshot) -> ServeSnapshot {
+        ServeSnapshot {
+            accepted: self.accepted - earlier.accepted,
+            shed_queue_full: self.shed_queue_full - earlier.shed_queue_full,
+            shed_quota: self.shed_quota - earlier.shed_quota,
+            completed: self.completed - earlier.completed,
+            failed: self.failed - earlier.failed,
+            queue_depth: self.queue_depth,
+            queue_depth_peak: self.queue_depth_peak,
+            in_flight: self.in_flight,
+        }
+    }
+}
+
+impl ServeCounters {
+    const ORD: std::sync::atomic::Ordering = std::sync::atomic::Ordering::Relaxed;
+
+    /// Records an admitted request: bumps `accepted` and the queue-depth
+    /// gauge (tracking its peak).
+    pub fn record_accept(&self) {
+        self.accepted.fetch_add(1, Self::ORD);
+        let depth = self.queue_depth.fetch_add(1, Self::ORD) + 1;
+        self.queue_depth_peak
+            .fetch_max(depth.max(0) as u64, Self::ORD);
+    }
+
+    /// Batch form of [`ServeCounters::record_accept`]: `n` admissions in
+    /// one set of atomic updates (the 100k-requests/s admission path counts
+    /// per pacing batch, not per request).
+    pub fn record_accept_n(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.accepted.fetch_add(n, Self::ORD);
+        let depth = self.queue_depth.fetch_add(n as i64, Self::ORD) + n as i64;
+        self.queue_depth_peak
+            .fetch_max(depth.max(0) as u64, Self::ORD);
+    }
+
+    /// Records a queue-full shed.
+    pub fn record_shed_queue_full(&self) {
+        self.shed_queue_full.fetch_add(1, Self::ORD);
+    }
+
+    /// Batch form of [`ServeCounters::record_shed_queue_full`].
+    pub fn record_shed_queue_full_n(&self, n: u64) {
+        if n > 0 {
+            self.shed_queue_full.fetch_add(n, Self::ORD);
+        }
+    }
+
+    /// Records a tenant-quota shed.
+    pub fn record_shed_quota(&self) {
+        self.shed_quota.fetch_add(1, Self::ORD);
+    }
+
+    /// Batch form of [`ServeCounters::record_shed_quota`].
+    pub fn record_shed_quota_n(&self, n: u64) {
+        if n > 0 {
+            self.shed_quota.fetch_add(n, Self::ORD);
+        }
+    }
+
+    /// Records a dispatch: the request leaves the queue and becomes
+    /// in-flight.
+    pub fn record_dispatch(&self) {
+        self.queue_depth.fetch_sub(1, Self::ORD);
+        self.in_flight.fetch_add(1, Self::ORD);
+    }
+
+    /// Batch form of [`ServeCounters::record_dispatch`]: a dispatcher that
+    /// drained a chunk of `n` requests moves the gauges once.
+    pub fn record_dispatch_n(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.queue_depth.fetch_sub(n as i64, Self::ORD);
+        self.in_flight.fetch_add(n as i64, Self::ORD);
+    }
+
+    /// Records a completion (`ok` = the request produced a plan); the
+    /// request leaves the in-flight gauge.
+    pub fn record_done(&self, ok: bool) {
+        self.in_flight.fetch_sub(1, Self::ORD);
+        if ok {
+            self.completed.fetch_add(1, Self::ORD);
+        } else {
+            self.failed.fetch_add(1, Self::ORD);
+        }
+    }
+
+    /// Current queue-depth gauge (clamped at 0; see the field docs).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Self::ORD).max(0) as u64
+    }
+
+    /// Current in-flight gauge (clamped at 0; see the field docs).
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Self::ORD).max(0) as u64
+    }
+
+    /// Copies the current counts.
+    pub fn snapshot(&self) -> ServeSnapshot {
+        ServeSnapshot {
+            accepted: self.accepted.load(Self::ORD),
+            shed_queue_full: self.shed_queue_full.load(Self::ORD),
+            shed_quota: self.shed_quota.load(Self::ORD),
+            completed: self.completed.load(Self::ORD),
+            failed: self.failed.load(Self::ORD),
+            queue_depth: self.queue_depth(),
+            queue_depth_peak: self.queue_depth_peak.load(Self::ORD),
+            in_flight: self.in_flight(),
         }
     }
 }
@@ -340,5 +553,54 @@ mod tests {
         assert_eq!(t.ccp, 16);
         assert_eq!(t.sets, 10);
         assert_eq!(t.unranked, 11);
+    }
+
+    #[test]
+    fn cache_delta_and_request_hit_rate() {
+        let c = CacheCounters::default();
+        c.record_hit();
+        c.record_hit();
+        c.record_miss();
+        c.record_coalesced();
+        let a = c.snapshot();
+        assert_eq!((a.hits, a.misses, a.coalesced), (2, 1, 1));
+        assert!((a.request_hit_rate() - 0.5).abs() < 1e-12);
+        assert!((a.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        c.record_hit();
+        c.record_coalesced();
+        let b = c.snapshot();
+        let d = b.delta(&a);
+        assert_eq!((d.hits, d.misses, d.coalesced), (1, 0, 1));
+        assert_eq!(d, b.since(&a), "since is an alias of delta");
+    }
+
+    #[test]
+    fn serve_counters_track_gauges_and_windows() {
+        let s = ServeCounters::default();
+        s.record_accept();
+        s.record_accept();
+        s.record_accept();
+        s.record_shed_queue_full();
+        s.record_shed_quota();
+        assert_eq!(s.queue_depth(), 3);
+        s.record_dispatch();
+        s.record_dispatch();
+        assert_eq!((s.queue_depth(), s.in_flight()), (1, 2));
+        s.record_done(true);
+        s.record_done(false);
+        let a = s.snapshot();
+        assert_eq!(a.accepted, 3);
+        assert_eq!(a.sheds(), 2);
+        assert_eq!(a.offered(), 5);
+        assert_eq!((a.completed, a.failed), (1, 1));
+        assert_eq!(a.queue_depth_peak, 3);
+        assert_eq!((a.queue_depth, a.in_flight), (1, 0));
+        // A later window reports only its own traffic; gauges pass through.
+        s.record_dispatch();
+        s.record_done(true);
+        let d = s.snapshot().delta(&a);
+        assert_eq!((d.accepted, d.completed, d.failed), (0, 1, 0));
+        assert_eq!(d.queue_depth, 0);
+        assert_eq!(d.queue_depth_peak, 3);
     }
 }

@@ -90,10 +90,30 @@ fn mix(acc: &mut (u64, u64), word: u64) {
     acc.1 = murmur3_fmix64(acc.1.wrapping_mul(0xc2b2_ae3d_27d4_eb4f) ^ word);
 }
 
-/// One refinement round: `sig'(v) = H(sig(v), sorted sigs of neighbours)`.
-fn refine(q: &LargeQuery, sig: &[u64]) -> Vec<u64> {
-    let mut next = Vec::with_capacity(sig.len());
-    let mut neigh: Vec<u64> = Vec::new();
+/// Reusable buffers for [`canonicalize`]. The serving hot path fingerprints
+/// every arrival, and at 100k+ requests/s the ~`n + 9` transient Vec
+/// allocations per call were a measurable slice of the hit latency — the
+/// scratch space makes the whole computation allocation-free except for the
+/// returned `order`/`slot` permutations.
+#[derive(Default)]
+struct Scratch {
+    sig: Vec<u64>,
+    next: Vec<u64>,
+    neigh: Vec<u64>,
+    visited: Vec<bool>,
+    frontier: Vec<bool>,
+    link: Vec<f64>,
+    edges: Vec<(u32, u32, u64)>,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Scratch> = std::cell::RefCell::new(Scratch::default());
+}
+
+/// One refinement round: `sig'(v) = H(sig(v), sorted sigs of neighbours)`,
+/// written from `sig` into `next` (reused buffers).
+fn refine(q: &LargeQuery, sig: &[u64], next: &mut Vec<u64>, neigh: &mut Vec<u64>) {
+    next.clear();
     for v in 0..q.num_rels() {
         neigh.clear();
         for &(w, sel) in &q.adj[v] {
@@ -101,12 +121,11 @@ fn refine(q: &LargeQuery, sig: &[u64]) -> Vec<u64> {
         }
         neigh.sort_unstable();
         let mut h = murmur3_fmix64(sig[v]);
-        for &nh in &neigh {
+        for &nh in neigh.iter() {
             h = murmur3_fmix64(h.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ nh);
         }
         next.push(h);
     }
-    next
 }
 
 /// Computes the canonical order and fingerprint of `q`.
@@ -115,35 +134,55 @@ fn refine(q: &LargeQuery, sig: &[u64]) -> Vec<u64> {
 /// traversal — microseconds for serving-sized queries, against DP planning
 /// times in the millisecond-to-second range.
 pub fn canonicalize(q: &LargeQuery) -> CanonicalQuery {
+    SCRATCH.with(|s| canonicalize_with(q, &mut s.borrow_mut()))
+}
+
+fn canonicalize_with(q: &LargeQuery, scratch: &mut Scratch) -> CanonicalQuery {
     let n = q.num_rels();
+    let Scratch {
+        sig,
+        next,
+        neigh,
+        visited,
+        frontier,
+        link,
+        edges,
+    } = scratch;
 
     // Local signatures: degree, cardinality, scan cost, incident sels.
-    let mut sig: Vec<u64> = (0..n)
-        .map(|v| {
-            let mut h = murmur3_fmix64(q.adj[v].len() as u64);
-            h = murmur3_fmix64(h ^ q.rels[v].rows.to_bits());
-            h = murmur3_fmix64(h ^ q.rels[v].cost.to_bits());
-            let mut sels: Vec<u64> = q.adj[v].iter().map(|&(_, s)| s.to_bits()).collect();
-            sels.sort_unstable();
-            for s in sels {
-                h = murmur3_fmix64(h.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ s);
-            }
-            h
-        })
-        .collect();
+    sig.clear();
+    for v in 0..n {
+        let mut h = murmur3_fmix64(q.adj[v].len() as u64);
+        h = murmur3_fmix64(h ^ q.rels[v].rows.to_bits());
+        h = murmur3_fmix64(h ^ q.rels[v].cost.to_bits());
+        neigh.clear();
+        neigh.extend(q.adj[v].iter().map(|&(_, s)| s.to_bits()));
+        neigh.sort_unstable();
+        for &s in neigh.iter() {
+            h = murmur3_fmix64(h.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ s);
+        }
+        sig.push(h);
+    }
     // Two WL rounds separate locally-identical vertices by position.
-    sig = refine(q, &sig);
-    sig = refine(q, &sig);
+    refine(q, sig, next, neigh);
+    refine(q, next, sig, neigh);
 
     // Degree/cardinality-sorted BFS: visit order is determined entirely by
     // label-invariant keys, so relabeled copies traverse identically.
     let mut order: Vec<u32> = Vec::with_capacity(n);
     let mut slot: Vec<u32> = vec![u32::MAX; n];
-    let mut visited = vec![false; n];
+    visited.clear();
+    visited.resize(n, false);
     // Selectivity product between each vertex and the visited set — the BFS
     // tie-breaker that keeps the traversal deterministic across relabelings
     // even when two signatures collide.
-    let mut link: Vec<f64> = vec![1.0; n];
+    link.clear();
+    link.resize(n, 1.0);
+    // `frontier[v]` = v is adjacent to the visited set; maintained when a
+    // vertex is visited, so each selection round is a flat O(n) key scan
+    // instead of re-deriving adjacency per candidate.
+    frontier.clear();
+    frontier.resize(n, false);
     for _ in 0..n {
         // Frontier = unvisited vertices adjacent to the visited set (or, if
         // none — start/new component — every unvisited vertex).
@@ -153,9 +192,7 @@ pub fn canonicalize(q: &LargeQuery) -> CanonicalQuery {
             if visited[v] {
                 continue;
             }
-            let on_frontier =
-                link[v] != 1.0 || q.adj[v].iter().any(|&(w, _)| slot[w as usize] != u32::MAX);
-            let key = (!on_frontier, sig[v], link[v].to_bits());
+            let key = (!frontier[v], sig[v], link[v].to_bits());
             if best.is_none() || key < best_key {
                 best = Some(v);
                 best_key = key;
@@ -167,6 +204,7 @@ pub fn canonicalize(q: &LargeQuery) -> CanonicalQuery {
         visited[v] = true;
         for &(w, sel) in &q.adj[v] {
             link[w as usize] *= sel;
+            frontier[w as usize] = true;
         }
     }
 
@@ -178,18 +216,15 @@ pub fn canonicalize(q: &LargeQuery) -> CanonicalQuery {
         mix(&mut acc, q.rels[v as usize].cost.to_bits());
     }
     // Canonical edge list, sorted by canonical endpoints.
-    let mut edges: Vec<(u32, u32, u64)> = q
-        .edges
-        .iter()
-        .map(|e| {
-            let (a, b) = (slot[e.u as usize], slot[e.v as usize]);
-            let (a, b) = if a < b { (a, b) } else { (b, a) };
-            (a, b, e.sel.to_bits())
-        })
-        .collect();
+    edges.clear();
+    edges.extend(q.edges.iter().map(|e| {
+        let (a, b) = (slot[e.u as usize], slot[e.v as usize]);
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        (a, b, e.sel.to_bits())
+    }));
     edges.sort_unstable();
     mix(&mut acc, edges.len() as u64);
-    for (a, b, s) in edges {
+    for &(a, b, s) in edges.iter() {
         mix(&mut acc, (a as u64) << 32 | b as u64);
         mix(&mut acc, s);
     }

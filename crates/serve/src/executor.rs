@@ -1,0 +1,345 @@
+//! A minimal multi-threaded async executor, hand-rolled on `std` only.
+//!
+//! The workspace vendors no async runtime, and the serving loop needs very
+//! little of one: a pool of worker threads polling a shared run queue of
+//! tasks, with wakeups that never get lost. That is exactly what this module
+//! provides — no I/O driver (timers live in [`crate::reactor`]), no task
+//! budgets, no work stealing; a global injector queue is plenty at the
+//! fan-in this front-end runs (dispatcher tasks count in the tens, and the
+//! single-digit-microsecond hit path spends its time planning, not queuing).
+//!
+//! ## Lost-wakeup-free scheduling
+//!
+//! Each task carries an atomic state machine:
+//!
+//! ```text
+//!   Idle ──wake──▶ Scheduled ──worker pops──▶ Running ──pending──▶ Idle
+//!                      ▲                        │   ▲─ready─▶ Done
+//!                      └──────worker repush── Rescheduled ◀─wake──┘
+//! ```
+//!
+//! A wake during `Running` (the poll itself triggered the event it waits
+//! for, from another thread) moves the task to `Rescheduled`; the worker
+//! observes that after the poll returns `Pending` and pushes the task back
+//! instead of parking it — the classic race where a wakeup lands between
+//! "poll returned Pending" and "task parked" cannot drop the task. A wake
+//! during `Scheduled`/`Rescheduled` is a no-op (the task will be polled
+//! again anyway), so wake storms collapse into one poll.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::task::{Context, Wake, Waker};
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// Task states; see the module docs for the transition diagram.
+const IDLE: u8 = 0;
+const SCHEDULED: u8 = 1;
+const RUNNING: u8 = 2;
+const RESCHEDULED: u8 = 3;
+const DONE: u8 = 4;
+
+struct Task {
+    state: AtomicU8,
+    /// The future, polled under this mutex. Wakers never touch the slot
+    /// (they only flip `state` and push to the run queue), so the lock is
+    /// uncontended except against a task being polled on two workers — which
+    /// the state machine already rules out.
+    future: Mutex<Option<BoxFuture>>,
+    /// Weak: tasks must not keep the pool alive after the executor drops.
+    pool: Weak<Pool>,
+}
+
+impl Task {
+    /// Transitions the task toward a poll; the module docs' `wake` edges.
+    fn schedule(self: &Arc<Self>) {
+        loop {
+            let cur = self.state.load(Ordering::Acquire);
+            let next = match cur {
+                IDLE => SCHEDULED,
+                RUNNING => RESCHEDULED,
+                // Already queued for another poll, or finished.
+                SCHEDULED | RESCHEDULED | DONE => return,
+                _ => unreachable!("invalid task state {cur}"),
+            };
+            if self
+                .state
+                .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                if next == SCHEDULED {
+                    if let Some(pool) = self.pool.upgrade() {
+                        pool.push(Arc::clone(self));
+                    }
+                }
+                return;
+            }
+        }
+    }
+
+    /// One poll, on a worker thread. The task is in `Scheduled` state.
+    fn run(self: &Arc<Self>) {
+        self.state.store(RUNNING, Ordering::Release);
+        let waker = Waker::from(Arc::clone(self));
+        let mut cx = Context::from_waker(&waker);
+        let mut slot = self.future.lock().expect("task future poisoned");
+        let Some(fut) = slot.as_mut() else {
+            return; // already completed (defensive; DONE never re-queues)
+        };
+        if fut.as_mut().poll(&mut cx).is_ready() {
+            *slot = None; // drop the future's captures promptly
+            self.state.store(DONE, Ordering::Release);
+            return;
+        }
+        drop(slot);
+        // Pending: park, unless a wake arrived during the poll.
+        if self
+            .state
+            .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            // RESCHEDULED — the wake's push was suppressed (state was not
+            // IDLE); requeue on its behalf.
+            self.state.store(SCHEDULED, Ordering::Release);
+            if let Some(pool) = self.pool.upgrade() {
+                pool.push(Arc::clone(self));
+            }
+        }
+    }
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        self.schedule();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.schedule();
+    }
+}
+
+/// The shared run queue + shutdown flag.
+struct Pool {
+    queue: Mutex<PoolState>,
+    cv: Condvar,
+}
+
+struct PoolState {
+    run: VecDeque<Arc<Task>>,
+    shutdown: bool,
+}
+
+impl Pool {
+    fn push(&self, task: Arc<Task>) {
+        let mut q = self.queue.lock().expect("run queue poisoned");
+        q.run.push_back(task);
+        drop(q);
+        self.cv.notify_one();
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let task = {
+                let mut q = self.queue.lock().expect("run queue poisoned");
+                loop {
+                    if let Some(task) = q.run.pop_front() {
+                        break task;
+                    }
+                    if q.shutdown {
+                        return;
+                    }
+                    q = self.cv.wait(q).expect("run queue poisoned");
+                }
+            };
+            task.run();
+        }
+    }
+}
+
+/// Completion slot shared between a spawned task and its [`Join`] handle.
+struct JoinState<T> {
+    slot: Mutex<Option<T>>,
+    cv: Condvar,
+}
+
+/// Handle to a spawned task's result; [`Join::wait`] blocks the calling
+/// *thread* (it is how synchronous code — the bench harness, tests —
+/// harvests async work; async code just awaits the future directly).
+pub struct Join<T> {
+    state: Arc<JoinState<T>>,
+}
+
+impl<T> Join<T> {
+    /// Blocks until the task completes and returns its output.
+    pub fn wait(self) -> T {
+        let mut slot = self.state.slot.lock().expect("join slot poisoned");
+        loop {
+            if let Some(out) = slot.take() {
+                return out;
+            }
+            slot = self.state.cv.wait(slot).expect("join slot poisoned");
+        }
+    }
+
+    /// `Some(output)` if the task already completed, without blocking.
+    pub fn try_take(&self) -> Option<T> {
+        self.state.slot.lock().expect("join slot poisoned").take()
+    }
+}
+
+/// A fixed-size worker pool executing `'static` futures.
+pub struct Executor {
+    pool: Arc<Pool>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Starts `threads` worker threads (clamped to at least 1).
+    pub fn new(threads: usize) -> Executor {
+        let pool = Arc::new(Pool {
+            queue: Mutex::new(PoolState {
+                run: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let pool = Arc::clone(&pool);
+                std::thread::Builder::new()
+                    .name(format!("mpdp-serve-worker-{i}"))
+                    .spawn(move || pool.worker_loop())
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Executor { pool, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Spawns a future onto the pool, returning a handle to its output.
+    pub fn spawn<F, T>(&self, fut: F) -> Join<T>
+    where
+        F: Future<Output = T> + Send + 'static,
+        T: Send + 'static,
+    {
+        let state = Arc::new(JoinState {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        let task_state = Arc::clone(&state);
+        let task = Arc::new(Task {
+            state: AtomicU8::new(IDLE),
+            future: Mutex::new(Some(Box::pin(async move {
+                let out = fut.await;
+                *task_state.slot.lock().expect("join slot poisoned") = Some(out);
+                task_state.cv.notify_all();
+            }))),
+            pool: Arc::downgrade(&self.pool),
+        });
+        task.schedule();
+        Join { state }
+    }
+}
+
+impl Drop for Executor {
+    /// Graceful: workers drain the run queue, then exit. Tasks parked on an
+    /// external event (never re-woken) are simply dropped with the pool;
+    /// the serving front-end closes its request queue *before* dropping the
+    /// executor so its dispatchers run to completion first.
+    fn drop(&mut self) {
+        {
+            let mut q = self.pool.queue.lock().expect("run queue poisoned");
+            q.shutdown = true;
+        }
+        self.cv_broadcast();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Executor {
+    fn cv_broadcast(&self) {
+        self.pool.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::task::Poll;
+
+    #[test]
+    fn spawn_and_join_many() {
+        let ex = Executor::new(3);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let joins: Vec<Join<usize>> = (0..100)
+            .map(|i| {
+                let hits = Arc::clone(&hits);
+                ex.spawn(async move {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    i * 2
+                })
+            })
+            .collect();
+        let mut total = 0usize;
+        for j in joins {
+            total += j.wait();
+        }
+        assert_eq!(total, (0..100).map(|i| i * 2).sum::<usize>());
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    /// A future that returns Pending once and is woken from another thread —
+    /// exercises the Running→Rescheduled edge under racing wakes.
+    #[test]
+    fn cross_thread_wakeups_are_not_lost() {
+        struct Yield {
+            woken: bool,
+        }
+        impl Future for Yield {
+            type Output = ();
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                if self.woken {
+                    Poll::Ready(())
+                } else {
+                    self.woken = true;
+                    // Wake from another thread while (possibly) still inside
+                    // this poll.
+                    let w = cx.waker().clone();
+                    std::thread::spawn(move || w.wake());
+                    Poll::Pending
+                }
+            }
+        }
+        let ex = Executor::new(2);
+        let joins: Vec<Join<()>> = (0..64).map(|_| ex.spawn(Yield { woken: false })).collect();
+        for j in joins {
+            j.wait();
+        }
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let ex = Executor::new(2);
+        let j = ex.spawn(async { 7 });
+        assert_eq!(j.wait(), 7);
+        drop(ex); // must not hang
+    }
+}

@@ -1,0 +1,658 @@
+//! # mpdp-serve
+//!
+//! Async serving front-end for the MPDP planning stack: the layer that turns
+//! `PlanService` (a concurrent library) into a *service* — bounded
+//! admission, single-flight planning, per-tenant isolation, and `/metrics`
+//! observability — without adding a single external dependency. The
+//! executor and reactor are hand-rolled on `std` (see [`executor`] and
+//! [`reactor`]); the planning itself is `mpdp`'s `PlanService::plan_async`,
+//! which single-flights cold fingerprints so N concurrent misses on one
+//! query shape cost one DP run.
+//!
+//! ## Request lifecycle
+//!
+//! ```text
+//! submit(tenant, query)
+//!   │ tenant quota check ──✗──▶ Rejected::QuotaExhausted   (counted shed)
+//!   │ bounded queue push ──✗──▶ Rejected::QueueFull        (counted shed)
+//!   ▼
+//! PlanTicket ◀── accepted; the caller holds the completion handle
+//!   │
+//! dispatcher task pops ──▶ PlanService::plan_async ──▶ hit | cold | coalesced
+//!   │                                                      (exact counters)
+//!   ▼
+//! ticket completes: plan in the caller's labels + end-to-end latency
+//! ```
+//!
+//! Admission control is *explicit*: an overloaded front-end answers
+//! [`Rejected`] immediately — it never blocks the submitter and never drops
+//! a request silently — and every accepted request completes, including
+//! through shutdown (the queue drains before the executor stops). Load past
+//! the queue bound therefore degrades into counted sheds while goodput
+//! plateaus, which is the overload behavior the bench harness measures.
+//!
+//! Tenancy: each tenant gets its own `PlanService` (its own sharded
+//! `PlanCache` partition — capacity isolation, no cross-tenant eviction
+//! pressure) and an in-flight quota. The quota is the cheap fairness knob:
+//! a tenant flooding the front-end exhausts its own quota and sheds,
+//! leaving the shared queue for the others.
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod queue;
+pub mod reactor;
+
+pub use executor::{Executor, Join};
+pub use queue::{Bounded, PushError};
+pub use reactor::{Reactor, Sleep};
+
+use mpdp::service::{PlanRequest, PlanService, PlanServiceBuilder, ServedPlan};
+use mpdp_core::counters::{CacheSnapshot, ServeCounters, ServeSnapshot};
+use mpdp_core::{LargeQuery, OptError};
+use mpdp_cost::model::CostModel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Per-tenant configuration: one cache partition + one quota.
+#[derive(Clone, Debug)]
+pub struct TenantConfig {
+    /// Label used in metrics output.
+    pub name: String,
+    /// Plan-cache capacity of this tenant's partition.
+    pub cache_capacity: usize,
+    /// Shard count of this tenant's partition.
+    pub cache_shards: usize,
+    /// Maximum requests this tenant may have accepted-but-incomplete
+    /// (queued + planning). Beyond it, submissions shed with
+    /// [`Rejected::QuotaExhausted`].
+    pub max_in_flight: usize,
+}
+
+impl TenantConfig {
+    /// A tenant with the given name and workspace-default cache sizing.
+    pub fn named(name: impl Into<String>) -> TenantConfig {
+        TenantConfig {
+            name: name.into(),
+            cache_capacity: 4096,
+            cache_shards: 16,
+            max_in_flight: usize::MAX,
+        }
+    }
+}
+
+/// Front-end configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bounded request-queue depth — the admission-control knob. A full
+    /// queue sheds with [`Rejected::QueueFull`].
+    pub queue_depth: usize,
+    /// Concurrent dispatcher tasks (the planning parallelism; each runs one
+    /// request at a time).
+    pub dispatchers: usize,
+    /// Executor worker threads. Keep ≥ 2 so coalesced waiters make progress
+    /// while a leader's cold plan occupies a worker.
+    pub executor_threads: usize,
+    /// Default per-request optimization budget.
+    pub budget: Option<Duration>,
+    /// The tenants; at least one. Requests address tenants by index.
+    pub tenants: Vec<TenantConfig>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_depth: 1024,
+            dispatchers: 4,
+            executor_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .max(2),
+            budget: None,
+            tenants: vec![TenantConfig::named("default")],
+        }
+    }
+}
+
+/// Why a submission was refused. Shedding is an *answer*, not an error
+/// path: the caller is told immediately and the shed is counted.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Rejected {
+    /// The bounded request queue is at capacity.
+    QueueFull,
+    /// The tenant has `max_in_flight` requests outstanding.
+    QuotaExhausted,
+    /// The front-end is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull => write!(f, "request queue full"),
+            Rejected::QuotaExhausted => write!(f, "tenant in-flight quota exhausted"),
+            Rejected::ShuttingDown => write!(f, "front-end shutting down"),
+        }
+    }
+}
+
+/// A completed request: the planning outcome plus its end-to-end latency
+/// (submit → completion, queueing included — the number the open-loop
+/// harness reports, unlike `ServedPlan::service_time` which starts at
+/// dispatch).
+#[derive(Clone, Debug)]
+pub struct Completed {
+    /// The planning outcome, plan leaves in the submitter's relation ids.
+    pub result: Result<ServedPlan, OptError>,
+    /// Submit-to-completion latency.
+    pub latency: Duration,
+}
+
+struct TicketState {
+    slot: Mutex<Option<Completed>>,
+    cv: Condvar,
+}
+
+/// Completion handle for one accepted request.
+pub struct PlanTicket {
+    state: Arc<TicketState>,
+}
+
+impl std::fmt::Debug for PlanTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanTicket").finish_non_exhaustive()
+    }
+}
+
+impl PlanTicket {
+    /// Blocks until the request completes. Accepted requests always
+    /// complete (the dispatcher finishes or fails each popped request, and
+    /// shutdown drains the queue first), so this cannot hang.
+    pub fn wait(self) -> Completed {
+        let mut slot = self.state.slot.lock().expect("ticket poisoned");
+        loop {
+            if let Some(done) = slot.take() {
+                return done;
+            }
+            slot = self.state.cv.wait(slot).expect("ticket poisoned");
+        }
+    }
+
+    /// The completion, if already available (non-blocking).
+    pub fn try_take(&self) -> Option<Completed> {
+        self.state.slot.lock().expect("ticket poisoned").take()
+    }
+}
+
+/// One queued request.
+struct Request {
+    tenant: usize,
+    query: LargeQuery,
+    submitted: Instant,
+    ticket: Arc<TicketState>,
+}
+
+struct Tenant {
+    name: String,
+    service: Arc<PlanService>,
+    max_in_flight: usize,
+    in_flight: AtomicUsize,
+}
+
+/// The serving front-end. Construct with [`ServeFront::new`], submit with
+/// [`ServeFront::submit`], observe with [`ServeFront::metrics_text`] /
+/// [`ServeFront::serve_counters`]. Dropping the front-end drains accepted
+/// requests, then stops the executor and reactor.
+pub struct ServeFront {
+    tenants: Arc<Vec<Tenant>>,
+    queue: Arc<Bounded<Request>>,
+    counters: Arc<ServeCounters>,
+    reactor: Arc<Reactor>,
+    dispatchers: Vec<Join<()>>,
+    /// Dropped last (field order): dispatchers must finish before workers
+    /// stop, and `shutdown` enforces that ordering explicitly anyway.
+    executor: Option<Executor>,
+}
+
+impl std::fmt::Debug for ServeFront {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeFront")
+            .field("tenants", &self.tenants.len())
+            .field("queue", &self.queue)
+            .field("counters", &self.counters.snapshot())
+            .finish()
+    }
+}
+
+impl ServeFront {
+    /// Builds the front-end and starts its executor, reactor, and
+    /// dispatcher tasks. `model` is the cost model every request is planned
+    /// under (per-model serving fronts are cheaper than per-request model
+    /// plumbing, and the cache keys fold the model anyway).
+    pub fn new(config: ServeConfig, model: Arc<dyn CostModel + Send + Sync>) -> ServeFront {
+        assert!(!config.tenants.is_empty(), "at least one tenant");
+        let tenants: Arc<Vec<Tenant>> = Arc::new(
+            config
+                .tenants
+                .iter()
+                .map(|t| Tenant {
+                    name: t.name.clone(),
+                    service: Arc::new({
+                        let mut b = PlanServiceBuilder::new()
+                            .cache_capacity(t.cache_capacity)
+                            .cache_shards(t.cache_shards);
+                        if let Some(budget) = config.budget {
+                            b = b.budget(budget);
+                        }
+                        b.build()
+                    }),
+                    max_in_flight: t.max_in_flight.max(1),
+                    in_flight: AtomicUsize::new(0),
+                })
+                .collect(),
+        );
+        let queue: Arc<Bounded<Request>> = Arc::new(Bounded::new(config.queue_depth));
+        let counters = Arc::new(ServeCounters::default());
+        let executor = Executor::new(config.executor_threads);
+        let reactor = Arc::new(Reactor::new());
+
+        let dispatchers = (0..config.dispatchers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let tenants = Arc::clone(&tenants);
+                let counters = Arc::clone(&counters);
+                let model = Arc::clone(&model);
+                executor.spawn(async move {
+                    let req_opts = PlanRequest::default();
+                    // Drain in chunks: after the awaited head request, take
+                    // up to a chunk more under one lock — at 100k+ req/s,
+                    // per-request lock and gauge traffic is the difference
+                    // between plateauing and collapsing under overload. A
+                    // chunk rides on one dispatcher, so a cold plan delays
+                    // its chunk-mates; chunks are kept small and cold plans
+                    // are rare by construction (single-flight + warm cache).
+                    const CHUNK: usize = 32;
+                    let mut batch: Vec<Request> = Vec::with_capacity(CHUNK);
+                    while let Some(req) = queue.pop().await {
+                        batch.push(req);
+                        queue.drain_into(&mut batch, CHUNK - 1);
+                        counters.record_dispatch_n(batch.len() as u64);
+                        for req in batch.drain(..) {
+                            let tenant = &tenants[req.tenant];
+                            let m: &(dyn CostModel + Sync) = &*model;
+                            let result = tenant.service.plan_async(&req.query, m, &req_opts).await;
+                            tenant.in_flight.fetch_sub(1, Ordering::Release);
+                            counters.record_done(result.is_ok());
+                            let done = Completed {
+                                result,
+                                latency: req.submitted.elapsed(),
+                            };
+                            *req.ticket.slot.lock().expect("ticket poisoned") = Some(done);
+                            req.ticket.cv.notify_all();
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        ServeFront {
+            tenants,
+            queue,
+            counters,
+            reactor,
+            dispatchers,
+            executor: Some(executor),
+        }
+    }
+
+    /// Submits a query for tenant `tenant` (index into the configured
+    /// tenant list). Returns the completion ticket, or the explicit
+    /// admission-control verdict — this call never blocks on planning.
+    pub fn submit(&self, tenant: usize, query: LargeQuery) -> Result<PlanTicket, Rejected> {
+        let t = &self.tenants[tenant];
+        // Reserve quota optimistically; roll back on any later refusal.
+        let reserved = t
+            .in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                (cur < t.max_in_flight).then_some(cur + 1)
+            });
+        if reserved.is_err() {
+            self.counters.record_shed_quota();
+            return Err(Rejected::QuotaExhausted);
+        }
+        let state = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        let request = Request {
+            tenant,
+            query,
+            submitted: Instant::now(),
+            ticket: Arc::clone(&state),
+        };
+        match self.queue.try_push(request) {
+            Ok(()) => {
+                self.counters.record_accept();
+                Ok(PlanTicket { state })
+            }
+            Err(PushError::Full(_)) => {
+                t.in_flight.fetch_sub(1, Ordering::Release);
+                self.counters.record_shed_queue_full();
+                Err(Rejected::QueueFull)
+            }
+            Err(PushError::Closed(_)) => {
+                t.in_flight.fetch_sub(1, Ordering::Release);
+                Err(Rejected::ShuttingDown)
+            }
+        }
+    }
+
+    /// Batch admission: submits a pacing tick's worth of `offered` requests
+    /// for one tenant in one quota reservation and one queue lock, appending
+    /// a ticket per accepted request to `tickets` and returning how many
+    /// were shed (counted, per kind, like [`ServeFront::submit`]).
+    ///
+    /// The query source is *lazy*: `queries` is pulled once per **admitted**
+    /// request only, so a shed costs a counter increment — never a query
+    /// materialization or drop. That is what keeps throughput flat past
+    /// saturation: a front door that parses (or here, builds) every request
+    /// it is about to reject spends its overload budget on garbage. The
+    /// caller promises the iterator can yield at least `offered` items;
+    /// anything it yields beyond the admitted prefix stays untouched in the
+    /// iterator.
+    ///
+    /// Admission is conservative under races: the batch is sized to the
+    /// quota headroom and free queue capacity observed at entry, so a
+    /// concurrent producer can cause a shed that a per-request retry would
+    /// have squeezed in. That is the intended policy — an open-loop
+    /// generator sheds and moves on; it never blocks on admission.
+    pub fn submit_many(
+        &self,
+        tenant: usize,
+        offered: usize,
+        queries: impl IntoIterator<Item = LargeQuery>,
+        tickets: &mut Vec<PlanTicket>,
+    ) -> u64 {
+        let t = &self.tenants[tenant];
+        let mut queries = queries.into_iter();
+        // A closed front sheds nothing — mirror `submit`'s `ShuttingDown`
+        // (which is not a counted shed) and refuse the batch unpulled.
+        if self.queue.is_closed() {
+            return offered as u64;
+        }
+        // Reserve quota headroom for the whole batch at once.
+        let mut reserved = 0usize;
+        let _ = t
+            .in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                reserved = offered.min(t.max_in_flight.saturating_sub(cur));
+                (reserved > 0).then(|| cur + reserved)
+            });
+        let room = self.queue.free_capacity();
+        let admit = reserved.min(room);
+        let now = Instant::now();
+        let mut batch: Vec<Request> = Vec::with_capacity(admit);
+        for query in queries.by_ref().take(admit) {
+            batch.push(Request {
+                tenant,
+                query,
+                submitted: now,
+                ticket: Arc::new(TicketState {
+                    slot: Mutex::new(None),
+                    cv: Condvar::new(),
+                }),
+            });
+        }
+        let states: Vec<Arc<TicketState>> = batch.iter().map(|r| Arc::clone(&r.ticket)).collect();
+        let pushed = self.queue.try_push_batch(&mut batch);
+        tickets.extend(
+            states
+                .into_iter()
+                .take(pushed)
+                .map(|state| PlanTicket { state }),
+        );
+        // Give back what was reserved but not pushed (quota sheds beyond
+        // `reserved`, capacity sheds and close-races within it).
+        let unused = reserved - pushed;
+        if unused > 0 {
+            t.in_flight.fetch_sub(unused, Ordering::Release);
+        }
+        self.counters.record_accept_n(pushed as u64);
+        let quota_shed = offered.saturating_sub(reserved) as u64;
+        let queue_shed = (offered - pushed) as u64 - quota_shed;
+        self.counters.record_shed_quota_n(quota_shed);
+        self.counters.record_shed_queue_full_n(queue_shed);
+        queue_shed + quota_shed
+    }
+
+    /// The tenant's `PlanService` (e.g. to pre-warm its cache partition or
+    /// feed `observe` cardinality feedback).
+    pub fn service(&self, tenant: usize) -> &Arc<PlanService> {
+        &self.tenants[tenant].service
+    }
+
+    /// Number of configured tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The tenant's configured name.
+    pub fn tenant_name(&self, tenant: usize) -> &str {
+        &self.tenants[tenant].name
+    }
+
+    /// Front-door counters (accepted / sheds / completed / gauges).
+    pub fn serve_counters(&self) -> ServeSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// The tenant's cache counters (hits / misses / coalesced / …).
+    pub fn cache_counters(&self, tenant: usize) -> CacheSnapshot {
+        self.tenants[tenant].service.cache_counters()
+    }
+
+    /// Cache counters summed over all tenants.
+    pub fn aggregate_cache(&self) -> CacheSnapshot {
+        let mut total = CacheSnapshot::default();
+        for t in self.tenants.iter() {
+            let s = t.service.cache_counters();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.coalesced += s.coalesced;
+            total.insertions += s.insertions;
+            total.evictions += s.evictions;
+            total.expirations += s.expirations;
+            total.feedback_checks += s.feedback_checks;
+            total.feedback_invalidations += s.feedback_invalidations;
+        }
+        total
+    }
+
+    /// Spawns an auxiliary future on the front-end's executor (the open-loop
+    /// generator runs this way, paced by [`ServeFront::sleep_until`]).
+    pub fn spawn<F, T>(&self, fut: F) -> Join<T>
+    where
+        F: std::future::Future<Output = T> + Send + 'static,
+        T: Send + 'static,
+    {
+        self.executor
+            .as_ref()
+            .expect("executor live until drop")
+            .spawn(fut)
+    }
+
+    /// A timer future from the front-end's reactor.
+    pub fn sleep_until(&self, deadline: Instant) -> Sleep {
+        self.reactor.sleep_until(deadline)
+    }
+
+    /// A `/metrics`-style snapshot: Prometheus exposition format, counters
+    /// first, per-tenant cache series labeled by tenant.
+    pub fn metrics_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let s = self.counters.snapshot();
+        let mut line = |name: &str, v: u64| {
+            let _ = writeln!(out, "mpdp_serve_{name} {v}");
+        };
+        line("accepted_total", s.accepted);
+        line("shed_queue_full_total", s.shed_queue_full);
+        line("shed_quota_total", s.shed_quota);
+        line("completed_total", s.completed);
+        line("failed_total", s.failed);
+        line("queue_depth", s.queue_depth);
+        line("queue_depth_peak", s.queue_depth_peak);
+        line("in_flight", s.in_flight);
+        for t in self.tenants.iter() {
+            let c = t.service.cache_counters();
+            let tenant = &t.name;
+            let mut tline = |name: &str, v: u64| {
+                let _ = writeln!(out, "mpdp_cache_{name}{{tenant=\"{tenant}\"}} {v}");
+            };
+            tline("hits_total", c.hits);
+            tline("misses_total", c.misses);
+            tline("coalesced_total", c.coalesced);
+            tline("insertions_total", c.insertions);
+            tline("evictions_total", c.evictions);
+            tline("expirations_total", c.expirations);
+            tline("feedback_checks_total", c.feedback_checks);
+            tline("feedback_invalidations_total", c.feedback_invalidations);
+        }
+        out
+    }
+
+    /// Stops admission, drains every accepted request, and joins the
+    /// dispatcher tasks. Idempotent; also runs on drop. Submissions during
+    /// or after shutdown answer [`Rejected::ShuttingDown`].
+    pub fn shutdown(&mut self) {
+        self.queue.close();
+        for d in self.dispatchers.drain(..) {
+            d.wait();
+        }
+        // Dispatchers are done; now the executor can stop its workers.
+        self.executor.take();
+    }
+}
+
+impl Drop for ServeFront {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_cost::PgLikeCost;
+    use mpdp_workload::gen;
+
+    fn front(config: ServeConfig) -> ServeFront {
+        ServeFront::new(config, Arc::new(PgLikeCost::new()))
+    }
+
+    #[test]
+    fn accepted_requests_complete_with_valid_plans() {
+        let front = front(ServeConfig {
+            dispatchers: 2,
+            executor_threads: 2,
+            ..Default::default()
+        });
+        let m = PgLikeCost::new();
+        let q = gen::star(9, 3, &m);
+        let tickets: Vec<PlanTicket> = (0..16)
+            .map(|_| front.submit(0, q.clone()).expect("under capacity"))
+            .collect();
+        for t in tickets {
+            let done = t.wait();
+            let plan = done.result.expect("plans");
+            assert_eq!(plan.planned.plan.num_rels(), 9);
+        }
+        let s = front.serve_counters();
+        assert_eq!(s.accepted, 16);
+        assert_eq!(s.completed, 16);
+        assert_eq!((s.queue_depth, s.in_flight), (0, 0));
+        let c = front.cache_counters(0);
+        assert_eq!(c.hits + c.misses + c.coalesced, 16, "exact accounting");
+        assert_eq!(c.misses, 1, "single-flight: one cold plan");
+    }
+
+    #[test]
+    fn quota_sheds_are_explicit_and_counted() {
+        let config = ServeConfig {
+            tenants: vec![
+                TenantConfig {
+                    max_in_flight: 1,
+                    ..TenantConfig::named("throttled")
+                },
+                TenantConfig::named("open"),
+            ],
+            ..Default::default()
+        };
+        // Quota 1, 64 back-to-back submissions: dispatchers cannot complete
+        // every predecessor between two adjacent submits (a cold 12-relation
+        // plan costs orders of magnitude more than a submit), so at least
+        // one submission observes the quota held and sheds.
+        let front = front(config);
+        let m = PgLikeCost::new();
+        let q = gen::chain(12, 5, &m);
+        let mut sheds = 0;
+        let mut tickets = Vec::new();
+        for _ in 0..64 {
+            match front.submit(0, q.clone()) {
+                Ok(t) => tickets.push(t),
+                Err(Rejected::QuotaExhausted) => sheds += 1,
+                Err(other) => panic!("unexpected rejection {other:?}"),
+            }
+        }
+        assert!(sheds > 0, "quota must shed under a flood");
+        assert_eq!(front.serve_counters().shed_quota, sheds);
+        // The open tenant is unaffected by the throttled tenant's quota.
+        let ok = front.submit(1, q.clone()).expect("open tenant admits");
+        ok.wait().result.expect("plans");
+        for t in tickets {
+            t.wait().result.expect("accepted requests complete");
+        }
+    }
+
+    #[test]
+    fn metrics_text_is_prometheus_shaped() {
+        let front = front(ServeConfig::default());
+        let m = PgLikeCost::new();
+        front
+            .submit(0, gen::cycle(6, 2, &m))
+            .expect("admitted")
+            .wait()
+            .result
+            .expect("plans");
+        let text = front.metrics_text();
+        assert!(text.contains("mpdp_serve_accepted_total 1"));
+        assert!(text.contains("mpdp_serve_completed_total 1"));
+        assert!(text.contains("mpdp_cache_misses_total{tenant=\"default\"} 1"));
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests() {
+        let mut front = front(ServeConfig {
+            dispatchers: 2,
+            executor_threads: 2,
+            ..Default::default()
+        });
+        let m = PgLikeCost::new();
+        let tickets: Vec<PlanTicket> = (0..8)
+            .map(|i| {
+                front
+                    .submit(0, gen::star(6 + (i % 3), i as u64, &m))
+                    .expect("admitted")
+            })
+            .collect();
+        front.shutdown();
+        for t in tickets {
+            t.wait().result.expect("drained before stopping");
+        }
+        assert!(matches!(
+            front.submit(0, gen::star(6, 1, &m)),
+            Err(Rejected::ShuttingDown)
+        ));
+    }
+}

@@ -1,0 +1,292 @@
+//! A minimal timer reactor: the event source for [`crate::executor`] tasks.
+//!
+//! The serving loop's only external events are time-based — open-loop pacing
+//! ticks and test timeouts — so the reactor is exactly a deadline min-heap
+//! and one driver thread. [`Reactor::sleep`] registers a deadline and
+//! returns a future; the driver thread sleeps (condvar with timeout, so a
+//! new earlier deadline re-arms it immediately) until the next deadline and
+//! wakes the futures that reached theirs. No file descriptors, no polling
+//! syscalls — `std` only, like the rest of the crate.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
+
+/// Completion state shared between one [`Sleep`] future and the driver.
+struct Timer {
+    fired: AtomicBool,
+    /// The sleeping task's waker. The driver takes it under this lock
+    /// *after* setting `fired`, and `Sleep::poll` stores it under this lock
+    /// after re-checking `fired` — so a timer firing concurrently with a
+    /// poll either wakes the fresh waker or is observed by the poll itself.
+    waker: Mutex<Option<Waker>>,
+}
+
+struct Entry {
+    deadline: Instant,
+    /// Tie-breaker so the heap never compares `Arc`s.
+    seq: u64,
+    timer: Arc<Timer>,
+}
+
+// Min-heap on deadline (BinaryHeap is a max-heap, so the order is reversed).
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        other
+            .deadline
+            .cmp(&self.deadline)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+
+struct State {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// The timer driver. Owns one background thread; dropped with the front-end.
+pub struct Reactor {
+    shared: Arc<Shared>,
+    driver: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor").finish_non_exhaustive()
+    }
+}
+
+impl Default for Reactor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Reactor {
+    /// Starts the driver thread.
+    pub fn new() -> Reactor {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                heap: BinaryHeap::new(),
+                seq: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let driver_shared = Arc::clone(&shared);
+        let driver = std::thread::Builder::new()
+            .name("mpdp-serve-reactor".into())
+            .spawn(move || Self::drive(&driver_shared))
+            .expect("spawn reactor driver");
+        Reactor {
+            shared,
+            driver: Some(driver),
+        }
+    }
+
+    fn drive(shared: &Shared) {
+        let mut state = shared.state.lock().expect("reactor poisoned");
+        loop {
+            if state.shutdown {
+                return;
+            }
+            let now = Instant::now();
+            // Fire everything due; collect wakers to call outside the lock.
+            let mut due: Vec<Arc<Timer>> = Vec::new();
+            while state.heap.peek().is_some_and(|e| e.deadline <= now) {
+                due.push(state.heap.pop().expect("peeked").timer);
+            }
+            if !due.is_empty() {
+                drop(state);
+                for timer in due {
+                    timer.fired.store(true, Ordering::Release);
+                    let waker = timer.waker.lock().expect("timer poisoned").take();
+                    if let Some(w) = waker {
+                        w.wake();
+                    }
+                }
+                state = shared.state.lock().expect("reactor poisoned");
+                continue;
+            }
+            state = match state.heap.peek().map(|e| e.deadline) {
+                // Sleep exactly until the next deadline; a new earlier timer
+                // or shutdown notifies the condvar and re-arms.
+                Some(next) => {
+                    let timeout = next.saturating_duration_since(now);
+                    shared
+                        .cv
+                        .wait_timeout(state, timeout)
+                        .expect("reactor poisoned")
+                        .0
+                }
+                None => shared.cv.wait(state).expect("reactor poisoned"),
+            };
+        }
+    }
+
+    /// A future that resolves `dur` from now (registered immediately, so
+    /// the countdown starts at the call, not at first poll).
+    pub fn sleep(&self, dur: Duration) -> Sleep {
+        self.sleep_until(Instant::now() + dur)
+    }
+
+    /// A future that resolves at `deadline` — the open-loop generator's
+    /// pacing primitive (absolute deadlines don't accumulate drift).
+    ///
+    /// A deadline already in the past resolves on the first poll without
+    /// touching the heap or the driver. This matters under overload: a
+    /// behind-schedule generator's every tick is a past deadline, and
+    /// suspending the task for each one costs a reactor round trip plus a
+    /// rescheduling delay behind busy dispatcher tasks — the fast path
+    /// lets a late generator catch up without yielding its worker.
+    pub fn sleep_until(&self, deadline: Instant) -> Sleep {
+        let timer = Arc::new(Timer {
+            fired: AtomicBool::new(deadline <= Instant::now()),
+            waker: Mutex::new(None),
+        });
+        if timer.fired.load(Ordering::Relaxed) {
+            return Sleep { timer };
+        }
+        let mut state = self.shared.state.lock().expect("reactor poisoned");
+        state.seq += 1;
+        let re_arm = state
+            .heap
+            .peek()
+            .is_none_or(|head| deadline < head.deadline);
+        let entry = Entry {
+            deadline,
+            seq: state.seq,
+            timer: Arc::clone(&timer),
+        };
+        state.heap.push(entry);
+        drop(state);
+        if re_arm {
+            // The new timer is the earliest: the driver's current wait is
+            // too long, cut it short.
+            self.shared.cv.notify_one();
+        }
+        Sleep { timer }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("reactor poisoned");
+            state.shutdown = true;
+            // Pending sleeps will never fire; wake them now so no task is
+            // stranded (they observe `fired == false` forever otherwise).
+            let heap = std::mem::take(&mut state.heap);
+            drop(state);
+            for entry in heap {
+                entry.timer.fired.store(true, Ordering::Release);
+                if let Some(w) = entry.timer.waker.lock().expect("timer poisoned").take() {
+                    w.wake();
+                }
+            }
+        }
+        self.shared.cv.notify_all();
+        if let Some(driver) = self.driver.take() {
+            let _ = driver.join();
+        }
+    }
+}
+
+/// Future returned by [`Reactor::sleep`] / [`Reactor::sleep_until`].
+#[derive(Debug)]
+pub struct Sleep {
+    timer: Arc<Timer>,
+}
+
+impl std::fmt::Debug for Timer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Timer")
+            .field("fired", &self.fired.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.timer.fired.load(Ordering::Acquire) {
+            return Poll::Ready(());
+        }
+        let mut waker = self.timer.waker.lock().expect("timer poisoned");
+        // Re-check under the lock: the driver sets `fired` before taking
+        // this lock, so a fire between the fast check and here is seen now.
+        if self.timer.fired.load(Ordering::Acquire) {
+            return Poll::Ready(());
+        }
+        match &mut *waker {
+            Some(w) if w.will_wake(cx.waker()) => {}
+            slot => *slot = Some(cx.waker().clone()),
+        }
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+
+    #[test]
+    fn sleeps_resolve_in_deadline_order() {
+        let ex = Executor::new(2);
+        let reactor = Arc::new(Reactor::new());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let start = Instant::now();
+        let joins: Vec<_> = [30u64, 10, 20]
+            .into_iter()
+            .map(|ms| {
+                let sleep = reactor.sleep(Duration::from_millis(ms));
+                let order = Arc::clone(&order);
+                ex.spawn(async move {
+                    sleep.await;
+                    order.lock().unwrap().push(ms);
+                })
+            })
+            .collect();
+        for j in joins {
+            j.wait();
+        }
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        assert_eq!(*order.lock().unwrap(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn dropping_the_reactor_releases_sleepers() {
+        let ex = Executor::new(1);
+        let reactor = Reactor::new();
+        let sleep = reactor.sleep(Duration::from_secs(3600));
+        let j = ex.spawn(async move {
+            sleep.await;
+        });
+        drop(reactor); // far-future sleep must resolve, not strand the task
+        j.wait();
+    }
+}

@@ -12,6 +12,12 @@
 //! re-arrives with different FROM-clause ordering or alias numbering — so a
 //! whole-query cache only benefits if it canonicalizes
 //! (`mpdp_core::fingerprint`), never by hashing raw bytes.
+//!
+//! For multi-worker load generation, [`ZipfStream::partition`] splits a
+//! stream into per-worker substreams that **share** the (expensive) template
+//! pool behind an `Arc` and draw from independent, deterministically seeded
+//! RNGs — no lock, no contention, and the union of emissions is a fixed
+//! function of `(seed, partitions)`.
 
 use crate::{gen, ImdbSchema, MusicBrainz};
 use mpdp_core::query::LargeQuery;
@@ -19,6 +25,7 @@ use mpdp_cost::model::CostModel;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Configuration of a [`ZipfStream`].
 #[derive(Clone, Debug)]
@@ -60,12 +67,23 @@ pub struct Template {
     pub query: LargeQuery,
 }
 
-/// A deterministic, Zipf-distributed, relabeling query stream.
-#[derive(Clone, Debug)]
-pub struct ZipfStream {
+/// The immutable part of a stream: the template pool and its Zipf
+/// distribution. Shared (`Arc`) across every substream of a partition so
+/// splitting a 400-template stream costs refcounts, not clones.
+#[derive(Debug)]
+struct StreamShared {
     templates: Vec<Template>,
     /// Cumulative draw distribution over template ranks.
     cdf: Vec<f64>,
+}
+
+/// A deterministic, Zipf-distributed, relabeling query stream.
+#[derive(Clone, Debug)]
+pub struct ZipfStream {
+    shared: Arc<StreamShared>,
+    /// The master seed this stream (or its partition root) was built from;
+    /// substream seeds derive from it.
+    seed: u64,
     rng: StdRng,
     emitted: usize,
 }
@@ -121,24 +139,59 @@ impl ZipfStream {
             })
             .collect();
         ZipfStream {
-            templates,
-            cdf,
+            shared: Arc::new(StreamShared { templates, cdf }),
+            seed: spec.seed,
             rng: StdRng::seed_from_u64(spec.seed ^ 0x5a49_5046),
             emitted: 0,
         }
     }
 
+    /// Splits the stream into `parts` independent substreams that share the
+    /// template pool (an `Arc` clone each — no template is copied) and draw
+    /// from per-partition RNGs seeded as a pure function of
+    /// `(seed, parts, index)`. For a fixed `(seed, parts)` every substream's
+    /// emission sequence is deterministic, so a multi-worker run is exactly
+    /// reproducible; no two substreams share RNG state, so workers never
+    /// serialize on a stream lock.
+    ///
+    /// Partitioning is defined by the *originating* spec seed, not the
+    /// stream's current RNG position: `s.partition(n)` yields the same
+    /// substreams whether or not `s` has already emitted.
+    pub fn partition(&self, parts: usize) -> Vec<ZipfStream> {
+        let parts = parts.max(1);
+        (0..parts as u64)
+            .map(|i| {
+                // splitmix64-style fold of (seed, parts, i): distinct,
+                // well-spread seeds even for adjacent partition indices.
+                let mut z = self
+                    .seed
+                    .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i + 1))
+                    .wrapping_add((parts as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                ZipfStream {
+                    shared: Arc::clone(&self.shared),
+                    seed: z,
+                    rng: StdRng::seed_from_u64(z),
+                    emitted: 0,
+                }
+            })
+            .collect()
+    }
+
     /// The template pool, in rank order.
     pub fn templates(&self) -> &[Template] {
-        &self.templates
+        &self.shared.templates
     }
 
     /// Draws the next query: a Zipf-ranked template relabeled by a fresh
     /// random permutation.
     pub fn next_query(&mut self) -> (usize, LargeQuery) {
         let u: f64 = self.rng.gen();
-        let rank = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
-        let template = &self.templates[rank].query;
+        let cdf = &self.shared.cdf;
+        let rank = cdf.partition_point(|&c| c < u).min(cdf.len() - 1);
+        let template = &self.shared.templates[rank].query;
         let mut perm: Vec<usize> = (0..template.num_rels()).collect();
         perm.shuffle(&mut self.rng);
         self.emitted += 1;
@@ -201,6 +254,66 @@ mod tests {
         let head = da.iter().filter(|&&r| r == 0).count();
         let tail = da.iter().filter(|&&r| r >= 12).count() / 12;
         assert!(head > tail, "head {head} not more popular than tail {tail}");
+    }
+
+    #[test]
+    fn partitions_are_deterministic_shared_and_independent() {
+        let m = PgLikeCost::new();
+        let spec = small_spec();
+        let s = ZipfStream::new(&spec, &m);
+        let mut a = s.partition(4);
+        let mut b = ZipfStream::new(&spec, &m).partition(4);
+        // The pool is shared, not copied.
+        for sub in &a {
+            assert!(Arc::ptr_eq(&sub.shared, &s.shared));
+        }
+        // Fixed (seed, parts): every substream replays identically.
+        for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+            let dx: Vec<usize> = x.take(200).into_iter().map(|(r, _)| r).collect();
+            let dy: Vec<usize> = y.take(200).into_iter().map(|(r, _)| r).collect();
+            assert_eq!(dx, dy);
+        }
+        // Substreams draw independently (astronomically unlikely to agree).
+        let d0: Vec<usize> = a[0].take(100).into_iter().map(|(r, _)| r).collect();
+        let d1: Vec<usize> = a[1].take(100).into_iter().map(|(r, _)| r).collect();
+        assert_ne!(d0, d1, "partitions must not mirror each other");
+        // Partitioning ignores the parent's RNG position.
+        let mut consumed = ZipfStream::new(&spec, &m);
+        consumed.take(50);
+        let mut c = consumed.partition(4);
+        let da: Vec<usize> = ZipfStream::new(&spec, &m).partition(4)[2]
+            .take(100)
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect();
+        let dc: Vec<usize> = c[2].take(100).into_iter().map(|(r, _)| r).collect();
+        assert_eq!(da, dc, "partitioning must be position-independent");
+    }
+
+    #[test]
+    fn partitioned_emissions_stay_isomorphic_and_skewed() {
+        let m = PgLikeCost::new();
+        let s = ZipfStream::new(&small_spec(), &m);
+        let mut head = 0usize;
+        let mut total = 0usize;
+        for mut sub in s.partition(3) {
+            for (rank, q) in sub.take(150) {
+                let t = &s.templates()[rank].query;
+                assert_eq!(
+                    canonicalize(&q).fingerprint,
+                    canonicalize(t).fingerprint,
+                    "substream emission of rank {rank} lost isomorphism"
+                );
+                head += usize::from(rank == 0);
+                total += 1;
+            }
+        }
+        assert_eq!(total, 450);
+        // The union of substreams keeps the Zipf head dominant.
+        assert!(
+            head * 10 > total,
+            "head rank underrepresented: {head}/{total}"
+        );
     }
 
     #[test]

@@ -162,6 +162,36 @@ impl PlanCache {
         }
     }
 
+    /// Looks up a fingerprint, refreshing its LRU stamp on a hit, *without*
+    /// tallying a hit or a miss. The single-flight path uses this: whether a
+    /// request was a hit, a miss, or a coalesced join is only known after
+    /// the flight-table handshake, so the service records the outcome
+    /// explicitly via [`PlanCache::record_hit`] / [`PlanCache::record_miss`]
+    /// / [`PlanCache::record_coalesced`]. Expired entries are still reaped
+    /// (with an expiration tick) exactly as in [`PlanCache::get`].
+    pub fn get_quiet(&self, fp: Fingerprint) -> Option<CachedPlan> {
+        let mut shard = self.shard_of(fp).lock().expect("cache shard poisoned");
+        let key = fp.as_u128();
+        shard.clock += 1;
+        let clock = shard.clock;
+        match shard.map.get_mut(&key) {
+            None => None,
+            Some(entry)
+                if self
+                    .ttl
+                    .is_some_and(|ttl| entry.inserted_at.elapsed() > ttl) =>
+            {
+                shard.map.remove(&key);
+                self.counters.record_expiration();
+                None
+            }
+            Some(entry) => {
+                entry.last_used = clock;
+                Some(entry.value.clone())
+            }
+        }
+    }
+
     /// Inserts (or replaces) the plan for a fingerprint, evicting the
     /// shard's least-recently-used entry when at capacity.
     pub fn insert(&self, fp: Fingerprint, value: CachedPlan) {
@@ -246,6 +276,25 @@ impl PlanCache {
             }
             _ => false,
         }
+    }
+
+    /// Records a hit on the shared counters. Pairs with
+    /// [`PlanCache::get_quiet`] on the single-flight path.
+    pub fn record_hit(&self) {
+        self.counters.record_hit();
+    }
+
+    /// Records a miss on the shared counters. Pairs with
+    /// [`PlanCache::get_quiet`] on the single-flight path (the flight
+    /// leader's one true cold plan).
+    pub fn record_miss(&self) {
+        self.counters.record_miss();
+    }
+
+    /// Records a coalesced request — one that joined an in-flight planning
+    /// instead of hitting or missing — on the shared counters.
+    pub fn record_coalesced(&self) {
+        self.counters.record_coalesced();
     }
 
     /// Records a cardinality-feedback check on the shared counters.

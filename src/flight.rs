@@ -1,0 +1,280 @@
+//! Single-flight coordination for the serving layer.
+//!
+//! When N requests miss the cache on one fingerprint *concurrently*, planning
+//! the query N times wastes N−1 full DP runs. [`FlightTable`] turns those N
+//! misses into one planner invocation: the first request to register becomes
+//! the **leader** and plans; everyone else becomes a **waiter** on the
+//! leader's [`Flight`] and receives the same canonical-slot [`Planned`] when
+//! it completes. Each waiter then remaps the plan's leaves onto its *own*
+//! relation ids (remap-on-delivery) — exactly the translation a cache hit
+//! performs, so waiters are indistinguishable from hits except in the
+//! counters (`coalesced`, not `hits`).
+//!
+//! A [`Flight`] supports both waiting disciplines the workspace needs:
+//! blocking OS threads park on a condvar ([`Flight::wait`]), async tasks
+//! register a [`Waker`] and suspend ([`Flight::poll_result`]) — the
+//! `mpdp-serve` front-end uses the latter so a cold plan never idles more
+//! than the one executor thread the leader runs on.
+//!
+//! Liveness: the leader completes its flight through a [`FlightGuard`] whose
+//! `Drop` fires even on panic, completing the flight with an error instead of
+//! stranding waiters forever. The flight is removed from the table *after*
+//! the planned result is inserted into the plan cache, so at every instant a
+//! concurrent request finds the result in the cache, in the flight table, or
+//! is early enough to become the (only) leader — a second cold plan for one
+//! fingerprint is impossible.
+
+use crate::planner::Planned;
+use mpdp_core::OptError;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::Waker;
+
+/// Outcome of one in-flight planning, shared by leader and waiters. The
+/// payload is in canonical relation slots; every consumer remaps on delivery.
+pub(crate) type FlightResult = Result<Arc<Planned>, OptError>;
+
+enum FlightState {
+    Pending { wakers: Vec<Waker> },
+    Done(FlightResult),
+}
+
+/// One in-flight planning of a fingerprint.
+pub(crate) struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Arc<Flight> {
+        Arc::new(Flight {
+            state: Mutex::new(FlightState::Pending { wakers: Vec::new() }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Publishes the result: wakes every parked thread and every registered
+    /// async waiter. Idempotent (the guard's panic path may race a regular
+    /// completion only if `complete` itself panicked, in which case the
+    /// first result stands).
+    fn complete(&self, result: FlightResult) {
+        let wakers = {
+            let mut state = self.state.lock().expect("flight poisoned");
+            match &mut *state {
+                FlightState::Done(_) => return,
+                FlightState::Pending { wakers } => {
+                    let wakers = std::mem::take(wakers);
+                    *state = FlightState::Done(result);
+                    wakers
+                }
+            }
+        };
+        self.cv.notify_all();
+        for w in wakers {
+            w.wake();
+        }
+    }
+
+    /// Blocks the calling thread until the flight completes.
+    pub(crate) fn wait(&self) -> FlightResult {
+        let mut state = self.state.lock().expect("flight poisoned");
+        loop {
+            match &*state {
+                FlightState::Done(r) => return r.clone(),
+                FlightState::Pending { .. } => {
+                    state = self.cv.wait(state).expect("flight poisoned");
+                }
+            }
+        }
+    }
+
+    /// Async-style probe: returns the result if the flight is done,
+    /// otherwise registers `waker` (replacing a stale clone of itself) and
+    /// returns `None`.
+    pub(crate) fn poll_result(&self, waker: &Waker) -> Option<FlightResult> {
+        let mut state = self.state.lock().expect("flight poisoned");
+        match &mut *state {
+            FlightState::Done(r) => Some(r.clone()),
+            FlightState::Pending { wakers } => {
+                wakers.retain(|w| !w.will_wake(waker));
+                wakers.push(waker.clone());
+                None
+            }
+        }
+    }
+}
+
+/// What a request found when it asked the table about a fingerprint.
+pub(crate) enum Admission<'a> {
+    /// No flight and still no cached plan: the caller is the leader and must
+    /// plan, then finish through the returned guard.
+    Lead(FlightGuard<'a>),
+    /// Another request is already planning this fingerprint: wait on it.
+    Join(Arc<Flight>),
+    /// The previous leader finished between the caller's cache probe and its
+    /// table registration: the cached plan is the answer.
+    Cached(crate::cache::CachedPlan),
+}
+
+/// Sharded registry of in-flight plannings, keyed like the plan cache
+/// (model-folded canonical fingerprint), so two cost models never coalesce.
+pub(crate) struct FlightTable {
+    shards: Vec<Mutex<HashMap<u128, Arc<Flight>>>>,
+}
+
+impl std::fmt::Debug for FlightTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightTable")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl FlightTable {
+    pub(crate) fn new(shards: usize) -> FlightTable {
+        FlightTable {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<HashMap<u128, Arc<Flight>>> {
+        let fold = (key as u64) ^ ((key >> 64) as u64);
+        &self.shards[(fold % self.shards.len() as u64) as usize]
+    }
+
+    /// Join an existing flight, or lead a new one. `recheck_cache` runs
+    /// under the shard lock to close the race where the previous leader
+    /// completed (cache insert + table removal) after the caller's lock-free
+    /// cache probe missed: its hit means nobody needs to plan.
+    pub(crate) fn join_or_lead(
+        &self,
+        key: u128,
+        recheck_cache: impl FnOnce() -> Option<crate::cache::CachedPlan>,
+    ) -> Admission<'_> {
+        let shard = self.shard(key);
+        let mut map = shard.lock().expect("flight shard poisoned");
+        if let Some(flight) = map.get(&key) {
+            return Admission::Join(Arc::clone(flight));
+        }
+        if let Some(cached) = recheck_cache() {
+            return Admission::Cached(cached);
+        }
+        let flight = Flight::new();
+        map.insert(key, Arc::clone(&flight));
+        Admission::Lead(FlightGuard {
+            table: self,
+            key,
+            flight: Some(flight),
+        })
+    }
+
+    fn remove(&self, key: u128) {
+        self.shard(key)
+            .lock()
+            .expect("flight shard poisoned")
+            .remove(&key);
+    }
+}
+
+/// Leader-side completion obligation for one flight.
+///
+/// The guard pins the flight's table entry; [`FlightGuard::finish`] removes
+/// it and publishes the result. If the leader panics before finishing (a
+/// planner bug), `Drop` removes the entry and completes the flight with an
+/// error so waiters never hang — bounded-queue liveness does not depend on
+/// planner code being panic-free.
+pub(crate) struct FlightGuard<'a> {
+    table: &'a FlightTable,
+    key: u128,
+    flight: Option<Arc<Flight>>,
+}
+
+impl FlightGuard<'_> {
+    /// Completes the flight: the result becomes visible to waiters and the
+    /// table entry is removed. Call *after* inserting a successful plan into
+    /// the cache, so no instant exists where a new request would re-plan.
+    pub(crate) fn finish(mut self, result: FlightResult) {
+        let flight = self.flight.take().expect("finish called once");
+        self.table.remove(self.key);
+        flight.complete(result);
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(flight) = self.flight.take() {
+            self.table.remove(self.key);
+            flight.complete(Err(OptError::Internal(
+                "single-flight leader abandoned the flight (planner panic?)".to_string(),
+            )));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_core::PlanTree;
+    use std::time::Duration;
+
+    fn planned() -> Arc<Planned> {
+        Arc::new(Planned {
+            plan: PlanTree::Scan {
+                rel: 0,
+                rows: 1.0,
+                cost: 1.0,
+            },
+            cost: 1.0,
+            rows: 1.0,
+            wall: Duration::ZERO,
+            reported: Duration::ZERO,
+            counters: None,
+            profile: None,
+            gpu: None,
+            strategy: "test".into(),
+        })
+    }
+
+    #[test]
+    fn waiters_receive_the_leaders_result() {
+        let table = FlightTable::new(4);
+        let Admission::Lead(guard) = table.join_or_lead(7, || None) else {
+            panic!("first arrival must lead");
+        };
+        let Admission::Join(flight) = table.join_or_lead(7, || None) else {
+            panic!("second arrival must join");
+        };
+        let waiter = std::thread::spawn(move || flight.wait());
+        guard.finish(Ok(planned()));
+        let got = waiter.join().unwrap().expect("leader succeeded");
+        assert_eq!(got.cost, 1.0);
+        // The table entry is gone: the next arrival leads again.
+        assert!(matches!(table.join_or_lead(7, || None), Admission::Lead(_)));
+    }
+
+    #[test]
+    fn dropped_guard_fails_waiters_instead_of_hanging() {
+        let table = FlightTable::new(4);
+        let Admission::Lead(guard) = table.join_or_lead(9, || None) else {
+            panic!("must lead");
+        };
+        let Admission::Join(flight) = table.join_or_lead(9, || None) else {
+            panic!("must join");
+        };
+        drop(guard); // leader "panicked"
+        assert!(matches!(flight.wait(), Err(OptError::Internal(_))));
+        assert!(matches!(table.join_or_lead(9, || None), Admission::Lead(_)));
+    }
+
+    #[test]
+    fn recheck_under_lock_short_circuits_to_cache() {
+        let table = FlightTable::new(4);
+        let cached = crate::cache::CachedPlan { planned: planned() };
+        match table.join_or_lead(3, || Some(cached)) {
+            Admission::Cached(c) => assert_eq!(c.planned.cost, 1.0),
+            _ => panic!("fresh cache entry must short-circuit"),
+        };
+    }
+}

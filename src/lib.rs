@@ -60,6 +60,7 @@ pub use mpdp_parallel as parallel;
 pub use mpdp_workload as workload;
 
 pub mod cache;
+mod flight;
 pub mod planner;
 pub mod registry;
 pub mod service;
@@ -70,7 +71,9 @@ pub use planner::{
     PlannerBuilder, Strategy, EXACT_MAX_RELS,
 };
 pub use registry::{registry, Registry};
-pub use service::{PlanRequest, PlanService, PlanServiceBuilder, RouterConfig, ServedPlan};
+pub use service::{
+    PlanFuture, PlanRequest, PlanService, PlanServiceBuilder, RouterConfig, ServedPlan, ServedVia,
+};
 
 pub use mpdp_core::EnumerationMode;
 
@@ -80,7 +83,9 @@ pub mod prelude {
         Backend, ExactAlgo, LargeAlgo, Planned, Planner, PlannerBuilder, Strategy,
     };
     pub use crate::registry::registry;
-    pub use crate::service::{PlanRequest, PlanService, PlanServiceBuilder, RouterConfig};
+    pub use crate::service::{
+        PlanRequest, PlanService, PlanServiceBuilder, RouterConfig, ServedVia,
+    };
     pub use mpdp_core::{
         EnumerationMode, JoinGraph, LargeQuery, OptError, PlanTree, QueryInfo, RelInfo, RelSet,
     };

@@ -20,21 +20,35 @@
 //!   the touched cache shard; a worker pool shares one service behind an
 //!   `Arc` (see `mpdp-bench`'s `repro serve` replay harness).
 //!
-//! Cold keys are *not* single-flighted: workers missing the same fingerprint
-//! concurrently each plan it and race to insert (last write wins — the
-//! payloads are identical, so any winner is correct). The duplicated work is
-//! bounded by the worker count and lasts only until the first insert;
-//! keeping the miss path guard-free avoids holding a per-key lock across an
-//! arbitrarily long DP run (up to the request budget).
+//! Cold keys have two disciplines. The classic [`PlanService::plan`] /
+//! [`PlanService::plan_with`] path is *not* single-flighted: workers missing
+//! the same fingerprint concurrently each plan it and race to insert (last
+//! write wins — the payloads are identical, so any winner is correct), which
+//! keeps that path guard-free. The serving path —
+//! [`PlanService::plan_coalesced`] (blocking) and [`PlanService::plan_async`]
+//! (for the `mpdp-serve` executor) — instead **single-flights** cold keys
+//! through a `FlightTable` (private, `src/flight.rs`): concurrent misses on
+//! one
+//! fingerprint elect one leader that plans while the rest wait and receive
+//! the same canonical plan, remapped on delivery onto each waiter's own
+//! relation ids. The per-key guard there is not a lock held across the DP
+//! run but a registered flight that waiters park on, so overload turns into
+//! waiting, not duplicated planning. Outcome accounting is exact: every
+//! coalesced-path request is exactly one of a hit, a miss (the leader), or a
+//! coalesced join — see [`ServedVia`] and `CacheSnapshot::request_hit_rate`.
 
 use crate::cache::{CacheConfig, CachedPlan, PlanCache};
+use crate::flight::{Admission, Flight, FlightTable};
 use crate::planner::{Planned, Strategy};
 use crate::registry;
 use mpdp_core::fingerprint::{canonicalize, Fingerprint};
 use mpdp_core::{LargeQuery, OptError};
 use mpdp_cost::model::CostModel;
 use mpdp_exec::ExecReport;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
+use std::task::{Context, Poll};
 use std::time::{Duration, Instant};
 
 /// Folds a cost model's identity into a query fingerprint, producing the
@@ -129,6 +143,19 @@ pub struct PlanRequest {
     pub bypass_cache: bool,
 }
 
+/// How a request obtained its plan — the three mutually exclusive outcomes
+/// of the single-flight serving path. The classic `plan`/`plan_with` path
+/// only ever produces `Hit` or `Cold`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ServedVia {
+    /// Served from the plan cache.
+    Hit,
+    /// Planned from scratch (on the coalesced path: as the flight leader).
+    Cold,
+    /// Joined another request's in-flight planning and received its result.
+    Coalesced,
+}
+
 /// The outcome of one served request.
 #[derive(Clone, Debug)]
 pub struct ServedPlan {
@@ -138,6 +165,9 @@ pub struct ServedPlan {
     pub planned: Planned,
     /// `true` if the plan came from the cache.
     pub cache_hit: bool,
+    /// How the plan was obtained (`cache_hit` is `via == ServedVia::Hit`,
+    /// kept for back-compat).
+    pub via: ServedVia,
     /// End-to-end service latency of this request (canonicalization + cache
     /// + planning + remap) — the number the throughput harness reports.
     pub service_time: Duration,
@@ -208,6 +238,9 @@ impl PlanServiceBuilder {
     /// Builds the service.
     pub fn build(self) -> PlanService {
         PlanService {
+            // The flight table mirrors the cache's sharding degree: both see
+            // the same (uniform) key distribution.
+            flights: FlightTable::new(self.cache.shards),
             cache: PlanCache::new(self.cache),
             router: self.router,
             budget: self.budget,
@@ -221,6 +254,9 @@ impl PlanServiceBuilder {
 #[derive(Debug)]
 pub struct PlanService {
     cache: PlanCache,
+    /// In-flight plannings for the single-flight (`plan_coalesced` /
+    /// `plan_async`) path, keyed like the cache.
+    flights: FlightTable,
     router: RouterConfig,
     budget: Option<Duration>,
     feedback_threshold: f64,
@@ -272,6 +308,7 @@ impl PlanService {
                 return Ok(ServedPlan {
                     planned: cached.planned.with_relabeled_plan(&canonical.order),
                     cache_hit: true,
+                    via: ServedVia::Hit,
                     service_time: start.elapsed(),
                     fingerprint: fp,
                 });
@@ -296,9 +333,137 @@ impl PlanService {
         Ok(ServedPlan {
             planned,
             cache_hit: false,
+            via: ServedVia::Cold,
             service_time: start.elapsed(),
             fingerprint: fp,
         })
+    }
+
+    /// Serves one query with cold keys **single-flighted**: concurrent
+    /// misses on one fingerprint elect one leader that plans; the rest block
+    /// on the leader's flight and receive the same canonical plan, remapped
+    /// onto their own relation ids ([`ServedVia::Coalesced`]). Hits are
+    /// identical to [`PlanService::plan`].
+    ///
+    /// Accounting is exact by protocol, not by luck: the flight entry is
+    /// only removed *after* the plan is inserted into the cache, and the
+    /// flight table re-probes the cache under its shard lock, so for any one
+    /// fingerprint exactly one request records a miss (the leader) and every
+    /// other concurrent request records a hit or a coalesced join.
+    ///
+    /// Requests that bypass the cache or override the strategy fall back to
+    /// the uncoalesced [`PlanService::plan_with`] semantics (coalescing them
+    /// could serve one strategy's plan as another's).
+    pub fn plan_coalesced(
+        &self,
+        q: &LargeQuery,
+        model: &dyn CostModel,
+        req: &PlanRequest,
+    ) -> Result<ServedPlan, OptError> {
+        if req.bypass_cache || req.strategy.is_some() {
+            return self.plan_with(q, model, req);
+        }
+        let start = Instant::now();
+        let canonical = canonicalize(q);
+        let fp = canonical.fingerprint;
+        let cache_key = keyed_by_model(fp, model);
+
+        // Lock-free-path probe first: the common (warm) case never touches
+        // the flight table.
+        if let Some(cached) = self.cache.get_quiet(cache_key) {
+            self.cache.record_hit();
+            return Ok(ServedPlan {
+                planned: cached.planned.with_relabeled_plan(&canonical.order),
+                cache_hit: true,
+                via: ServedVia::Hit,
+                service_time: start.elapsed(),
+                fingerprint: fp,
+            });
+        }
+
+        match self
+            .flights
+            .join_or_lead(cache_key.as_u128(), || self.cache.get_quiet(cache_key))
+        {
+            Admission::Cached(cached) => {
+                // The previous leader finished between our probe and our
+                // registration: a hit after all.
+                self.cache.record_hit();
+                Ok(ServedPlan {
+                    planned: cached.planned.with_relabeled_plan(&canonical.order),
+                    cache_hit: true,
+                    via: ServedVia::Hit,
+                    service_time: start.elapsed(),
+                    fingerprint: fp,
+                })
+            }
+            Admission::Join(flight) => {
+                self.cache.record_coalesced();
+                let planned = flight.wait()?;
+                Ok(ServedPlan {
+                    planned: planned.with_relabeled_plan(&canonical.order),
+                    cache_hit: false,
+                    via: ServedVia::Coalesced,
+                    service_time: start.elapsed(),
+                    fingerprint: fp,
+                })
+            }
+            Admission::Lead(guard) => {
+                self.cache.record_miss();
+                let strategy = self.resolve(q, req)?;
+                let budget = req.budget.or(self.budget);
+                match strategy.plan(q, model, budget) {
+                    Ok(planned) => {
+                        let canonical_plan = Arc::new(planned.with_relabeled_plan(&canonical.slot));
+                        // Insert BEFORE finishing the flight: no instant
+                        // exists where a new arrival finds neither the cache
+                        // entry nor the flight and re-plans.
+                        self.cache.insert(
+                            cache_key,
+                            CachedPlan {
+                                planned: Arc::clone(&canonical_plan),
+                            },
+                        );
+                        guard.finish(Ok(canonical_plan));
+                        Ok(ServedPlan {
+                            planned,
+                            cache_hit: false,
+                            via: ServedVia::Cold,
+                            service_time: start.elapsed(),
+                            fingerprint: fp,
+                        })
+                    }
+                    Err(e) => {
+                        guard.finish(Err(e.clone()));
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Asynchronous [`PlanService::plan_coalesced`]: returns a future that
+    /// resolves to the served plan. A hit (or a strategy-override /
+    /// cache-bypass request) resolves on first poll; a coalesced waiter
+    /// suspends on the flight's waker list and is woken when the leader
+    /// publishes, blocking no executor thread. A *leader* plans inside its
+    /// poll — cold planning is CPU work with nothing to await, so the
+    /// executor dedicates exactly one thread to it, which is the same
+    /// commitment the blocking path makes and the reason `mpdp-serve` runs
+    /// more than one executor thread.
+    pub fn plan_async<'a>(
+        &'a self,
+        q: &'a LargeQuery,
+        model: &'a (dyn CostModel + Sync),
+        req: &'a PlanRequest,
+    ) -> PlanFuture<'a> {
+        PlanFuture {
+            service: self,
+            q,
+            model,
+            req,
+            state: FutureState::Init,
+        }
     }
 
     /// The registry label the router (or the request override) picks for `q`.
@@ -373,6 +538,164 @@ impl PlanService {
     /// The routing configuration.
     pub fn router_config(&self) -> &RouterConfig {
         &self.router
+    }
+}
+
+enum FutureState {
+    /// Not yet probed the cache or flight table.
+    Init,
+    /// Joined a flight as a waiter; woken when the leader publishes.
+    Waiting {
+        flight: Arc<Flight>,
+        /// `order[c]` = caller's relation in canonical slot `c`, for the
+        /// remap-on-delivery.
+        order: Vec<u32>,
+        start: Instant,
+        fp: Fingerprint,
+    },
+    /// Resolved (polling again would panic, per the `Future` contract).
+    Done,
+}
+
+/// Future returned by [`PlanService::plan_async`]. See that method for the
+/// leader-plans-inside-poll caveat.
+pub struct PlanFuture<'a> {
+    service: &'a PlanService,
+    q: &'a LargeQuery,
+    model: &'a (dyn CostModel + Sync),
+    req: &'a PlanRequest,
+    state: FutureState,
+}
+
+impl std::fmt::Debug for PlanFuture<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match self.state {
+            FutureState::Init => "Init",
+            FutureState::Waiting { .. } => "Waiting",
+            FutureState::Done => "Done",
+        };
+        f.debug_struct("PlanFuture").field("state", &state).finish()
+    }
+}
+
+impl Future for PlanFuture<'_> {
+    type Output = Result<ServedPlan, OptError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // No pinned fields: every field is Unpin (references + state enum).
+        let this = Pin::into_inner(self);
+        loop {
+            // Take the state out so arms can move pieces of it and install
+            // the successor state without fighting the borrow checker.
+            match std::mem::replace(&mut this.state, FutureState::Done) {
+                FutureState::Done => panic!("PlanFuture polled after completion"),
+                FutureState::Waiting {
+                    flight,
+                    order,
+                    start,
+                    fp,
+                } => {
+                    let Some(result) = flight.poll_result(cx.waker()) else {
+                        this.state = FutureState::Waiting {
+                            flight,
+                            order,
+                            start,
+                            fp,
+                        };
+                        return Poll::Pending;
+                    };
+                    let out = result.map(|planned| ServedPlan {
+                        planned: planned.with_relabeled_plan(&order),
+                        cache_hit: false,
+                        via: ServedVia::Coalesced,
+                        service_time: start.elapsed(),
+                        fingerprint: fp,
+                    });
+                    return Poll::Ready(out);
+                }
+                FutureState::Init => {
+                    let svc = this.service;
+                    if this.req.bypass_cache || this.req.strategy.is_some() {
+                        return Poll::Ready(svc.plan_with(this.q, this.model, this.req));
+                    }
+                    let start = Instant::now();
+                    let canonical = canonicalize(this.q);
+                    let fp = canonical.fingerprint;
+                    let cache_key = keyed_by_model(fp, this.model);
+                    if let Some(cached) = svc.cache.get_quiet(cache_key) {
+                        svc.cache.record_hit();
+                        return Poll::Ready(Ok(ServedPlan {
+                            planned: cached.planned.with_relabeled_plan(&canonical.order),
+                            cache_hit: true,
+                            via: ServedVia::Hit,
+                            service_time: start.elapsed(),
+                            fingerprint: fp,
+                        }));
+                    }
+                    match svc
+                        .flights
+                        .join_or_lead(cache_key.as_u128(), || svc.cache.get_quiet(cache_key))
+                    {
+                        Admission::Cached(cached) => {
+                            svc.cache.record_hit();
+                            return Poll::Ready(Ok(ServedPlan {
+                                planned: cached.planned.with_relabeled_plan(&canonical.order),
+                                cache_hit: true,
+                                via: ServedVia::Hit,
+                                service_time: start.elapsed(),
+                                fingerprint: fp,
+                            }));
+                        }
+                        Admission::Join(flight) => {
+                            svc.cache.record_coalesced();
+                            // Loop back into `Waiting`, which registers the
+                            // waker (or resolves if the leader already
+                            // finished).
+                            this.state = FutureState::Waiting {
+                                flight,
+                                order: canonical.order,
+                                start,
+                                fp,
+                            };
+                        }
+                        Admission::Lead(guard) => {
+                            // Leader: plan synchronously inside this poll.
+                            svc.cache.record_miss();
+                            let out: Result<_, OptError> = (|| {
+                                let strategy = svc.resolve(this.q, this.req)?;
+                                let budget = this.req.budget.or(svc.budget);
+                                let planned = strategy.plan(this.q, this.model, budget)?;
+                                let canonical_plan =
+                                    Arc::new(planned.with_relabeled_plan(&canonical.slot));
+                                svc.cache.insert(
+                                    cache_key,
+                                    CachedPlan {
+                                        planned: Arc::clone(&canonical_plan),
+                                    },
+                                );
+                                Ok((planned, canonical_plan))
+                            })();
+                            return Poll::Ready(match out {
+                                Ok((planned, canonical_plan)) => {
+                                    guard.finish(Ok(canonical_plan));
+                                    Ok(ServedPlan {
+                                        planned,
+                                        cache_hit: false,
+                                        via: ServedVia::Cold,
+                                        service_time: start.elapsed(),
+                                        fingerprint: fp,
+                                    })
+                                }
+                                Err(e) => {
+                                    guard.finish(Err(e.clone()));
+                                    Err(e)
+                                }
+                            });
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
