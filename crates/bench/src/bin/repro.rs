@@ -18,6 +18,16 @@
 //!                             curve: achieved throughput, sheds, p99)
 //! --rate <n>                  (serve) open-loop base offered rate in
 //!                             requests/s (default 120000)
+//! --faults-seed <k>           (serve) chaos mode: run the open-loop sweep
+//!                             with the seeded fault plan k armed (injected
+//!                             panics/stalls/errors at queue, dispatcher,
+//!                             planner, executor, and reactor sites) and
+//!                             assert the robustness invariants instead of
+//!                             the perf gate
+//! --deadline-ms <ms>          (serve) per-request deadline for the
+//!                             open-loop sweep; deadline-pressed requests
+//!                             degrade to a heuristic plan (chaos mode
+//!                             defaults to 500)
 //! --queries-small             (scale, serve) reduced shape set for CI smoke
 //! REPRO_SCALE={quick,paper}   sweep sizes (default quick)
 //! REPRO_TIMEOUT_MS=<ms>       per-query optimization budget
@@ -57,6 +67,8 @@ fn main() {
     let mut queries_small = false;
     let mut open_loop = false;
     let mut serve_rate: f64 = 120_000.0;
+    let mut faults_seed: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -73,6 +85,18 @@ fn main() {
             "--queries-small" => queries_small = true,
             "--open-loop" => open_loop = true,
             "--rate" => serve_rate = parse_count_flag("--rate", it.next()) as f64,
+            "--faults-seed" => {
+                faults_seed = match it.next().as_deref().map(str::parse::<u64>) {
+                    Some(Ok(n)) => Some(n),
+                    _ => {
+                        eprintln!("--faults-seed requires a non-negative integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(parse_count_flag("--deadline-ms", it.next()) as u64)
+            }
             _ => args.push(a),
         }
     }
@@ -119,6 +143,8 @@ fn main() {
                 },
                 serve_workers,
                 open_loop.then_some(serve_rate),
+                faults_seed,
+                deadline_ms,
                 queries_small,
                 emit_json.as_deref(),
                 check_against.as_deref(),
@@ -964,10 +990,13 @@ fn exec_experiment(emit_json: Option<&str>, check_against: Option<&str>) {
 /// front-end for the overload curve. Both phases contribute gate rows
 /// (encoded as ms per 1k plans, so "slower" still means "bigger number")
 /// for `--check-against BENCH_serve.json`.
+#[allow(clippy::too_many_arguments)]
 fn serve(
     queries: usize,
     workers: usize,
     open_loop_rate: Option<f64>,
+    faults_seed: Option<u64>,
+    deadline_ms: Option<u64>,
     small: bool,
     emit_json: Option<&str>,
     check_against: Option<&str>,
@@ -991,6 +1020,20 @@ fn serve(
     } else {
         StreamSpec::default()
     };
+
+    if let Some(seed) = faults_seed {
+        // Chaos mode replaces the perf measurement entirely: with faults
+        // armed the timings mean nothing and the perf gate must not see
+        // them. What is asserted instead are the robustness invariants.
+        chaos_serve(
+            seed,
+            deadline_ms.unwrap_or(500),
+            open_loop_rate.unwrap_or(20_000.0),
+            stream,
+            emit_json,
+        );
+        return;
+    }
     println!(
         "\n## serve — PlanService replay ({queries} queries, {workers} workers, \
          Zipf skew {:.1}, {} templates)",
@@ -1040,6 +1083,7 @@ fn serve(
             } else {
                 Duration::from_secs(2)
             },
+            deadline: deadline_ms.map(Duration::from_millis),
             stream: stream.clone(),
             ..OpenLoopConfig::default()
         };
@@ -1131,6 +1175,115 @@ fn serve(
         // the full and the CI-small configuration's rows.
         gate_or_exit(path, &runs, "SERVE", false);
     }
+}
+
+/// `repro serve --faults-seed K`: the open-loop sweep under a seeded fault
+/// schedule. Perf numbers are meaningless with injection armed, so no gate
+/// rows are produced; instead the run *fails* unless the robustness
+/// invariants hold: exact accounting (`accepted == completed + failed` in
+/// every window — a panicked dispatcher may fail requests, it may not lose
+/// them), gauges back to zero once the sweep drains, and at least one
+/// scheduled fault actually fired (a chaos leg that injects nothing tests
+/// nothing).
+fn chaos_serve(
+    seed: u64,
+    deadline_ms: u64,
+    rate: f64,
+    stream: mpdp_workload::StreamSpec,
+    emit_json: Option<&str>,
+) {
+    use mpdp_bench::serve::{open_loop, OpenLoopConfig};
+    use mpdp_core::faults::FaultPlan;
+    use std::sync::Arc;
+
+    let plan = FaultPlan::seeded(seed);
+    let scheduled = plan.len();
+    println!(
+        "\n## serve — chaos sweep (faults seed {seed}, {scheduled} scheduled, \
+         deadline {deadline_ms}ms)"
+    );
+    print!("{}", plan.describe());
+    let faults = plan.arm();
+    let config = OpenLoopConfig {
+        rate,
+        multipliers: vec![0.5, 1.0],
+        window: Duration::from_millis(500),
+        queue_depth: 256,
+        deadline: Some(Duration::from_millis(deadline_ms)),
+        faults: faults.clone(),
+        stream,
+        ..OpenLoopConfig::default()
+    };
+    let report = match open_loop(&config, Arc::new(PgLikeCost::new())) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("# chaos FAILED: sweep aborted: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render());
+    println!("# faults fired: {}", faults.fired());
+
+    let mut violations: Vec<String> = Vec::new();
+    for w in &report.windows {
+        if w.serve.accepted != w.serve.completed + w.serve.failed {
+            violations.push(format!(
+                "window x{}: accepted {} != completed {} + failed {}",
+                w.multiplier, w.serve.accepted, w.serve.completed, w.serve.failed
+            ));
+        }
+    }
+    if let Some(last) = report.windows.last() {
+        // Gauges in a snapshot delta are carried as-is (point-in-time), so
+        // the last window's values are the live gauges after the sweep
+        // fully drained.
+        if last.serve.queue_depth != 0 || last.serve.in_flight != 0 {
+            violations.push(format!(
+                "gauges nonzero after drain: queue_depth {} in_flight {}",
+                last.serve.queue_depth, last.serve.in_flight
+            ));
+        }
+    }
+    if faults.fired() == 0 {
+        violations.push("no scheduled fault fired — the schedule never intersected the run".into());
+    }
+
+    if let Some(path) = emit_json {
+        let mut out = String::from("{\n  \"schema\": \"mpdp-serve-chaos-v1\",\n");
+        out.push_str(&format!(
+            "  \"config\": {{\"seed\": {seed}, \"deadline_ms\": {deadline_ms}, \
+             \"rate\": {rate:.0}, \"scheduled\": {scheduled}, \"fired\": {}}},\n",
+            faults.fired()
+        ));
+        out.push_str("  \"windows\": [\n");
+        for (i, w) in report.windows.iter().enumerate() {
+            let sep = if i + 1 == report.windows.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!("    {}{sep}\n", w.to_json_line()));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"violations\": [{}]\n}}\n",
+            violations
+                .iter()
+                .map(|v| format!("\"{}\"", v.replace('"', "'")))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        std::fs::write(path, out).expect("write chaos JSON");
+        println!("# wrote {path}");
+    }
+
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("# chaos FAILED: {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("# chaos invariants held (seed {seed})");
 }
 
 /// Helper for tests: expose a tiny end-to-end sanity run.

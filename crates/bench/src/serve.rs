@@ -19,6 +19,7 @@
 
 use mpdp::service::{PlanRequest, PlanService, ServedPlan, ServedVia};
 use mpdp_core::counters::{CacheSnapshot, ServeSnapshot};
+use mpdp_core::faults::Faults;
 use mpdp_core::{LargeQuery, OptError};
 use mpdp_cost::model::CostModel;
 use mpdp_serve::{ServeFront, TenantConfig};
@@ -86,6 +87,10 @@ pub struct ServeReport {
     /// that waited on another request's in-flight planning (µs); 0.0 if the
     /// replay never raced two cold arrivals of one fingerprint.
     pub coalesced_p50_us: f64,
+    /// Median service latency of degraded requests — deadline-pressed
+    /// requests served by the heuristic fallback planner (µs); 0.0 unless
+    /// the replay carried deadlines tight enough to trip degradation.
+    pub degraded_p50_us: f64,
     /// Requests per strategy label actually planned (cold plans only).
     pub routes: BTreeMap<String, usize>,
 }
@@ -132,6 +137,10 @@ impl ServeReport {
             self.cache.hits, self.cache.misses, self.cache.coalesced, self.cache.evictions
         ));
         out.push_str(&format!(
+            "degraded\t{}\ndeadline_exceeded\t{}\n",
+            self.cache.degraded, self.cache.deadline_exceeded
+        ));
+        out.push_str(&format!(
             "feedback_checks\t{}\nfeedback_invalidations\t{}\n",
             self.cache.feedback_checks, self.cache.feedback_invalidations
         ));
@@ -143,6 +152,12 @@ impl ServeReport {
             "coalesced_latency_p50_us\t{:.1}\n",
             self.coalesced_p50_us
         ));
+        if self.cache.degraded > 0 {
+            out.push_str(&format!(
+                "degraded_latency_p50_us\t{:.1}\n",
+                self.degraded_p50_us
+            ));
+        }
         out.push_str(&format!(
             "cached_speedup_p50\t{:.0}x\n",
             self.cached_speedup()
@@ -235,6 +250,7 @@ pub fn replay(
     let hits = split(ServedVia::Hit);
     let colds = split(ServedVia::Cold);
     let coalesced = split(ServedVia::Coalesced);
+    let degraded = split(ServedVia::Degraded);
 
     Ok(ServeReport {
         served: samples.len(),
@@ -247,6 +263,7 @@ pub fn replay(
         hit_p50_us: percentile(&hits, 50.0),
         miss_p50_us: percentile(&colds, 50.0),
         coalesced_p50_us: percentile(&coalesced, 50.0),
+        degraded_p50_us: percentile(&degraded, 50.0),
         routes: routes.into_inner().expect("routes"),
     })
 }
@@ -274,6 +291,15 @@ pub struct OpenLoopConfig {
     pub queue_depth: usize,
     /// Dispatcher tasks of the front-end under test.
     pub dispatchers: usize,
+    /// Default per-request deadline handed to the front-end. Requests that
+    /// cannot afford exact planning within it degrade to a heuristic plan
+    /// (`ServedVia::Degraded`) instead of missing it. `None` (the default)
+    /// measures pure exact serving.
+    pub deadline: Option<Duration>,
+    /// Fault-injection handle for chaos runs ([`mpdp_core::FaultPlan`],
+    /// seeded). Disarmed by default: the measured gate configuration never
+    /// pays for or is perturbed by injection.
+    pub faults: Faults,
     /// The Zipf stream generators draw from.
     pub stream: StreamSpec,
 }
@@ -293,6 +319,8 @@ impl Default for OpenLoopConfig {
             batch: 512,
             queue_depth: 1024,
             dispatchers: 2,
+            deadline: None,
+            faults: Faults::disarmed(),
             stream: StreamSpec::default(),
         }
     }
@@ -322,6 +350,9 @@ pub struct WindowReport {
     pub cold_p50_us: f64,
     /// Median end-to-end latency of coalesced requests (µs).
     pub coalesced_p50_us: f64,
+    /// Median end-to-end latency of degraded (heuristic-fallback) requests
+    /// (µs); 0.0 when no request tripped its deadline budget.
+    pub degraded_p50_us: f64,
     /// Cache activity of this window (delta).
     pub cache: CacheSnapshot,
     /// Front-door activity of this window (delta; gauges are end-of-window).
@@ -341,8 +372,12 @@ impl WindowReport {
              \"accepted\": {}, \"shed\": {}, \"completed\": {}, \"failed\": {}, \
              \"elapsed_s\": {:.3}, \"achieved\": {:.0}, \"request_hit_rate\": {:.4}, \
              \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"hit_p50_us\": {:.1}, \
-             \"cold_p50_us\": {:.1}, \"coalesced_p50_us\": {:.1}, \"hits\": {}, \
-             \"misses\": {}, \"coalesced\": {}, \"queue_depth_peak\": {}, \
+             \"cold_p50_us\": {:.1}, \"coalesced_p50_us\": {:.1}, \
+             \"degraded_p50_us\": {:.1}, \"hits\": {}, \
+             \"misses\": {}, \"coalesced\": {}, \"degraded\": {}, \
+             \"deadline_exceeded\": {}, \"worker_respawns\": {}, \
+             \"reactor_respawns\": {}, \"abandoned_tickets\": {}, \
+             \"queue_depth_peak\": {}, \
              \"saturated\": {}}}",
             self.multiplier,
             self.offered_rate,
@@ -359,9 +394,15 @@ impl WindowReport {
             self.hit_p50_us,
             self.cold_p50_us,
             self.coalesced_p50_us,
+            self.degraded_p50_us,
             self.cache.hits,
             self.cache.misses,
             self.cache.coalesced,
+            self.cache.degraded,
+            self.cache.deadline_exceeded,
+            self.serve.worker_respawns,
+            self.serve.reactor_respawns,
+            self.serve.abandoned_tickets,
             self.serve.queue_depth_peak,
             self.saturated,
         )
@@ -430,11 +471,12 @@ impl OpenLoopReport {
         ));
         out.push_str(
             "mult\toffered_per_s\toffered\taccepted\tshed\tcompleted\tachieved_per_s\t\
-             hit_rate\tp50_ms\tp99_ms\thit_p50_us\tcold_p50_us\tcoal_p50_us\tsaturated\n",
+             hit_rate\tp50_ms\tp99_ms\thit_p50_us\tcold_p50_us\tcoal_p50_us\tdegraded\t\
+             saturated\n",
         );
         for w in &self.windows {
             out.push_str(&format!(
-                "x{:.2}\t{:.0}\t{}\t{}\t{}\t{}\t{:.0}\t{:.4}\t{:.3}\t{:.3}\t{:.1}\t{:.1}\t{:.1}\t{}\n",
+                "x{:.2}\t{:.0}\t{}\t{}\t{}\t{}\t{:.0}\t{:.4}\t{:.3}\t{:.3}\t{:.1}\t{:.1}\t{:.1}\t{}\t{}\n",
                 w.multiplier,
                 w.offered_rate,
                 w.offered,
@@ -448,6 +490,7 @@ impl OpenLoopReport {
                 w.hit_p50_us,
                 w.cold_p50_us,
                 w.coalesced_p50_us,
+                w.cache.degraded,
                 w.saturated,
             ));
         }
@@ -498,6 +541,8 @@ pub fn open_loop(
                 .unwrap_or(2)
                 .clamp(1, config.dispatchers + generators),
             budget: Some(Duration::from_secs(30)),
+            default_deadline: config.deadline,
+            faults: config.faults.clone(),
             tenants: vec![TenantConfig {
                 cache_capacity: (config.stream.templates * 2).max(1024),
                 ..TenantConfig::named("bench")
@@ -513,7 +558,19 @@ pub fn open_loop(
     let warm_start = Instant::now();
     let req = PlanRequest::default();
     for t in root.templates() {
-        front.service(0).plan_coalesced(&t.query, &*model, &req)?;
+        // Warm-up runs synchronously on the caller's thread, outside the
+        // dispatchers' panic isolation — so in a chaos run injected planner
+        // faults (errors *and* panics) are absorbed here and the sweep just
+        // proceeds cold for those templates. Real failures still abort.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            front.service(0).plan_coalesced(&t.query, &*model, &req)
+        }));
+        match outcome {
+            Ok(Ok(_)) => {}
+            Ok(Err(_)) | Err(_) if config.faults.is_armed() => {}
+            Ok(Err(e)) => return Err(e),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
     }
     let warm_elapsed = warm_start.elapsed();
 
@@ -571,9 +628,16 @@ pub fn open_loop(
         let mut hit_us: Vec<f64> = Vec::new();
         let mut cold_us: Vec<f64> = Vec::new();
         let mut coal_us: Vec<f64> = Vec::new();
+        let mut degr_us: Vec<f64> = Vec::new();
         let mut shed_pools = Vec::with_capacity(gens.len());
         for join in gens {
-            let (tickets, pool_tail) = join.wait();
+            // A generator killed by an injected executor-poll fault stops
+            // submitting; its tickets are abandoned (counted) and its
+            // accepted requests still settle server-side. Harvest what the
+            // survivors produced instead of propagating the panic.
+            let Ok((tickets, pool_tail)) = join.join() else {
+                continue;
+            };
             shed_pools.push(pool_tail);
             for ticket in tickets {
                 let done = ticket.wait();
@@ -584,6 +648,7 @@ pub fn open_loop(
                         ServedVia::Hit => hit_us.push(us),
                         ServedVia::Cold => cold_us.push(us),
                         ServedVia::Coalesced => coal_us.push(us),
+                        ServedVia::Degraded => degr_us.push(us),
                     }
                 }
             }
@@ -607,6 +672,7 @@ pub fn open_loop(
             hit_p50_us: percentile(&hit_us, 50.0),
             cold_p50_us: percentile(&cold_us, 50.0),
             coalesced_p50_us: percentile(&coal_us, 50.0),
+            degraded_p50_us: percentile(&degr_us, 50.0),
             cache,
             serve,
             saturated,
@@ -625,7 +691,52 @@ pub fn open_loop(
 mod tests {
     use super::*;
     use mpdp::service::PlanServiceBuilder;
+    use mpdp_core::faults::FaultPlan;
     use mpdp_cost::PgLikeCost;
+
+    /// Seeded fault schedules through the open-loop harness: with injection
+    /// armed the *timings* are meaningless, but the accounting must stay
+    /// exact — accepted == completed + failed per window (a killed
+    /// generator stops offering; it never loses an accepted request) and
+    /// the gauges drain to zero.
+    #[test]
+    fn open_loop_chaos_preserves_accounting() {
+        for seed in [1u64, 3, 9] {
+            let faults = FaultPlan::seeded(seed).arm();
+            let config = OpenLoopConfig {
+                rate: 2_000.0,
+                multipliers: vec![1.0],
+                window: Duration::from_millis(250),
+                generators: 2,
+                batch: 16,
+                queue_depth: 64,
+                dispatchers: 2,
+                deadline: Some(Duration::from_millis(300)),
+                faults: faults.clone(),
+                stream: StreamSpec {
+                    templates: 12,
+                    skew: 1.1,
+                    min_rels: 5,
+                    max_rels: 8,
+                    seed: 3,
+                },
+            };
+            let report = open_loop(&config, Arc::new(PgLikeCost::new())).unwrap();
+            for w in &report.windows {
+                assert_eq!(
+                    w.serve.accepted,
+                    w.serve.completed + w.serve.failed,
+                    "seed {seed}: accepted requests vanished under chaos"
+                );
+            }
+            let last = report.windows.last().unwrap();
+            assert_eq!(
+                (last.serve.queue_depth, last.serve.in_flight),
+                (0, 0),
+                "seed {seed}: gauges nonzero after drain"
+            );
+        }
+    }
 
     #[test]
     fn small_replay_hits_and_reports() {
@@ -677,6 +788,8 @@ mod tests {
             batch: 16,
             queue_depth: 64,
             dispatchers: 2,
+            deadline: None,
+            faults: Faults::disarmed(),
             stream: StreamSpec {
                 templates: 12,
                 skew: 1.1,

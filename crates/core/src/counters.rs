@@ -169,6 +169,8 @@ pub struct CacheCounters {
     expirations: std::sync::atomic::AtomicU64,
     feedback_checks: std::sync::atomic::AtomicU64,
     feedback_invalidations: std::sync::atomic::AtomicU64,
+    degraded: std::sync::atomic::AtomicU64,
+    deadline_exceeded: std::sync::atomic::AtomicU64,
 }
 
 /// A point-in-time copy of [`CacheCounters`].
@@ -195,6 +197,15 @@ pub struct CacheSnapshot {
     /// Cached plans evicted because an observed root cardinality deviated
     /// from the estimate beyond the feedback threshold.
     pub feedback_invalidations: u64,
+    /// Requests served a heuristic plan because their deadline budget could
+    /// not afford the routed exact strategy (or the exact attempt timed out
+    /// mid-flight). Disjoint from hits/misses/coalesced: a degraded request
+    /// neither planned exactly nor touched the cache.
+    pub degraded: u64,
+    /// Requests whose exact planning attempt was cut off by the deadline
+    /// mid-flight (a subset of the degradations: the ones that started
+    /// exact and fell back late, rather than degrading up front).
+    pub deadline_exceeded: u64,
 }
 
 impl CacheSnapshot {
@@ -237,6 +248,8 @@ impl CacheSnapshot {
             expirations: self.expirations - earlier.expirations,
             feedback_checks: self.feedback_checks - earlier.feedback_checks,
             feedback_invalidations: self.feedback_invalidations - earlier.feedback_invalidations,
+            degraded: self.degraded - earlier.degraded,
+            deadline_exceeded: self.deadline_exceeded - earlier.deadline_exceeded,
         }
     }
 
@@ -290,6 +303,16 @@ impl CacheCounters {
         self.feedback_invalidations.fetch_add(1, Self::ORD);
     }
 
+    /// Records a request served a degraded (heuristic) plan.
+    pub fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Self::ORD);
+    }
+
+    /// Records an exact planning attempt cut off by its deadline.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Self::ORD);
+    }
+
     /// Copies the current counts.
     pub fn snapshot(&self) -> CacheSnapshot {
         CacheSnapshot {
@@ -301,6 +324,8 @@ impl CacheCounters {
             expirations: self.expirations.load(Self::ORD),
             feedback_checks: self.feedback_checks.load(Self::ORD),
             feedback_invalidations: self.feedback_invalidations.load(Self::ORD),
+            degraded: self.degraded.load(Self::ORD),
+            deadline_exceeded: self.deadline_exceeded.load(Self::ORD),
         }
     }
 }
@@ -327,6 +352,9 @@ pub struct ServeCounters {
     queue_depth_peak: std::sync::atomic::AtomicU64,
     /// Signed for the same push/pop race as `queue_depth`.
     in_flight: std::sync::atomic::AtomicI64,
+    worker_respawns: std::sync::atomic::AtomicU64,
+    reactor_respawns: std::sync::atomic::AtomicU64,
+    abandoned_tickets: std::sync::atomic::AtomicU64,
 }
 
 /// A point-in-time copy of [`ServeCounters`].
@@ -349,6 +377,17 @@ pub struct ServeSnapshot {
     pub queue_depth_peak: u64,
     /// Requests currently being served by a dispatcher (gauge).
     pub in_flight: u64,
+    /// Panicked workers/dispatchers caught and put back to work: executor
+    /// poll panics contained in place plus dispatcher loops restarted by
+    /// their supervisor. Zero on a healthy box.
+    pub worker_respawns: u64,
+    /// Reactor driver-thread restarts after a caught panic (each one also
+    /// re-arms the surviving timer heap).
+    pub reactor_respawns: u64,
+    /// `PlanTicket`s dropped before their result was taken. The request
+    /// still completes and releases its quota slot; this counts callers
+    /// that walked away.
+    pub abandoned_tickets: u64,
 }
 
 impl ServeSnapshot {
@@ -375,6 +414,9 @@ impl ServeSnapshot {
             queue_depth: self.queue_depth,
             queue_depth_peak: self.queue_depth_peak,
             in_flight: self.in_flight,
+            worker_respawns: self.worker_respawns - earlier.worker_respawns,
+            reactor_respawns: self.reactor_respawns - earlier.reactor_respawns,
+            abandoned_tickets: self.abandoned_tickets - earlier.abandoned_tickets,
         }
     }
 }
@@ -456,6 +498,29 @@ impl ServeCounters {
         }
     }
 
+    /// Records a worker or dispatcher recovered after a caught panic.
+    pub fn record_worker_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Self::ORD);
+    }
+
+    /// Adds externally-tracked worker recoveries (e.g. the executor's own
+    /// caught-panic count, folded in at snapshot time).
+    pub fn record_worker_respawns_n(&self, n: u64) {
+        if n > 0 {
+            self.worker_respawns.fetch_add(n, Self::ORD);
+        }
+    }
+
+    /// Records a reactor driver restart.
+    pub fn record_reactor_respawn(&self) {
+        self.reactor_respawns.fetch_add(1, Self::ORD);
+    }
+
+    /// Records a `PlanTicket` dropped before its result was taken.
+    pub fn record_abandoned_ticket(&self) {
+        self.abandoned_tickets.fetch_add(1, Self::ORD);
+    }
+
     /// Current queue-depth gauge (clamped at 0; see the field docs).
     pub fn queue_depth(&self) -> u64 {
         self.queue_depth.load(Self::ORD).max(0) as u64
@@ -477,6 +542,9 @@ impl ServeCounters {
             queue_depth: self.queue_depth(),
             queue_depth_peak: self.queue_depth_peak.load(Self::ORD),
             in_flight: self.in_flight(),
+            worker_respawns: self.worker_respawns.load(Self::ORD),
+            reactor_respawns: self.reactor_respawns.load(Self::ORD),
+            abandoned_tickets: self.abandoned_tickets.load(Self::ORD),
         }
     }
 }

@@ -25,7 +25,11 @@
 //!   backends update in place (the paper's global table with `atomicMin`);
 //! * [`plan::PlanTree`] — join trees, validation, memo extraction;
 //! * [`counters`] — `EvaluatedCounter` / `CCP-Counter` instrumentation and
-//!   per-level profiles.
+//!   per-level profiles;
+//! * [`faults`] — seeded, deterministic fault injection points for the
+//!   serving stack's chaos tests (no-ops when unarmed);
+//! * [`sync`] — poison-recovering lock helpers, so a panic-isolated worker
+//!   doesn't cascade into every later holder of its locks.
 
 #![warn(missing_docs)]
 
@@ -37,11 +41,13 @@ pub mod combinatorics;
 pub mod counters;
 pub mod enumerate;
 pub mod error;
+pub mod faults;
 pub mod fingerprint;
 pub mod graph;
 pub mod memo;
 pub mod plan;
 pub mod query;
+pub mod sync;
 
 pub use atomic_memo::AtomicMemo;
 pub use bigset::BigSet;
@@ -50,6 +56,7 @@ pub use blocks::{find_blocks, BlockDecomposition};
 pub use counters::{CacheCounters, CacheSnapshot, Counters, ExecCounters, LevelStats, Profile};
 pub use enumerate::{EnumerationMode, FrontierEnumerator, SeenTable};
 pub use error::OptError;
+pub use faults::{FaultAction, FaultPlan, Faults};
 pub use fingerprint::{canonicalize, CanonicalQuery, Fingerprint};
 pub use graph::{Edge, JoinGraph};
 pub use memo::{MemoEntry, MemoHealth, MemoStore, MemoTable};

@@ -1,0 +1,76 @@
+//! Poison-recovering lock helpers.
+//!
+//! The serving stack isolates panics instead of aborting: a worker that
+//! panics mid-poll is caught and the task completed with an error. That
+//! leaves `std` mutexes it held *poisoned*, and the previous idiom —
+//! `lock().expect("poisoned")` at every site — turned one contained panic
+//! into a process-wide cascade: every later caller of the same lock
+//! panicked in turn. All the state guarded by these locks is
+//! panic-consistent (queues of owned items, waker lists, counter slots;
+//! invariants are re-established before any unwind can start or are
+//! re-checked by the next holder), so the right policy is to take the
+//! guard back and keep serving.
+//!
+//! These helpers centralize that policy. They are the only place in the
+//! workspace that touches [`std::sync::PoisonError`]; call sites read as
+//! plain lock acquisitions.
+
+use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+///
+/// Equivalent to `m.lock().unwrap()` except that poisoning — a panic on
+/// another thread while it held this lock — is cleared instead of
+/// propagated. Use only for state that stays consistent across an unwind
+/// (see the module docs).
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison-recovery policy as
+/// [`lock_recover`].
+pub fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`] with the same poison-recovery policy as
+/// [`lock_recover`].
+pub fn wait_timeout_recover<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, timeout)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_recover_clears_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recover(&m), 7);
+        *lock_recover(&m) = 8;
+        assert_eq!(*lock_recover(&m), 8);
+    }
+
+    #[test]
+    fn wait_timeout_recover_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let (_g, res) = wait_timeout_recover(&cv, lock_recover(&m), Duration::from_millis(1));
+        assert!(res.timed_out());
+    }
+}

@@ -94,6 +94,41 @@ pub fn work_units(profile: &Profile, w: &OpWeights) -> f64 {
         .sum()
 }
 
+/// A-priori estimate of the pair-equivalent work an *exact* DP spends on an
+/// `n`-relation query with `edges` join edges, before any run exists to
+/// profile.
+///
+/// The two closed forms that bracket exact enumeration are the chain
+/// (`#CCP ≈ n³/6`, the sparse floor) and the clique (`#CCP ≈ (3ⁿ − 2ⁿ⁺¹)/2`,
+/// the dense ceiling); real topologies land in between, roughly
+/// log-linearly in edge density. This estimate interpolates the two in log
+/// space by density and adds a couple of set-overhead units per pair. It is
+/// deliberately coarse — a deadline router only needs the right order of
+/// magnitude to decide "can this budget afford exact planning at all", and
+/// callers refine it with observed walls (EWMA) as traffic repeats.
+pub fn estimate_exact_units(n: usize, edges: usize) -> f64 {
+    let n = n.max(2);
+    let nf = n as f64;
+    let sparse = nf.powi(3) / 2.0;
+    // Cap the dense exponent so the estimate stays finite and comparable
+    // even for inputs beyond the exact-DP regime.
+    let dense = 3f64.powf(nf.min(40.0));
+    let min_e = n - 1;
+    let max_e = n * (n - 1) / 2;
+    let density = if max_e > min_e {
+        ((edges.max(min_e) - min_e) as f64 / (max_e - min_e) as f64).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    sparse * (dense / sparse).max(1.0).powf(density)
+}
+
+/// [`estimate_exact_units`] turned into predicted single-thread wall time
+/// with a calibration — the deadline router's "can I afford exact?" check.
+pub fn estimate_exact_planning(n: usize, edges: usize, cal: &Calibration) -> Duration {
+    Duration::from_nanos((estimate_exact_units(n, edges) * cal.ns_per_unit) as u64)
+}
+
 /// Multi-core CPU model.
 #[derive(Copy, Clone, Debug)]
 pub struct CpuModel {
@@ -362,6 +397,24 @@ mod tests {
         assert!(diverged > converged);
         let ratio = diverged.as_nanos() as f64 / converged.as_nanos() as f64;
         assert!(ratio > 2.0 && ratio < 3.2);
+    }
+
+    #[test]
+    fn exact_estimate_orders_topologies() {
+        // Denser graphs cost more at equal n; bigger n costs more at equal
+        // density; and the absolute scale is sane (chain-16 predicted in
+        // the µs–ms band with the default container calibration).
+        let chain16 = estimate_exact_units(16, 15);
+        let dense16 = estimate_exact_units(16, 60);
+        let clique16 = estimate_exact_units(16, 120);
+        assert!(chain16 < dense16 && dense16 < clique16);
+        assert!(estimate_exact_units(10, 9) < chain16);
+        let cal = Calibration::default_for_container();
+        let t = estimate_exact_planning(16, 15, &cal);
+        assert!(t > Duration::from_micros(10) && t < Duration::from_millis(50));
+        // Degenerate inputs do not panic or go non-finite.
+        assert!(estimate_exact_units(1, 0).is_finite());
+        assert!(estimate_exact_units(64, 2016).is_finite());
     }
 
     #[test]

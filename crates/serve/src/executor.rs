@@ -25,13 +25,29 @@
 //! "poll returned Pending" and "task parked" cannot drop the task. A wake
 //! during `Scheduled`/`Rescheduled` is a no-op (the task will be polled
 //! again anyway), so wake storms collapse into one poll.
+//!
+//! ## Panic isolation
+//!
+//! A future that panics mid-poll must cost *one task*, not a worker thread
+//! and every later holder of the locks that thread was trampling. Every
+//! poll runs under `catch_unwind`: on a panic the task's future is dropped,
+//! its state is forced to `Done`, and its **abort hook** runs — completing
+//! the task's [`Join`] with [`JoinError`] so no waiter hangs on a task that
+//! will never finish. The worker thread itself wears a second
+//! `catch_unwind` backstop (a panic escaping the per-poll one restarts the
+//! loop in place), and all pool locks go through the poison-recovering
+//! helpers so an unwind never cascades. Caught polls are counted; the
+//! front-end surfaces them as `worker_respawns`.
 
+use mpdp_core::faults::{site, Faults};
+use mpdp_core::sync::{lock_recover, wait_recover};
 use std::collections::VecDeque;
 use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::pin::Pin;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
-use std::task::{Context, Wake, Waker};
+use std::task::{Context, Poll, Wake, Waker};
 
 type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
 
@@ -42,6 +58,19 @@ const RUNNING: u8 = 2;
 const RESCHEDULED: u8 = 3;
 const DONE: u8 = 4;
 
+/// The task's future panicked (or was dropped unfinished at executor
+/// shutdown) before producing its output.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct JoinError;
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task panicked or was aborted before completing")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
 struct Task {
     state: AtomicU8,
     /// The future, polled under this mutex. Wakers never touch the slot
@@ -49,6 +78,14 @@ struct Task {
     /// uncontended except against a task being polled on two workers — which
     /// the state machine already rules out.
     future: Mutex<Option<BoxFuture>>,
+    /// Runs when the task dies without completing (poll panic, or dropped
+    /// unfinished with the pool): completes the `Join` with an error so no
+    /// waiter hangs. A completed task's hook is a no-op.
+    abort: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+    /// Critical tasks (dispatcher supervisors — the recovery machinery
+    /// itself) are exempt from the injected `executor.poll` fault site;
+    /// their resilience is exercised by the faults that unwind *into* them.
+    exempt: bool,
     /// Weak: tasks must not keep the pool alive after the executor drops.
     pool: Weak<Pool>,
 }
@@ -80,32 +117,84 @@ impl Task {
         }
     }
 
+    /// Invokes the abort hook (idempotent: the hook is taken, and a
+    /// completed task's hook finds its join slot already filled).
+    fn abort(&self) {
+        if let Some(hook) = lock_recover(&self.abort).take() {
+            hook();
+        }
+    }
+
     /// One poll, on a worker thread. The task is in `Scheduled` state.
     fn run(self: &Arc<Self>) {
         self.state.store(RUNNING, Ordering::Release);
         let waker = Waker::from(Arc::clone(self));
-        let mut cx = Context::from_waker(&waker);
-        let mut slot = self.future.lock().expect("task future poisoned");
-        let Some(fut) = slot.as_mut() else {
-            return; // already completed (defensive; DONE never re-queues)
-        };
-        if fut.as_mut().poll(&mut cx).is_ready() {
-            *slot = None; // drop the future's captures promptly
-            self.state.store(DONE, Ordering::Release);
-            return;
+        let pool = self.pool.upgrade();
+        let polled = catch_unwind(AssertUnwindSafe(|| {
+            // Fault site inside the catch region: an injected panic takes
+            // exactly the containment path a real poll panic takes.
+            if !self.exempt {
+                if let Some(pool) = &pool {
+                    let _ = pool.faults.apply_panic_stall(site::EXECUTOR_POLL);
+                }
+            }
+            let mut cx = Context::from_waker(&waker);
+            let mut slot = lock_recover(&self.future);
+            let Some(fut) = slot.as_mut() else {
+                return true; // already completed (defensive; DONE never re-queues)
+            };
+            if fut.as_mut().poll(&mut cx).is_ready() {
+                *slot = None; // drop the future's captures promptly
+                true
+            } else {
+                false
+            }
+        }));
+        match polled {
+            Ok(true) => {
+                self.state.store(DONE, Ordering::Release);
+            }
+            Ok(false) => {
+                // Pending: park, unless a wake arrived during the poll.
+                if self
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    // RESCHEDULED — the wake's push was suppressed (state was
+                    // not IDLE); requeue on its behalf.
+                    self.state.store(SCHEDULED, Ordering::Release);
+                    if let Some(pool) = self.pool.upgrade() {
+                        pool.push(Arc::clone(self));
+                    }
+                }
+            }
+            Err(_) => {
+                // The poll panicked. The task is dead: drop its future (it
+                // must never be polled again), complete its join with an
+                // error, and count the containment. The worker thread
+                // itself is unharmed.
+                *lock_recover(&self.future) = None;
+                self.state.store(DONE, Ordering::Release);
+                // Count before completing the join: an observer woken by the
+                // JoinError must already see this containment in the counter.
+                if let Some(pool) = &pool {
+                    pool.panics.fetch_add(1, Ordering::Relaxed);
+                }
+                self.abort();
+            }
         }
-        drop(slot);
-        // Pending: park, unless a wake arrived during the poll.
-        if self
-            .state
-            .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
-            .is_err()
-        {
-            // RESCHEDULED — the wake's push was suppressed (state was not
-            // IDLE); requeue on its behalf.
-            self.state.store(SCHEDULED, Ordering::Release);
-            if let Some(pool) = self.pool.upgrade() {
-                pool.push(Arc::clone(self));
+    }
+}
+
+impl Drop for Task {
+    /// A task dropped unfinished (executor shutdown with the future still
+    /// parked on an external event) completes its join with an error
+    /// instead of stranding the waiter. Completed tasks' hooks are no-ops.
+    fn drop(&mut self) {
+        if let Ok(mut hook) = self.abort.lock() {
+            if let Some(hook) = hook.take() {
+                hook();
             }
         }
     }
@@ -125,6 +214,11 @@ impl Wake for Task {
 struct Pool {
     queue: Mutex<PoolState>,
     cv: Condvar,
+    /// Poll panics caught and contained (the front-end folds this into its
+    /// `worker_respawns` metric). Shared as an `Arc` so observers outlive
+    /// the executor.
+    panics: Arc<AtomicU64>,
+    faults: Faults,
 }
 
 struct PoolState {
@@ -134,7 +228,7 @@ struct PoolState {
 
 impl Pool {
     fn push(&self, task: Arc<Task>) {
-        let mut q = self.queue.lock().expect("run queue poisoned");
+        let mut q = lock_recover(&self.queue);
         q.run.push_back(task);
         drop(q);
         self.cv.notify_one();
@@ -143,7 +237,7 @@ impl Pool {
     fn worker_loop(&self) {
         loop {
             let task = {
-                let mut q = self.queue.lock().expect("run queue poisoned");
+                let mut q = lock_recover(&self.queue);
                 loop {
                     if let Some(task) = q.run.pop_front() {
                         break task;
@@ -151,7 +245,7 @@ impl Pool {
                     if q.shutdown {
                         return;
                     }
-                    q = self.cv.wait(q).expect("run queue poisoned");
+                    q = wait_recover(&self.cv, q);
                 }
             };
             task.run();
@@ -161,7 +255,7 @@ impl Pool {
 
 /// Completion slot shared between a spawned task and its [`Join`] handle.
 struct JoinState<T> {
-    slot: Mutex<Option<T>>,
+    slot: Mutex<Option<Result<T, JoinError>>>,
     cv: Condvar,
 }
 
@@ -173,20 +267,80 @@ pub struct Join<T> {
 }
 
 impl<T> Join<T> {
-    /// Blocks until the task completes and returns its output.
+    /// Blocks until the task completes and returns its output, panicking if
+    /// the task itself panicked (use [`Join::join`] to observe that as a
+    /// value). Cannot hang: a task that dies before completing — poll
+    /// panic, executor shutdown — resolves the join with [`JoinError`].
     pub fn wait(self) -> T {
-        let mut slot = self.state.slot.lock().expect("join slot poisoned");
+        match self.join() {
+            Ok(out) => out,
+            Err(e) => panic!("Join::wait: {e}"),
+        }
+    }
+
+    /// Blocks until the task completes; `Err(JoinError)` if it panicked or
+    /// was aborted instead of producing an output.
+    pub fn join(self) -> Result<T, JoinError> {
+        let mut slot = lock_recover(&self.state.slot);
         loop {
             if let Some(out) = slot.take() {
                 return out;
             }
-            slot = self.state.cv.wait(slot).expect("join slot poisoned");
+            slot = wait_recover(&self.state.cv, slot);
         }
     }
 
-    /// `Some(output)` if the task already completed, without blocking.
-    pub fn try_take(&self) -> Option<T> {
-        self.state.slot.lock().expect("join slot poisoned").take()
+    /// The task's outcome, if it already completed (non-blocking).
+    pub fn try_take(&self) -> Option<Result<T, JoinError>> {
+        lock_recover(&self.state.slot).take()
+    }
+
+    /// `true` once the task has completed (or died) and its outcome is
+    /// waiting to be taken.
+    pub fn is_finished(&self) -> bool {
+        lock_recover(&self.state.slot).is_some()
+    }
+}
+
+/// Future combinator: polls the inner future with `catch_unwind`, turning a
+/// panic during the poll into `Err(JoinError)` instead of unwinding the
+/// caller. The dispatcher uses it at two granularities — around one
+/// request's planning (a planner panic fails one ticket) and around its
+/// whole loop (anything else restarts the loop via the supervisor).
+///
+/// After an `Err` the inner future is poisoned and must not be polled
+/// again; `CatchUnwind` fuses itself by dropping the future.
+pub struct CatchUnwind<F> {
+    inner: Option<F>,
+}
+
+impl<F> CatchUnwind<F> {
+    /// Wraps `fut`.
+    pub fn new(fut: F) -> CatchUnwind<F> {
+        CatchUnwind { inner: Some(fut) }
+    }
+}
+
+impl<F: Future> Future for CatchUnwind<F> {
+    type Output = Result<F::Output, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: structural projection into the only field; the inner
+        // future is never moved out while pinned (dropping in place on
+        // panic is allowed for pinned values).
+        let this = unsafe { self.get_unchecked_mut() };
+        let Some(fut) = this.inner.as_mut() else {
+            return Poll::Ready(Err(JoinError)); // polled after a panic
+        };
+        let fut = unsafe { Pin::new_unchecked(fut) };
+        match catch_unwind(AssertUnwindSafe(|| fut.poll(cx))) {
+            Ok(Poll::Ready(out)) => Poll::Ready(Ok(out)),
+            Ok(Poll::Pending) => Poll::Pending,
+            Err(_) => {
+                this.inner = None;
+                Poll::Ready(Err(JoinError))
+            }
+        }
     }
 }
 
@@ -200,6 +354,7 @@ impl std::fmt::Debug for Executor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Executor")
             .field("workers", &self.workers.len())
+            .field("panics", &self.pool.panics.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -207,19 +362,38 @@ impl std::fmt::Debug for Executor {
 impl Executor {
     /// Starts `threads` worker threads (clamped to at least 1).
     pub fn new(threads: usize) -> Executor {
+        Executor::with_faults(threads, Faults::disarmed())
+    }
+
+    /// [`Executor::new`] with an armed fault-injection handle: each
+    /// non-critical task poll checks [`site::EXECUTOR_POLL`].
+    pub fn with_faults(threads: usize, faults: Faults) -> Executor {
         let pool = Arc::new(Pool {
             queue: Mutex::new(PoolState {
                 run: VecDeque::new(),
                 shutdown: false,
             }),
             cv: Condvar::new(),
+            panics: Arc::new(AtomicU64::new(0)),
+            faults,
         });
         let workers = (0..threads.max(1))
             .map(|i| {
                 let pool = Arc::clone(&pool);
                 std::thread::Builder::new()
                     .name(format!("mpdp-serve-worker-{i}"))
-                    .spawn(move || pool.worker_loop())
+                    .spawn(move || {
+                        // Backstop: the per-poll catch_unwind should contain
+                        // everything, but a panic escaping it (queue lock
+                        // machinery, allocator) restarts the loop in place
+                        // instead of silently shrinking the pool.
+                        loop {
+                            if catch_unwind(AssertUnwindSafe(|| pool.worker_loop())).is_ok() {
+                                break;
+                            }
+                            pool.panics.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
                     .expect("spawn executor worker")
             })
             .collect();
@@ -231,8 +405,34 @@ impl Executor {
         self.workers.len()
     }
 
+    /// Poll panics caught so far, as a handle that stays readable after the
+    /// executor is dropped (the front-end folds it into `worker_respawns`).
+    pub fn panic_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.pool.panics)
+    }
+
     /// Spawns a future onto the pool, returning a handle to its output.
     pub fn spawn<F, T>(&self, fut: F) -> Join<T>
+    where
+        F: Future<Output = T> + Send + 'static,
+        T: Send + 'static,
+    {
+        self.spawn_inner(fut, false)
+    }
+
+    /// [`Executor::spawn`] for recovery-critical tasks (the front-end's
+    /// dispatcher supervisors): exempt from the injected `executor.poll`
+    /// fault site, since they *are* the containment the chaos suite tests —
+    /// faults reach them by unwinding out of the work they supervise.
+    pub fn spawn_critical<F, T>(&self, fut: F) -> Join<T>
+    where
+        F: Future<Output = T> + Send + 'static,
+        T: Send + 'static,
+    {
+        self.spawn_inner(fut, true)
+    }
+
+    fn spawn_inner<F, T>(&self, fut: F, exempt: bool) -> Join<T>
     where
         F: Future<Output = T> + Send + 'static,
         T: Send + 'static,
@@ -242,13 +442,23 @@ impl Executor {
             cv: Condvar::new(),
         });
         let task_state = Arc::clone(&state);
+        let abort_state = Arc::clone(&state);
         let task = Arc::new(Task {
             state: AtomicU8::new(IDLE),
             future: Mutex::new(Some(Box::pin(async move {
                 let out = fut.await;
-                *task_state.slot.lock().expect("join slot poisoned") = Some(out);
+                *lock_recover(&task_state.slot) = Some(Ok(out));
                 task_state.cv.notify_all();
             }))),
+            abort: Mutex::new(Some(Box::new(move || {
+                let mut slot = lock_recover(&abort_state.slot);
+                if slot.is_none() {
+                    *slot = Some(Err(JoinError));
+                }
+                drop(slot);
+                abort_state.cv.notify_all();
+            }))),
+            exempt,
             pool: Arc::downgrade(&self.pool),
         });
         task.schedule();
@@ -258,32 +468,27 @@ impl Executor {
 
 impl Drop for Executor {
     /// Graceful: workers drain the run queue, then exit. Tasks parked on an
-    /// external event (never re-woken) are simply dropped with the pool;
-    /// the serving front-end closes its request queue *before* dropping the
-    /// executor so its dispatchers run to completion first.
+    /// external event (never re-woken) are dropped with the pool — their
+    /// abort hooks resolve any `Join` with [`JoinError`]; the serving
+    /// front-end closes its request queue *before* dropping the executor so
+    /// its dispatchers run to completion first.
     fn drop(&mut self) {
         {
-            let mut q = self.pool.queue.lock().expect("run queue poisoned");
+            let mut q = lock_recover(&self.pool.queue);
             q.shutdown = true;
         }
-        self.cv_broadcast();
+        self.pool.cv.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
     }
 }
 
-impl Executor {
-    fn cv_broadcast(&self) {
-        self.pool.cv.notify_all();
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mpdp_core::faults::{FaultAction, FaultPlan};
     use std::sync::atomic::AtomicUsize;
-    use std::task::Poll;
 
     #[test]
     fn spawn_and_join_many() {
@@ -341,5 +546,63 @@ mod tests {
         let j = ex.spawn(async { 7 });
         assert_eq!(j.wait(), 7);
         drop(ex); // must not hang
+    }
+
+    /// A panicking task costs one JoinError, not a worker or a sibling.
+    #[test]
+    fn panicking_task_is_contained() {
+        let ex = Executor::new(2);
+        let bad = ex.spawn(async {
+            panic!("task boom");
+        });
+        assert_eq!(bad.join(), Err(JoinError));
+        // The pool still serves work on every thread afterwards.
+        let joins: Vec<Join<u32>> = (0..32).map(|i| ex.spawn(async move { i })).collect();
+        let total: u32 = joins.into_iter().map(|j| j.wait()).sum();
+        assert_eq!(total, (0..32).sum::<u32>());
+        assert_eq!(ex.panic_counter().load(Ordering::Relaxed), 1);
+    }
+
+    /// Injected executor.poll faults take the same containment path.
+    #[test]
+    fn injected_poll_panic_resolves_join_with_error() {
+        let faults = FaultPlan::new()
+            .fault(site::EXECUTOR_POLL, 0, FaultAction::Panic)
+            .arm();
+        let ex = Executor::with_faults(1, faults.clone());
+        let j = ex.spawn(async { 1u32 });
+        assert_eq!(j.join(), Err(JoinError));
+        assert_eq!(faults.fired_at(site::EXECUTOR_POLL), 1);
+        // Subsequent tasks (no more scheduled faults) run normally.
+        assert_eq!(ex.spawn(async { 2u32 }).wait(), 2);
+    }
+
+    /// Executor shutdown resolves still-parked tasks' joins instead of
+    /// stranding their waiters.
+    #[test]
+    fn dropping_executor_aborts_parked_tasks() {
+        let ex = Executor::new(1);
+        let j = ex.spawn(async {
+            std::future::pending::<()>().await;
+            3u32
+        });
+        drop(ex);
+        assert_eq!(j.join(), Err(JoinError));
+    }
+
+    #[test]
+    fn catch_unwind_wraps_panics_and_passthroughs() {
+        let ex = Executor::new(1);
+        let j = ex.spawn(async {
+            let ok = CatchUnwind::new(async { 5u32 }).await;
+            let bad = CatchUnwind::new(async {
+                panic!("inner boom");
+            })
+            .await;
+            (ok, bad.is_err())
+        });
+        let (ok, caught) = j.wait();
+        assert_eq!(ok, Ok(5));
+        assert!(caught);
     }
 }

@@ -12,15 +12,15 @@
 //! ## Request lifecycle
 //!
 //! ```text
-//! submit(tenant, query)
+//! submit(tenant, query [, deadline])
 //!   │ tenant quota check ──✗──▶ Rejected::QuotaExhausted   (counted shed)
 //!   │ bounded queue push ──✗──▶ Rejected::QueueFull        (counted shed)
 //!   ▼
 //! PlanTicket ◀── accepted; the caller holds the completion handle
 //!   │
-//! dispatcher task pops ──▶ PlanService::plan_async ──▶ hit | cold | coalesced
-//!   │                                                      (exact counters)
-//!   ▼
+//! dispatcher task pops ──▶ PlanService::plan_async
+//!   │                        ──▶ hit | cold | coalesced | degraded
+//!   ▼                                              (exact counters)
 //! ticket completes: plan in the caller's labels + end-to-end latency
 //! ```
 //!
@@ -36,6 +36,22 @@
 //! pressure) and an in-flight quota. The quota is the cheap fairness knob:
 //! a tenant flooding the front-end exhausts its own quota and sheds,
 //! leaving the shared queue for the others.
+//!
+//! ## Failure domains
+//!
+//! "Every accepted request completes" has to survive more than a clean
+//! shutdown. Each accepted request's accounting — its tenant quota slot,
+//! its ticket completion, the front-door gauges — is owned by an RAII
+//! *lease* that settles the books exactly once however the request leaves
+//! the system, including on a panicking dispatcher's stack. Dispatcher
+//! loops run under per-request and per-loop `catch_unwind` with a
+//! supervisor that restarts them (counted as `worker_respawns`); executor
+//! task polls and the reactor driver are panic-isolated the same way (see
+//! [`executor`] and [`reactor`]); and every lock in the crate recovers from
+//! poison instead of cascading. Deadline-carrying requests that cannot
+//! afford exact planning degrade to a heuristic plan inside `PlanService`
+//! rather than blowing their budget. The whole surface is exercised by
+//! seeded fault injection ([`mpdp_core::faults`]) in the chaos suite.
 
 #![warn(missing_docs)]
 
@@ -43,15 +59,17 @@ pub mod executor;
 pub mod queue;
 pub mod reactor;
 
-pub use executor::{Executor, Join};
+pub use executor::{CatchUnwind, Executor, Join, JoinError};
 pub use queue::{Bounded, PushError};
 pub use reactor::{Reactor, Sleep};
 
 use mpdp::service::{PlanRequest, PlanService, PlanServiceBuilder, ServedPlan};
 use mpdp_core::counters::{CacheSnapshot, ServeCounters, ServeSnapshot};
+use mpdp_core::faults::{site, Faults};
+use mpdp_core::sync::{lock_recover, wait_recover, wait_timeout_recover};
 use mpdp_core::{LargeQuery, OptError};
 use mpdp_cost::model::CostModel;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -96,6 +114,19 @@ pub struct ServeConfig {
     pub executor_threads: usize,
     /// Default per-request optimization budget.
     pub budget: Option<Duration>,
+    /// Default per-request deadline: each submission's absolute deadline
+    /// becomes `now + default_deadline` unless
+    /// [`ServeFront::submit_with_deadline`] overrides it. Requests that
+    /// cannot afford their routed exact strategy within the remaining
+    /// budget — or that time out mid-flight — degrade to a heuristic plan
+    /// (`ServedVia::Degraded`) instead of missing the deadline. `None`
+    /// disables the deadline machinery.
+    pub default_deadline: Option<Duration>,
+    /// Fault-injection handle shared by every component (queue, executor,
+    /// reactor, dispatcher, planner). Chaos tests arm it with a seeded
+    /// [`mpdp_core::FaultPlan`]; production leaves it disarmed (the
+    /// default), which costs one branch per instrumented site.
+    pub faults: Faults,
     /// The tenants; at least one. Requests address tenants by index.
     pub tenants: Vec<TenantConfig>,
 }
@@ -110,6 +141,8 @@ impl Default for ServeConfig {
                 .unwrap_or(2)
                 .max(2),
             budget: None,
+            default_deadline: None,
+            faults: Faults::disarmed(),
             tenants: vec![TenantConfig::named("default")],
         }
     }
@@ -154,9 +187,23 @@ struct TicketState {
     cv: Condvar,
 }
 
-/// Completion handle for one accepted request.
+impl TicketState {
+    fn new() -> Arc<TicketState> {
+        Arc::new(TicketState {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+}
+
+/// Completion handle for one accepted request. Dropping a ticket without
+/// taking its result is counted (`abandoned_tickets`); the request itself
+/// still completes and settles its quota slot through its lease.
 pub struct PlanTicket {
     state: Arc<TicketState>,
+    /// Present until the result is taken; `Drop` uses it to count
+    /// abandonment.
+    counters: Option<Arc<ServeCounters>>,
 }
 
 impl std::fmt::Debug for PlanTicket {
@@ -167,30 +214,134 @@ impl std::fmt::Debug for PlanTicket {
 
 impl PlanTicket {
     /// Blocks until the request completes. Accepted requests always
-    /// complete (the dispatcher finishes or fails each popped request, and
-    /// shutdown drains the queue first), so this cannot hang.
-    pub fn wait(self) -> Completed {
-        let mut slot = self.state.slot.lock().expect("ticket poisoned");
+    /// complete — the dispatcher finishes or fails each popped request,
+    /// leases settle requests dropped on a panicking path, and shutdown
+    /// drains the queue first — so this cannot hang.
+    pub fn wait(mut self) -> Completed {
+        self.counters = None;
+        let mut slot = lock_recover(&self.state.slot);
         loop {
             if let Some(done) = slot.take() {
                 return done;
             }
-            slot = self.state.cv.wait(slot).expect("ticket poisoned");
+            slot = wait_recover(&self.state.cv, slot);
+        }
+    }
+
+    /// Blocks until the request completes or `timeout` elapses — the
+    /// hang-proof harvest primitive the chaos suite uses (a hung ticket is
+    /// a test failure, not a hung test run).
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Completed> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = lock_recover(&self.state.slot);
+        loop {
+            if let Some(done) = slot.take() {
+                self.counters = None;
+                return Some(done);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            slot = wait_timeout_recover(&self.state.cv, slot, deadline - now).0;
         }
     }
 
     /// The completion, if already available (non-blocking).
-    pub fn try_take(&self) -> Option<Completed> {
-        self.state.slot.lock().expect("ticket poisoned").take()
+    pub fn try_take(&mut self) -> Option<Completed> {
+        let done = lock_recover(&self.state.slot).take();
+        if done.is_some() {
+            self.counters = None;
+        }
+        done
+    }
+}
+
+impl Drop for PlanTicket {
+    fn drop(&mut self) {
+        if let Some(counters) = self.counters.take() {
+            counters.record_abandoned_ticket();
+        }
+    }
+}
+
+/// RAII ownership of one accepted request's accounting: the tenant quota
+/// slot, the ticket completion, and the front-door gauges. However the
+/// request leaves the system — served, failed, or *dropped* on a panicked
+/// dispatcher's stack — the lease settles the books exactly once. This is
+/// what keeps `accepted == completed + failed`, the gauges at zero, and
+/// every waiter released through every chaos schedule.
+struct Lease {
+    tenants: Arc<Vec<Tenant>>,
+    counters: Arc<ServeCounters>,
+    ticket: Arc<TicketState>,
+    tenant: usize,
+    submitted: Instant,
+    /// Counted accepted (pushed to the queue). A lease dropped before the
+    /// push settles only its quota slot.
+    accepted: bool,
+    /// The dispatch gauge move already happened for this request.
+    dispatched: bool,
+    done: bool,
+}
+
+impl Lease {
+    fn service(&self) -> &Arc<PlanService> {
+        &self.tenants[self.tenant].service
+    }
+
+    /// Completes the request: releases the quota slot, records the
+    /// completion, fills the ticket, wakes waiters. Idempotent.
+    fn finish(&mut self, result: Result<ServedPlan, OptError>) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let ok = result.is_ok();
+        self.tenants[self.tenant]
+            .in_flight
+            .fetch_sub(1, Ordering::Release);
+        self.counters.record_done(ok);
+        *lock_recover(&self.ticket.slot) = Some(Completed {
+            result,
+            latency: self.submitted.elapsed(),
+        });
+        self.ticket.cv.notify_all();
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        if self.accepted {
+            // Dropped while owned by a dispatcher chunk (or the queue at
+            // teardown): the request will never be planned. Fail its ticket
+            // instead of stranding the waiter, and keep the gauges exact.
+            if !self.dispatched {
+                self.counters.record_dispatch();
+                self.dispatched = true;
+            }
+            self.finish(Err(OptError::Internal(
+                "request dropped before planning (dispatcher failure or shutdown)".to_string(),
+            )));
+        } else {
+            // Never entered the queue (push refused): give back the quota
+            // slot reserved at construction; no ticket was handed out.
+            self.done = true;
+            self.tenants[self.tenant]
+                .in_flight
+                .fetch_sub(1, Ordering::Release);
+        }
     }
 }
 
 /// One queued request.
 struct Request {
-    tenant: usize,
     query: LargeQuery,
-    submitted: Instant,
-    ticket: Arc<TicketState>,
+    deadline: Option<Instant>,
+    lease: Lease,
 }
 
 struct Tenant {
@@ -209,6 +360,10 @@ pub struct ServeFront {
     queue: Arc<Bounded<Request>>,
     counters: Arc<ServeCounters>,
     reactor: Arc<Reactor>,
+    default_deadline: Option<Duration>,
+    faults: Faults,
+    /// Executor poll panics, readable after the executor is dropped.
+    executor_panics: Arc<AtomicU64>,
     dispatchers: Vec<Join<()>>,
     /// Dropped last (field order): dispatchers must finish before workers
     /// stop, and `shutdown` enforces that ordering explicitly anyway.
@@ -220,8 +375,60 @@ impl std::fmt::Debug for ServeFront {
         f.debug_struct("ServeFront")
             .field("tenants", &self.tenants.len())
             .field("queue", &self.queue)
-            .field("counters", &self.counters.snapshot())
+            .field("counters", &self.serve_counters())
             .finish()
+    }
+}
+
+/// One dispatcher's serving loop: pop, drain a chunk, plan each request,
+/// settle each lease. Runs under the supervisor's `CatchUnwind`; a panic
+/// anywhere in here (injected `queue.pop` / `dispatch.chunk` faults, a
+/// planner panic that escapes the per-request isolation, a poisoned
+/// downstream lock) unwinds with the in-flight chunk on this stack, whose
+/// leases fail their tickets on the way down — then the supervisor restarts
+/// the loop.
+async fn dispatch_loop(
+    queue: Arc<Bounded<Request>>,
+    counters: Arc<ServeCounters>,
+    model: Arc<dyn CostModel + Send + Sync>,
+    faults: Faults,
+) {
+    // Drain in chunks: after the awaited head request, take up to a chunk
+    // more under one lock — at 100k+ req/s, per-request lock and gauge
+    // traffic is the difference between plateauing and collapsing under
+    // overload. A chunk rides on one dispatcher, so a cold plan delays its
+    // chunk-mates; chunks are kept small and cold plans are rare by
+    // construction (single-flight + warm cache).
+    const CHUNK: usize = 32;
+    let mut batch: Vec<Request> = Vec::with_capacity(CHUNK);
+    while let Some(req) = queue.pop().await {
+        batch.push(req);
+        queue.drain_into(&mut batch, CHUNK - 1);
+        counters.record_dispatch_n(batch.len() as u64);
+        for r in batch.iter_mut() {
+            r.lease.dispatched = true;
+        }
+        // Fault site: one check per chunk, after the gauge move so a panic
+        // here leaves the books settled by the leases (`Error` has no
+        // channel at chunk granularity and is a no-op).
+        let _ = faults.apply_panic_stall(site::DISPATCH_CHUNK);
+        for mut req in batch.drain(..) {
+            let opts = PlanRequest {
+                deadline: req.deadline,
+                ..PlanRequest::default()
+            };
+            let service = Arc::clone(req.lease.service());
+            let m: &(dyn CostModel + Sync) = &*model;
+            // Per-request panic isolation: a planner that blows up fails
+            // *this* ticket and the loop keeps serving its chunk-mates.
+            let result = match CatchUnwind::new(service.plan_async(&req.query, m, &opts)).await {
+                Ok(result) => result,
+                Err(_) => Err(OptError::Internal(
+                    "planner panicked; request failed in isolation".to_string(),
+                )),
+            };
+            req.lease.finish(result);
+        }
     }
 }
 
@@ -241,7 +448,8 @@ impl ServeFront {
                     service: Arc::new({
                         let mut b = PlanServiceBuilder::new()
                             .cache_capacity(t.cache_capacity)
-                            .cache_shards(t.cache_shards);
+                            .cache_shards(t.cache_shards)
+                            .faults(config.faults.clone());
                         if let Some(budget) = config.budget {
                             b = b.budget(budget);
                         }
@@ -252,44 +460,36 @@ impl ServeFront {
                 })
                 .collect(),
         );
-        let queue: Arc<Bounded<Request>> = Arc::new(Bounded::new(config.queue_depth));
+        let queue: Arc<Bounded<Request>> = Arc::new(Bounded::with_faults(
+            config.queue_depth,
+            config.faults.clone(),
+        ));
         let counters = Arc::new(ServeCounters::default());
-        let executor = Executor::new(config.executor_threads);
-        let reactor = Arc::new(Reactor::new());
+        let executor = Executor::with_faults(config.executor_threads, config.faults.clone());
+        let executor_panics = executor.panic_counter();
+        let reactor = Arc::new(Reactor::with_faults(config.faults.clone()));
 
         let dispatchers = (0..config.dispatchers.max(1))
             .map(|_| {
                 let queue = Arc::clone(&queue);
-                let tenants = Arc::clone(&tenants);
                 let counters = Arc::clone(&counters);
                 let model = Arc::clone(&model);
-                executor.spawn(async move {
-                    let req_opts = PlanRequest::default();
-                    // Drain in chunks: after the awaited head request, take
-                    // up to a chunk more under one lock — at 100k+ req/s,
-                    // per-request lock and gauge traffic is the difference
-                    // between plateauing and collapsing under overload. A
-                    // chunk rides on one dispatcher, so a cold plan delays
-                    // its chunk-mates; chunks are kept small and cold plans
-                    // are rare by construction (single-flight + warm cache).
-                    const CHUNK: usize = 32;
-                    let mut batch: Vec<Request> = Vec::with_capacity(CHUNK);
-                    while let Some(req) = queue.pop().await {
-                        batch.push(req);
-                        queue.drain_into(&mut batch, CHUNK - 1);
-                        counters.record_dispatch_n(batch.len() as u64);
-                        for req in batch.drain(..) {
-                            let tenant = &tenants[req.tenant];
-                            let m: &(dyn CostModel + Sync) = &*model;
-                            let result = tenant.service.plan_async(&req.query, m, &req_opts).await;
-                            tenant.in_flight.fetch_sub(1, Ordering::Release);
-                            counters.record_done(result.is_ok());
-                            let done = Completed {
-                                result,
-                                latency: req.submitted.elapsed(),
-                            };
-                            *req.ticket.slot.lock().expect("ticket poisoned") = Some(done);
-                            req.ticket.cv.notify_all();
+                let faults = config.faults.clone();
+                // Supervisor: restart the serving loop after any caught
+                // panic, until the queue reports closed-and-drained.
+                // `spawn_critical` exempts the supervisor itself from the
+                // injected executor.poll site — it *is* the containment.
+                executor.spawn_critical(async move {
+                    loop {
+                        let serving = dispatch_loop(
+                            Arc::clone(&queue),
+                            Arc::clone(&counters),
+                            Arc::clone(&model),
+                            faults.clone(),
+                        );
+                        match CatchUnwind::new(serving).await {
+                            Ok(()) => break,
+                            Err(_) => counters.record_worker_respawn(),
                         }
                     }
                 })
@@ -301,17 +501,46 @@ impl ServeFront {
             queue,
             counters,
             reactor,
+            default_deadline: config.default_deadline,
+            faults: config.faults,
+            executor_panics,
             dispatchers,
             executor: Some(executor),
         }
     }
 
+    fn config_deadline(&self) -> Option<Instant> {
+        self.default_deadline.map(|d| Instant::now() + d)
+    }
+
+    fn ticket(&self, state: Arc<TicketState>) -> PlanTicket {
+        PlanTicket {
+            state,
+            counters: Some(Arc::clone(&self.counters)),
+        }
+    }
+
     /// Submits a query for tenant `tenant` (index into the configured
-    /// tenant list). Returns the completion ticket, or the explicit
-    /// admission-control verdict — this call never blocks on planning.
+    /// tenant list), with the config's default deadline (if any). Returns
+    /// the completion ticket, or the explicit admission-control verdict —
+    /// this call never blocks on planning.
     pub fn submit(&self, tenant: usize, query: LargeQuery) -> Result<PlanTicket, Rejected> {
+        self.submit_with_deadline(tenant, query, self.config_deadline())
+    }
+
+    /// [`ServeFront::submit`] with an explicit absolute deadline (`None`
+    /// disables the deadline for this request regardless of the config
+    /// default). A deadline-carrying request that cannot afford its routed
+    /// exact strategy degrades to a heuristic plan instead of missing it.
+    pub fn submit_with_deadline(
+        &self,
+        tenant: usize,
+        query: LargeQuery,
+        deadline: Option<Instant>,
+    ) -> Result<PlanTicket, Rejected> {
         let t = &self.tenants[tenant];
-        // Reserve quota optimistically; roll back on any later refusal.
+        // Reserve quota optimistically; the lease gives it back on any
+        // refusal below (and on every completion path after acceptance).
         let reserved = t
             .in_flight
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
@@ -321,28 +550,37 @@ impl ServeFront {
             self.counters.record_shed_quota();
             return Err(Rejected::QuotaExhausted);
         }
-        let state = Arc::new(TicketState {
-            slot: Mutex::new(None),
-            cv: Condvar::new(),
-        });
+        let state = TicketState::new();
         let request = Request {
-            tenant,
             query,
-            submitted: Instant::now(),
-            ticket: Arc::clone(&state),
+            deadline,
+            lease: Lease {
+                tenants: Arc::clone(&self.tenants),
+                counters: Arc::clone(&self.counters),
+                ticket: Arc::clone(&state),
+                tenant,
+                submitted: Instant::now(),
+                // Set before the push: the dispatcher may pop and settle
+                // the request before `try_push` even returns.
+                accepted: true,
+                dispatched: false,
+                done: false,
+            },
         };
         match self.queue.try_push(request) {
             Ok(()) => {
                 self.counters.record_accept();
-                Ok(PlanTicket { state })
+                Ok(self.ticket(state))
             }
-            Err(PushError::Full(_)) => {
-                t.in_flight.fetch_sub(1, Ordering::Release);
+            Err(PushError::Full(mut r)) => {
+                r.lease.accepted = false; // never entered the queue
                 self.counters.record_shed_queue_full();
+                drop(r); // lease releases the quota slot
                 Err(Rejected::QueueFull)
             }
-            Err(PushError::Closed(_)) => {
-                t.in_flight.fetch_sub(1, Ordering::Release);
+            Err(PushError::Closed(mut r)) => {
+                r.lease.accepted = false;
+                drop(r);
                 Err(Rejected::ShuttingDown)
             }
         }
@@ -392,32 +630,46 @@ impl ServeFront {
         let room = self.queue.free_capacity();
         let admit = reserved.min(room);
         let now = Instant::now();
+        let deadline = self.config_deadline();
         let mut batch: Vec<Request> = Vec::with_capacity(admit);
         for query in queries.by_ref().take(admit) {
             batch.push(Request {
-                tenant,
                 query,
-                submitted: now,
-                ticket: Arc::new(TicketState {
-                    slot: Mutex::new(None),
-                    cv: Condvar::new(),
-                }),
+                deadline,
+                lease: Lease {
+                    tenants: Arc::clone(&self.tenants),
+                    counters: Arc::clone(&self.counters),
+                    ticket: TicketState::new(),
+                    tenant,
+                    submitted: now,
+                    accepted: true,
+                    dispatched: false,
+                    done: false,
+                },
             });
         }
-        let states: Vec<Arc<TicketState>> = batch.iter().map(|r| Arc::clone(&r.ticket)).collect();
+        let built = batch.len();
+        let states: Vec<Arc<TicketState>> =
+            batch.iter().map(|r| Arc::clone(&r.lease.ticket)).collect();
         let pushed = self.queue.try_push_batch(&mut batch);
+        // The unpushed tail (capacity sheds, close races) never entered the
+        // queue; their leases release the quota slots on drop.
+        for r in &mut batch {
+            r.lease.accepted = false;
+        }
+        drop(batch);
+        // Quota reserved beyond what was even built (iterator underrun,
+        // capacity clamp) is given back in one move.
+        let over_reserved = reserved - built;
+        if over_reserved > 0 {
+            t.in_flight.fetch_sub(over_reserved, Ordering::Release);
+        }
         tickets.extend(
             states
                 .into_iter()
                 .take(pushed)
-                .map(|state| PlanTicket { state }),
+                .map(|state| self.ticket(state)),
         );
-        // Give back what was reserved but not pushed (quota sheds beyond
-        // `reserved`, capacity sheds and close-races within it).
-        let unused = reserved - pushed;
-        if unused > 0 {
-            t.in_flight.fetch_sub(unused, Ordering::Release);
-        }
         self.counters.record_accept_n(pushed as u64);
         let quota_shed = offered.saturating_sub(reserved) as u64;
         let queue_shed = (offered - pushed) as u64 - quota_shed;
@@ -442,9 +694,20 @@ impl ServeFront {
         &self.tenants[tenant].name
     }
 
-    /// Front-door counters (accepted / sheds / completed / gauges).
+    /// The shared fault-injection handle (chaos tests inspect fired counts
+    /// through it).
+    pub fn faults(&self) -> &Faults {
+        &self.faults
+    }
+
+    /// Front-door counters (accepted / sheds / completed / gauges), with
+    /// the executor's contained poll panics folded into `worker_respawns`
+    /// and the reactor's driver restarts into `reactor_respawns`.
     pub fn serve_counters(&self) -> ServeSnapshot {
-        self.counters.snapshot()
+        let mut s = self.counters.snapshot();
+        s.worker_respawns += self.executor_panics.load(Ordering::Relaxed);
+        s.reactor_respawns += self.reactor.respawns();
+        s
     }
 
     /// The tenant's cache counters (hits / misses / coalesced / …).
@@ -460,6 +723,8 @@ impl ServeFront {
             total.hits += s.hits;
             total.misses += s.misses;
             total.coalesced += s.coalesced;
+            total.degraded += s.degraded;
+            total.deadline_exceeded += s.deadline_exceeded;
             total.insertions += s.insertions;
             total.evictions += s.evictions;
             total.expirations += s.expirations;
@@ -492,7 +757,7 @@ impl ServeFront {
     pub fn metrics_text(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let s = self.counters.snapshot();
+        let s = self.serve_counters();
         let mut line = |name: &str, v: u64| {
             let _ = writeln!(out, "mpdp_serve_{name} {v}");
         };
@@ -504,6 +769,9 @@ impl ServeFront {
         line("queue_depth", s.queue_depth);
         line("queue_depth_peak", s.queue_depth_peak);
         line("in_flight", s.in_flight);
+        line("worker_respawns_total", s.worker_respawns);
+        line("reactor_respawns_total", s.reactor_respawns);
+        line("abandoned_tickets_total", s.abandoned_tickets);
         for t in self.tenants.iter() {
             let c = t.service.cache_counters();
             let tenant = &t.name;
@@ -513,6 +781,8 @@ impl ServeFront {
             tline("hits_total", c.hits);
             tline("misses_total", c.misses);
             tline("coalesced_total", c.coalesced);
+            tline("degraded_total", c.degraded);
+            tline("deadline_exceeded_total", c.deadline_exceeded);
             tline("insertions_total", c.insertions);
             tline("evictions_total", c.evictions);
             tline("expirations_total", c.expirations);
@@ -522,13 +792,26 @@ impl ServeFront {
         out
     }
 
+    /// Stops admission without blocking: subsequent submissions answer
+    /// [`Rejected::ShuttingDown`], and the dispatchers drain what was
+    /// already accepted (every outstanding ticket still resolves). Safe to
+    /// call from any thread — the non-joining half of
+    /// [`ServeFront::shutdown`], for callers that share the front behind an
+    /// `Arc` and cannot take `&mut self` yet.
+    pub fn close(&self) {
+        self.queue.close();
+    }
+
     /// Stops admission, drains every accepted request, and joins the
     /// dispatcher tasks. Idempotent; also runs on drop. Submissions during
     /// or after shutdown answer [`Rejected::ShuttingDown`].
     pub fn shutdown(&mut self) {
         self.queue.close();
         for d in self.dispatchers.drain(..) {
-            d.wait();
+            // Supervisors catch everything below them, so this is Ok on
+            // every path; tolerate an Err anyway rather than panic during
+            // shutdown/drop.
+            let _ = d.join();
         }
         // Dispatchers are done; now the executor can stop its workers.
         self.executor.take();
@@ -544,6 +827,7 @@ impl Drop for ServeFront {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mpdp_core::faults::{FaultAction, FaultPlan};
     use mpdp_cost::PgLikeCost;
     use mpdp_workload::gen;
 
@@ -572,6 +856,7 @@ mod tests {
         assert_eq!(s.accepted, 16);
         assert_eq!(s.completed, 16);
         assert_eq!((s.queue_depth, s.in_flight), (0, 0));
+        assert_eq!(s.abandoned_tickets, 0, "every ticket was waited on");
         let c = front.cache_counters(0);
         assert_eq!(c.hits + c.misses + c.coalesced, 16, "exact accounting");
         assert_eq!(c.misses, 1, "single-flight: one cold plan");
@@ -628,7 +913,10 @@ mod tests {
         let text = front.metrics_text();
         assert!(text.contains("mpdp_serve_accepted_total 1"));
         assert!(text.contains("mpdp_serve_completed_total 1"));
+        assert!(text.contains("mpdp_serve_worker_respawns_total 0"));
+        assert!(text.contains("mpdp_serve_abandoned_tickets_total 0"));
         assert!(text.contains("mpdp_cache_misses_total{tenant=\"default\"} 1"));
+        assert!(text.contains("mpdp_cache_degraded_total{tenant=\"default\"} 0"));
     }
 
     #[test]
@@ -654,5 +942,102 @@ mod tests {
             front.submit(0, gen::star(6, 1, &m)),
             Err(Rejected::ShuttingDown)
         ));
+    }
+
+    #[test]
+    fn abandoned_tickets_are_counted_and_release_quota() {
+        let front = front(ServeConfig {
+            dispatchers: 1,
+            executor_threads: 2,
+            tenants: vec![TenantConfig {
+                max_in_flight: 4,
+                ..TenantConfig::named("t")
+            }],
+            ..Default::default()
+        });
+        let m = PgLikeCost::new();
+        for i in 0..4 {
+            // Drop each ticket without taking its result.
+            let _ = front
+                .submit(0, gen::star(6 + i, i as u64, &m))
+                .expect("admitted");
+        }
+        // The requests complete server-side and release their quota slots:
+        // with quota 4 and 4 abandoned predecessors, a 5th submission must
+        // eventually be admitted.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let ticket = loop {
+            match front.submit(0, gen::star(9, 99, &m)) {
+                Ok(t) => break t,
+                Err(Rejected::QuotaExhausted) => {
+                    assert!(Instant::now() < deadline, "quota slots never released");
+                    std::thread::yield_now();
+                }
+                Err(other) => panic!("unexpected rejection {other:?}"),
+            }
+        };
+        ticket.wait().result.expect("plans");
+        let s = front.serve_counters();
+        assert_eq!(s.abandoned_tickets, 4);
+        assert_eq!(s.accepted, s.completed + s.failed);
+    }
+
+    #[test]
+    fn deadline_pressed_requests_degrade_instead_of_failing() {
+        let front = front(ServeConfig {
+            dispatchers: 2,
+            executor_threads: 2,
+            // A deadline far too tight for an exact 14-relation cold plan.
+            default_deadline: Some(Duration::from_micros(50)),
+            ..Default::default()
+        });
+        let m = PgLikeCost::new();
+        let done = front
+            .submit(0, gen::chain(14, 7, &m))
+            .expect("admitted")
+            .wait();
+        let plan = done.result.expect("degraded requests still get a plan");
+        assert_eq!(plan.planned.plan.num_rels(), 14);
+        assert_eq!(plan.via, mpdp::service::ServedVia::Degraded);
+        let c = front.cache_counters(0);
+        assert_eq!(c.degraded, 1);
+        assert_eq!(c.misses, 0, "a degraded request is not a miss");
+    }
+
+    #[test]
+    fn dispatcher_panics_are_respawned_and_requests_settle() {
+        let faults = FaultPlan::new()
+            .fault(site::DISPATCH_CHUNK, 0, FaultAction::Panic)
+            .fault(site::DISPATCH_CHUNK, 2, FaultAction::Panic)
+            .arm();
+        let mut front = front(ServeConfig {
+            dispatchers: 1,
+            executor_threads: 2,
+            faults: faults.clone(),
+            ..Default::default()
+        });
+        let m = PgLikeCost::new();
+        let q = gen::star(8, 1, &m);
+        let mut tickets: Vec<PlanTicket> = (0..12)
+            .map(|_| front.submit(0, q.clone()).expect("admitted"))
+            .collect();
+        // Every ticket resolves (served or failed-by-lease), none hang.
+        for t in &mut tickets {
+            assert!(
+                t.wait_timeout(Duration::from_secs(30)).is_some(),
+                "ticket hung after dispatcher panic"
+            );
+        }
+        drop(tickets);
+        front.shutdown();
+        let s = front.serve_counters();
+        assert!(faults.fired_at(site::DISPATCH_CHUNK) >= 1);
+        assert!(s.worker_respawns >= 1, "panicked loop must be respawned");
+        assert_eq!(s.accepted, s.completed + s.failed, "exact accounting");
+        assert_eq!(
+            (s.queue_depth, s.in_flight),
+            (0, 0),
+            "gauges return to zero"
+        );
     }
 }

@@ -10,6 +10,8 @@
 //! the front-end its "every accepted request completes" guarantee during
 //! shutdown.
 
+use mpdp_core::faults::{site, Faults};
+use mpdp_core::sync::lock_recover;
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
@@ -40,6 +42,9 @@ struct State<T> {
 pub struct Bounded<T> {
     state: Mutex<State<T>>,
     capacity: usize,
+    /// Fault-injection handle ([`site::QUEUE_PUSH`] on the submitter's
+    /// thread, [`site::QUEUE_POP`] on the consumer's); disarmed by default.
+    faults: Faults,
 }
 
 impl<T> std::fmt::Debug for Bounded<T> {
@@ -54,6 +59,11 @@ impl<T> std::fmt::Debug for Bounded<T> {
 impl<T> Bounded<T> {
     /// A queue admitting at most `capacity` items (clamped to at least 1).
     pub fn new(capacity: usize) -> Bounded<T> {
+        Bounded::with_faults(capacity, Faults::disarmed())
+    }
+
+    /// [`Bounded::new`] with an armed fault-injection handle (chaos tests).
+    pub fn with_faults(capacity: usize, faults: Faults) -> Bounded<T> {
         Bounded {
             state: Mutex::new(State {
                 items: VecDeque::new(),
@@ -61,6 +71,7 @@ impl<T> Bounded<T> {
                 poppers: Vec::new(),
             }),
             capacity: capacity.max(1),
+            faults,
         }
     }
 
@@ -71,7 +82,7 @@ impl<T> Bounded<T> {
 
     /// Current occupancy.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").items.len()
+        lock_recover(&self.state).items.len()
     }
 
     /// `true` if no item is queued.
@@ -81,8 +92,14 @@ impl<T> Bounded<T> {
 
     /// Non-blocking push: enqueues `item` or explains why not.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        // Fault site on the submitter's thread: seeded plans only stall
+        // here (never panic — `submit` callers must not unwind); an
+        // explicit `Error` sheds as if the queue were full.
+        if self.faults.apply_panic_stall(site::QUEUE_PUSH) {
+            return Err(PushError::Full(item));
+        }
         let waker = {
-            let mut state = self.state.lock().expect("queue poisoned");
+            let mut state = lock_recover(&self.state);
             if state.closed {
                 return Err(PushError::Closed(item));
             }
@@ -100,7 +117,7 @@ impl<T> Bounded<T> {
 
     /// `true` once [`Bounded::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.state.lock().expect("queue poisoned").closed
+        lock_recover(&self.state).closed
     }
 
     /// Free slots remaining (0 when closed). A snapshot — concurrent
@@ -108,7 +125,7 @@ impl<T> Bounded<T> {
     /// batch before building per-request state that a full queue would
     /// throw away.
     pub fn free_capacity(&self) -> usize {
-        let state = self.state.lock().expect("queue poisoned");
+        let state = lock_recover(&self.state);
         if state.closed {
             0
         } else {
@@ -121,8 +138,13 @@ impl<T> Bounded<T> {
     /// pushed; the unpushed tail is handed back in `items` (order
     /// preserved). Wakes as many parked poppers as items pushed.
     pub fn try_push_batch(&self, items: &mut Vec<T>) -> usize {
+        // Same submitter-thread fault site as `try_push`; an `Error` sheds
+        // the whole batch (handed back untouched, like a full queue).
+        if self.faults.apply_panic_stall(site::QUEUE_PUSH) {
+            return 0;
+        }
         let (pushed, wakers) = {
-            let mut state = self.state.lock().expect("queue poisoned");
+            let mut state = lock_recover(&self.state);
             if state.closed {
                 return 0;
             }
@@ -144,7 +166,12 @@ impl<T> Bounded<T> {
     /// [`Bounded::try_push_batch`]: a dispatcher that drains its backlog in
     /// chunks pays one lock per chunk instead of one per request.
     pub fn drain_into(&self, buf: &mut Vec<T>, max: usize) -> usize {
-        let mut state = self.state.lock().expect("queue poisoned");
+        // Consumer-side fault site, checked before any item is removed so
+        // an injected panic never loses a request (it unwinds into the
+        // dispatcher supervisor with the queue intact). `Error` has no
+        // channel here and is a no-op.
+        let _ = self.faults.apply_panic_stall(site::QUEUE_POP);
+        let mut state = lock_recover(&self.state);
         let take = state.items.len().min(max);
         buf.extend(state.items.drain(..take));
         take
@@ -164,7 +191,7 @@ impl<T> Bounded<T> {
     /// before reporting the end of the stream.
     pub fn close(&self) {
         let poppers = {
-            let mut state = self.state.lock().expect("queue poisoned");
+            let mut state = lock_recover(&self.state);
             state.closed = true;
             std::mem::take(&mut state.poppers)
         };
@@ -184,7 +211,12 @@ impl<T> Future for Pop<T> {
     type Output = Option<T>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
-        let mut state = self.queue.state.lock().expect("queue poisoned");
+        // Consumer-side fault site, checked with the queue lock released
+        // (a stalled popper must not block submitters). `Error` is a no-op:
+        // `pop` has no error channel, and resolving `None` early would
+        // fake a shutdown.
+        let _ = self.queue.faults.apply_panic_stall(site::QUEUE_POP);
+        let mut state = lock_recover(&self.queue.state);
         if let Some(item) = state.items.pop_front() {
             return Poll::Ready(Some(item));
         }

@@ -7,12 +7,26 @@
 //! new earlier deadline re-arms it immediately) until the next deadline and
 //! wakes the futures that reached theirs. No file descriptors, no polling
 //! syscalls — `std` only, like the rest of the crate.
+//!
+//! ## Failure containment
+//!
+//! The driver thread is a watchdog loop: a panic inside a drive iteration
+//! (including injected [`site::REACTOR_TICK`] faults) is caught, counted in
+//! [`Reactor::respawns`], and the drive loop restarts over the surviving
+//! timer heap — registered timers outlive the tick that crashed. Due timers
+//! are marked `fired` *before* any waker runs, so a panic mid-wake can
+//! strand no timer in a not-fired limbo, and each waker runs under its own
+//! `catch_unwind`. Dropping the reactor errors out the pending heap by
+//! firing everything, so no sleeper outlives its driver.
 
+use mpdp_core::faults::{site, Faults};
+use mpdp_core::sync::{lock_recover, wait_recover, wait_timeout_recover};
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::pin::Pin;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
@@ -64,6 +78,8 @@ struct State {
 struct Shared {
     state: Mutex<State>,
     cv: Condvar,
+    respawns: AtomicU64,
+    faults: Faults,
 }
 
 /// The timer driver. Owns one background thread; dropped with the front-end.
@@ -74,7 +90,9 @@ pub struct Reactor {
 
 impl std::fmt::Debug for Reactor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Reactor").finish_non_exhaustive()
+        f.debug_struct("Reactor")
+            .field("respawns", &self.respawns())
+            .finish_non_exhaustive()
     }
 }
 
@@ -87,6 +105,12 @@ impl Default for Reactor {
 impl Reactor {
     /// Starts the driver thread.
     pub fn new() -> Reactor {
+        Reactor::with_faults(Faults::disarmed())
+    }
+
+    /// [`Reactor::new`] with an armed fault-injection handle: each driver
+    /// tick checks [`site::REACTOR_TICK`].
+    pub fn with_faults(faults: Faults) -> Reactor {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 heap: BinaryHeap::new(),
@@ -94,11 +118,24 @@ impl Reactor {
                 shutdown: false,
             }),
             cv: Condvar::new(),
+            respawns: AtomicU64::new(0),
+            faults,
         });
         let driver_shared = Arc::clone(&shared);
         let driver = std::thread::Builder::new()
             .name("mpdp-serve-reactor".into())
-            .spawn(move || Self::drive(&driver_shared))
+            .spawn(move || {
+                // Watchdog loop: a panicked drive iteration is caught and
+                // the driver re-enters over the surviving timer heap.
+                loop {
+                    match catch_unwind(AssertUnwindSafe(|| Self::drive(&driver_shared))) {
+                        Ok(()) => break,
+                        Err(_) => {
+                            driver_shared.respawns.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
             .expect("spawn reactor driver");
         Reactor {
             shared,
@@ -106,28 +143,49 @@ impl Reactor {
         }
     }
 
+    /// Driver restarts after caught panics; zero on a healthy box.
+    pub fn respawns(&self) -> u64 {
+        self.shared.respawns.load(Ordering::Relaxed)
+    }
+
     fn drive(shared: &Shared) {
-        let mut state = shared.state.lock().expect("reactor poisoned");
+        let mut state = lock_recover(&shared.state);
         loop {
             if state.shutdown {
                 return;
+            }
+            if shared.faults.is_armed() {
+                // Fault site, checked with the lock released so a stall
+                // never blocks timer registration and an injected panic
+                // leaves the heap untouched. `Error` has no channel here.
+                drop(state);
+                let _ = shared.faults.apply_panic_stall(site::REACTOR_TICK);
+                state = lock_recover(&shared.state);
+                if state.shutdown {
+                    return;
+                }
             }
             let now = Instant::now();
             // Fire everything due; collect wakers to call outside the lock.
             let mut due: Vec<Arc<Timer>> = Vec::new();
             while state.heap.peek().is_some_and(|e| e.deadline <= now) {
-                due.push(state.heap.pop().expect("peeked").timer);
+                let timer = state.heap.pop().expect("peeked").timer;
+                // Mark fired while still under the lock, before any waker
+                // can run (and panic): a popped timer is never lost.
+                timer.fired.store(true, Ordering::Release);
+                due.push(timer);
             }
             if !due.is_empty() {
                 drop(state);
                 for timer in due {
-                    timer.fired.store(true, Ordering::Release);
-                    let waker = timer.waker.lock().expect("timer poisoned").take();
+                    let waker = lock_recover(&timer.waker).take();
                     if let Some(w) = waker {
-                        w.wake();
+                        // One misbehaving waker must not take down the
+                        // driver or its remaining due siblings.
+                        let _ = catch_unwind(AssertUnwindSafe(|| w.wake()));
                     }
                 }
-                state = shared.state.lock().expect("reactor poisoned");
+                state = lock_recover(&shared.state);
                 continue;
             }
             state = match state.heap.peek().map(|e| e.deadline) {
@@ -135,13 +193,9 @@ impl Reactor {
                 // or shutdown notifies the condvar and re-arms.
                 Some(next) => {
                     let timeout = next.saturating_duration_since(now);
-                    shared
-                        .cv
-                        .wait_timeout(state, timeout)
-                        .expect("reactor poisoned")
-                        .0
+                    wait_timeout_recover(&shared.cv, state, timeout).0
                 }
-                None => shared.cv.wait(state).expect("reactor poisoned"),
+                None => wait_recover(&shared.cv, state),
             };
         }
     }
@@ -169,7 +223,7 @@ impl Reactor {
         if timer.fired.load(Ordering::Relaxed) {
             return Sleep { timer };
         }
-        let mut state = self.shared.state.lock().expect("reactor poisoned");
+        let mut state = lock_recover(&self.shared.state);
         state.seq += 1;
         let re_arm = state
             .heap
@@ -194,7 +248,7 @@ impl Reactor {
 impl Drop for Reactor {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("reactor poisoned");
+            let mut state = lock_recover(&self.shared.state);
             state.shutdown = true;
             // Pending sleeps will never fire; wake them now so no task is
             // stranded (they observe `fired == false` forever otherwise).
@@ -202,8 +256,8 @@ impl Drop for Reactor {
             drop(state);
             for entry in heap {
                 entry.timer.fired.store(true, Ordering::Release);
-                if let Some(w) = entry.timer.waker.lock().expect("timer poisoned").take() {
-                    w.wake();
+                if let Some(w) = lock_recover(&entry.timer.waker).take() {
+                    let _ = catch_unwind(AssertUnwindSafe(|| w.wake()));
                 }
             }
         }
@@ -235,7 +289,7 @@ impl Future for Sleep {
         if self.timer.fired.load(Ordering::Acquire) {
             return Poll::Ready(());
         }
-        let mut waker = self.timer.waker.lock().expect("timer poisoned");
+        let mut waker = lock_recover(&self.timer.waker);
         // Re-check under the lock: the driver sets `fired` before taking
         // this lock, so a fire between the fast check and here is seen now.
         if self.timer.fired.load(Ordering::Acquire) {
@@ -253,6 +307,7 @@ impl Future for Sleep {
 mod tests {
     use super::*;
     use crate::executor::Executor;
+    use mpdp_core::faults::{FaultAction, FaultPlan};
 
     #[test]
     fn sleeps_resolve_in_deadline_order() {
@@ -288,5 +343,25 @@ mod tests {
         });
         drop(reactor); // far-future sleep must resolve, not strand the task
         j.wait();
+    }
+
+    /// A panicking driver tick is caught and respawned; timers registered
+    /// before and after the crash still fire.
+    #[test]
+    fn driver_survives_injected_tick_panics() {
+        let faults = FaultPlan::new()
+            .fault(site::REACTOR_TICK, 0, FaultAction::Panic)
+            .fault(site::REACTOR_TICK, 2, FaultAction::Panic)
+            .arm();
+        let ex = Executor::new(1);
+        let reactor = Reactor::with_faults(faults.clone());
+        let early = reactor.sleep(Duration::from_millis(10));
+        let j1 = ex.spawn(early);
+        j1.wait();
+        let late = reactor.sleep(Duration::from_millis(10));
+        let j2 = ex.spawn(late);
+        j2.wait();
+        assert!(reactor.respawns() >= 1, "tick panic must be counted");
+        assert!(faults.fired_at(site::REACTOR_TICK) >= 1);
     }
 }

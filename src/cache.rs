@@ -24,6 +24,7 @@
 use crate::planner::Planned;
 use mpdp_core::counters::{CacheCounters, CacheSnapshot};
 use mpdp_core::fingerprint::Fingerprint;
+use mpdp_core::sync::lock_recover;
 use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -135,7 +136,7 @@ impl PlanCache {
     /// Looks up a fingerprint, refreshing its LRU stamp on a hit. Expired
     /// entries are dropped and reported as misses (plus an expiration tick).
     pub fn get(&self, fp: Fingerprint) -> Option<CachedPlan> {
-        let mut shard = self.shard_of(fp).lock().expect("cache shard poisoned");
+        let mut shard = lock_recover(self.shard_of(fp));
         let key = fp.as_u128();
         shard.clock += 1;
         let clock = shard.clock;
@@ -170,7 +171,7 @@ impl PlanCache {
     /// / [`PlanCache::record_coalesced`]. Expired entries are still reaped
     /// (with an expiration tick) exactly as in [`PlanCache::get`].
     pub fn get_quiet(&self, fp: Fingerprint) -> Option<CachedPlan> {
-        let mut shard = self.shard_of(fp).lock().expect("cache shard poisoned");
+        let mut shard = lock_recover(self.shard_of(fp));
         let key = fp.as_u128();
         shard.clock += 1;
         let clock = shard.clock;
@@ -202,7 +203,7 @@ impl PlanCache {
             // than entries): nothing is ever stored here.
             return;
         }
-        let mut shard = self.shards[idx].lock().expect("cache shard poisoned");
+        let mut shard = lock_recover(&self.shards[idx]);
         let key = fp.as_u128();
         shard.clock += 1;
         let clock = shard.clock;
@@ -231,7 +232,7 @@ impl PlanCache {
     /// counting as traffic or keeping a doomed entry warm. Expired entries
     /// read as absent (but are left for `get` to reap).
     pub fn peek(&self, fp: Fingerprint) -> Option<CachedPlan> {
-        let shard = self.shard_of(fp).lock().expect("cache shard poisoned");
+        let shard = lock_recover(self.shard_of(fp));
         let entry = shard.map.get(&fp.as_u128())?;
         if self
             .ttl
@@ -246,7 +247,7 @@ impl PlanCache {
     /// count as an eviction (capacity) or expiration (TTL) — callers with a
     /// reason (e.g. cardinality-feedback invalidation) track their own.
     pub fn remove(&self, fp: Fingerprint) -> bool {
-        let mut shard = self.shard_of(fp).lock().expect("cache shard poisoned");
+        let mut shard = lock_recover(self.shard_of(fp));
         shard.map.remove(&fp.as_u128()).is_some()
     }
 
@@ -256,7 +257,7 @@ impl PlanCache {
     /// could evict a fresh plan some other thread inserted between the two
     /// steps, whose estimate was never the one found wanting.
     pub fn remove_if(&self, fp: Fingerprint, condemn: impl FnOnce(&CachedPlan) -> bool) -> bool {
-        let mut shard = self.shard_of(fp).lock().expect("cache shard poisoned");
+        let mut shard = lock_recover(self.shard_of(fp));
         let key = fp.as_u128();
         match shard.map.get(&key) {
             // An expired entry reads as absent (matching `peek`/`get`): it
@@ -297,6 +298,17 @@ impl PlanCache {
         self.counters.record_coalesced();
     }
 
+    /// Records a request served a degraded (heuristic) plan because its
+    /// deadline budget could not afford the exact route.
+    pub fn record_degraded(&self) {
+        self.counters.record_degraded();
+    }
+
+    /// Records an exact planning attempt cut off by its deadline budget.
+    pub fn record_deadline_exceeded(&self) {
+        self.counters.record_deadline_exceeded();
+    }
+
     /// Records a cardinality-feedback check on the shared counters.
     pub fn record_feedback_check(&self) {
         self.counters.record_feedback_check();
@@ -310,10 +322,7 @@ impl PlanCache {
     /// Number of live entries across all shards (expired entries still
     /// count until touched).
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").map.len())
-            .sum()
+        self.shards.iter().map(|s| lock_recover(s).map.len()).sum()
     }
 
     /// `true` if no shard holds an entry.
@@ -324,7 +333,7 @@ impl PlanCache {
     /// Drops every entry (counters are preserved).
     pub fn clear(&self) {
         for s in &self.shards {
-            s.lock().expect("cache shard poisoned").map.clear();
+            lock_recover(s).map.clear();
         }
     }
 

@@ -25,6 +25,7 @@
 //! fingerprint is impossible.
 
 use crate::planner::Planned;
+use mpdp_core::sync::{lock_recover, wait_recover};
 use mpdp_core::OptError;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
@@ -59,7 +60,7 @@ impl Flight {
     /// first result stands).
     fn complete(&self, result: FlightResult) {
         let wakers = {
-            let mut state = self.state.lock().expect("flight poisoned");
+            let mut state = lock_recover(&self.state);
             match &mut *state {
                 FlightState::Done(_) => return,
                 FlightState::Pending { wakers } => {
@@ -77,12 +78,12 @@ impl Flight {
 
     /// Blocks the calling thread until the flight completes.
     pub(crate) fn wait(&self) -> FlightResult {
-        let mut state = self.state.lock().expect("flight poisoned");
+        let mut state = lock_recover(&self.state);
         loop {
             match &*state {
                 FlightState::Done(r) => return r.clone(),
                 FlightState::Pending { .. } => {
-                    state = self.cv.wait(state).expect("flight poisoned");
+                    state = wait_recover(&self.cv, state);
                 }
             }
         }
@@ -92,7 +93,7 @@ impl Flight {
     /// otherwise registers `waker` (replacing a stale clone of itself) and
     /// returns `None`.
     pub(crate) fn poll_result(&self, waker: &Waker) -> Option<FlightResult> {
-        let mut state = self.state.lock().expect("flight poisoned");
+        let mut state = lock_recover(&self.state);
         match &mut *state {
             FlightState::Done(r) => Some(r.clone()),
             FlightState::Pending { wakers } => {
@@ -154,7 +155,7 @@ impl FlightTable {
         recheck_cache: impl FnOnce() -> Option<crate::cache::CachedPlan>,
     ) -> Admission<'_> {
         let shard = self.shard(key);
-        let mut map = shard.lock().expect("flight shard poisoned");
+        let mut map = lock_recover(shard);
         if let Some(flight) = map.get(&key) {
             return Admission::Join(Arc::clone(flight));
         }
@@ -171,10 +172,7 @@ impl FlightTable {
     }
 
     fn remove(&self, key: u128) {
-        self.shard(key)
-            .lock()
-            .expect("flight shard poisoned")
-            .remove(&key);
+        lock_recover(self.shard(key)).remove(&key);
     }
 }
 

@@ -38,16 +38,20 @@
 //! coalesced join — see [`ServedVia`] and `CacheSnapshot::request_hit_rate`.
 
 use crate::cache::{CacheConfig, CachedPlan, PlanCache};
-use crate::flight::{Admission, Flight, FlightTable};
+use crate::flight::{Admission, Flight, FlightGuard, FlightTable};
 use crate::planner::{Planned, Strategy};
 use crate::registry;
-use mpdp_core::fingerprint::{canonicalize, Fingerprint};
+use mpdp_core::faults::{site, Faults};
+use mpdp_core::fingerprint::{canonicalize, CanonicalQuery, Fingerprint};
+use mpdp_core::sync::lock_recover;
 use mpdp_core::{LargeQuery, OptError};
 use mpdp_cost::model::CostModel;
 use mpdp_exec::ExecReport;
+use mpdp_parallel::hwmodel::{estimate_exact_planning, Calibration};
+use std::collections::HashMap;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll};
 use std::time::{Duration, Instant};
 
@@ -141,11 +145,21 @@ pub struct PlanRequest {
     /// Skips both cache lookup and insertion (e.g. for EXPLAIN ANALYZE-style
     /// calls that must measure cold planning).
     pub bypass_cache: bool,
+    /// Absolute deadline for this request. A cache hit always makes it; a
+    /// cold request whose remaining budget cannot afford the routed exact
+    /// strategy (predicted from the calibrated hardware model, refined by
+    /// observed cold walls) — or whose exact attempt times out mid-flight —
+    /// **degrades to the service's heuristic strategy** instead of missing
+    /// the deadline, served as [`ServedVia::Degraded`] and never cached as
+    /// if exact. `None` (the default) disables the deadline machinery.
+    pub deadline: Option<Instant>,
 }
 
-/// How a request obtained its plan — the three mutually exclusive outcomes
-/// of the single-flight serving path. The classic `plan`/`plan_with` path
-/// only ever produces `Hit` or `Cold`.
+/// How a request obtained its plan — the mutually exclusive outcomes of the
+/// single-flight serving path (every completed request is exactly one of
+/// them, matching the `hits`/`misses`/`coalesced`/`degraded` counter
+/// partition). The classic `plan`/`plan_with` path only ever produces
+/// `Hit`, `Cold` or `Degraded`.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum ServedVia {
     /// Served from the plan cache.
@@ -154,6 +168,10 @@ pub enum ServedVia {
     Cold,
     /// Joined another request's in-flight planning and received its result.
     Coalesced,
+    /// Served a heuristic plan because the request's deadline budget could
+    /// not afford the routed exact strategy (up front or after a mid-flight
+    /// timeout). Degraded plans are never cached.
+    Degraded,
 }
 
 /// The outcome of one served request.
@@ -182,6 +200,8 @@ pub struct PlanServiceBuilder {
     router: RouterConfig,
     budget: Option<Duration>,
     feedback_threshold: Option<f64>,
+    degrade_strategy: Option<String>,
+    faults: Faults,
 }
 
 impl PlanServiceBuilder {
@@ -235,6 +255,21 @@ impl PlanServiceBuilder {
         self
     }
 
+    /// The registry strategy deadline-pressed requests degrade to. Must be
+    /// cheap enough to always make a deadline (heuristics plan in
+    /// microseconds). Default `"GOO"`; `"IKKBZ"` is the other stock choice.
+    pub fn degrade_strategy(mut self, name: &str) -> Self {
+        self.degrade_strategy = Some(name.to_string());
+        self
+    }
+
+    /// Arms fault injection (chaos tests only; the default
+    /// [`Faults::disarmed`] handle is free).
+    pub fn faults(mut self, faults: Faults) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Builds the service.
     pub fn build(self) -> PlanService {
         PlanService {
@@ -245,6 +280,9 @@ impl PlanServiceBuilder {
             router: self.router,
             budget: self.budget,
             feedback_threshold: self.feedback_threshold.unwrap_or(10.0),
+            degrade_strategy: self.degrade_strategy.unwrap_or_else(|| "GOO".to_string()),
+            faults: self.faults,
+            estimator: ColdEstimator::new(),
         }
     }
 }
@@ -260,6 +298,47 @@ pub struct PlanService {
     router: RouterConfig,
     budget: Option<Duration>,
     feedback_threshold: f64,
+    /// Registry label of the heuristic that serves deadline degradations.
+    degrade_strategy: String,
+    /// Fault-injection handle (disarmed outside chaos tests).
+    faults: Faults,
+    /// Predicts cold planning walls for the deadline affordability check.
+    estimator: ColdEstimator,
+}
+
+/// Predicts how long a cold exact plan will take: observed cold walls
+/// (EWMA, keyed by route label and query size) when this service has seen
+/// the shape before, the calibrated closed-form hardware-model estimate
+/// otherwise. Deliberately coarse — the affordability check only needs the
+/// right order of magnitude (and a 2× safety margin on top).
+#[derive(Debug)]
+struct ColdEstimator {
+    cal: Calibration,
+    observed: Mutex<HashMap<(String, usize), f64>>,
+}
+
+impl ColdEstimator {
+    fn new() -> ColdEstimator {
+        ColdEstimator {
+            cal: Calibration::default_for_container(),
+            observed: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn observed_wall(&self, route: &str, n: usize) -> Option<Duration> {
+        lock_recover(&self.observed)
+            .get(&(route.to_string(), n))
+            .map(|&secs| Duration::from_secs_f64(secs))
+    }
+
+    fn observe(&self, route: &str, n: usize, wall: Duration) {
+        const ALPHA: f64 = 0.3;
+        let mut map = lock_recover(&self.observed);
+        let e = map
+            .entry((route.to_string(), n))
+            .or_insert_with(|| wall.as_secs_f64());
+        *e = (1.0 - ALPHA) * *e + ALPHA * wall.as_secs_f64();
+    }
 }
 
 impl Default for PlanService {
@@ -315,9 +394,25 @@ impl PlanService {
             }
         }
 
-        let strategy = self.resolve(q, req)?;
-        let budget = req.budget.or(self.budget);
-        let planned = strategy.plan(q, model, budget)?;
+        // Deadline check after the cache miss: a hit always makes the
+        // deadline, a cold plan only if the budget can afford the route.
+        if let Some(out) = self.degrade_upfront(q, model, req, start, fp) {
+            return out;
+        }
+        let route = self.route_for(q, req);
+        let strategy = registry()
+            .get(&route)
+            .ok_or_else(|| OptError::Internal(format!("unknown strategy \"{route}\"")))?;
+        let budget = self.effective_budget(req);
+        let planned = match self.invoke(&*strategy, q, model, budget) {
+            Ok(planned) => planned,
+            Err(OptError::Timeout { .. }) if req.deadline.is_some() => {
+                self.cache.record_deadline_exceeded();
+                return self.serve_degraded(q, model, start, fp);
+            }
+            Err(e) => return Err(e),
+        };
+        self.estimator.observe(&route, q.num_rels(), planned.wall);
 
         if use_cache {
             // Store with plan leaves relabeled into canonical slots so any
@@ -349,7 +444,14 @@ impl PlanService {
     /// only removed *after* the plan is inserted into the cache, and the
     /// flight table re-probes the cache under its shard lock, so for any one
     /// fingerprint exactly one request records a miss (the leader) and every
-    /// other concurrent request records a hit or a coalesced join.
+    /// other concurrent request records a hit, a coalesced join, or a
+    /// deadline degradation.
+    ///
+    /// Requests carrying a [`PlanRequest::deadline`] degrade to the
+    /// service's heuristic strategy ([`ServedVia::Degraded`]) when the
+    /// remaining budget cannot afford the routed exact strategy, when the
+    /// exact attempt times out mid-flight, or when the flight they joined
+    /// fails — a deadline-carrying request always resolves.
     ///
     /// Requests that bypass the cache or override the strategy fall back to
     /// the uncoalesced [`PlanService::plan_with`] semantics (coalescing them
@@ -381,6 +483,12 @@ impl PlanService {
             });
         }
 
+        // A deadline that cannot afford the route degrades here, before
+        // joining or leading any flight.
+        if let Some(out) = self.degrade_upfront(q, model, req, start, fp) {
+            return out;
+        }
+
         match self
             .flights
             .join_or_lead(cache_key.as_u128(), || self.cache.get_quiet(cache_key))
@@ -397,47 +505,27 @@ impl PlanService {
                     fingerprint: fp,
                 })
             }
-            Admission::Join(flight) => {
-                self.cache.record_coalesced();
-                let planned = flight.wait()?;
-                Ok(ServedPlan {
-                    planned: planned.with_relabeled_plan(&canonical.order),
-                    cache_hit: false,
-                    via: ServedVia::Coalesced,
-                    service_time: start.elapsed(),
-                    fingerprint: fp,
-                })
-            }
-            Admission::Lead(guard) => {
-                self.cache.record_miss();
-                let strategy = self.resolve(q, req)?;
-                let budget = req.budget.or(self.budget);
-                match strategy.plan(q, model, budget) {
-                    Ok(planned) => {
-                        let canonical_plan = Arc::new(planned.with_relabeled_plan(&canonical.slot));
-                        // Insert BEFORE finishing the flight: no instant
-                        // exists where a new arrival finds neither the cache
-                        // entry nor the flight and re-plans.
-                        self.cache.insert(
-                            cache_key,
-                            CachedPlan {
-                                planned: Arc::clone(&canonical_plan),
-                            },
-                        );
-                        guard.finish(Ok(canonical_plan));
-                        Ok(ServedPlan {
-                            planned,
-                            cache_hit: false,
-                            via: ServedVia::Cold,
-                            service_time: start.elapsed(),
-                            fingerprint: fp,
-                        })
-                    }
-                    Err(e) => {
-                        guard.finish(Err(e.clone()));
-                        Err(e)
-                    }
+            Admission::Join(flight) => match flight.wait() {
+                Ok(planned) => {
+                    self.cache.record_coalesced();
+                    Ok(ServedPlan {
+                        planned: planned.with_relabeled_plan(&canonical.order),
+                        cache_hit: false,
+                        via: ServedVia::Coalesced,
+                        service_time: start.elapsed(),
+                        fingerprint: fp,
+                    })
                 }
+                // The leader failed (timed out, errored, panicked). A
+                // deadline-carrying waiter still owes an answer: degrade.
+                Err(_) if req.deadline.is_some() => self.serve_degraded(q, model, start, fp),
+                Err(e) => {
+                    self.cache.record_coalesced();
+                    Err(e)
+                }
+            },
+            Admission::Lead(guard) => {
+                self.lead_flight(q, model, req, &canonical, cache_key, guard, start)
             }
         }
     }
@@ -471,11 +559,160 @@ impl PlanService {
         req.strategy.clone().unwrap_or_else(|| self.router.route(q))
     }
 
-    fn resolve(&self, q: &LargeQuery, req: &PlanRequest) -> Result<Arc<dyn Strategy>, OptError> {
-        let name = self.route_for(q, req);
-        registry()
-            .get(&name)
-            .ok_or_else(|| OptError::Internal(format!("unknown strategy \"{name}\"")))
+    /// The budget the planner actually gets: the request/service budget
+    /// clipped to what remains of the request's deadline.
+    fn effective_budget(&self, req: &PlanRequest) -> Option<Duration> {
+        let base = req.budget.or(self.budget);
+        match req.deadline {
+            Some(dl) => {
+                let remaining = dl.saturating_duration_since(Instant::now());
+                Some(base.map_or(remaining, |b| b.min(remaining)))
+            }
+            None => base,
+        }
+    }
+
+    /// Predicted cold planning wall for `route` on `q` — observed EWMA if
+    /// this service has planned the shape before, calibrated closed form
+    /// otherwise. Routes beyond the exact limit (UnionDP partitioning,
+    /// heuristics) never run exact DP wider than the router's partition
+    /// bound, so the closed form is capped there.
+    fn predicted_cold(&self, route: &str, q: &LargeQuery) -> Duration {
+        let n = q.num_rels();
+        if let Some(d) = self.estimator.observed_wall(route, n) {
+            return d;
+        }
+        let n_eff = if n > self.router.exact_limit {
+            self.router.fallback_k.max(2)
+        } else {
+            n
+        };
+        let edges_eff = q.edges.len().min(n_eff * (n_eff - 1) / 2);
+        estimate_exact_planning(n_eff, edges_eff, &self.estimator.cal)
+    }
+
+    /// `Some(served)` if this request carries a deadline whose remaining
+    /// budget cannot afford the routed strategy (with a 2× safety margin):
+    /// the answer is a heuristic plan, decided *before* any flight is
+    /// joined or led. `None` means proceed with exact planning.
+    fn degrade_upfront(
+        &self,
+        q: &LargeQuery,
+        model: &dyn CostModel,
+        req: &PlanRequest,
+        start: Instant,
+        fp: Fingerprint,
+    ) -> Option<Result<ServedPlan, OptError>> {
+        let dl = req.deadline?;
+        let remaining = dl.saturating_duration_since(Instant::now());
+        let route = self.route_for(q, req);
+        if remaining > self.predicted_cold(&route, q) * 2 {
+            return None;
+        }
+        Some(self.serve_degraded(q, model, start, fp))
+    }
+
+    /// Plans `q` with the degrade heuristic and serves it as
+    /// [`ServedVia::Degraded`]. Never touches the cache: a heuristic plan
+    /// stored under the fingerprint would be served to every later request
+    /// as if it were exact. Not fault-injected either — degradation is the
+    /// recovery path and must stay reliable.
+    fn serve_degraded(
+        &self,
+        q: &LargeQuery,
+        model: &dyn CostModel,
+        start: Instant,
+        fp: Fingerprint,
+    ) -> Result<ServedPlan, OptError> {
+        let strategy = registry().get(&self.degrade_strategy).ok_or_else(|| {
+            OptError::Internal(format!(
+                "unknown degrade strategy \"{}\"",
+                self.degrade_strategy
+            ))
+        })?;
+        let planned = strategy.plan(q, model, None)?;
+        self.cache.record_degraded();
+        Ok(ServedPlan {
+            planned,
+            cache_hit: false,
+            via: ServedVia::Degraded,
+            service_time: start.elapsed(),
+            fingerprint: fp,
+        })
+    }
+
+    /// Runs a resolved strategy, with the `planner.invoke` fault site in
+    /// front of it (chaos tests inject panics, stalls and errors here).
+    fn invoke(
+        &self,
+        strategy: &dyn Strategy,
+        q: &LargeQuery,
+        model: &dyn CostModel,
+        budget: Option<Duration>,
+    ) -> Result<Planned, OptError> {
+        if self.faults.apply_panic_stall(site::PLANNER_INVOKE) {
+            return Err(OptError::Internal("injected planner fault".to_string()));
+        }
+        strategy.plan(q, model, budget)
+    }
+
+    /// The flight leader's cold path, shared by [`PlanService::plan_coalesced`]
+    /// and [`PlanFuture`]: plan, publish (cache insert *before* the flight
+    /// completes, so no instant exists where a new arrival re-plans), and
+    /// account the outcome. A mid-flight timeout on a deadline-carrying
+    /// request fails the flight (waiters with deadlines degrade themselves)
+    /// and degrades this request to the heuristic instead of erroring.
+    #[allow(clippy::too_many_arguments)]
+    fn lead_flight(
+        &self,
+        q: &LargeQuery,
+        model: &dyn CostModel,
+        req: &PlanRequest,
+        canonical: &CanonicalQuery,
+        cache_key: Fingerprint,
+        guard: FlightGuard<'_>,
+        start: Instant,
+    ) -> Result<ServedPlan, OptError> {
+        let fp = canonical.fingerprint;
+        let route = self.route_for(q, req);
+        let out: Result<Planned, OptError> = (|| {
+            let strategy = registry()
+                .get(&route)
+                .ok_or_else(|| OptError::Internal(format!("unknown strategy \"{route}\"")))?;
+            let budget = self.effective_budget(req);
+            self.invoke(&*strategy, q, model, budget)
+        })();
+        match out {
+            Ok(planned) => {
+                let canonical_plan = Arc::new(planned.with_relabeled_plan(&canonical.slot));
+                self.cache.insert(
+                    cache_key,
+                    CachedPlan {
+                        planned: Arc::clone(&canonical_plan),
+                    },
+                );
+                guard.finish(Ok(canonical_plan));
+                self.cache.record_miss();
+                self.estimator.observe(&route, q.num_rels(), planned.wall);
+                Ok(ServedPlan {
+                    planned,
+                    cache_hit: false,
+                    via: ServedVia::Cold,
+                    service_time: start.elapsed(),
+                    fingerprint: fp,
+                })
+            }
+            Err(e @ OptError::Timeout { .. }) if req.deadline.is_some() => {
+                guard.finish(Err(e));
+                self.cache.record_deadline_exceeded();
+                self.serve_degraded(q, model, start, fp)
+            }
+            Err(e) => {
+                guard.finish(Err(e.clone()));
+                self.cache.record_miss();
+                Err(e)
+            }
+        }
     }
 
     /// Feeds an execution report back into the serving layer: if the plan
@@ -604,13 +841,28 @@ impl Future for PlanFuture<'_> {
                         };
                         return Poll::Pending;
                     };
-                    let out = result.map(|planned| ServedPlan {
-                        planned: planned.with_relabeled_plan(&order),
-                        cache_hit: false,
-                        via: ServedVia::Coalesced,
-                        service_time: start.elapsed(),
-                        fingerprint: fp,
-                    });
+                    let svc = this.service;
+                    let out = match result {
+                        Ok(planned) => {
+                            svc.cache.record_coalesced();
+                            Ok(ServedPlan {
+                                planned: planned.with_relabeled_plan(&order),
+                                cache_hit: false,
+                                via: ServedVia::Coalesced,
+                                service_time: start.elapsed(),
+                                fingerprint: fp,
+                            })
+                        }
+                        // The leader failed; a deadline-carrying waiter
+                        // degrades instead of propagating the error.
+                        Err(_) if this.req.deadline.is_some() => {
+                            svc.serve_degraded(this.q, this.model, start, fp)
+                        }
+                        Err(e) => {
+                            svc.cache.record_coalesced();
+                            Err(e)
+                        }
+                    };
                     return Poll::Ready(out);
                 }
                 FutureState::Init => {
@@ -632,6 +884,12 @@ impl Future for PlanFuture<'_> {
                             fingerprint: fp,
                         }));
                     }
+                    // A deadline that cannot afford the route degrades
+                    // here, before joining or leading any flight.
+                    if let Some(out) = svc.degrade_upfront(this.q, this.model, this.req, start, fp)
+                    {
+                        return Poll::Ready(out);
+                    }
                     match svc
                         .flights
                         .join_or_lead(cache_key.as_u128(), || svc.cache.get_quiet(cache_key))
@@ -647,10 +905,10 @@ impl Future for PlanFuture<'_> {
                             }));
                         }
                         Admission::Join(flight) => {
-                            svc.cache.record_coalesced();
                             // Loop back into `Waiting`, which registers the
                             // waker (or resolves if the leader already
-                            // finished).
+                            // finished). The coalesced/degraded outcome is
+                            // counted at delivery.
                             this.state = FutureState::Waiting {
                                 flight,
                                 order: canonical.order,
@@ -660,37 +918,9 @@ impl Future for PlanFuture<'_> {
                         }
                         Admission::Lead(guard) => {
                             // Leader: plan synchronously inside this poll.
-                            svc.cache.record_miss();
-                            let out: Result<_, OptError> = (|| {
-                                let strategy = svc.resolve(this.q, this.req)?;
-                                let budget = this.req.budget.or(svc.budget);
-                                let planned = strategy.plan(this.q, this.model, budget)?;
-                                let canonical_plan =
-                                    Arc::new(planned.with_relabeled_plan(&canonical.slot));
-                                svc.cache.insert(
-                                    cache_key,
-                                    CachedPlan {
-                                        planned: Arc::clone(&canonical_plan),
-                                    },
-                                );
-                                Ok((planned, canonical_plan))
-                            })();
-                            return Poll::Ready(match out {
-                                Ok((planned, canonical_plan)) => {
-                                    guard.finish(Ok(canonical_plan));
-                                    Ok(ServedPlan {
-                                        planned,
-                                        cache_hit: false,
-                                        via: ServedVia::Cold,
-                                        service_time: start.elapsed(),
-                                        fingerprint: fp,
-                                    })
-                                }
-                                Err(e) => {
-                                    guard.finish(Err(e.clone()));
-                                    Err(e)
-                                }
-                            });
+                            return Poll::Ready(svc.lead_flight(
+                                this.q, this.model, this.req, &canonical, cache_key, guard, start,
+                            ));
                         }
                     }
                 }

@@ -103,7 +103,7 @@ fn async_front_coalesces_relabeled_floods() {
         })
         .collect();
 
-    let mut via_counts = [0usize; 3];
+    let mut via_counts = [0usize; 4];
     for (q, ticket) in submissions {
         let done = ticket.wait();
         let plan = done.result.expect("accepted requests complete");
@@ -116,6 +116,7 @@ fn async_front_coalesces_relabeled_floods() {
             ServedVia::Hit => 0,
             ServedVia::Cold => 1,
             ServedVia::Coalesced => 2,
+            ServedVia::Degraded => 3,
         }] += 1;
     }
     assert_eq!(via_counts.iter().sum::<usize>(), REQUESTS);
