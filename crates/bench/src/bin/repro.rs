@@ -12,7 +12,17 @@
 //! --queries <n>               (serve) stream length (default 10000)
 //! --workers <n>               (serve) worker threads (default 4);
 //!                             (scale) max worker count of the 1/2/4/…
-//!                             sweep (default 8)
+//!                             sweep (default 8);
+//!                             (exec) probe-phase worker count(s) — a
+//!                             single count or a comma list (`1,2,4,8`)
+//!                             runs every shape at each count and
+//!                             cross-checks their results bit-for-bit
+//!                             (default 1)
+//! --summary-md                (bench, scale, exec, serve) append the
+//!                             regression-gate table to the file named by
+//!                             $GITHUB_STEP_SUMMARY (stdout outside
+//!                             Actions), so a red leg is diagnosable from
+//!                             the run page
 //! --open-loop                 (serve) also sweep open-loop offered load
 //!                             against the mpdp-serve front-end (overload
 //!                             curve: achieved throughput, sheds, p99)
@@ -40,7 +50,7 @@
 
 use mpdp::registry;
 use mpdp_bench::aws;
-use mpdp_bench::regress::{check_regressions, WallRun};
+use mpdp_bench::regress::{append_step_summary, gate_report, summary_markdown, WallRun};
 use mpdp_bench::runner::{run_exact, AlgoKind, EXACT_ROSTER};
 use mpdp_bench::scale::Scale;
 use mpdp_bench::scaling::{self, figure5_query, ScaleConfig};
@@ -51,7 +61,14 @@ use mpdp_cost::pglike::PgLikeCost;
 use mpdp_parallel::hwmodel::{Calibration, CpuModel};
 use mpdp_workload::{gen, ImdbSchema, MusicBrainz};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
+
+/// Set once from `--summary-md` before any experiment runs; every
+/// [`gate_or_exit`] call then mirrors its gate table into the Actions job
+/// summary. A process-wide flag (not a parameter) because it is pure
+/// reporting and every gating experiment shares it.
+static SUMMARY_MD: AtomicBool = AtomicBool::new(false);
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -63,7 +80,9 @@ fn main() {
     let mut serve_queries: usize = 10_000;
     let mut queries_given = false;
     let mut serve_workers: usize = 4;
+    let mut workers_list: Vec<usize> = vec![1];
     let mut workers_given = false;
+    let mut summary_md = false;
     let mut queries_small = false;
     let mut open_loop = false;
     let mut serve_rate: f64 = 120_000.0;
@@ -79,9 +98,11 @@ fn main() {
                 queries_given = true;
             }
             "--workers" => {
-                serve_workers = parse_count_flag("--workers", it.next());
+                workers_list = parse_workers_flag(it.next());
+                serve_workers = workers_list[0];
                 workers_given = true;
             }
+            "--summary-md" => summary_md = true,
             "--queries-small" => queries_small = true,
             "--open-loop" => open_loop = true,
             "--rate" => serve_rate = parse_count_flag("--rate", it.next()) as f64,
@@ -100,6 +121,7 @@ fn main() {
             _ => args.push(a),
         }
     }
+    SUMMARY_MD.store(summary_md, Ordering::Relaxed);
     let scale = Scale::from_env();
     let what: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
@@ -149,11 +171,35 @@ fn main() {
                 emit_json.as_deref(),
                 check_against.as_deref(),
             ),
-            "exec" => exec_experiment(emit_json.as_deref(), check_against.as_deref()),
+            "exec" => exec_experiment(
+                if workers_given { &workers_list } else { &[1] },
+                emit_json.as_deref(),
+                check_against.as_deref(),
+            ),
             "table1" => heuristic_table(scale, "table1", "snowflake", scale.table1_sizes()),
             "table2" => heuristic_table(scale, "table2", "star", scale.table2_sizes()),
             "table3" => heuristic_table(scale, "table3", "clique", scale.table3_sizes()),
             other => eprintln!("unknown experiment: {other}"),
+        }
+    }
+}
+
+/// Parses `--workers`: a positive integer or a comma-separated list of them
+/// (`repro exec` runs every listed count; serve/scale use the first).
+fn parse_workers_flag(value: Option<String>) -> Vec<usize> {
+    let parsed: Option<Vec<usize>> = value.as_deref().and_then(|v| {
+        v.split(',')
+            .map(|p| p.trim().parse::<usize>().ok().filter(|&n| n >= 1))
+            .collect()
+    });
+    match parsed {
+        Some(list) if !list.is_empty() => list,
+        _ => {
+            eprintln!(
+                "error: --workers requires a positive integer or comma list (got {})",
+                value.as_deref().unwrap_or("nothing")
+            );
+            std::process::exit(2);
         }
     }
 }
@@ -877,12 +923,21 @@ fn bench(_scale: Scale, emit_json: Option<&str>, check_against: Option<&str>) {
     }
 }
 
-/// Runs the shared regression gate and exits non-zero on findings.
+/// Runs the shared regression gate and exits non-zero on findings. With
+/// `--summary-md`, the full gate table (not just the findings) lands in the
+/// Actions job summary first — also on the green path, so the run page
+/// shows what was compared.
 fn gate_or_exit(path: &str, runs: &[WallRun], label: &str, require_full_coverage: bool) {
-    let regressions = check_regressions(path, runs, require_full_coverage);
-    if !regressions.is_empty() {
+    let report = gate_report(path, runs, require_full_coverage);
+    if SUMMARY_MD.load(Ordering::Relaxed) {
+        append_step_summary(&summary_markdown(
+            &format!("{label} gate vs `{path}`"),
+            &report,
+        ));
+    }
+    if !report.findings.is_empty() {
         eprintln!("# {label} REGRESSIONS (>2x wall time vs {path}):");
-        for r in &regressions {
+        for r in &report.findings {
             eprintln!("#   {r}");
         }
         std::process::exit(1);
@@ -945,13 +1000,17 @@ fn make_query_shape(shape: &str, n: usize, seed: u64, model: &PgLikeCost) -> Que
 // ------------------------------------------------------------------- exec
 
 /// `repro exec`: materialize tables from catalog statistics, execute every
-/// [`mpdp_bench::exec::EXEC_STRATEGIES`] plan per shape, report modeled cost
-/// vs measured runtime (+ Spearman correlations), run the oracle check and
-/// the PlanService feedback-loop demo. See `mpdp_bench::exec`.
-fn exec_experiment(emit_json: Option<&str>, check_against: Option<&str>) {
-    println!("\n## exec — vectorized executor: modeled cost vs measured runtime (seed 42)");
+/// [`mpdp_bench::exec::EXEC_STRATEGIES`] plan per shape at every requested
+/// worker count, report modeled cost vs measured runtime (+ Spearman
+/// correlations), run the oracle + determinism checks and the PlanService
+/// feedback-loop demo. See `mpdp_bench::exec`.
+fn exec_experiment(workers: &[usize], emit_json: Option<&str>, check_against: Option<&str>) {
+    println!(
+        "\n## exec — morsel-parallel vectorized executor: modeled cost vs measured runtime \
+         (seed 42, workers {workers:?})"
+    );
     let model = PgLikeCost::new();
-    let report = match mpdp_bench::exec::run_exec_bench(&model, 42) {
+    let report = match mpdp_bench::exec::run_exec_bench(&model, 42, workers) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("exec failed: {e}");
@@ -977,7 +1036,39 @@ fn exec_experiment(emit_json: Option<&str>, check_against: Option<&str>) {
         std::process::exit(1);
     }
     if let Some(path) = check_against {
-        gate_or_exit(path, &report.wall_runs(), "EXEC", true);
+        // Determinism gate first: root cardinality, rows touched, and exact
+        // morsel counts must match the committed 1-worker baseline rows
+        // bit-for-bit at whatever worker count this leg runs — the fields
+        // are worker-invariant by construction, so all `--workers {1,2,4}`
+        // matrix legs check against the same committed values.
+        let diverged = mpdp_bench::exec::check_exec_determinism(path, &report);
+        if SUMMARY_MD.load(Ordering::Relaxed) {
+            let mut md = format!(
+                "### EXEC determinism vs `{path}` (workers {workers:?}) — {}\n\n",
+                if diverged.is_empty() {
+                    "✅ bit-identical"
+                } else {
+                    "❌ diverged"
+                }
+            );
+            for f in &diverged {
+                md.push_str(&format!("- 🚨 {f}\n"));
+            }
+            md.push('\n');
+            append_step_summary(&md);
+        }
+        if !diverged.is_empty() {
+            eprintln!("# EXEC DETERMINISM VIOLATIONS (vs {path}):");
+            for f in &diverged {
+                eprintln!("#   {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("# deterministic fields bit-identical to {path} at workers {workers:?}");
+        // Subset coverage: the committed baseline carries rows for every
+        // worker count of the full sweep; a single-count CI leg re-times
+        // only its own rows.
+        gate_or_exit(path, &report.wall_runs(), "EXEC", false);
     }
 }
 

@@ -32,6 +32,7 @@ use mpdp_exec::{
     fold_observations, materialize, recost_plan, synthesize_catalog, ExecConfig, Executor,
     GenConfig, SkewedEdge,
 };
+use mpdp_parallel::pool::with_pool;
 use mpdp_workload::ImdbSchema;
 use std::time::Duration;
 
@@ -155,20 +156,55 @@ pub fn default_cases(model: &PgLikeCost) -> Vec<ExecCase> {
 
 /// One strategy's planned-and-executed run on one query.
 pub struct StrategyRun {
-    /// Registry label.
+    /// Registry label (base name — see [`StrategyRun::label`] for the
+    /// worker-count-qualified baseline key).
     pub algorithm: String,
+    /// Probe-phase worker count the executor ran with.
+    pub workers: usize,
     /// Modeled plan cost (on the scaled query the executor ran).
     pub modeled_cost: f64,
     /// Optimization wall time in milliseconds.
     pub plan_wall_ms: f64,
     /// Execution wall time in milliseconds (median of 3 runs).
     pub exec_wall_ms: f64,
+    /// Work/span-model execution wall (median of 3): the measured wall with
+    /// the probe phases' summed busy time replaced by the longest single
+    /// worker's — what the run costs with one core per worker. Equals
+    /// `exec_wall_ms` at 1 worker (DESIGN.md §2's `[model]` convention).
+    pub model_wall_ms: f64,
     /// Observed root cardinality.
     pub root_rows: u64,
     /// Estimated root cardinality of the plan.
     pub est_root_rows: f64,
     /// Executor counters (rows built/probed/emitted, batches, joins).
     pub counters: ExecCounters,
+    /// Payload bytes per result row (table widths summed over the join).
+    pub bytes_per_row: u64,
+}
+
+impl StrategyRun {
+    /// Rows touched per second of measured execution wall — the executor's
+    /// throughput figure (work measure over wall, so comparable across
+    /// plans that produce the same result).
+    pub fn rows_per_sec(&self) -> f64 {
+        if self.exec_wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.counters.rows_touched() as f64 / (self.exec_wall_ms / 1000.0)
+        }
+    }
+
+    /// The baseline/report key: the base algorithm name at 1 worker (the
+    /// historical key, so pre-parallelism baselines keep matching), with a
+    /// ` [Nw]` suffix at higher counts — same convention as `repro scale`'s
+    /// `(NCPU)` encoding.
+    pub fn label(&self) -> String {
+        if self.workers > 1 {
+            format!("{} [{}w]", self.algorithm, self.workers)
+        } else {
+            self.algorithm.clone()
+        }
+    }
 }
 
 /// All strategies' runs on one query, with the rank correlations.
@@ -177,6 +213,8 @@ pub struct CaseReport {
     pub shape: &'static str,
     /// Relation count.
     pub n: usize,
+    /// Worker count of this case's runs.
+    pub workers: usize,
     /// Materialized rows across all tables.
     pub dataset_rows: usize,
     /// Per-strategy runs, in [`EXEC_STRATEGIES`] order.
@@ -214,9 +252,18 @@ pub struct FeedbackDemo {
 }
 
 /// Runs one case: catalog → data → plan × strategies → execute → oracle
-/// check. `Err` carries a description of an oracle violation or a failed
-/// strategy.
-pub fn run_case(case: &ExecCase, model: &PgLikeCost, seed: u64) -> Result<CaseReport, String> {
+/// check. `Err` carries a description of an oracle violation, a failed
+/// strategy, or (at `workers > 1`) any divergence between the parallel and
+/// the sequential execution of the same plan — the in-run determinism gate
+/// that `exec-par-smoke` relies on, mirroring `repro scale`'s in-run
+/// bit-identity check.
+pub fn run_case(
+    case: &ExecCase,
+    model: &PgLikeCost,
+    seed: u64,
+    workers: usize,
+) -> Result<CaseReport, String> {
+    let workers = workers.max(1);
     let sc = synthesize_catalog(&case.query);
     let q = sc.build_query(model);
     let data = materialize(
@@ -228,40 +275,89 @@ pub fn run_case(case: &ExecCase, model: &PgLikeCost, seed: u64) -> Result<CaseRe
         },
         model,
     );
-    let executor = Executor::new(&data.scaled, &data, ExecConfig::default());
+    let executor = Executor::new(
+        &data.scaled,
+        &data,
+        ExecConfig {
+            workers,
+            ..Default::default()
+        },
+    );
+    let sequential = Executor::new(&data.scaled, &data, ExecConfig::default());
     let budget = Some(Duration::from_secs(60));
     let mut runs = Vec::with_capacity(EXEC_STRATEGIES.len());
-    for name in EXEC_STRATEGIES {
-        let strategy = registry()
-            .get(name)
-            .ok_or_else(|| format!("strategy {name} not registered"))?;
-        let planned = strategy.plan(&data.scaled, model, budget).map_err(|e| {
-            format!(
-                "{case_shape}/{name}: planning failed: {e}",
-                case_shape = case.shape
-            )
-        })?;
-        let mut walls = Vec::with_capacity(3);
-        let mut report = None;
-        for _ in 0..3 {
-            let r = executor
-                .execute(&planned.plan)
-                .map_err(|e| format!("{}/{name}: execution failed: {e}", case.shape))?;
-            walls.push(r.wall.as_secs_f64() * 1000.0);
-            report = Some(r);
+    // One pool for the whole case: the same persistent-barrier handle the
+    // DP backends use, here amortized across strategies and repetitions.
+    with_pool(workers, |pool| -> Result<(), String> {
+        for name in EXEC_STRATEGIES {
+            let strategy = registry()
+                .get(name)
+                .ok_or_else(|| format!("strategy {name} not registered"))?;
+            let planned = strategy.plan(&data.scaled, model, budget).map_err(|e| {
+                format!(
+                    "{case_shape}/{name}: planning failed: {e}",
+                    case_shape = case.shape
+                )
+            })?;
+            let mut walls = Vec::with_capacity(3);
+            let mut model_walls = Vec::with_capacity(3);
+            let mut report = None;
+            for _ in 0..3 {
+                let r = executor
+                    .execute_in(pool, &planned.plan)
+                    .map_err(|e| format!("{}/{name}: execution failed: {e}", case.shape))?;
+                walls.push(r.wall.as_secs_f64() * 1000.0);
+                model_walls.push(r.parallel_model_wall().as_secs_f64() * 1000.0);
+                report = Some(r);
+            }
+            walls.sort_by(|a, b| a.total_cmp(b));
+            model_walls.sort_by(|a, b| a.total_cmp(b));
+            let report = report.expect("three runs happened");
+            if workers > 1 {
+                // Determinism gate: re-run the plan sequentially and demand
+                // bit-identical observable state — root cardinality, merged
+                // counters, and every per-join observed selectivity.
+                let seq = sequential
+                    .execute(&planned.plan)
+                    .map_err(|e| format!("{}/{name}: sequential run failed: {e}", case.shape))?;
+                if seq.root_rows != report.root_rows || seq.counters != report.counters {
+                    return Err(format!(
+                        "DETERMINISM VIOLATION on {}/{name}: {workers}-worker run \
+                         (root {}, counters {:?}) diverged from sequential \
+                         (root {}, counters {:?})",
+                        case.shape, report.root_rows, report.counters, seq.root_rows, seq.counters,
+                    ));
+                }
+                for (jp, js) in report.joins.iter().zip(&seq.joins) {
+                    if jp.observed_sel.to_bits() != js.observed_sel.to_bits() {
+                        return Err(format!(
+                            "DETERMINISM VIOLATION on {}/{name}: observed selectivity of \
+                             join {:?}⋈{:?} differs at {workers} workers \
+                             ({} vs sequential {})",
+                            case.shape, jp.left, jp.right, jp.observed_sel, js.observed_sel,
+                        ));
+                    }
+                }
+            }
+            let bytes_per_row = report
+                .result_bytes
+                .checked_div(report.root_rows)
+                .unwrap_or(0);
+            runs.push(StrategyRun {
+                algorithm: name.to_string(),
+                workers,
+                modeled_cost: planned.cost,
+                plan_wall_ms: planned.wall.as_secs_f64() * 1000.0,
+                exec_wall_ms: walls[1],
+                model_wall_ms: model_walls[1],
+                root_rows: report.root_rows,
+                est_root_rows: report.est_root_rows,
+                counters: report.counters,
+                bytes_per_row,
+            });
         }
-        walls.sort_by(|a, b| a.total_cmp(b));
-        let report = report.expect("three runs happened");
-        runs.push(StrategyRun {
-            algorithm: name.to_string(),
-            modeled_cost: planned.cost,
-            plan_wall_ms: planned.wall.as_secs_f64() * 1000.0,
-            exec_wall_ms: walls[1],
-            root_rows: report.root_rows,
-            est_root_rows: report.est_root_rows,
-            counters: report.counters,
-        });
-    }
+        Ok(())
+    })?;
     // Oracle: every join order of one query computes the same result.
     let root = runs[0].root_rows;
     for r in &runs[1..] {
@@ -281,6 +377,7 @@ pub fn run_case(case: &ExecCase, model: &PgLikeCost, seed: u64) -> Result<CaseRe
     Ok(CaseReport {
         shape: case.shape,
         n: case.query.num_rels(),
+        workers,
         dataset_rows: data.total_rows(),
         spearman_wall: spearman(&costs, &walls),
         spearman_work: spearman(&costs, &work),
@@ -373,19 +470,23 @@ impl ExecBenchReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "shape\tn\talgorithm\tmodeled_cost\texec_wall_ms\troot_rows\trows_touched\tbatches\n",
+            "shape\tn\talgorithm\tmodeled_cost\texec_wall_ms\tmodel_wall_ms\troot_rows\t\
+             rows_touched\trows_per_sec\tbytes_per_row\tbatches\n",
         );
         for c in &self.cases {
             for r in &c.runs {
                 out.push_str(&format!(
-                    "{}\t{}\t{}\t{:.3e}\t{:.3}\t{}\t{}\t{}\n",
+                    "{}\t{}\t{}\t{:.3e}\t{:.3}\t{:.3}\t{}\t{}\t{:.3e}\t{}\t{}\n",
                     c.shape,
                     c.n,
-                    r.algorithm,
+                    r.label(),
                     r.modeled_cost,
                     r.exec_wall_ms,
+                    r.model_wall_ms,
                     r.root_rows,
                     r.counters.rows_touched(),
+                    r.rows_per_sec(),
+                    r.bytes_per_row,
                     r.counters.batches,
                 ));
             }
@@ -436,7 +537,9 @@ impl ExecBenchReport {
     }
 
     /// The wall runs for the shared machine-normalized regression gate
-    /// (execution walls, keyed like every other baseline).
+    /// (execution walls, keyed like every other baseline; parallel runs
+    /// carry the ` [Nw]` label suffix so each worker count gates against
+    /// its own baseline row).
     pub fn wall_runs(&self) -> Vec<WallRun> {
         self.cases
             .iter()
@@ -444,7 +547,7 @@ impl ExecBenchReport {
                 c.runs.iter().map(|r| WallRun {
                     shape: c.shape.to_string(),
                     n: c.n,
-                    algorithm: r.algorithm.clone(),
+                    algorithm: r.label(),
                     wall_ms: r.exec_wall_ms,
                 })
             })
@@ -463,16 +566,22 @@ impl ExecBenchReport {
                 let sep = if i == total { "" } else { "," };
                 out.push_str(&format!(
                     "    {{\"shape\": \"{}\", \"n\": {}, \"algorithm\": \"{}\", \
-                     \"wall_ms\": {:.3}, \"plan_wall_ms\": {:.3}, \"modeled_cost\": {:.6e}, \
-                     \"root_rows\": {}, \"rows_touched\": {}, \"batches\": {}}}{sep}\n",
+                     \"workers\": {}, \"wall_ms\": {:.3}, \"model_wall_ms\": {:.3}, \
+                     \"plan_wall_ms\": {:.3}, \"modeled_cost\": {:.6e}, \
+                     \"root_rows\": {}, \"rows_touched\": {}, \"rows_per_sec\": {:.6e}, \
+                     \"bytes_per_row\": {}, \"batches\": {}}}{sep}\n",
                     c.shape,
                     c.n,
-                    r.algorithm,
+                    r.label(),
+                    r.workers,
                     r.exec_wall_ms,
+                    r.model_wall_ms,
                     r.plan_wall_ms,
                     r.modeled_cost,
                     r.root_rows,
                     r.counters.rows_touched(),
+                    r.rows_per_sec(),
+                    r.bytes_per_row,
                     r.counters.batches,
                 ));
             }
@@ -481,8 +590,9 @@ impl ExecBenchReport {
         for (ci, c) in self.cases.iter().enumerate() {
             let sep = if ci + 1 == self.cases.len() { "" } else { "," };
             out.push_str(&format!(
-                "    {{\"shape\": \"{}\", \"spearman_wall\": {:.3}, \"spearman_work\": {:.3}}}{sep}\n",
-                c.shape, c.spearman_wall, c.spearman_work
+                "    {{\"shape\": \"{}\", \"workers\": {}, \"spearman_wall\": {:.3}, \
+                 \"spearman_work\": {:.3}}}{sep}\n",
+                c.shape, c.workers, c.spearman_wall, c.spearman_work
             ));
         }
         out.push_str(&format!(
@@ -501,14 +611,108 @@ impl ExecBenchReport {
     }
 }
 
-/// Runs the full experiment (all shapes + the feedback demo).
-pub fn run_exec_bench(model: &PgLikeCost, seed: u64) -> Result<ExecBenchReport, String> {
+/// Runs the full experiment: all shapes at every requested worker count
+/// (`workers` empty means `[1]`), plus the feedback demo (which always runs
+/// sequentially — its subject is estimation error, not parallelism).
+pub fn run_exec_bench(
+    model: &PgLikeCost,
+    seed: u64,
+    workers: &[usize],
+) -> Result<ExecBenchReport, String> {
+    let workers = if workers.is_empty() {
+        &[1][..]
+    } else {
+        workers
+    };
     let mut cases = Vec::new();
-    for case in default_cases(model) {
-        cases.push(run_case(&case, model, seed)?);
+    for &w in workers {
+        for case in default_cases(model) {
+            cases.push(run_case(&case, model, seed, w)?);
+        }
+    }
+    // Cross-worker-count oracle inside one invocation: deterministic fields
+    // must agree between every pair of worker counts for the same shape.
+    for c in &cases[..] {
+        if let Some(base) = cases
+            .iter()
+            .find(|b| b.shape == c.shape && b.workers != c.workers)
+        {
+            for (rc, rb) in c.runs.iter().zip(&base.runs) {
+                if rc.root_rows != rb.root_rows || rc.counters != rb.counters {
+                    return Err(format!(
+                        "DETERMINISM VIOLATION on {}/{}: {}w and {}w runs disagree \
+                         (root {} vs {}; counters {:?} vs {:?})",
+                        c.shape,
+                        rc.algorithm,
+                        c.workers,
+                        base.workers,
+                        rc.root_rows,
+                        rb.root_rows,
+                        rc.counters,
+                        rb.counters,
+                    ));
+                }
+            }
+        }
     }
     let demo = run_feedback_demo(model)?;
     Ok(ExecBenchReport { cases, demo })
+}
+
+/// Compares the deterministic fields of `report`'s runs against the
+/// committed baseline at `path`: root cardinality, rows touched, and exact
+/// morsel counts must match the baseline's **1-worker** row for the same
+/// shape/strategy bit-for-bit. Because those fields are worker-invariant by
+/// construction, every CI matrix leg (`--workers 1|2|4`) checks against the
+/// same committed values — a divergence at any worker count shows up even
+/// though each leg runs only one count. Returns human-readable findings
+/// (empty = green).
+pub fn check_exec_determinism(path: &str, report: &ExecBenchReport) -> Vec<String> {
+    use crate::regress::{json_num, json_str};
+    let baseline = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => return vec![format!("cannot read baseline {path}: {e}")],
+    };
+    let mut out = Vec::new();
+    for c in &report.cases {
+        for r in &c.runs {
+            // The worker-invariant baseline key is the plain 1-worker row.
+            let row = baseline.lines().find(|line| {
+                let line = line.trim().trim_end_matches(',');
+                line.starts_with('{')
+                    && json_str(line, "shape") == Some(c.shape)
+                    && json_str(line, "algorithm") == Some(r.algorithm.as_str())
+                    && json_num(line, "n") == Some(c.n as f64)
+            });
+            let Some(row) = row else {
+                out.push(format!(
+                    "{}({})/{}: no 1-worker baseline row in {path}",
+                    c.shape, c.n, r.algorithm
+                ));
+                continue;
+            };
+            let row = row.trim().trim_end_matches(',');
+            let checks = [
+                ("root_rows", r.root_rows),
+                ("rows_touched", r.counters.rows_touched()),
+                ("batches", r.counters.batches),
+            ];
+            for (key, cur) in checks {
+                match json_num(row, key) {
+                    Some(base) if (base - cur as f64).abs() < 0.5 => {}
+                    Some(base) => out.push(format!(
+                        "{}({})/{} at {}w: {key} = {cur} diverges from baseline {base}",
+                        c.shape, c.n, r.algorithm, r.workers
+                    )),
+                    None => out.push(format!(
+                        "{}({})/{}: baseline row lacks {key}",
+                        c.shape, c.n, r.algorithm
+                    )),
+                }
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -519,7 +723,7 @@ mod tests {
     fn small_case_runs_and_correlates_work() {
         let model = PgLikeCost::new();
         let case = default_cases(&model).remove(0); // fig5
-        let report = run_case(&case, &model, 5).expect("case runs");
+        let report = run_case(&case, &model, 5, 1).expect("case runs");
         assert_eq!(report.runs.len(), EXEC_STRATEGIES.len());
         // Executor-scale statistics produce a non-trivial result set, so
         // the oracle check (inside run_case) compared real cardinalities.
@@ -531,5 +735,50 @@ mod tests {
             "exact strategies disagree on cost"
         );
         assert!(report.spearman_work >= -1.0 && report.spearman_work <= 1.0);
+    }
+
+    /// The in-run determinism gate passes on real shapes, and the parallel
+    /// runs' deterministic fields equal the sequential ones exactly.
+    #[test]
+    fn parallel_case_matches_sequential() {
+        let model = PgLikeCost::new();
+        let mut case = default_cases(&model).remove(1); // chain
+        case.max_table_rows = 2_000;
+        let seq = run_case(&case, &model, 5, 1).expect("sequential run");
+        let par = run_case(&case, &model, 5, 4).expect("parallel run (in-run check green)");
+        for (a, b) in seq.runs.iter().zip(&par.runs) {
+            assert_eq!(a.root_rows, b.root_rows);
+            assert_eq!(a.counters, b.counters);
+            assert_eq!(a.label(), a.algorithm, "1-worker label keeps the bare key");
+            assert_eq!(b.label(), format!("{} [4w]", a.algorithm));
+        }
+    }
+
+    /// `check_exec_determinism` is green against a self-emitted baseline
+    /// and flags a tampered deterministic field.
+    #[test]
+    fn determinism_check_flags_divergence() {
+        let model = PgLikeCost::new();
+        let mut case = default_cases(&model).remove(1); // chain
+        case.max_table_rows = 1_000;
+        let c = run_case(&case, &model, 5, 1).expect("case runs");
+        let demo = run_feedback_demo(&model).expect("demo runs");
+        let mut report = ExecBenchReport {
+            cases: vec![c],
+            demo,
+        };
+        let dir = std::env::temp_dir().join(format!("exec-det-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("base.json");
+        std::fs::write(&path, report.to_json()).unwrap();
+        let p = path.to_str().unwrap();
+        assert!(check_exec_determinism(p, &report).is_empty());
+        report.cases[0].runs[0].root_rows += 1;
+        let findings = check_exec_determinism(p, &report);
+        assert!(
+            findings.iter().any(|f| f.contains("root_rows")),
+            "{findings:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -5,6 +5,11 @@
 //! `algorithm` and `wall_ms`; the gate re-times the same runs and flags
 //! algorithm-specific slowdowns beyond 2× after normalizing out the
 //! machine-speed difference.
+//!
+//! Besides the pass/fail findings ([`check_regressions`]), the gate can
+//! render its full table as GitHub-flavored markdown ([`summary_markdown`])
+//! and append it to the Actions job summary ([`append_step_summary`]) —
+//! `repro`'s `--summary-md` flag, wired into every gating CI leg.
 
 /// One timed run, keyed the way baselines store it.
 #[derive(Clone, Debug)]
@@ -20,13 +25,40 @@ pub struct WallRun {
     pub wall_ms: f64,
 }
 
+/// One baseline row matched against a current run — the unit of the gate
+/// table rendered into `$GITHUB_STEP_SUMMARY` by [`summary_markdown`].
+#[derive(Clone, Debug)]
+pub struct GateRow {
+    /// `shape(n)/algorithm` key.
+    pub label: String,
+    /// Baseline wall time in milliseconds.
+    pub baseline_ms: f64,
+    /// Current wall time in milliseconds.
+    pub current_ms: f64,
+    /// Whether this row tripped the gate.
+    pub flagged: bool,
+}
+
+/// The structured result of one regression-gate evaluation.
+#[derive(Clone, Debug)]
+pub struct GateReport {
+    /// Median current/baseline wall ratio across matched rows (the
+    /// machine-speed factor regressions are normalized by); 1.0 when
+    /// nothing matched.
+    pub machine_factor: f64,
+    /// Every matched row, flagged or not.
+    pub rows: Vec<GateRow>,
+    /// Human-readable findings; empty means the gate is green.
+    pub findings: Vec<String>,
+}
+
 /// Reads `(shape, n, algorithm) -> wall_ms` records from a baseline JSON
-/// produced with `--emit-json` (one record per line) and reports >2×
-/// regressions among `current`. `require_full_coverage` makes a baseline
-/// row with no current counterpart a finding (the bench gate re-runs its
-/// whole roster); the scale smoke leg re-times a deliberate subset of its
-/// committed full-sweep baseline, so it passes `false` and only the
-/// intersection is compared.
+/// produced with `--emit-json` (one record per line) and evaluates `current`
+/// against them. `require_full_coverage` makes a baseline row with no
+/// current counterpart a finding (the bench gate re-runs its whole roster);
+/// the scale/exec smoke legs re-time a deliberate subset of their committed
+/// baselines (one worker count per matrix leg), so they pass `false` and
+/// only the intersection is compared.
 ///
 /// The baseline was timed on one specific machine, so raw ratios would flag
 /// every run on a uniformly slower CI runner. The check therefore
@@ -36,18 +68,20 @@ pub struct WallRun {
 /// its absolute wall time exceeds 5 ms — sub-millisecond rows jitter far
 /// more than 2× between invocations, but a genuine blow-up still crosses
 /// the floor.
-pub fn check_regressions(
-    path: &str,
-    current: &[WallRun],
-    require_full_coverage: bool,
-) -> Vec<String> {
+pub fn gate_report(path: &str, current: &[WallRun], require_full_coverage: bool) -> GateReport {
     const FACTOR: f64 = 2.0;
     const FLOOR_MS: f64 = 5.0;
     let baseline = match std::fs::read_to_string(path) {
         Ok(s) => s,
-        Err(e) => return vec![format!("cannot read baseline {path}: {e}")],
+        Err(e) => {
+            return GateReport {
+                machine_factor: 1.0,
+                rows: Vec::new(),
+                findings: vec![format!("cannot read baseline {path}: {e}")],
+            }
+        }
     };
-    let mut out = Vec::new();
+    let mut findings = Vec::new();
     // (label, baseline wall, current wall) for every matched run.
     let mut matched: Vec<(String, f64, f64)> = Vec::new();
     for line in baseline.lines() {
@@ -68,7 +102,7 @@ pub fn check_regressions(
             .find(|r| r.shape == shape && r.algorithm == algo && (r.n as f64 - n).abs() < 0.5)
         else {
             if require_full_coverage {
-                out.push(format!(
+                findings.push(format!(
                     "{shape}({n})/{algo}: present in baseline, missing now"
                 ));
             }
@@ -77,8 +111,12 @@ pub fn check_regressions(
         matched.push((format!("{shape}({n})/{algo}"), wall, cur.wall_ms));
     }
     if matched.is_empty() {
-        out.push(format!("no baseline runs matched in {path}"));
-        return out;
+        findings.push(format!("no baseline runs matched in {path}"));
+        return GateReport {
+            machine_factor: 1.0,
+            rows: Vec::new(),
+            findings,
+        };
     }
     let mut ratios: Vec<f64> = matched
         .iter()
@@ -87,14 +125,108 @@ pub fn check_regressions(
     ratios.sort_unstable_by(|a, b| a.total_cmp(b));
     let machine_factor = ratios[ratios.len() / 2].max(1e-9);
     println!("# machine-speed factor vs baseline (median wall ratio): {machine_factor:.2}");
+    let mut rows = Vec::with_capacity(matched.len());
     for (label, base, cur) in matched {
-        if cur > FLOOR_MS && cur > FACTOR * machine_factor * base {
-            out.push(format!(
+        let flagged = cur > FLOOR_MS && cur > FACTOR * machine_factor * base;
+        if flagged {
+            findings.push(format!(
                 "{label}: {cur:.1} ms vs baseline {base:.1} ms (machine factor {machine_factor:.2})"
             ));
         }
+        rows.push(GateRow {
+            label,
+            baseline_ms: base,
+            current_ms: cur,
+            flagged,
+        });
     }
-    out
+    GateReport {
+        machine_factor,
+        rows,
+        findings,
+    }
+}
+
+/// [`gate_report`] reduced to its findings — the historical entry point
+/// (`repro`'s exit-code gate and the tests use this).
+pub fn check_regressions(
+    path: &str,
+    current: &[WallRun],
+    require_full_coverage: bool,
+) -> Vec<String> {
+    gate_report(path, current, require_full_coverage).findings
+}
+
+/// Renders one gate evaluation as a GitHub-flavored markdown section: a
+/// verdict line, the machine factor, the full gate table (flagged rows
+/// bolded and marked), and any non-row findings — everything needed to
+/// diagnose a red bench leg from the Actions run page without downloading
+/// artifacts.
+pub fn summary_markdown(title: &str, report: &GateReport) -> String {
+    let verdict = if report.findings.is_empty() {
+        "✅ no wall-time regression"
+    } else {
+        "❌ gate failed"
+    };
+    let mut md = format!(
+        "### {title} — {verdict}\n\nmachine-speed factor vs baseline (median wall ratio): \
+         `{:.2}`\n\n",
+        report.machine_factor
+    );
+    if !report.rows.is_empty() {
+        md.push_str("| run | baseline ms | current ms | ratio | |\n|---|---:|---:|---:|---|\n");
+        for r in &report.rows {
+            let ratio = r.current_ms / r.baseline_ms.max(1e-9);
+            if r.flagged {
+                md.push_str(&format!(
+                    "| **{}** | {:.2} | **{:.2}** | **{:.2}×** | 🚨 |\n",
+                    r.label, r.baseline_ms, r.current_ms, ratio
+                ));
+            } else {
+                md.push_str(&format!(
+                    "| {} | {:.2} | {:.2} | {:.2}× | |\n",
+                    r.label, r.baseline_ms, r.current_ms, ratio
+                ));
+            }
+        }
+    }
+    let non_row: Vec<&String> = report
+        .findings
+        .iter()
+        .filter(|f| {
+            !report
+                .rows
+                .iter()
+                .any(|r| r.flagged && f.starts_with(&r.label))
+        })
+        .collect();
+    if !non_row.is_empty() {
+        md.push('\n');
+        for f in non_row {
+            md.push_str(&format!("- ⚠️ {f}\n"));
+        }
+    }
+    md.push('\n');
+    md
+}
+
+/// Appends a markdown fragment to the file `$GITHUB_STEP_SUMMARY` points at
+/// (the GitHub Actions job-summary channel). Outside Actions — or if the
+/// append fails — the fragment goes to stdout instead, so `--summary-md`
+/// is observable in local runs too.
+pub fn append_step_summary(md: &str) {
+    use std::io::Write;
+    if let Some(path) = std::env::var_os("GITHUB_STEP_SUMMARY") {
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(md.as_bytes()));
+        if appended.is_ok() {
+            return;
+        }
+    }
+    print!("{md}");
 }
 
 /// Extracts `"key": "value"` from a single-line JSON object.
@@ -178,6 +310,47 @@ mod tests {
         // Subset mode: the same gap is tolerated (scale smoke re-times a
         // deliberate subset of the committed full sweep).
         assert!(check_regressions(p, &missing, false).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn summary_markdown_renders_gate_table() {
+        let dir = std::env::temp_dir().join(format!("regress-md-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("base.json");
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"shape\": \"a\", \"n\": 10, \"algorithm\": \"X\", \"wall_ms\": 10.0},\n",
+                "{\"shape\": \"b\", \"n\": 10, \"algorithm\": \"X\", \"wall_ms\": 10.0},\n",
+                "{\"shape\": \"c\", \"n\": 10, \"algorithm\": \"X\", \"wall_ms\": 10.0}\n",
+            ),
+        )
+        .unwrap();
+        let p = path.to_str().unwrap();
+        let steady = [
+            run("a", 10, "X", 10.0),
+            run("b", 10, "X", 10.0),
+            run("c", 10, "X", 10.0),
+        ];
+        let green = gate_report(p, &steady, true);
+        assert!(green.findings.is_empty());
+        assert_eq!(green.rows.len(), 3);
+        let md = summary_markdown("exec gate", &green);
+        assert!(md.contains("### exec gate — ✅"), "{md}");
+        assert!(md.contains("| a(10)/X | 10.00 | 10.00 | 1.00× | |"), "{md}");
+
+        let blown = [
+            run("a", 10, "X", 10.0),
+            run("b", 10, "X", 100.0),
+            run("c", 10, "X", 10.0),
+        ];
+        let red = gate_report(p, &blown, true);
+        assert_eq!(red.findings.len(), 1);
+        let md = summary_markdown("exec gate", &red);
+        assert!(md.contains("❌ gate failed"), "{md}");
+        assert!(md.contains("**b(10)/X**"), "{md}");
+        assert!(md.contains("🚨"), "{md}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,17 +1,29 @@
-//! The vectorized in-memory join executor.
+//! The morsel-parallel vectorized join executor.
 //!
 //! [`Executor::execute`] walks a [`PlanTree`] bottom-up and runs every join
-//! as a batch-at-a-time hash join:
+//! as a three-stage batch-at-a-time hash join:
 //!
-//! * the **build side** is the child with the smaller *modeled* cardinality
-//!   (the optimizer's own estimate — a mis-estimate therefore costs real
-//!   wall time, which is exactly what the feedback loop measures);
-//! * the probe side streams through in fixed-size **morsels**
-//!   ([`ExecConfig::batch`], default 1024 rows), each gathered column-wise;
-//! * intermediate results are **rowid vectors** — one `u32` column per
-//!   participating base relation — so any upper join can gather the key
-//!   column it needs straight from the base tables without copying payloads
-//!   through every operator.
+//! * **build** (single-pass, sequential): the child with the smaller
+//!   *modeled* cardinality (the optimizer's own estimate — a mis-estimate
+//!   therefore costs real wall time, which is exactly what the feedback
+//!   loop measures) is gathered into flat per-edge key columns, hashed with
+//!   one fused kernel, and inserted into a chained open-addressing table
+//!   plus a two-probe **bloom filter** over the composite hashes;
+//! * **probe** (parallel): the probe side is cut into fixed-size **morsels**
+//!   ([`ExecConfig::batch`], default 1024 rows). Each pool worker owns a
+//!   contiguous morsel range ([`chunk_range`] over morsel indices) and runs
+//!   the fused per-morsel kernel pipeline — gather → hash → bloom
+//!   pre-filter → table probe with value-by-value verification → column-wise
+//!   output gather — into a **private** output buffer;
+//! * **merge** (sequential): worker buffers are concatenated in worker
+//!   order, which *is* morsel order because ranges are contiguous, so the
+//!   output rows, the merged [`ExecStats`], and every downstream observed
+//!   selectivity are bit-identical at any worker count.
+//!
+//! Intermediate results are **rowid vectors** — one `u32` column per
+//! participating base relation — so any upper join gathers the key column
+//! it needs straight from the base tables without copying payloads through
+//! every operator.
 //!
 //! A join's predicate set is derived from the query graph: every edge with
 //! one endpoint on each side participates. Hash keys combine all crossing
@@ -22,17 +34,20 @@
 //! cross product (heuristic plans on degenerate graphs can contain them).
 //!
 //! Per operator the executor records [`ExecStats`] (build/probe/output rows,
-//! batch count, wall time) and per join it records the **observed combined
-//! selectivity** `output / (left × right)` — the raw material the feedback
-//! path folds back into the catalog.
+//! exact morsel count, wall time) and per join it records the **observed
+//! combined selectivity** `output / (left × right)` — folded from the
+//! per-worker partial outputs before anything downstream (in particular
+//! `PlanService::observe`) sees it.
 
 use crate::datagen::Dataset;
 use mpdp_core::bitset::RelSet;
 use mpdp_core::counters::ExecCounters;
+use mpdp_core::memo::murmur3_fmix64;
 use mpdp_core::plan::PlanTree;
 use mpdp_core::query::LargeQuery;
-use std::collections::HashMap;
+use mpdp_parallel::pool::{chunk_range, with_pool, PoolHandle};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Execution knobs.
@@ -43,6 +58,11 @@ pub struct ExecConfig {
     /// Hard cap on any operator's output cardinality; exceeding it aborts
     /// the run with [`ExecError::OutputCap`] instead of filling memory.
     pub max_output_rows: usize,
+    /// Probe-phase worker count. [`Executor::execute`] spawns a barrier
+    /// pool of this many workers once per run; `1` (the default) runs
+    /// inline with zero thread overhead. Results are bit-identical at any
+    /// value — see the module docs' merge-order argument.
+    pub workers: usize,
 }
 
 impl Default for ExecConfig {
@@ -50,6 +70,7 @@ impl Default for ExecConfig {
         ExecConfig {
             batch: 1024,
             max_output_rows: 20_000_000,
+            workers: 1,
         }
     }
 }
@@ -93,7 +114,9 @@ pub struct ExecStats {
     pub probe_rows: u64,
     /// Output cardinality.
     pub output_rows: u64,
-    /// Probe morsels processed.
+    /// Probe morsels processed — exactly `⌈probe_rows / batch⌉`, summed
+    /// from the per-worker ranges (asserted by the oracle tests, including
+    /// the probe-rows-an-exact-multiple-of-batch boundary).
     pub batches: u64,
     /// The optimizer's estimated output cardinality for this operator.
     pub est_rows: f64,
@@ -139,6 +162,12 @@ pub struct ExecReport {
     /// Payload bytes the result set stands for: root rows × the summed
     /// payload widths of all participating tables.
     pub result_bytes: u64,
+    /// Per-worker probe-phase busy time, summed over all joins (length is
+    /// the worker count the run used). On a host with that many idle cores
+    /// the probe phases overlap; on a time-sliced host they serialize and
+    /// the measured [`ExecReport::wall`] stays flat, which is why
+    /// [`ExecReport::parallel_model_wall`] exists.
+    pub worker_busy: Vec<Duration>,
 }
 
 impl ExecReport {
@@ -149,19 +178,35 @@ impl ExecReport {
         let obs = (self.root_rows as f64).max(1.0);
         (est / obs).max(obs / est)
     }
+
+    /// The work/span-model wall for this run: the measured wall with the
+    /// summed probe busy time replaced by the *longest single worker's*
+    /// busy time — what the run costs on a host where every pool worker has
+    /// its own core. On such a host this converges to the measured wall; on
+    /// the repo's single-core container it is the standard `[model]` figure
+    /// (DESIGN.md §2) next to the measured one.
+    pub fn parallel_model_wall(&self) -> Duration {
+        let total: Duration = self.worker_busy.iter().sum();
+        let span = self.worker_busy.iter().max().copied().unwrap_or_default();
+        self.wall.saturating_sub(total) + span
+    }
 }
 
-/// Intermediate result: rowid vectors per participating base relation.
-struct Intermediate {
+/// A materialized result: rowid vectors per participating base relation.
+/// This is both the executor's intermediate representation and (at the
+/// root) the returned result set of [`Executor::execute_with_result`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResultSet {
     /// Participating relations, ascending.
-    rels: Vec<u32>,
+    pub rels: Vec<u32>,
     /// `rowids[i]` holds one row index into base table `rels[i]` per output
     /// row (all columns share one length).
-    rowids: Vec<Vec<u32>>,
-    len: usize,
+    pub rowids: Vec<Vec<u32>>,
+    /// Output row count.
+    pub len: usize,
 }
 
-impl Intermediate {
+impl ResultSet {
     fn column_of(&self, rel: u32) -> &[u32] {
         let i = self
             .rels
@@ -170,6 +215,165 @@ impl Intermediate {
             .expect("relation present in intermediate");
         &self.rowids[i]
     }
+}
+
+/// The composite-hash fold shared by build and probe: good mixing is all
+/// that is required — equality is re-verified value-by-value on probe.
+#[inline]
+fn fold(h: u64, key: u64) -> u64 {
+    murmur3_fmix64(h ^ key)
+}
+
+/// Seed of the composite-hash fold (any odd constant works; this one is
+/// shared with the morsel hash kernels so build and probe agree).
+const HASH_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Sentinel for an empty hash bucket / end of a chain.
+const EMPTY: u32 = u32::MAX;
+
+/// A two-probe bloom filter over composite build hashes, sized at 16 bits
+/// per build row (rounded up to a power of two), giving a false-positive
+/// rate of `(1 - e^(-2/16))² ≈ 1.4%`. Probing it is two dependent loads on
+/// one cache-resident bit array versus a bucket + chain walk on the (much
+/// larger) table, so non-matching probe rows — the common case under
+/// selective joins — never touch the table.
+struct Bloom {
+    words: Vec<u64>,
+    mask: u64,
+}
+
+impl Bloom {
+    fn new(rows: usize) -> Self {
+        let bits = rows.max(4).next_power_of_two() as u64 * 16;
+        Bloom {
+            words: vec![0; (bits / 64) as usize],
+            mask: bits - 1,
+        }
+    }
+
+    /// The two derived bit positions: low hash bits and a rotation, so one
+    /// 64-bit hash yields two independent-enough probes without rehashing.
+    #[inline]
+    fn bits_of(&self, h: u64) -> (u64, u64) {
+        (h & self.mask, h.rotate_right(21) & self.mask)
+    }
+
+    #[inline]
+    fn insert(&mut self, h: u64) {
+        let (a, b) = self.bits_of(h);
+        self.words[(a / 64) as usize] |= 1 << (a % 64);
+        self.words[(b / 64) as usize] |= 1 << (b % 64);
+    }
+
+    #[inline]
+    fn may_contain(&self, h: u64) -> bool {
+        let (a, b) = self.bits_of(h);
+        self.words[(a / 64) as usize] & (1 << (a % 64)) != 0
+            && self.words[(b / 64) as usize] & (1 << (b % 64)) != 0
+    }
+}
+
+/// The build-stage product: flat gathered key columns, composite hashes,
+/// and a chained hash table (bucket heads + next links) with a bloom filter
+/// in front. Chains are built by inserting rows in reverse, so walking a
+/// chain visits build rows in ascending order — one more place where
+/// iteration order (and therefore output order) is pinned by construction,
+/// not by scheduling.
+struct BuildTable {
+    /// Gathered build keys, one flat column per crossing edge.
+    keys: Vec<Vec<u64>>,
+    /// Composite hash per build row.
+    hashes: Vec<u64>,
+    /// Bucket heads (power-of-two sized).
+    buckets: Vec<u32>,
+    /// Chain links per build row.
+    next: Vec<u32>,
+    mask: u64,
+    bloom: Bloom,
+}
+
+impl BuildTable {
+    /// Build stage: gather kernel, hash kernel, then table + bloom insert.
+    fn build(access: &[EdgeAccess<'_>], len: usize) -> BuildTable {
+        // Gather kernel: one flat pass per edge (rowids → base key column).
+        let keys: Vec<Vec<u64>> = access
+            .iter()
+            .map(|a| {
+                a.build_rowids
+                    .iter()
+                    .map(|&r| a.build_keys[r as usize])
+                    .collect()
+            })
+            .collect();
+        // Hash kernel: fold one edge's column at a time over the whole
+        // build side (column-major, branch-free inner loop).
+        let mut hashes = vec![HASH_SEED; len];
+        for col in &keys {
+            for (h, &k) in hashes.iter_mut().zip(col) {
+                *h = fold(*h, k);
+            }
+        }
+        let cap = (len * 2).next_power_of_two().max(16);
+        let mask = cap as u64 - 1;
+        let mut buckets = vec![EMPTY; cap];
+        let mut next = vec![EMPTY; len];
+        let mut bloom = Bloom::new(len);
+        for row in (0..len).rev() {
+            let h = hashes[row];
+            bloom.insert(h);
+            let b = (h & mask) as usize;
+            next[row] = buckets[b];
+            buckets[b] = row as u32;
+        }
+        BuildTable {
+            keys,
+            hashes,
+            buckets,
+            next,
+            mask,
+            bloom,
+        }
+    }
+}
+
+/// Direct slices for one crossing edge, resolved once per join: the morsel
+/// kernels must not re-derive them per row (a skewed key can put thousands
+/// of candidates behind one probe row, and this wall time is the
+/// experiment's signal).
+struct EdgeAccess<'c> {
+    probe_rowids: &'c [u32],
+    probe_keys: &'c [u64],
+    build_rowids: &'c [u32],
+    build_keys: &'c [u64],
+}
+
+/// Per-worker reusable probe scratch: gathered keys (edge-major), composite
+/// hashes, the bloom survivor list, and the morsel's match pairs.
+struct ProbeScratch {
+    keys: Vec<Vec<u64>>,
+    hashes: Vec<u64>,
+    survivors: Vec<u32>,
+    matches: Vec<(u32, u32)>,
+}
+
+impl ProbeScratch {
+    fn new(edges: usize, batch: usize) -> Self {
+        ProbeScratch {
+            keys: (0..edges).map(|_| vec![0; batch]).collect(),
+            hashes: vec![0; batch],
+            survivors: Vec::with_capacity(batch),
+            matches: Vec::new(),
+        }
+    }
+}
+
+/// One worker's private probe output: per-column rowid buffers plus its
+/// share of the merged statistics.
+struct WorkerOut {
+    cols: Vec<Vec<u32>>,
+    rows: usize,
+    batches: u64,
+    busy: Duration,
 }
 
 /// The vectorized executor: borrow a query and its dataset, execute plans.
@@ -193,8 +397,44 @@ impl<'a> Executor<'a> {
     }
 
     /// Executes a plan and reports per-operator statistics and per-join
-    /// observed selectivities.
+    /// observed selectivities. Spawns (and tears down) a barrier pool of
+    /// [`ExecConfig::workers`] workers for the probe phases; to amortize
+    /// the pool across many plans, use [`Executor::execute_in`].
     pub fn execute(&self, plan: &PlanTree) -> Result<ExecReport, ExecError> {
+        with_pool(self.config.workers.max(1), |pool| {
+            self.execute_in(pool, plan)
+        })
+    }
+
+    /// Like [`Executor::execute`] but also returns the root result set
+    /// (rowid columns into the base tables) — the byte-exact artifact the
+    /// parallel-equivalence tests compare across worker counts.
+    pub fn execute_with_result(
+        &self,
+        plan: &PlanTree,
+    ) -> Result<(ExecReport, ResultSet), ExecError> {
+        with_pool(self.config.workers.max(1), |pool| {
+            self.execute_with_result_in(pool, plan)
+        })
+    }
+
+    /// Executes a plan on a caller-provided pool (reused across plans or
+    /// shared with the DP backends — the same persistent barrier pool
+    /// drives both the optimizer's levels and the executor's morsels).
+    pub fn execute_in(
+        &self,
+        pool: &PoolHandle<'_>,
+        plan: &PlanTree,
+    ) -> Result<ExecReport, ExecError> {
+        self.execute_with_result_in(pool, plan).map(|(r, _)| r)
+    }
+
+    /// [`Executor::execute_with_result`] on a caller-provided pool.
+    pub fn execute_with_result_in(
+        &self,
+        pool: &PoolHandle<'_>,
+        plan: &PlanTree,
+    ) -> Result<(ExecReport, ResultSet), ExecError> {
         if self.query.num_rels() > 64 {
             return Err(ExecError::BadPlan(format!(
                 "executor covers the exact regime (≤64 relations), got {}",
@@ -211,7 +451,8 @@ impl<'a> Executor<'a> {
         let start = Instant::now();
         let mut stats = Vec::new();
         let mut joins = Vec::new();
-        let root = self.run(plan, &mut stats, &mut joins)?;
+        let mut busy = vec![Duration::ZERO; pool.workers()];
+        let root = self.run(plan, pool, &mut stats, &mut joins, &mut busy)?;
         let wall = start.elapsed();
         // Aggregate from the joins vec (not a rows>0 heuristic on stats):
         // a join of two empty intermediates is still a join operator and
@@ -233,7 +474,7 @@ impl<'a> Executor<'a> {
             .iter()
             .map(|&r| self.data.tables[r as usize].payload_width as u64)
             .sum();
-        Ok(ExecReport {
+        let report = ExecReport {
             root_rows: root.len as u64,
             est_root_rows: plan.rows(),
             stats,
@@ -241,15 +482,19 @@ impl<'a> Executor<'a> {
             wall,
             counters,
             result_bytes: root.len as u64 * width,
-        })
+            worker_busy: busy,
+        };
+        Ok((report, root))
     }
 
     fn run(
         &self,
         plan: &PlanTree,
+        pool: &PoolHandle<'_>,
         stats: &mut Vec<ExecStats>,
         joins: &mut Vec<ObservedJoin>,
-    ) -> Result<Intermediate, ExecError> {
+        busy: &mut [Duration],
+    ) -> Result<ResultSet, ExecError> {
         match plan {
             PlanTree::Scan { rel, rows, .. } => {
                 let r = *rel as usize;
@@ -266,7 +511,7 @@ impl<'a> Executor<'a> {
                     est_rows: *rows,
                     wall: Duration::ZERO,
                 });
-                Ok(Intermediate {
+                Ok(ResultSet {
                     rels: vec![*rel],
                     rowids: vec![(0..n as u32).collect()],
                     len: n,
@@ -275,8 +520,8 @@ impl<'a> Executor<'a> {
             PlanTree::Join {
                 left, right, rows, ..
             } => {
-                let l = self.run(left, stats, joins)?;
-                let r = self.run(right, stats, joins)?;
+                let l = self.run(left, pool, stats, joins, busy)?;
+                let r = self.run(right, pool, stats, joins, busy)?;
                 let t0 = Instant::now();
                 // Build on the smaller *modeled* side; ties build right,
                 // matching the cost models' build-right convention.
@@ -285,7 +530,7 @@ impl<'a> Executor<'a> {
                 } else {
                     (r, l)
                 };
-                let out = self.hash_join(&probe, &build, *rows, stats, joins)?;
+                let out = self.hash_join(pool, &probe, &build, *rows, stats, joins, busy)?;
                 if let Some(s) = stats.last_mut() {
                     s.wall = t0.elapsed();
                 }
@@ -309,32 +554,27 @@ impl<'a> Executor<'a> {
             .collect()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn hash_join(
         &self,
-        probe: &Intermediate,
-        build: &Intermediate,
+        pool: &PoolHandle<'_>,
+        probe: &ResultSet,
+        build: &ResultSet,
         est_rows: f64,
         stats: &mut Vec<ExecStats>,
         joins: &mut Vec<ObservedJoin>,
-    ) -> Result<Intermediate, ExecError> {
+        busy: &mut [Duration],
+    ) -> Result<ResultSet, ExecError> {
         let probe_set = RelSet::from_indices(probe.rels.iter().map(|&r| r as usize));
         let build_set = RelSet::from_indices(build.rels.iter().map(|&r| r as usize));
         let edges = self.crossing_edges(probe_set, build_set);
 
         // Resolve each crossing edge to direct (rowid column, key column)
-        // slices once — the probe inner loop must not re-derive them per
-        // candidate (a skewed key can put thousands of candidates behind
-        // one probe row, and this wall time is the experiment's signal).
-        struct EdgeAccess<'c> {
-            probe_rowids: &'c [u32],
-            probe_keys: &'c [u64],
-            build_rowids: &'c [u32],
-            build_keys: &'c [u64],
-        }
+        // slices once.
         fn resolve<'c>(
             query: &LargeQuery,
             data: &'c Dataset,
-            side: &'c Intermediate,
+            side: &'c ResultSet,
             set: RelSet,
             ei: usize,
         ) -> (&'c [u32], &'c [u64]) {
@@ -360,21 +600,11 @@ impl<'a> Executor<'a> {
                 }
             })
             .collect();
-        let build_key = |a: &EdgeAccess<'_>, row: usize| a.build_keys[a.build_rowids[row] as usize];
 
-        // Build phase: composite key hash -> build-row indices. Keys of all
-        // crossing edges are folded into one u64; equality is re-verified on
-        // probe, so the fold only needs to be a good hash.
-        let fold = |h: u64, key: u64| mpdp_core::memo::murmur3_fmix64(h ^ key);
-        let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(build.len.max(1));
-        for row in 0..build.len {
-            let h = access
-                .iter()
-                .fold(0x9e37_79b9_7f4a_7c15_u64, |h, a| fold(h, build_key(a, row)));
-            table.entry(h).or_default().push(row as u32);
-        }
+        // ---- Build stage (single-pass, sequential). ----
+        let table = BuildTable::build(&access, build.len);
 
-        // Probe phase, one morsel at a time.
+        // ---- Probe stage (parallel over morsel ranges). ----
         let out_rels: Vec<u32> = {
             let mut v: Vec<u32> = probe
                 .rels
@@ -385,61 +615,91 @@ impl<'a> Executor<'a> {
             v.sort_unstable();
             v
         };
-        let mut out_rowids: Vec<Vec<u32>> = vec![Vec::new(); out_rels.len()];
-        let mut out_len = 0usize;
-        let mut batches = 0u64;
-        let batch = self.config.batch.max(1);
-        let mut morsel: Vec<(u32, u32)> = Vec::with_capacity(batch); // (probe row, build row)
-        let mut probe_keys: Vec<u64> = vec![0; access.len()];
-        let mut probe_row = 0usize;
-        while probe_row < probe.len {
-            let end = (probe_row + batch).min(probe.len);
-            batches += 1;
-            morsel.clear();
-            for row in probe_row..end {
-                // This probe row's key per crossing edge, gathered once —
-                // invariant across however many candidates hash here.
-                let mut h = 0x9e37_79b9_7f4a_7c15_u64;
-                for (k, a) in probe_keys.iter_mut().zip(&access) {
-                    *k = a.probe_keys[a.probe_rowids[row] as usize];
-                    h = fold(h, *k);
+        // Output gather sources, resolved once: each output column comes
+        // from exactly one side's rowid column.
+        let out_sources: Vec<(bool, &[u32])> = out_rels
+            .iter()
+            .map(|&rel| {
+                if probe_set.contains(rel as usize) {
+                    (true, probe.column_of(rel))
+                } else {
+                    (false, build.column_of(rel))
                 }
-                if let Some(cands) = table.get(&h) {
-                    for &b in cands {
-                        // Verify every crossing edge value-for-value: the
-                        // fold above may collide, equality may not.
-                        let all_match = probe_keys
-                            .iter()
-                            .zip(&access)
-                            .all(|(&k, a)| k == build_key(a, b as usize));
-                        if all_match {
-                            morsel.push((row as u32, b));
-                        }
+            })
+            .collect();
+
+        let batch = self.config.batch.max(1);
+        let cap = self.config.max_output_rows;
+        let morsels = probe.len.div_ceil(batch);
+        let workers = pool.workers();
+        let emitted = AtomicU64::new(0);
+        let aborted = AtomicBool::new(false);
+        let outs: Vec<WorkerOut> = pool.map(|w| {
+            let t0 = Instant::now();
+            let mut out = WorkerOut {
+                cols: vec![Vec::new(); out_rels.len()],
+                rows: 0,
+                batches: 0,
+                busy: Duration::ZERO,
+            };
+            let mut scratch = ProbeScratch::new(access.len(), batch);
+            for m in chunk_range(morsels, workers, w) {
+                if aborted.load(Ordering::Relaxed) {
+                    break;
+                }
+                let lo = m * batch;
+                let hi = (lo + batch).min(probe.len);
+                self.probe_morsel(&access, &table, lo, hi, &mut scratch);
+                out.batches += 1;
+                let found = scratch.matches.len() as u64;
+                // Global output-cap accounting. In a run whose total output
+                // fits the cap no partial sum can exceed it, so the abort
+                // branch below never fires and results stay deterministic;
+                // in a blow-up every interleaving eventually trips it.
+                if emitted.fetch_add(found, Ordering::Relaxed) + found > cap as u64 {
+                    aborted.store(true, Ordering::Relaxed);
+                    break;
+                }
+                // Gather the morsel's match pairs column-wise into this
+                // worker's private output buffers.
+                out.rows += scratch.matches.len();
+                for (col, &(from_probe, src)) in out.cols.iter_mut().zip(&out_sources) {
+                    col.reserve(scratch.matches.len());
+                    if from_probe {
+                        col.extend(scratch.matches.iter().map(|&(p, _)| src[p as usize]));
+                    } else {
+                        col.extend(scratch.matches.iter().map(|&(_, b)| src[b as usize]));
                     }
                 }
             }
-            out_len += morsel.len();
-            if out_len > self.config.max_output_rows {
-                return Err(ExecError::OutputCap {
-                    rels: probe_set.union(build_set),
-                    cap: self.config.max_output_rows,
-                });
-            }
-            // Gather the morsel's rowids column-wise into the output.
-            for (oi, &rel) in out_rels.iter().enumerate() {
-                let col = &mut out_rowids[oi];
-                col.reserve(morsel.len());
-                if probe_set.contains(rel as usize) {
-                    let src = probe.column_of(rel);
-                    col.extend(morsel.iter().map(|&(p, _)| src[p as usize]));
-                } else {
-                    let src = build.column_of(rel);
-                    col.extend(morsel.iter().map(|&(_, b)| src[b as usize]));
-                }
-            }
-            probe_row = end;
+            out.busy = t0.elapsed();
+            out
+        });
+        if aborted.load(Ordering::Relaxed) {
+            return Err(ExecError::OutputCap {
+                rels: probe_set.union(build_set),
+                cap,
+            });
         }
 
+        // ---- Merge stage: concatenate in worker order == morsel order. ----
+        let out_len: usize = outs.iter().map(|o| o.rows).sum();
+        let batches: u64 = outs.iter().map(|o| o.batches).sum();
+        let mut out_rowids: Vec<Vec<u32>> = Vec::with_capacity(out_rels.len());
+        for ci in 0..out_rels.len() {
+            let mut col = Vec::with_capacity(out_len);
+            for o in &outs {
+                col.extend_from_slice(&o.cols[ci]);
+            }
+            out_rowids.push(col);
+        }
+        for (slot, o) in busy.iter_mut().zip(&outs) {
+            *slot += o.busy;
+        }
+
+        // Per-worker partial outputs are folded (summed) *before* the
+        // observed selectivity is computed, so the feedback path always
+        // sees the merged observation.
         let observed_sel = if probe.len == 0 || build.len == 0 {
             0.0
         } else {
@@ -463,11 +723,72 @@ impl<'a> Executor<'a> {
             observed_sel,
             est_rows,
         });
-        Ok(Intermediate {
+        Ok(ResultSet {
             rels: out_rels,
             rowids: out_rowids,
             len: out_len,
         })
+    }
+
+    /// The fused per-morsel kernel pipeline over probe rows `lo..hi`:
+    /// gather → hash → bloom pre-filter → chained-table probe with
+    /// value-by-value verification. Match pairs land in `scratch.matches`
+    /// as `(global probe row, build row)`, in (probe row, chain) order.
+    fn probe_morsel(
+        &self,
+        access: &[EdgeAccess<'_>],
+        table: &BuildTable,
+        lo: usize,
+        hi: usize,
+        scratch: &mut ProbeScratch,
+    ) {
+        let len = hi - lo;
+        // Gather kernel: edge-major flat loops (rowid → base key column).
+        for (col, a) in scratch.keys.iter_mut().zip(access) {
+            for (k, &rid) in col[..len].iter_mut().zip(&a.probe_rowids[lo..hi]) {
+                *k = a.probe_keys[rid as usize];
+            }
+        }
+        // Hash kernel: fold one edge column at a time.
+        scratch.hashes[..len].fill(HASH_SEED);
+        for col in &scratch.keys {
+            for (h, &k) in scratch.hashes[..len].iter_mut().zip(&col[..len]) {
+                *h = fold(*h, k);
+            }
+        }
+        // Bloom kernel: batch pre-filter into a survivor selection vector —
+        // rows that cannot match never touch the hash table.
+        scratch.survivors.clear();
+        scratch.survivors.extend(
+            scratch.hashes[..len]
+                .iter()
+                .enumerate()
+                .filter(|(_, &h)| table.bloom.may_contain(h))
+                .map(|(i, _)| i as u32),
+        );
+        // Probe kernel: walk the chain for each survivor; reject on the
+        // stored composite hash first, then verify every crossing edge
+        // value-for-value (the fold may collide, equality may not).
+        scratch.matches.clear();
+        for &i in &scratch.survivors {
+            let i = i as usize;
+            let h = scratch.hashes[i];
+            let mut b = table.buckets[(h & table.mask) as usize];
+            while b != EMPTY {
+                let row = b as usize;
+                if table.hashes[row] == h {
+                    let all_match = scratch
+                        .keys
+                        .iter()
+                        .zip(&table.keys)
+                        .all(|(pk, bk)| pk[i] == bk[row]);
+                    if all_match {
+                        scratch.matches.push(((lo + i) as u32, b));
+                    }
+                }
+                b = table.next[row];
+            }
+        }
     }
 }
 
@@ -515,7 +836,9 @@ mod tests {
     }
 
     /// Morsel boundaries must not change results: a probe side that is not a
-    /// multiple of the batch size still emits every match.
+    /// multiple of the batch size still emits every match, and the morsel
+    /// counter is exact — including when probe rows divide evenly (2500/1
+    /// and a by-hand 2500-row check would hide an off-by-one there).
     #[test]
     fn batch_size_is_result_invariant() {
         let m = PgLikeCost::new();
@@ -537,7 +860,9 @@ mod tests {
             cost: 10.0,
         };
         let mut outs = Vec::new();
-        for batch in [1usize, 7, 1024, 1_000_000] {
+        // 500 and 1250 divide 2500 exactly: the final morsel is full, the
+        // boundary where a `<=`-shaped loop condition would double-count.
+        for batch in [1usize, 7, 500, 1024, 1250, 1_000_000] {
             let ex = Executor::new(
                 &d.scaled,
                 &d,
@@ -552,6 +877,67 @@ mod tests {
             assert_eq!(r.stats.last().unwrap().batches, expected_batches);
         }
         assert!(outs.windows(2).all(|w| w[0] == w[1]), "{outs:?}");
+    }
+
+    /// Worker count must not change anything observable: output columns,
+    /// per-operator stats, and observed selectivities are bit-identical
+    /// from 1 to 8 workers (including workers > morsels).
+    #[test]
+    fn worker_count_is_result_invariant() {
+        let m = PgLikeCost::new();
+        let mut q = LargeQuery::new(vec![RelInfo::new(5_000.0, 1.0), RelInfo::new(3_000.0, 1.0)]);
+        q.add_edge(0, 1, 1.0 / 97.0);
+        let d = materialize(
+            &q,
+            &GenConfig {
+                seed: 11,
+                ..Default::default()
+            },
+            &m,
+        );
+        let plan = PlanTree::Join {
+            left: Box::new(PlanTree::Scan {
+                rel: 0,
+                rows: 5_000.0,
+                cost: 1.0,
+            }),
+            right: Box::new(PlanTree::Scan {
+                rel: 1,
+                rows: 3_000.0,
+                cost: 1.0,
+            }),
+            rows: 5_000.0 * 3_000.0 / 97.0,
+            cost: 10.0,
+        };
+        let run = |workers: usize| {
+            let ex = Executor::new(
+                &d.scaled,
+                &d,
+                ExecConfig {
+                    workers,
+                    batch: 256,
+                    ..Default::default()
+                },
+            );
+            ex.execute_with_result(&plan).unwrap()
+        };
+        let (base_report, base_rows) = run(1);
+        for workers in [2usize, 3, 8, 64] {
+            let (report, rows) = run(workers);
+            assert_eq!(rows, base_rows, "output diverged at {workers} workers");
+            assert_eq!(report.root_rows, base_report.root_rows);
+            let strip = |s: &[ExecStats]| {
+                s.iter()
+                    .map(|s| (s.rels, s.build_rows, s.probe_rows, s.output_rows, s.batches))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(strip(&report.stats), strip(&base_report.stats));
+            assert_eq!(report.worker_busy.len(), workers);
+            assert_eq!(
+                report.joins[0].observed_sel.to_bits(),
+                base_report.joins[0].observed_sel.to_bits()
+            );
+        }
     }
 
     /// Uniform keys: observed selectivity matches the catalog estimate to
@@ -614,17 +1000,43 @@ mod tests {
             rows: 25_000_000.0,
             cost: 10.0,
         };
-        let ex = Executor::new(
-            &d.scaled,
-            &d,
-            ExecConfig {
-                max_output_rows: 10_000,
-                ..Default::default()
-            },
-        );
-        match ex.execute(&plan) {
-            Err(ExecError::OutputCap { cap, .. }) => assert_eq!(cap, 10_000),
-            other => panic!("expected OutputCap, got {other:?}"),
+        for workers in [1usize, 4] {
+            let ex = Executor::new(
+                &d.scaled,
+                &d,
+                ExecConfig {
+                    max_output_rows: 10_000,
+                    workers,
+                    ..Default::default()
+                },
+            );
+            match ex.execute(&plan) {
+                Err(ExecError::OutputCap { cap, .. }) => assert_eq!(cap, 10_000),
+                other => panic!("expected OutputCap at {workers} workers, got {other:?}"),
+            }
         }
+    }
+
+    /// The bloom filter never rejects a present hash and rejects the bulk
+    /// of absent ones at its 16-bits/row sizing.
+    #[test]
+    fn bloom_has_no_false_negatives_and_few_false_positives() {
+        let present: Vec<u64> = (0..4_096u64).map(|i| murmur3_fmix64(i * 3 + 1)).collect();
+        let mut bloom = Bloom::new(present.len());
+        for &h in &present {
+            bloom.insert(h);
+        }
+        for &h in &present {
+            assert!(bloom.may_contain(h));
+        }
+        let absent = (0..100_000u64)
+            .map(|i| murmur3_fmix64(0xdead_beef ^ (i * 7 + 3)))
+            .filter(|h| bloom.may_contain(*h))
+            .count();
+        // Expected ≈ 1.4% at 16 bits/row with 2 probes; 4% is far outside.
+        assert!(
+            absent < 4_000,
+            "false-positive rate too high: {absent}/100000"
+        );
     }
 }

@@ -8,10 +8,11 @@
 //! * [`datagen`] — deterministic columnar table generation from catalog
 //!   statistics (`u64` key columns whose domains realize the estimated
 //!   selectivities, optional per-edge skew to violate them on purpose);
-//! * [`executor`] — batch-at-a-time hash-join execution of any
-//!   [`mpdp_core::plan::PlanTree`], building on the smaller modeled side,
-//!   with per-operator [`executor::ExecStats`] and per-join observed
-//!   selectivities;
+//! * [`executor`] — morsel-parallel, batch-at-a-time hash-join execution
+//!   of any [`mpdp_core::plan::PlanTree`] over the `mpdp-parallel` barrier
+//!   pool, building on the smaller modeled side, with per-operator
+//!   [`executor::ExecStats`] and per-join observed selectivities that are
+//!   bit-identical at any worker count;
 //! * [`feedback`] — folding observations back into a
 //!   [`mpdp_cost::Catalog`] as selectivity overrides, plus plan re-pricing
 //!   under corrected statistics.
@@ -27,7 +28,9 @@ pub mod executor;
 pub mod feedback;
 
 pub use datagen::{materialize, Dataset, ExecTable, GenConfig, SkewedEdge};
-pub use executor::{ExecConfig, ExecError, ExecReport, ExecStats, Executor, ObservedJoin};
+pub use executor::{
+    ExecConfig, ExecError, ExecReport, ExecStats, Executor, ObservedJoin, ResultSet,
+};
 pub use feedback::{
     fold_observations, recost_plan, selectivity_overrides, synthesize_catalog, SyntheticCatalog,
 };

@@ -59,6 +59,27 @@ impl PoolHandle<'_> {
         self.workers
     }
 
+    /// Runs `f(idx)` on every worker and collects the return values in
+    /// worker order — the fan-out/merge shape used outside the DP loop
+    /// (e.g. the executor's probe phase: each worker owns a contiguous
+    /// morsel range and returns a private output buffer; collecting in
+    /// index order keeps the merged result independent of scheduling).
+    pub fn map<T: Send>(&self, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+        let slots: Vec<Mutex<Option<T>>> = (0..self.workers).map(|_| Mutex::new(None)).collect();
+        self.run(&|idx| {
+            let v = f(idx);
+            *slots[idx].lock().unwrap() = Some(v);
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .unwrap()
+                    .expect("every worker filled its slot")
+            })
+            .collect()
+    }
+
     /// Runs `task(idx)` on every worker `idx in 0..workers` and returns when
     /// all are done — one DP level. The driver thread participates as
     /// worker 0, so `workers == threads` with no idle coordinator.
@@ -223,6 +244,14 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn map_collects_in_worker_order() {
+        for workers in [1usize, 2, 4] {
+            let out = with_pool(workers, |pool| pool.map(|idx| idx * 10));
+            assert_eq!(out, (0..workers).map(|i| i * 10).collect::<Vec<_>>());
+        }
     }
 
     #[test]

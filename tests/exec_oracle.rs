@@ -9,9 +9,11 @@
 //!
 //! The determinism tests pin the data generator's contract: the same
 //! catalog statistics and seed produce bit-identical tables and identical
-//! per-operator row counts on every run and from any number of concurrent
-//! threads (generation is a pure per-cell hash; execution is
-//! morsel-sequential).
+//! per-operator row counts on every run, from any number of concurrent
+//! threads, and at any probe-phase worker count (generation is a pure
+//! per-cell hash; parallel execution merges private per-worker buffers in
+//! morsel order). Morsel accounting is pinned exactly, including the
+//! probe-rows-divide-batch boundary.
 
 use mpdp::exec::{materialize, ExecConfig, ExecStats, Executor, GenConfig};
 use mpdp::registry;
@@ -55,7 +57,7 @@ fn oracle_queries(model: &PgLikeCost) -> Vec<(&'static str, LargeQuery)> {
 }
 
 #[test]
-fn all_strategies_agree_on_root_cardinality() {
+fn all_strategies_agree_on_root_cardinality_at_every_worker_count() {
     let model = PgLikeCost::new();
     for (shape, q) in oracle_queries(&model) {
         let data = materialize(
@@ -66,54 +68,129 @@ fn all_strategies_agree_on_root_cardinality() {
             },
             &model,
         );
-        let executor = Executor::new(&data.scaled, &data, ExecConfig::default());
+        // The oracle quantifies over join orders AND worker counts: every
+        // (strategy, workers) pair must produce the identical root.
         let mut roots = Vec::new();
-        for name in EXEC_STRATEGIES {
-            let planned = registry()
-                .get(name)
-                .unwrap()
-                .plan(&data.scaled, &model, None)
-                .unwrap_or_else(|e| panic!("{shape}/{name}: {e}"));
-            // The plan must be structurally valid before it is executed.
-            let qi = data.scaled.to_query_info().unwrap();
-            assert!(
-                planned.plan.validate(&qi.graph).is_none(),
-                "{shape}/{name}: invalid plan"
+        for workers in [1usize, 2, 4] {
+            let executor = Executor::new(
+                &data.scaled,
+                &data,
+                ExecConfig {
+                    workers,
+                    ..Default::default()
+                },
             );
-            let report = executor
-                .execute(&planned.plan)
-                .unwrap_or_else(|e| panic!("{shape}/{name}: {e}"));
-            roots.push((name, report.root_rows));
+            for name in EXEC_STRATEGIES {
+                let planned = registry()
+                    .get(name)
+                    .unwrap()
+                    .plan(&data.scaled, &model, None)
+                    .unwrap_or_else(|e| panic!("{shape}/{name}: {e}"));
+                // The plan must be structurally valid before it is executed.
+                let qi = data.scaled.to_query_info().unwrap();
+                assert!(
+                    planned.plan.validate(&qi.graph).is_none(),
+                    "{shape}/{name}: invalid plan"
+                );
+                let report = executor
+                    .execute(&planned.plan)
+                    .unwrap_or_else(|e| panic!("{shape}/{name}@{workers}w: {e}"));
+                roots.push((name, workers, report.root_rows));
+            }
         }
-        let expected = roots[0].1;
+        let expected = roots[0].2;
         assert!(
             expected > 0,
             "{shape}: degenerate dataset (0 rows) makes the oracle vacuous"
         );
-        for (name, root) in &roots {
+        for (name, workers, root) in &roots {
             assert_eq!(
                 *root, expected,
-                "{shape}: {name} produced {root} root rows, {} produced {expected}",
+                "{shape}: {name} at {workers} workers produced {root} root rows, \
+                 {} at 1 worker produced {expected}",
                 roots[0].0
             );
         }
     }
 }
 
+/// Morsel accounting is exact: `batches == ⌈probe_rows / batch⌉` for every
+/// batch size — **including when probe rows divide the batch size exactly**
+/// (4096/1024: the final morsel is full, the boundary where a loop shaped
+/// around "last partial morsel" double-counts) — and the count is invariant
+/// under the worker count because per-worker counts sum over a partition of
+/// the morsel range.
+#[test]
+fn morsel_counts_are_exact() {
+    let model = PgLikeCost::new();
+    let mut q = LargeQuery::new(vec![
+        RelInfo::new(4_096.0, model.scan_cost(4_096.0)),
+        RelInfo::new(100.0, model.scan_cost(100.0)),
+    ]);
+    q.add_edge(0, 1, 1.0 / 50.0);
+    let data = materialize(&q, &GenConfig::default(), &model);
+    assert_eq!(data.tables[0].rows, 4_096, "probe side materialized fully");
+    let planned = registry()
+        .get("MPDP")
+        .unwrap()
+        .plan(&data.scaled, &model, None)
+        .unwrap();
+    for (batch, expected) in [
+        (1usize, 4_096u64),
+        (7, 586),
+        (1_000, 5),
+        (1_024, 4), // exact multiple: 4 full morsels, never 5
+        (2_048, 2), // exact multiple
+        (4_096, 1), // the whole probe side is one exact morsel
+        (10_000, 1),
+    ] {
+        for workers in [1usize, 3, 4] {
+            let executor = Executor::new(
+                &data.scaled,
+                &data,
+                ExecConfig {
+                    batch,
+                    workers,
+                    ..Default::default()
+                },
+            );
+            let report = executor.execute(&planned.plan).unwrap();
+            let join = report.stats.last().unwrap();
+            assert_eq!(
+                join.probe_rows, 4_096,
+                "build side must be the 100-row table"
+            );
+            assert_eq!(
+                join.batches, expected,
+                "batch={batch} workers={workers}: expected exactly {expected} morsels"
+            );
+            assert_eq!(report.counters.batches, expected);
+        }
+    }
+}
+
 /// The bench harness's own shape set (including the catalog-scaled JOB
-/// query) runs end-to-end with the oracle check inside `run_case`.
+/// query) runs end-to-end with the oracle check inside `run_case` — at 1
+/// worker and at 4 workers, where `run_case` additionally re-executes every
+/// plan sequentially and demands bit-identical results (the in-run
+/// determinism gate `exec-par-smoke` relies on).
 #[test]
 fn bench_cases_pass_oracle_at_reduced_scale() {
     let model = PgLikeCost::new();
-    for mut case in mpdp_bench::exec::default_cases(&model) {
-        // Reduced scale for test runtime; domains are untouched so the
-        // shapes stay non-degenerate except where capping starves matches.
-        case = ExecCase {
-            max_table_rows: case.max_table_rows.min(5_000),
-            ..case
-        };
-        let report = run_case(&case, &model, 42).unwrap_or_else(|e| panic!("{}: {e}", case.shape));
-        assert_eq!(report.runs.len(), EXEC_STRATEGIES.len());
+    for workers in [1usize, 4] {
+        for mut case in mpdp_bench::exec::default_cases(&model) {
+            // Reduced scale for test runtime; domains are untouched so the
+            // shapes stay non-degenerate except where capping starves
+            // matches.
+            case = ExecCase {
+                max_table_rows: case.max_table_rows.min(4_000),
+                ..case
+            };
+            let report = run_case(&case, &model, 42, workers)
+                .unwrap_or_else(|e| panic!("{}@{workers}w: {e}", case.shape));
+            assert_eq!(report.runs.len(), EXEC_STRATEGIES.len());
+            assert_eq!(report.workers, workers);
+        }
     }
 }
 
