@@ -3,13 +3,13 @@
 //! ```text
 //! repro <experiment> [..]     experiments: fig2 fig4 fig6 fig7 fig8 fig9
 //!                             fig10 fig11 fig12 fig13 table1 table2 table3
-//!                             ablation bench scale serve exec all
-//! --emit-json <path>          (bench, scale, exec, serve) write per-run
-//!                             wall/model times and counters as JSON
-//! --check-against <path>      (bench, scale, exec, serve) compare wall
-//!                             times against a committed baseline JSON; exit
-//!                             1 if any algorithm regressed more than 2x
-//! --queries <n>               (serve) stream length (default 10000)
+//!                             ablation bench scale serve exec cluster all
+//! --emit-json <path>          (bench, scale, exec, serve, cluster) write
+//!                             per-run wall/model times and counters as JSON
+//! --check-against <path>      (bench, scale, exec, serve, cluster) compare
+//!                             wall times against a committed baseline JSON;
+//!                             exit 1 if any algorithm regressed more than 2x
+//! --queries <n>               (serve, cluster) stream length (default 10000)
 //! --workers <n>               (serve) worker threads (default 4);
 //!                             (scale) max worker count of the 1/2/4/…
 //!                             sweep (default 8);
@@ -18,7 +18,7 @@
 //!                             runs every shape at each count and
 //!                             cross-checks their results bit-for-bit
 //!                             (default 1)
-//! --summary-md                (bench, scale, exec, serve) append the
+//! --summary-md                (bench, scale, exec, serve, cluster) append the
 //!                             regression-gate table to the file named by
 //!                             $GITHUB_STEP_SUMMARY (stdout outside
 //!                             Actions), so a red leg is diagnosable from
@@ -38,7 +38,15 @@
 //!                             open-loop sweep; deadline-pressed requests
 //!                             degrade to a heuristic plan (chaos mode
 //!                             defaults to 500)
-//! --queries-small             (scale, serve) reduced shape set for CI smoke
+//! --shards <list>             (cluster) shard counts to sweep — a single
+//!                             count or a comma list (default 1,2,4,8; with
+//!                             --queries-small: 1,4)
+//! --zipf-s <list>             (serve, cluster) Zipf exponent(s) of the
+//!                             query stream — serve uses the first value
+//!                             (default 1.1), cluster sweeps the whole list
+//!                             (default 0.7,1.1)
+//! --queries-small             (scale, serve, cluster) reduced shape set for
+//!                             CI smoke
 //! REPRO_SCALE={quick,paper}   sweep sizes (default quick)
 //! REPRO_TIMEOUT_MS=<ms>       per-query optimization budget
 //! ```
@@ -88,6 +96,8 @@ fn main() {
     let mut serve_rate: f64 = 120_000.0;
     let mut faults_seed: Option<u64> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut shards_list: Option<Vec<usize>> = None;
+    let mut zipf_list: Option<Vec<f64>> = None;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -118,6 +128,8 @@ fn main() {
             "--deadline-ms" => {
                 deadline_ms = Some(parse_count_flag("--deadline-ms", it.next()) as u64)
             }
+            "--shards" => shards_list = Some(parse_shards_flag(it.next())),
+            "--zipf-s" => zipf_list = Some(parse_zipf_flag(it.next())),
             _ => args.push(a),
         }
     }
@@ -126,7 +138,7 @@ fn main() {
     let what: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "ablation", "table1", "table2", "table3", "bench", "scale", "serve", "exec",
+            "ablation", "table1", "table2", "table3", "bench", "scale", "serve", "exec", "cluster",
         ]
     } else {
         args.iter().map(|s| s.as_str()).collect()
@@ -167,6 +179,30 @@ fn main() {
                 open_loop.then_some(serve_rate),
                 faults_seed,
                 deadline_ms,
+                zipf_list.as_ref().and_then(|l| l.first().copied()),
+                queries_small,
+                emit_json.as_deref(),
+                check_against.as_deref(),
+            ),
+            "cluster" => cluster_experiment(
+                if queries_given || !queries_small {
+                    serve_queries
+                } else {
+                    2_000
+                },
+                shards_list.clone().unwrap_or_else(|| {
+                    if queries_small {
+                        vec![1, 4]
+                    } else {
+                        vec![1, 2, 4, 8]
+                    }
+                }),
+                zipf_list.clone().unwrap_or_else(|| vec![0.7, 1.1]),
+                // Sequential replay unless explicitly overridden: per-shard
+                // busy attribution sums request wall times, which
+                // oversubscribed replay workers pollute with scheduler
+                // quanta (see mpdp_bench::cluster::ClusterRunConfig).
+                if workers_given { serve_workers } else { 1 },
                 queries_small,
                 emit_json.as_deref(),
                 check_against.as_deref(),
@@ -197,6 +233,51 @@ fn parse_workers_flag(value: Option<String>) -> Vec<usize> {
         _ => {
             eprintln!(
                 "error: --workers requires a positive integer or comma list (got {})",
+                value.as_deref().unwrap_or("nothing")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses `--shards`: a positive shard count or a comma-separated list of
+/// them (`repro cluster` runs every listed count).
+fn parse_shards_flag(value: Option<String>) -> Vec<usize> {
+    let parsed: Option<Vec<usize>> = value.as_deref().and_then(|v| {
+        v.split(',')
+            .map(|p| p.trim().parse::<usize>().ok().filter(|&n| n >= 1))
+            .collect()
+    });
+    match parsed {
+        Some(list) if !list.is_empty() => list,
+        _ => {
+            eprintln!(
+                "error: --shards requires a positive integer or comma list (got {})",
+                value.as_deref().unwrap_or("nothing")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses `--zipf-s`: a non-negative Zipf exponent or a comma-separated
+/// list of them (`repro serve` uses the first; `repro cluster` sweeps all).
+fn parse_zipf_flag(value: Option<String>) -> Vec<f64> {
+    let parsed: Option<Vec<f64>> = value.as_deref().and_then(|v| {
+        v.split(',')
+            .map(|p| {
+                p.trim()
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|s| s.is_finite() && *s >= 0.0)
+            })
+            .collect()
+    });
+    match parsed {
+        Some(list) if !list.is_empty() => list,
+        _ => {
+            eprintln!(
+                "error: --zipf-s requires a non-negative number or comma list (got {})",
                 value.as_deref().unwrap_or("nothing")
             );
             std::process::exit(2);
@@ -1088,6 +1169,7 @@ fn serve(
     open_loop_rate: Option<f64>,
     faults_seed: Option<u64>,
     deadline_ms: Option<u64>,
+    zipf_s: Option<f64>,
     small: bool,
     emit_json: Option<&str>,
     check_against: Option<&str>,
@@ -1101,7 +1183,7 @@ fn serve(
     // full and the CI-small configuration, so each invocation re-times a
     // subset (hence `require_full_coverage = false` below).
     let shape = if small { "serve-small" } else { "serve" };
-    let stream = if small {
+    let mut stream = if small {
         StreamSpec {
             templates: 80,
             min_rels: 6,
@@ -1111,6 +1193,9 @@ fn serve(
     } else {
         StreamSpec::default()
     };
+    if let Some(s) = zipf_s {
+        stream.skew = s;
+    }
 
     if let Some(seed) = faults_seed {
         // Chaos mode replaces the perf measurement entirely: with faults
@@ -1375,6 +1460,181 @@ fn chaos_serve(
         std::process::exit(1);
     }
     println!("# chaos invariants held (seed {seed})");
+}
+
+// ---------------------------------------------------------------- cluster
+
+/// `repro cluster`: sweep shard count × Zipf skew against the sharded
+/// planning tier (`mpdp-cluster`). Each point replays a warmed stream
+/// through [`mpdp_cluster::PlanCluster`] and reports raw aggregate
+/// throughput, per-shard busy time and the model-normalized aggregate
+/// plans/s (`served / max shard busy` — the one-core-per-shard makespan,
+/// since N shards time-slicing this 1-core container cannot show wall-clock
+/// scaling). Multi-shard points also run the invalidation-staleness probe
+/// and a rehash window. Three acceptance invariants are asserted in-run
+/// (exit 1 on violation, never gated by the baseline):
+///
+/// - model-normalized scaling at 4 shards ≥ 3× the 1-shard point at equal
+///   offered load (skipped when the sweep has no 1-shard point, e.g. the
+///   CI `--shards 4` leg),
+/// - request hit rate within 2 points of the single-shard hit rate,
+/// - an injected 10×-class miss on one shard evicts every replica within
+///   the documented staleness window.
+fn cluster_experiment(
+    queries: usize,
+    shards_list: Vec<usize>,
+    skews: Vec<f64>,
+    workers: usize,
+    small: bool,
+    emit_json: Option<&str>,
+    check_against: Option<&str>,
+) {
+    use mpdp_bench::cluster::{run_cluster, ClusterReport, ClusterRunConfig};
+    use mpdp_workload::StreamSpec;
+
+    let shape = if small { "cluster-small" } else { "cluster" };
+    let stream = if small {
+        StreamSpec {
+            templates: 80,
+            min_rels: 6,
+            max_rels: 12,
+            ..StreamSpec::default()
+        }
+    } else {
+        StreamSpec::default()
+    };
+    println!(
+        "\n## cluster — sharded planning tier sweep ({queries} queries/point, \
+         {workers} replay workers, shards {shards_list:?}, skews {skews:?}, \
+         {} templates)",
+        stream.templates
+    );
+    let model = PgLikeCost::new();
+
+    let mut reports: Vec<ClusterReport> = Vec::new();
+    for &skew in &skews {
+        for &shards in &shards_list {
+            let config = ClusterRunConfig {
+                shards,
+                skew,
+                total: queries,
+                warmup: queries,
+                workers,
+                stream: stream.clone(),
+                ..ClusterRunConfig::default()
+            };
+            println!("\n### shards={shards} skew={skew:.2}");
+            match run_cluster(&config, &model) {
+                Ok(report) => {
+                    print!("{}", report.render());
+                    if report.failed > 0 || report.served == 0 {
+                        eprintln!(
+                            "# cluster FAILED: {} of {} queries errored at \
+                             shards={shards} skew={skew:.2}",
+                            report.failed,
+                            report.failed + report.served
+                        );
+                        std::process::exit(1);
+                    }
+                    reports.push(report);
+                }
+                Err(e) => {
+                    eprintln!("cluster failed at shards={shards} skew={skew:.2}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    // In-run acceptance invariants. Violations are hard failures of this
+    // invocation; the baseline gate below only watches for wall-time
+    // regressions.
+    let mut violations: Vec<String> = Vec::new();
+    for r in &reports {
+        if let Some(s) = &r.staleness {
+            if !s.within_bound() {
+                violations.push(format!(
+                    "shards={} skew={:.2}: invalidation took {} rounds \
+                     (bound {}, evicted everywhere: {})",
+                    r.shards, r.skew, s.rounds_used, s.bound, s.evicted_everywhere
+                ));
+            }
+        }
+    }
+    for &skew in &skews {
+        let at = |n: usize| {
+            reports
+                .iter()
+                .find(|r| r.shards == n && (r.skew - skew).abs() < 1e-9)
+        };
+        let (Some(one), Some(four)) = (at(1), at(4)) else {
+            continue;
+        };
+        let scaling = four.model_plans_per_s() / one.model_plans_per_s().max(1e-9);
+        if scaling < 3.0 {
+            violations.push(format!(
+                "skew {skew:.2}: model-normalized scaling at 4 shards is \
+                 {scaling:.2}x vs 1 shard (need >= 3x)"
+            ));
+        }
+        let drift = (four.hit_rate() - one.hit_rate()).abs();
+        if drift > 0.02 {
+            violations.push(format!(
+                "skew {skew:.2}: hit rate drifted {:.1} points at 4 shards \
+                 ({:.4} vs {:.4}, allowed 2)",
+                drift * 100.0,
+                four.hit_rate(),
+                one.hit_rate()
+            ));
+        }
+    }
+
+    let runs: Vec<WallRun> = reports.iter().map(|r| r.wall_run(shape)).collect();
+
+    // Emit before asserting or gating, so a failing CI leg still uploads
+    // the run JSON for diagnosis (same convention as bench/scale/exec).
+    if let Some(path) = emit_json {
+        let mut out = String::from("{\n  \"schema\": \"mpdp-cluster-v1\",\n");
+        out.push_str(&format!(
+            "  \"config\": {{\"shape\": \"{shape}\", \"queries\": {queries}, \
+             \"workers\": {workers}, \"templates\": {}, \"shards\": {shards_list:?}, \
+             \"skews\": {skews:?}}},\n",
+            stream.templates
+        ));
+        out.push_str("  \"points\": [\n");
+        for (i, r) in reports.iter().enumerate() {
+            let sep = if i + 1 == reports.len() { "" } else { "," };
+            out.push_str(&format!("    {}{sep}\n", r.to_json_line()));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"runs\": [\n");
+        for (i, r) in runs.iter().enumerate() {
+            let sep = if i + 1 == runs.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"shape\": \"{}\", \"n\": {}, \"algorithm\": \"{}\", \
+                 \"wall_ms\": {:.3}}}{sep}\n",
+                r.shape, r.n, r.algorithm, r.wall_ms
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(path, out).expect("write cluster JSON");
+        println!("# wrote {path}");
+    }
+
+    if !violations.is_empty() {
+        eprintln!("# CLUSTER ACCEPTANCE VIOLATIONS:");
+        for v in &violations {
+            eprintln!("#   {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("# cluster acceptance invariants held (scaling, hit-rate drift, staleness)");
+
+    if let Some(path) = check_against {
+        // Intersection coverage: the committed BENCH_cluster.json carries
+        // both the full and the CI-small configuration's rows.
+        gate_or_exit(path, &runs, "CLUSTER", false);
+    }
 }
 
 /// Helper for tests: expose a tiny end-to-end sanity run.

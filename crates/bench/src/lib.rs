@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod aws;
+pub mod cluster;
 pub mod exec;
 pub mod regress;
 pub mod runner;
@@ -27,6 +28,7 @@ pub mod serve;
 pub mod starform;
 pub mod stats;
 
+pub use cluster::{run_cluster, ClusterReport, ClusterRunConfig};
 pub use exec::{run_exec_bench, ExecBenchReport, EXEC_STRATEGIES};
 pub use regress::{check_regressions, WallRun};
 pub use runner::{run_exact, AlgoKind, RunOutcome, EXACT_ROSTER};

@@ -257,6 +257,24 @@ impl CacheSnapshot {
     pub fn since(&self, earlier: &CacheSnapshot) -> CacheSnapshot {
         self.delta(earlier)
     }
+
+    /// Adds another snapshot field-wise (the cache-side sibling of
+    /// [`ExecCounters::merge`]). Associative and commutative, so folding
+    /// any number of per-shard or per-tenant snapshots in any order yields
+    /// the same exact cluster-level totals — the property the sharded
+    /// planning tier's aggregate metrics rely on.
+    pub fn merge(&mut self, other: &CacheSnapshot) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.coalesced += other.coalesced;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.expirations += other.expirations;
+        self.feedback_checks += other.feedback_checks;
+        self.feedback_invalidations += other.feedback_invalidations;
+        self.degraded += other.degraded;
+        self.deadline_exceeded += other.deadline_exceeded;
+    }
 }
 
 impl CacheCounters {

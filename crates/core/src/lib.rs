@@ -47,6 +47,7 @@ pub mod graph;
 pub mod memo;
 pub mod plan;
 pub mod query;
+pub mod ring;
 pub mod sync;
 
 pub use atomic_memo::AtomicMemo;
@@ -62,3 +63,4 @@ pub use graph::{Edge, JoinGraph};
 pub use memo::{MemoEntry, MemoHealth, MemoStore, MemoTable};
 pub use plan::{extract_plan, PlanTree};
 pub use query::{LargeEdge, LargeQuery, QueryInfo, RelInfo};
+pub use ring::HashRing;

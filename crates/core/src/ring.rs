@@ -1,0 +1,229 @@
+//! Consistent-hash ring with virtual nodes, deterministic from a seed.
+//!
+//! The sharded planning tier places N independent `PlanService` shards
+//! behind this ring: each shard contributes `vnodes` points hashed from
+//! `(seed, shard_id, vnode_index)`, a query fingerprint hashes to a point
+//! on the same circle, and the owning shard is the first vnode at or after
+//! it (wrapping). Two properties carry the tier:
+//!
+//! * **Balance** — with enough vnodes per shard (the default 128), the
+//!   per-shard share of a uniform key population concentrates around 1/N
+//!   (relative spread ~ 1/sqrt(vnodes)); asserted by proptest.
+//! * **Minimal disruption** — adding a shard inserts only that shard's
+//!   vnode points, so only keys whose successor point is one of the new
+//!   points move (~1/(N+1) of them), and every moved key moves *to* the
+//!   new shard. Removing a shard deletes only its points, so only keys it
+//!   owned move. Rehash does not reshuffle the survivors' cache contents.
+//!
+//! Everything is deterministic from `(seed, shard ids, vnodes)`: the same
+//! configuration yields the same ring on every node and every run, which
+//! is what lets independent processes agree on ownership without
+//! coordination (and lets tests replay routing decisions exactly).
+
+use crate::memo::murmur3_fmix64;
+
+/// Default virtual nodes per shard. 128 keeps the max/mean load ratio
+/// under ~1.35 for up to 16 shards while the ring (N×128 points) still
+/// fits comfortably in cache for binary search.
+pub const DEFAULT_VNODES: usize = 128;
+
+/// A consistent-hash ring over a set of shard ids.
+///
+/// Construction is deterministic from the seed and the shard set; shard
+/// ids are arbitrary `u32`s (they survive add/remove, so "shard 3" keeps
+/// its identity — and its cache — when shard 5 leaves the ring).
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// `(point_hash, shard_id)`, sorted by point hash. Ties are broken by
+    /// shard id so construction order never matters.
+    points: Vec<(u64, u32)>,
+    shards: Vec<u32>,
+    seed: u64,
+    vnodes: usize,
+}
+
+/// Hash one vnode point. Mixing the three coordinates through fmix64
+/// sequentially (rather than XORing them flat) keeps shard 2's points
+/// uncorrelated with shard 1's even at adjacent seeds.
+fn point_hash(seed: u64, shard: u32, vnode: u32) -> u64 {
+    let a = murmur3_fmix64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let b = murmur3_fmix64(a ^ u64::from(shard).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    murmur3_fmix64(b ^ u64::from(vnode).wrapping_mul(0x94d0_49bb_1331_11eb))
+}
+
+/// Position of a 128-bit key (a query fingerprint) on the ring's circle.
+fn key_hash(seed: u64, key: u128) -> u64 {
+    let hi = (key >> 64) as u64;
+    let lo = key as u64;
+    murmur3_fmix64(murmur3_fmix64(lo ^ seed) ^ hi)
+}
+
+impl HashRing {
+    /// Builds a ring over `shard_ids` with `vnodes` points per shard.
+    ///
+    /// Duplicate shard ids are collapsed. Panics if the shard set is empty
+    /// or `vnodes` is zero — an unroutable ring is a configuration bug,
+    /// not a runtime condition.
+    pub fn new(seed: u64, vnodes: usize, shard_ids: &[u32]) -> HashRing {
+        assert!(!shard_ids.is_empty(), "HashRing needs at least one shard");
+        assert!(vnodes > 0, "HashRing needs at least one vnode per shard");
+        let mut shards: Vec<u32> = shard_ids.to_vec();
+        shards.sort_unstable();
+        shards.dedup();
+        let mut points = Vec::with_capacity(shards.len() * vnodes);
+        for &shard in &shards {
+            for vnode in 0..vnodes as u32 {
+                points.push((point_hash(seed, shard, vnode), shard));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            points,
+            shards,
+            seed,
+            vnodes,
+        }
+    }
+
+    /// The live shard ids, ascending.
+    pub fn shard_ids(&self) -> &[u32] {
+        &self.shards
+    }
+
+    /// Number of live shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when the ring has no shards (never, by construction — kept for
+    /// the conventional `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Index of the first ring point at or after `key`'s position,
+    /// wrapping past the top of the circle.
+    fn successor(&self, key: u128) -> usize {
+        let h = key_hash(self.seed, key);
+        match self.points.binary_search(&(h, 0)) {
+            Ok(i) => i,
+            Err(i) => {
+                if i == self.points.len() {
+                    0
+                } else {
+                    i
+                }
+            }
+        }
+    }
+
+    /// The shard that owns `key`: the first vnode at or after the key's
+    /// position on the circle.
+    pub fn shard_of(&self, key: u128) -> u32 {
+        self.points[self.successor(key)].1
+    }
+
+    /// The first `replicas` *distinct* shards walking the circle from
+    /// `key`'s position — the replica set for a hot key. The primary owner
+    /// is always element 0; `replicas` is clamped to the shard count.
+    pub fn shards_of(&self, key: u128, replicas: usize) -> Vec<u32> {
+        let want = replicas.clamp(1, self.shards.len());
+        let mut out = Vec::with_capacity(want);
+        let start = self.successor(key);
+        for step in 0..self.points.len() {
+            let shard = self.points[(start + step) % self.points.len()].1;
+            if !out.contains(&shard) {
+                out.push(shard);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// A new ring with `shard` added (no-op if already present). Only keys
+    /// whose successor point lands on one of the new shard's vnodes move.
+    pub fn with_shard(&self, shard: u32) -> HashRing {
+        let mut ids = self.shards.clone();
+        ids.push(shard);
+        HashRing::new(self.seed, self.vnodes, &ids)
+    }
+
+    /// A new ring with `shard` removed. Panics if it is the last shard.
+    /// Keys the removed shard owned redistribute to their next-distinct
+    /// successors; every other key keeps its owner.
+    pub fn without_shard(&self, shard: u32) -> HashRing {
+        let ids: Vec<u32> = self
+            .shards
+            .iter()
+            .copied()
+            .filter(|&s| s != shard)
+            .collect();
+        HashRing::new(self.seed, self.vnodes, &ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> impl Iterator<Item = u128> {
+        // splitmix-style counter keys: uniform enough for load statistics.
+        (0..n).map(|i| {
+            let a = murmur3_fmix64(i.wrapping_mul(0x2545_f491_4f6c_dd1d));
+            let b = murmur3_fmix64(a ^ 0xdead_beef);
+            (u128::from(a) << 64) | u128::from(b)
+        })
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = HashRing::new(7, 64, &[0, 1, 2, 3]);
+        let b = HashRing::new(7, 64, &[3, 2, 1, 0, 2]);
+        for k in keys(1000) {
+            assert_eq!(a.shard_of(k), b.shard_of(k));
+        }
+        let c = HashRing::new(8, 64, &[0, 1, 2, 3]);
+        assert!(keys(1000).any(|k| a.shard_of(k) != c.shard_of(k)));
+    }
+
+    #[test]
+    fn replica_sets_are_distinct_and_led_by_owner() {
+        let ring = HashRing::new(42, DEFAULT_VNODES, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        for k in keys(500) {
+            let set = ring.shards_of(k, 3);
+            assert_eq!(set.len(), 3);
+            assert_eq!(set[0], ring.shard_of(k));
+            let mut dedup = set.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "replica set has duplicates: {set:?}");
+        }
+        // Clamped when asking for more replicas than shards exist.
+        let tiny = HashRing::new(42, 16, &[0, 1]);
+        assert_eq!(tiny.shards_of(1234, 8).len(), 2);
+    }
+
+    #[test]
+    fn add_shard_moves_only_to_new_shard() {
+        let old = HashRing::new(11, DEFAULT_VNODES, &[0, 1, 2, 3]);
+        let new = old.with_shard(4);
+        let mut moved = 0u64;
+        let total = 20_000u64;
+        for k in keys(total) {
+            let before = old.shard_of(k);
+            let after = new.shard_of(k);
+            if before != after {
+                moved += 1;
+                assert_eq!(after, 4, "a moved key must move to the added shard");
+            }
+        }
+        // Expect ~1/5 of keys to move; allow generous slack for vnode noise.
+        let frac = moved as f64 / total as f64;
+        assert!(
+            frac > 0.10 && frac < 0.32,
+            "moved fraction {frac:.3} outside ~1/5 band"
+        );
+    }
+}

@@ -63,6 +63,15 @@ pub struct ExecConfig {
     /// inline with zero thread overhead. Results are bit-identical at any
     /// value — see the module docs' merge-order argument.
     pub workers: usize,
+    /// Probe sides at or below this many rows skip the barrier pool and
+    /// run their morsel loop inline on the driver thread, regardless of
+    /// `workers`. A `pool.map` is a full wake-all/park-all round trip;
+    /// on tiny joins that costs more than the probe itself (the fig5
+    /// shapes regressed 0.78 → 2.26 ms going 1 → 2 workers before this
+    /// cutoff existed). The inline path runs the identical kernels over
+    /// the identical morsel ranges in morsel order, so results stay
+    /// bit-identical across the threshold.
+    pub sequential_cutoff: usize,
 }
 
 impl Default for ExecConfig {
@@ -71,6 +80,7 @@ impl Default for ExecConfig {
             batch: 1024,
             max_output_rows: 20_000_000,
             workers: 1,
+            sequential_cutoff: 4096,
         }
     }
 }
@@ -634,7 +644,12 @@ impl<'a> Executor<'a> {
         let workers = pool.workers();
         let emitted = AtomicU64::new(0);
         let aborted = AtomicBool::new(false);
-        let outs: Vec<WorkerOut> = pool.map(|w| {
+        // One worker's span of the probe: morsels `chunk_range(morsels,
+        // parts, w)`, in morsel order. Shared by the pooled path (one call
+        // per pool worker) and the small-probe fast path (one call
+        // covering everything), so both produce the same per-morsel
+        // outputs in the same order and the merge below is bit-identical.
+        let probe_span = |w: usize, parts: usize| {
             let t0 = Instant::now();
             let mut out = WorkerOut {
                 cols: vec![Vec::new(); out_rels.len()],
@@ -643,7 +658,7 @@ impl<'a> Executor<'a> {
                 busy: Duration::ZERO,
             };
             let mut scratch = ProbeScratch::new(access.len(), batch);
-            for m in chunk_range(morsels, workers, w) {
+            for m in chunk_range(morsels, parts, w) {
                 if aborted.load(Ordering::Relaxed) {
                     break;
                 }
@@ -674,7 +689,16 @@ impl<'a> Executor<'a> {
             }
             out.busy = t0.elapsed();
             out
-        });
+        };
+        // Small-query sequential fast path: below the cutoff the barrier
+        // round trip costs more than the probe — run the whole span inline
+        // (busy lands on slot 0; `worker_busy` keeps one slot per pool
+        // worker either way).
+        let outs: Vec<WorkerOut> = if workers == 1 || probe.len <= self.config.sequential_cutoff {
+            vec![probe_span(0, 1)]
+        } else {
+            pool.map(|w| probe_span(w, workers))
+        };
         if aborted.load(Ordering::Relaxed) {
             return Err(ExecError::OutputCap {
                 rels: probe_set.union(build_set),
@@ -937,6 +961,77 @@ mod tests {
                 report.joins[0].observed_sel.to_bits(),
                 base_report.joins[0].observed_sel.to_bits()
             );
+        }
+    }
+
+    /// The small-probe sequential fast path must be invisible in results:
+    /// runs on either side of (and exactly at) the cutoff boundary agree
+    /// bit-for-bit with the pooled path at every worker count. Cutoff 0
+    /// forces the pooled path, `usize::MAX` forces the inline path, and
+    /// the probe-size cutoffs exercise the `<=` boundary itself.
+    #[test]
+    fn sequential_cutoff_is_result_invariant() {
+        let m = PgLikeCost::new();
+        let mut q = LargeQuery::new(vec![RelInfo::new(5_000.0, 1.0), RelInfo::new(3_000.0, 1.0)]);
+        q.add_edge(0, 1, 1.0 / 97.0);
+        let d = materialize(
+            &q,
+            &GenConfig {
+                seed: 11,
+                ..Default::default()
+            },
+            &m,
+        );
+        let plan = PlanTree::Join {
+            left: Box::new(PlanTree::Scan {
+                rel: 0,
+                rows: 5_000.0,
+                cost: 1.0,
+            }),
+            right: Box::new(PlanTree::Scan {
+                rel: 1,
+                rows: 3_000.0,
+                cost: 1.0,
+            }),
+            rows: 5_000.0 * 3_000.0 / 97.0,
+            cost: 10.0,
+        };
+        let run = |workers: usize, cutoff: usize| {
+            let ex = Executor::new(
+                &d.scaled,
+                &d,
+                ExecConfig {
+                    workers,
+                    batch: 256,
+                    sequential_cutoff: cutoff,
+                    ..Default::default()
+                },
+            );
+            ex.execute_with_result(&plan).unwrap()
+        };
+        let (base_report, base_rows) = run(1, 0);
+        let strip = |s: &[ExecStats]| {
+            s.iter()
+                .map(|s| (s.rels, s.build_rows, s.probe_rows, s.output_rows, s.batches))
+                .collect::<Vec<_>>()
+        };
+        for workers in [2usize, 4] {
+            // Either relation may be the probe side; cutoffs bracket both
+            // lengths so the `<=` boundary is crossed whichever it is.
+            for cutoff in [0usize, 2_999, 3_000, 4_999, 5_000, usize::MAX] {
+                let (report, rows) = run(workers, cutoff);
+                assert_eq!(
+                    rows, base_rows,
+                    "output diverged at {workers} workers, cutoff {cutoff}"
+                );
+                assert_eq!(report.root_rows, base_report.root_rows);
+                assert_eq!(strip(&report.stats), strip(&base_report.stats));
+                assert_eq!(report.worker_busy.len(), workers);
+                assert_eq!(
+                    report.joins[0].observed_sel.to_bits(),
+                    base_report.joins[0].observed_sel.to_bits()
+                );
+            }
         }
     }
 

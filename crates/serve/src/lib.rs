@@ -64,6 +64,7 @@ pub use queue::{Bounded, PushError};
 pub use reactor::{Reactor, Sleep};
 
 use mpdp::service::{PlanRequest, PlanService, PlanServiceBuilder, ServedPlan};
+use mpdp_cluster::{ClusterConfig, PlanCluster};
 use mpdp_core::counters::{CacheSnapshot, ServeCounters, ServeSnapshot};
 use mpdp_core::faults::{site, Faults};
 use mpdp_core::sync::{lock_recover, wait_recover, wait_timeout_recover};
@@ -86,6 +87,15 @@ pub struct TenantConfig {
     /// (queued + planning). Beyond it, submissions shed with
     /// [`Rejected::QuotaExhausted`].
     pub max_in_flight: usize,
+    /// Cluster-backed mode: when set, this tenant's requests are served by
+    /// a sharded [`PlanCluster`] (consistent-hash routing on the query
+    /// fingerprint, hot-template replication, feedback gossip) instead of
+    /// one `PlanService`. The front-end still owns service construction:
+    /// the config's `service` builder is replaced with one derived from
+    /// this tenant's cache sizing and the front-end's budget/faults, so a
+    /// cluster shard is configured exactly like the single-service backend
+    /// would have been.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl TenantConfig {
@@ -96,7 +106,15 @@ impl TenantConfig {
             cache_capacity: 4096,
             cache_shards: 16,
             max_in_flight: usize::MAX,
+            cluster: None,
         }
+    }
+
+    /// Backs this tenant with a sharded planning tier (see
+    /// [`TenantConfig::cluster`]).
+    pub fn clustered(mut self, config: ClusterConfig) -> TenantConfig {
+        self.cluster = Some(config);
+        self
     }
 }
 
@@ -286,10 +304,6 @@ struct Lease {
 }
 
 impl Lease {
-    fn service(&self) -> &Arc<PlanService> {
-        &self.tenants[self.tenant].service
-    }
-
     /// Completes the request: releases the quota slot, records the
     /// completion, fills the ticket, wakes waiters. Idempotent.
     fn finish(&mut self, result: Result<ServedPlan, OptError>) {
@@ -344,11 +358,31 @@ struct Request {
     lease: Lease,
 }
 
+/// What actually plans a tenant's requests.
+enum Backend {
+    /// One `PlanService` — the classic per-tenant partition.
+    Single(Arc<PlanService>),
+    /// A sharded planning tier; each request routes to its fingerprint's
+    /// shard (hot templates round-robin over their replica set).
+    Cluster(Arc<PlanCluster>),
+}
+
 struct Tenant {
     name: String,
-    service: Arc<PlanService>,
+    backend: Backend,
     max_in_flight: usize,
     in_flight: AtomicUsize,
+}
+
+impl Tenant {
+    /// The service that plans `query`: the tenant's single service, or the
+    /// cluster shard its fingerprint routes to.
+    fn route(&self, query: &LargeQuery) -> Arc<PlanService> {
+        match &self.backend {
+            Backend::Single(service) => Arc::clone(service),
+            Backend::Cluster(cluster) => cluster.route_service(query).0,
+        }
+    }
 }
 
 /// The serving front-end. Construct with [`ServeFront::new`], submit with
@@ -417,7 +451,10 @@ async fn dispatch_loop(
                 deadline: req.deadline,
                 ..PlanRequest::default()
             };
-            let service = Arc::clone(req.lease.service());
+            // Route here, per request: a cluster-backed tenant picks the
+            // shard by the query's fingerprint (advancing hot-template
+            // round-robin); a single-backed tenant has one choice.
+            let service = req.lease.tenants[req.lease.tenant].route(&req.query);
             let m: &(dyn CostModel + Sync) = &*model;
             // Per-request panic isolation: a planner that blows up fails
             // *this* ticket and the loop keeps serving its chunk-mates.
@@ -443,20 +480,30 @@ impl ServeFront {
             config
                 .tenants
                 .iter()
-                .map(|t| Tenant {
-                    name: t.name.clone(),
-                    service: Arc::new({
-                        let mut b = PlanServiceBuilder::new()
-                            .cache_capacity(t.cache_capacity)
-                            .cache_shards(t.cache_shards)
-                            .faults(config.faults.clone());
-                        if let Some(budget) = config.budget {
-                            b = b.budget(budget);
+                .map(|t| {
+                    let mut builder = PlanServiceBuilder::new()
+                        .cache_capacity(t.cache_capacity)
+                        .cache_shards(t.cache_shards)
+                        .faults(config.faults.clone());
+                    if let Some(budget) = config.budget {
+                        builder = builder.budget(budget);
+                    }
+                    let backend = match &t.cluster {
+                        None => Backend::Single(Arc::new(builder.build())),
+                        Some(cluster) => {
+                            // Each cluster shard gets the same service
+                            // configuration the single backend would have.
+                            let mut cfg = cluster.clone();
+                            cfg.service = builder;
+                            Backend::Cluster(Arc::new(PlanCluster::new(cfg)))
                         }
-                        b.build()
-                    }),
-                    max_in_flight: t.max_in_flight.max(1),
-                    in_flight: AtomicUsize::new(0),
+                    };
+                    Tenant {
+                        name: t.name.clone(),
+                        backend,
+                        max_in_flight: t.max_in_flight.max(1),
+                        in_flight: AtomicUsize::new(0),
+                    }
                 })
                 .collect(),
         );
@@ -680,8 +727,26 @@ impl ServeFront {
 
     /// The tenant's `PlanService` (e.g. to pre-warm its cache partition or
     /// feed `observe` cardinality feedback).
+    ///
+    /// # Panics
+    /// For a cluster-backed tenant, which has no single service — use
+    /// [`ServeFront::cluster`] there instead.
     pub fn service(&self, tenant: usize) -> &Arc<PlanService> {
-        &self.tenants[tenant].service
+        match &self.tenants[tenant].backend {
+            Backend::Single(service) => service,
+            Backend::Cluster(_) => {
+                panic!("tenant {tenant} is cluster-backed; use ServeFront::cluster")
+            }
+        }
+    }
+
+    /// The tenant's [`PlanCluster`], if it is cluster-backed (pre-warm
+    /// shards, feed observations, drive gossip rounds through it).
+    pub fn cluster(&self, tenant: usize) -> Option<&Arc<PlanCluster>> {
+        match &self.tenants[tenant].backend {
+            Backend::Single(_) => None,
+            Backend::Cluster(cluster) => Some(cluster),
+        }
     }
 
     /// Number of configured tenants.
@@ -710,26 +775,22 @@ impl ServeFront {
         s
     }
 
-    /// The tenant's cache counters (hits / misses / coalesced / …).
+    /// The tenant's cache counters (hits / misses / coalesced / …). For a
+    /// cluster-backed tenant this is the exact merge over its shards.
     pub fn cache_counters(&self, tenant: usize) -> CacheSnapshot {
-        self.tenants[tenant].service.cache_counters()
+        match &self.tenants[tenant].backend {
+            Backend::Single(service) => service.cache_counters(),
+            Backend::Cluster(cluster) => cluster.aggregate_cache(),
+        }
     }
 
-    /// Cache counters summed over all tenants.
+    /// Cache counters summed over all tenants (and, for cluster-backed
+    /// tenants, over their shards): the associative
+    /// [`CacheSnapshot::merge`] fold, so every field is an exact sum.
     pub fn aggregate_cache(&self) -> CacheSnapshot {
         let mut total = CacheSnapshot::default();
-        for t in self.tenants.iter() {
-            let s = t.service.cache_counters();
-            total.hits += s.hits;
-            total.misses += s.misses;
-            total.coalesced += s.coalesced;
-            total.degraded += s.degraded;
-            total.deadline_exceeded += s.deadline_exceeded;
-            total.insertions += s.insertions;
-            total.evictions += s.evictions;
-            total.expirations += s.expirations;
-            total.feedback_checks += s.feedback_checks;
-            total.feedback_invalidations += s.feedback_invalidations;
+        for tenant in 0..self.tenants.len() {
+            total.merge(&self.cache_counters(tenant));
         }
         total
     }
@@ -772,8 +833,8 @@ impl ServeFront {
         line("worker_respawns_total", s.worker_respawns);
         line("reactor_respawns_total", s.reactor_respawns);
         line("abandoned_tickets_total", s.abandoned_tickets);
-        for t in self.tenants.iter() {
-            let c = t.service.cache_counters();
+        for (i, t) in self.tenants.iter().enumerate() {
+            let c = self.cache_counters(i);
             let tenant = &t.name;
             let mut tline = |name: &str, v: u64| {
                 let _ = writeln!(out, "mpdp_cache_{name}{{tenant=\"{tenant}\"}} {v}");

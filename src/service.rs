@@ -58,7 +58,7 @@ use std::time::{Duration, Instant};
 /// Folds a cost model's identity into a query fingerprint, producing the
 /// plan-cache key: plans are only comparable under one model, so entries
 /// from different models must never collide.
-fn keyed_by_model(fp: Fingerprint, model: &dyn CostModel) -> Fingerprint {
+pub fn cache_key(fp: Fingerprint, model: &dyn CostModel) -> Fingerprint {
     use mpdp_core::memo::murmur3_fmix64;
     let mut h: u64 = 0x636f_7374_6d6f_6465; // "costmode"
     for b in model.name().bytes() {
@@ -376,7 +376,7 @@ impl PlanService {
         // never serves one model's plan as another's. Models are identified
         // by `CostModel::name()` — two models sharing a name must be
         // identical (all in-tree ones are).
-        let cache_key = keyed_by_model(fp, model);
+        let cache_key = cache_key(fp, model);
         // A strategy override bypasses the cache (see `PlanRequest::strategy`).
         let use_cache = !req.bypass_cache && req.strategy.is_none();
 
@@ -468,7 +468,7 @@ impl PlanService {
         let start = Instant::now();
         let canonical = canonicalize(q);
         let fp = canonical.fingerprint;
-        let cache_key = keyed_by_model(fp, model);
+        let cache_key = cache_key(fp, model);
 
         // Lock-free-path probe first: the common (warm) case never touches
         // the flight table.
@@ -735,9 +735,19 @@ impl PlanService {
         model: &dyn CostModel,
         report: &ExecReport,
     ) -> bool {
+        self.invalidate_key_if_stale(cache_key(fingerprint, model), report.root_rows as f64)
+    }
+
+    /// Key-level half of [`PlanService::observe`]: compares the cached
+    /// estimate under `key` (already model-folded — see [`cache_key`])
+    /// against an observed root cardinality and evicts on deviation beyond
+    /// the feedback threshold. This is the primitive a sharded tier's
+    /// gossip round replays on every shard: the observation is recorded
+    /// once where the execution ran, then carried to replicas as
+    /// `(key, observed_rows)` without needing the model or the report.
+    pub fn invalidate_key_if_stale(&self, key: Fingerprint, observed_rows: f64) -> bool {
         self.cache.record_feedback_check();
-        let key = keyed_by_model(fingerprint, model);
-        let obs = (report.root_rows as f64).max(1.0);
+        let obs = observed_rows.max(1.0);
         // Compare-and-remove under the shard lock: the deviation is judged
         // against whatever plan is stored *at removal time*, so a concurrent
         // re-plan that already refreshed the entry is never evicted on the
@@ -750,6 +760,14 @@ impl PlanService {
             self.cache.record_feedback_invalidation();
         }
         invalidated
+    }
+
+    /// True if a plan is currently cached under the model-folded key for
+    /// `fingerprint` (no LRU or counter side effects). The cluster bench
+    /// and the staleness-window tests use this to watch a gossiped
+    /// invalidation land on every replica.
+    pub fn has_cached(&self, fingerprint: Fingerprint, model: &dyn CostModel) -> bool {
+        self.cache.peek(cache_key(fingerprint, model)).is_some()
     }
 
     /// The configured feedback-invalidation threshold.
@@ -873,7 +891,7 @@ impl Future for PlanFuture<'_> {
                     let start = Instant::now();
                     let canonical = canonicalize(this.q);
                     let fp = canonical.fingerprint;
-                    let cache_key = keyed_by_model(fp, this.model);
+                    let cache_key = cache_key(fp, this.model);
                     if let Some(cached) = svc.cache.get_quiet(cache_key) {
                         svc.cache.record_hit();
                         return Poll::Ready(Ok(ServedPlan {

@@ -1,0 +1,251 @@
+//! Sharded planning tier: properties of the consistent-hash ring
+//! (balance, minimal disruption, node-loss routability) and of the
+//! cluster's feedback gossip (an invalidation recorded on one shard
+//! evicts every replica within the documented staleness window — and
+//! not instantly, which would mean the bound is vacuous).
+
+use mpdp::exec::{ExecReport, ObservedJoin};
+use mpdp_cluster::{ClusterConfig, PlanCluster};
+use mpdp_core::ring::HashRing;
+use mpdp_core::RelSet;
+use mpdp_cost::PgLikeCost;
+use mpdp_workload::gen;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::time::Duration;
+
+const VNODES: usize = 128;
+const KEYS: usize = 8_000;
+
+/// Well-spread probe keys: the ring hashes them again internally, so a
+/// simple counter-derived sequence is as good as random fingerprints.
+fn probe_keys() -> impl Iterator<Item = u128> {
+    (0..KEYS as u128).map(|i| i * 0x9e37_79b9_7f4a_7c15 + 0x0123_4567_89ab_cdef)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Load balance: with 128 vnodes per shard, no shard's key share may
+    /// stray far from 1/N (max/mean bounded; no shard starves).
+    #[test]
+    fn ring_balance_is_bounded(params in (any::<u64>(), 2u32..=12)) {
+        let (seed, shards) = params;
+        let ids: Vec<u32> = (0..shards).collect();
+        let ring = HashRing::new(seed, VNODES, &ids);
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for key in probe_keys() {
+            *counts.entry(ring.shard_of(key)).or_insert(0) += 1;
+        }
+        let mean = KEYS as f64 / shards as f64;
+        let max = *counts.values().max().unwrap() as f64;
+        let min = counts.values().copied().min().unwrap_or(0) as f64;
+        prop_assert!(
+            max / mean <= 1.8,
+            "seed {seed}: busiest of {shards} shards owns {max} keys (mean {mean:.0})"
+        );
+        prop_assert!(
+            min / mean >= 0.3,
+            "seed {seed}: emptiest of {shards} shards owns {min} keys (mean {mean:.0})"
+        );
+    }
+
+    /// Minimal disruption: adding a shard moves roughly 1/(N+1) of the
+    /// keys, and every mover lands on the new shard — survivors' caches
+    /// are never invalidated by a rehash.
+    #[test]
+    fn adding_a_shard_moves_only_its_fair_share(params in (any::<u64>(), 1u32..=10)) {
+        let (seed, shards) = params;
+        let ids: Vec<u32> = (0..shards).collect();
+        let ring = HashRing::new(seed, VNODES, &ids);
+        let grown = ring.with_shard(shards);
+        let mut moved = 0usize;
+        for key in probe_keys() {
+            let before = ring.shard_of(key);
+            let after = grown.shard_of(key);
+            if before != after {
+                prop_assert_eq!(after, shards, "a moved key must land on the new shard");
+                moved += 1;
+            }
+        }
+        let fair = KEYS as f64 / (shards + 1) as f64;
+        let frac = moved as f64;
+        prop_assert!(
+            frac <= 1.8 * fair,
+            "seed {seed}: {moved} of {KEYS} keys moved at {shards}→{} shards (fair {fair:.0})",
+            shards + 1
+        );
+        prop_assert!(
+            frac >= 0.3 * fair,
+            "seed {seed}: only {moved} keys moved — the new shard is starved (fair {fair:.0})"
+        );
+    }
+
+    /// Node loss: removing a shard reassigns exactly its keys (survivors'
+    /// assignments are untouched) and every key stays routable to a live
+    /// shard, with a full, distinct, live replica set.
+    #[test]
+    fn removing_a_shard_keeps_every_key_routable(
+        params in (any::<u64>(), 2u32..=10, any::<u32>())
+    ) {
+        let (seed, shards, victim_pick) = params;
+        let ids: Vec<u32> = (0..shards).collect();
+        let ring = HashRing::new(seed, VNODES, &ids);
+        let victim = victim_pick % shards;
+        let shrunk = ring.without_shard(victim);
+        prop_assert_eq!(shrunk.len(), (shards - 1) as usize);
+        let replicas = 3.min(shrunk.len());
+        for key in probe_keys().take(2_000) {
+            let before = ring.shard_of(key);
+            let after = shrunk.shard_of(key);
+            prop_assert_ne!(after, victim, "routed to the removed shard");
+            if before != victim {
+                prop_assert_eq!(
+                    before, after,
+                    "key not owned by the victim changed owner on removal"
+                );
+            }
+            let set = shrunk.shards_of(key, replicas);
+            prop_assert_eq!(set.len(), replicas);
+            prop_assert_eq!(set[0], after, "replica set is led by the owner");
+            let mut distinct = set.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert_eq!(distinct.len(), set.len(), "replica set has duplicates");
+            for s in &set {
+                prop_assert!(*s != victim && *s < shards, "replica {s} is not live");
+            }
+        }
+    }
+}
+
+/// An [`ExecReport`] carrying only a root-cardinality observation (plus one
+/// observed join so selectivity overrides gossip too): what a serving layer
+/// would feed back after running the plan and seeing `root_rows`.
+fn feedback_report(root_rows: u64, est_root_rows: f64) -> ExecReport {
+    ExecReport {
+        stats: Vec::new(),
+        joins: vec![ObservedJoin {
+            left: RelSet::singleton(0),
+            right: RelSet::singleton(1),
+            edges: vec![0],
+            inputs: (100, 100),
+            output: 500,
+            observed_sel: 0.05,
+            est_rows: est_root_rows,
+        }],
+        root_rows,
+        est_root_rows,
+        wall: Duration::ZERO,
+        counters: Default::default(),
+        result_bytes: 0,
+        worker_busy: Vec::new(),
+    }
+}
+
+/// The staleness window, end to end: a hot template is replicated onto R
+/// shards; a 20× cardinality miss observed on ONE shard must evict the
+/// replica on every OTHER shard within `staleness_bound()` gossip rounds —
+/// and must NOT have evicted them before any round ran (gossip is
+/// asynchronous; the bound is the contract, not instant coherence).
+#[test]
+fn invalidation_on_one_shard_evicts_all_replicas_within_the_bound() {
+    let model = PgLikeCost::new();
+    let cluster = PlanCluster::new(ClusterConfig {
+        shards: 5,
+        // Hot from the first request: every arrival round-robins over the
+        // replica set, so a handful of plans warm all three replicas.
+        hot_threshold: 0,
+        replicas: 3,
+        ..ClusterConfig::default()
+    });
+    let q = gen::random_connected(8, 2, 42, &model);
+
+    let mut fp = None;
+    let mut est = 0.0;
+    for _ in 0..9 {
+        let served = cluster.plan(&q, &model).expect("plan");
+        fp = Some(served.served.fingerprint);
+        est = served.served.planned.rows;
+    }
+    let fp = fp.unwrap();
+    assert_eq!(cluster.replica_set(fp).len(), 3);
+    assert_eq!(
+        cluster.cached_replicas(fp, &model),
+        3,
+        "nine round-robined arrivals must warm all three replicas"
+    );
+
+    // Observe a 20× miss on one caching shard (a replica, not necessarily
+    // the owner — feedback arrives wherever the plan executed).
+    let observed = (est.max(1.0) * 20.0) as u64;
+    let report = feedback_report(observed, est);
+    let shard_a = cluster.replica_set(fp)[1];
+    assert!(
+        cluster.observe_on(shard_a, fp, &model, &report),
+        "the observing shard evicts its own replica immediately"
+    );
+
+    // Not instant: the other replicas still serve the stale plan until
+    // anti-entropy runs.
+    assert_eq!(
+        cluster.cached_replicas(fp, &model),
+        2,
+        "gossip has not run yet; remote replicas must still be cached"
+    );
+
+    let bound = cluster.staleness_bound();
+    assert_eq!(bound, 2, "floor(5/2)");
+    let mut rounds = 0;
+    while cluster.cached_replicas(fp, &model) > 0 {
+        assert!(
+            rounds < bound,
+            "invalidation still not everywhere after {rounds} rounds (bound {bound})"
+        );
+        cluster.run_gossip_round();
+        rounds += 1;
+    }
+    assert!(rounds <= bound, "{rounds} rounds used, bound {bound}");
+
+    // The selectivity overrides ride the same flood: after the bound's
+    // worth of rounds every shard knows the corrected edge selectivity.
+    for _ in rounds..bound {
+        cluster.run_gossip_round();
+    }
+    for id in cluster.shard_ids() {
+        let overrides = cluster
+            .overrides_for(id, fp)
+            .unwrap_or_else(|| panic!("shard {id} never learned the overrides"));
+        assert_eq!(overrides, vec![(0, 0.05)]);
+    }
+
+    // Idempotence: replaying the same logs delivers nothing new.
+    assert_eq!(cluster.run_gossip_round(), 0, "seen-set must dedup");
+}
+
+/// Cold traffic stays put: below the hot threshold every request for a
+/// fingerprint is served by its primary owner, and only that shard's cache
+/// fills.
+#[test]
+fn cold_templates_are_served_by_their_owner_only() {
+    let model = PgLikeCost::new();
+    let cluster = PlanCluster::new(ClusterConfig {
+        shards: 4,
+        hot_threshold: 1_000_000,
+        replicas: 2,
+        ..ClusterConfig::default()
+    });
+    let q = gen::random_connected(7, 1, 7, &model);
+    let mut shards_seen = std::collections::HashSet::new();
+    let mut fp = None;
+    for _ in 0..12 {
+        let served = cluster.plan(&q, &model).expect("plan");
+        shards_seen.insert(served.shard);
+        fp = Some(served.served.fingerprint);
+    }
+    let fp = fp.unwrap();
+    assert_eq!(shards_seen.len(), 1, "cold routing is deterministic");
+    assert!(shards_seen.contains(&cluster.owner(fp)));
+    assert_eq!(cluster.cached_replicas(fp, &model), 1);
+    assert_eq!(cluster.hot_count(fp), 12);
+}

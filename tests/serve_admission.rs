@@ -110,6 +110,73 @@ fn tenant_quota_sheds_independently_of_queue() {
 }
 
 #[test]
+fn aggregate_cache_is_the_exact_fieldwise_sum() {
+    use mpdp_cluster::ClusterConfig;
+    use mpdp_core::counters::CacheSnapshot;
+
+    let m = PgLikeCost::new();
+    // One plain tenant, one cluster-backed tenant: the front-door aggregate
+    // must be the exact field-wise [`CacheSnapshot::merge`] fold across
+    // both backends — counters are sums, not samples.
+    let clustered = TenantConfig::named("sharded").clustered(ClusterConfig {
+        shards: 3,
+        ..ClusterConfig::default()
+    });
+    let front = ServeFront::new(
+        ServeConfig {
+            queue_depth: 64,
+            dispatchers: 2,
+            executor_threads: 2,
+            tenants: vec![TenantConfig::named("plain"), clustered],
+            ..Default::default()
+        },
+        Arc::new(PgLikeCost::new()),
+    );
+
+    let mut tickets = Vec::new();
+    for i in 0..24u64 {
+        let q = gen::random_connected(6 + (i % 3) as usize, 1, 400 + i, &m);
+        let tenant = (i % 2) as usize;
+        // Submit each query twice so both backends record hits (or
+        // coalesced joins) as well as misses.
+        tickets.push(front.submit(tenant, q.clone()).expect("under quota"));
+        tickets.push(front.submit(tenant, q).expect("under quota"));
+    }
+    for t in tickets {
+        t.wait().result.expect("accepted requests complete");
+    }
+
+    let plain = front.cache_counters(0);
+    let sharded = front.cache_counters(1);
+    let mut manual = plain;
+    manual.merge(&sharded);
+    assert_eq!(
+        front.aggregate_cache(),
+        manual,
+        "front-door aggregate must equal the field-wise tenant sum"
+    );
+    // Commutativity: fold order cannot change the totals.
+    let mut swapped = sharded;
+    swapped.merge(&plain);
+    assert_eq!(manual, swapped);
+
+    // The cluster tenant's own counters are in turn the exact fold of its
+    // per-shard snapshots (associativity one level down).
+    let cluster = front.cluster(1).expect("tenant 1 is cluster-backed");
+    let mut fold = CacheSnapshot::default();
+    for (_, snap) in cluster.shard_snapshots() {
+        fold.merge(&snap);
+    }
+    assert_eq!(fold, sharded, "cluster aggregate must equal its shard fold");
+
+    // Both backends actually did work: every request is exactly one hit,
+    // miss or coalesced join, across tenants and shards.
+    assert_eq!(manual.hits + manual.misses + manual.coalesced, 48);
+    assert!(manual.hits > 0, "repeat submissions must hit: {manual:?}");
+    assert!(manual.misses > 0, "{manual:?}");
+}
+
+#[test]
 fn shutdown_refuses_new_work_without_hanging() {
     let m = PgLikeCost::new();
     let mut front = ServeFront::new(ServeConfig::default(), Arc::new(PgLikeCost::new()));
