@@ -3,13 +3,15 @@
 //! ```text
 //! repro <experiment> [..]     experiments: fig2 fig4 fig6 fig7 fig8 fig9
 //!                             fig10 fig11 fig12 fig13 table1 table2 table3
-//!                             ablation bench scale serve exec cluster all
+//!                             ablation bench scale serve exec cluster trace
+//!                             all
 //! --emit-json <path>          (bench, scale, exec, serve, cluster) write
 //!                             per-run wall/model times and counters as JSON
 //! --check-against <path>      (bench, scale, exec, serve, cluster) compare
 //!                             wall times against a committed baseline JSON;
 //!                             exit 1 if any algorithm regressed more than 2x
-//! --queries <n>               (serve, cluster) stream length (default 10000)
+//! --queries <n>               (serve, cluster, trace) stream length
+//!                             (default 10000; trace: 1000)
 //! --workers <n>               (serve) worker threads (default 4);
 //!                             (scale) max worker count of the 1/2/4/…
 //!                             sweep (default 8);
@@ -45,8 +47,16 @@
 //!                             query stream — serve uses the first value
 //!                             (default 1.1), cluster sweeps the whole list
 //!                             (default 0.7,1.1)
-//! --queries-small             (scale, serve, cluster) reduced shape set for
-//!                             CI smoke
+//! --queries-small             (scale, serve, cluster, trace) reduced shape
+//!                             set for CI smoke
+//! trace                       replay a stream with the span tracer armed:
+//!                             submit through a cluster-backed ServeFront,
+//!                             execute every served plan with the request's
+//!                             span context, then emit the flamegraph table,
+//!                             the slow-request span trees and (--emit-json)
+//!                             a Chrome-trace artifact; exits 1 unless ≥95%
+//!                             of request traces are complete
+//!                             (admission → route → planning → executor)
 //! REPRO_SCALE={quick,paper}   sweep sizes (default quick)
 //! REPRO_TIMEOUT_MS=<ms>       per-query optimization budget
 //! ```
@@ -206,6 +216,11 @@ fn main() {
                 queries_small,
                 emit_json.as_deref(),
                 check_against.as_deref(),
+            ),
+            "trace" => trace_experiment(
+                if queries_given { serve_queries } else { 1_000 },
+                queries_small,
+                emit_json.as_deref(),
             ),
             "exec" => exec_experiment(
                 if workers_given { &workers_list } else { &[1] },
@@ -1399,6 +1414,24 @@ fn chaos_serve(
     };
     print!("{}", report.render());
     println!("# faults fired: {}", faults.fired());
+    // Resilience counters (window snapshots are deltas, so sums are run
+    // totals). These are what the chaos legs exist to exercise; until now
+    // they were only asserted in tests, never visible on a run page.
+    let worker_respawns: u64 = report.windows.iter().map(|w| w.serve.worker_respawns).sum();
+    let reactor_respawns: u64 = report
+        .windows
+        .iter()
+        .map(|w| w.serve.reactor_respawns)
+        .sum();
+    let abandoned: u64 = report
+        .windows
+        .iter()
+        .map(|w| w.serve.abandoned_tickets)
+        .sum();
+    println!(
+        "# resilience: worker_respawns {worker_respawns} reactor_respawns {reactor_respawns} \
+         abandoned_tickets {abandoned}"
+    );
 
     let mut violations: Vec<String> = Vec::new();
     for w in &report.windows {
@@ -1453,6 +1486,29 @@ fn chaos_serve(
         println!("# wrote {path}");
     }
 
+    // Mirror the chaos outcome into the Actions job summary (satellite of
+    // the observability pass): the respawn/abandonment totals say at a
+    // glance *what* the fault schedule exercised, which the pass/fail bit
+    // alone never did.
+    if SUMMARY_MD.load(Ordering::Relaxed) {
+        let mut md = format!(
+            "### chaos sweep — seed {seed}\n\n\
+             | counter | value |\n|---|---:|\n\
+             | faults scheduled | {scheduled} |\n\
+             | faults fired | {} |\n\
+             | worker respawns | {worker_respawns} |\n\
+             | reactor respawns | {reactor_respawns} |\n\
+             | abandoned tickets | {abandoned} |\n\
+             | invariant violations | {} |\n",
+            faults.fired(),
+            violations.len()
+        );
+        for v in &violations {
+            md.push_str(&format!("\n- ❌ {v}\n"));
+        }
+        append_step_summary(&md);
+    }
+
     if !violations.is_empty() {
         for v in &violations {
             eprintln!("# chaos FAILED: {v}");
@@ -1460,6 +1516,91 @@ fn chaos_serve(
         std::process::exit(1);
     }
     println!("# chaos invariants held (seed {seed})");
+}
+
+// ------------------------------------------------------------------ trace
+
+/// `repro trace`: the observability acceptance leg. Replays a Zipf stream
+/// through a cluster-backed front-end with the span tracer *armed*,
+/// executes every served plan with its request's span context, and then
+/// drains the rings into the artifact set (flamegraph table, slow-request
+/// span trees, Chrome-trace JSON via `--emit-json`). Fails unless ≥95% of
+/// the observed request traces are complete — admission root, routing
+/// decision, planning disposition, and an executor span — and unless every
+/// admitted request actually planned and executed (a trace leg that loses
+/// requests measures nothing).
+fn trace_experiment(queries: usize, small: bool, emit_json: Option<&str>) {
+    use mpdp_bench::trace::{run_trace, TraceConfig};
+    use mpdp_workload::StreamSpec;
+    use std::sync::Arc;
+
+    let stream = if small {
+        StreamSpec {
+            templates: 80,
+            min_rels: 6,
+            max_rels: 12,
+            ..StreamSpec::default()
+        }
+    } else {
+        StreamSpec::default()
+    };
+    let config = TraceConfig {
+        queries,
+        stream,
+        ..TraceConfig::default()
+    };
+    println!(
+        "\n## trace — armed span replay ({queries} queries, {} templates, {} shards)",
+        config.stream.templates, config.shards
+    );
+    let report = match run_trace(&config, Arc::new(PgLikeCost::new())) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("# trace FAILED: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render());
+
+    if let Some(path) = emit_json {
+        std::fs::write(path, &report.chrome_json).expect("write trace JSON");
+        println!("# wrote {path} ({} bytes)", report.chrome_json.len());
+    }
+
+    let mut violations: Vec<String> = Vec::new();
+    if report.admitted < report.submitted {
+        violations.push(format!(
+            "shed {} of {} submissions",
+            report.submitted - report.admitted,
+            report.submitted
+        ));
+    }
+    if report.executed < report.admitted {
+        violations.push(format!(
+            "only {} of {} admitted requests planned and executed",
+            report.executed, report.admitted
+        ));
+    }
+    if report.completeness_pct() < 95.0 {
+        violations.push(format!(
+            "trace completeness {:.1}% ({}/{}) below the 95% floor",
+            report.completeness_pct(),
+            report.complete,
+            report.traces
+        ));
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("# trace FAILED: {v}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "# trace acceptance held: {}/{} complete ({:.1}%)",
+        report.complete,
+        report.traces,
+        report.completeness_pct()
+    );
 }
 
 // ---------------------------------------------------------------- cluster

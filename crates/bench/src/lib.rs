@@ -27,6 +27,7 @@ pub mod scaling;
 pub mod serve;
 pub mod starform;
 pub mod stats;
+pub mod trace;
 
 pub use cluster::{run_cluster, ClusterReport, ClusterRunConfig};
 pub use exec::{run_exec_bench, ExecBenchReport, EXEC_STRATEGIES};
@@ -35,3 +36,4 @@ pub use runner::{run_exact, AlgoKind, RunOutcome, EXACT_ROSTER};
 pub use scale::Scale;
 pub use scaling::{run_scale, ScaleConfig, ScaleReport};
 pub use serve::{replay, ServeConfig, ServeReport};
+pub use trace::{run_trace, TraceConfig, TraceReport};

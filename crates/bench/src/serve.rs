@@ -22,6 +22,7 @@ use mpdp_core::counters::{CacheSnapshot, ServeSnapshot};
 use mpdp_core::faults::Faults;
 use mpdp_core::{LargeQuery, OptError};
 use mpdp_cost::model::CostModel;
+use mpdp_obs::Hist64;
 use mpdp_serve::{ServeFront, TenantConfig};
 use mpdp_workload::stream::{StreamSpec, ZipfStream};
 use std::collections::BTreeMap;
@@ -30,7 +31,6 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::regress::WallRun;
-use crate::stats::percentile;
 
 /// Configuration of one replay run.
 #[derive(Clone, Debug)]
@@ -53,11 +53,51 @@ impl Default for ServeConfig {
     }
 }
 
-/// One request's measurement.
-#[derive(Copy, Clone, Debug)]
-struct Sample {
-    micros: f64,
-    via: ServedVia,
+/// Per-disposition latency histograms. Replaces the sort-the-whole-vec
+/// percentile machinery: O(1) memory per window at any request count,
+/// exact counts, quantiles within [`Hist64`]'s ~1.6% bucket error, and
+/// field-wise mergeable across worker threads like `CacheSnapshot`.
+#[derive(Clone, Default)]
+struct ViaHists {
+    hit: Hist64,
+    cold: Hist64,
+    coalesced: Hist64,
+    degraded: Hist64,
+}
+
+impl ViaHists {
+    fn record(&mut self, via: ServedVia, latency: Duration) {
+        let h = match via {
+            ServedVia::Hit => &mut self.hit,
+            ServedVia::Cold => &mut self.cold,
+            ServedVia::Coalesced => &mut self.coalesced,
+            ServedVia::Degraded => &mut self.degraded,
+        };
+        h.record_duration(latency);
+    }
+
+    fn merge(&mut self, other: &ViaHists) {
+        self.hit.merge(&other.hit);
+        self.cold.merge(&other.cold);
+        self.coalesced.merge(&other.coalesced);
+        self.degraded.merge(&other.degraded);
+    }
+
+    /// Every request is exactly one disposition, so the all-requests
+    /// histogram is the exact merge of the four splits.
+    fn all(&self) -> Hist64 {
+        let mut all = self.hit.clone();
+        all.merge(&self.cold);
+        all.merge(&self.coalesced);
+        all.merge(&self.degraded);
+        all
+    }
+}
+
+/// A histogram quantile in microseconds (0.0 when empty, matching the
+/// reports' "0.0 if none" field contracts).
+fn pct_us(h: &Hist64, p: f64) -> f64 {
+    h.percentile(p) as f64 / 1e3
 }
 
 /// Aggregated outcome of a replay run.
@@ -189,7 +229,7 @@ pub fn replay(
     let workers = config.workers.max(1);
 
     let cursor = AtomicUsize::new(0);
-    let samples: Mutex<Vec<Sample>> = Mutex::new(Vec::with_capacity(config.total));
+    let hists: Mutex<ViaHists> = Mutex::new(ViaHists::default());
     let routes: Mutex<BTreeMap<String, usize>> = Mutex::new(BTreeMap::new());
     let failed = AtomicUsize::new(0);
     // Counters are cumulative per service; report only this replay's window
@@ -201,7 +241,7 @@ pub fn replay(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                let mut local: Vec<Sample> = Vec::new();
+                let mut local = ViaHists::default();
                 let mut local_routes: BTreeMap<String, usize> = BTreeMap::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -215,10 +255,7 @@ pub fn replay(
                             service_time,
                             ..
                         }) => {
-                            local.push(Sample {
-                                micros: service_time.as_secs_f64() * 1e6,
-                                via,
-                            });
+                            local.record(via, service_time);
                             if via == ServedVia::Cold {
                                 *local_routes.entry(planned.strategy).or_insert(0) += 1;
                             }
@@ -228,7 +265,7 @@ pub fn replay(
                         }
                     }
                 }
-                samples.lock().expect("samples").extend_from_slice(&local);
+                hists.lock().expect("hists").merge(&local);
                 let mut shared = routes.lock().expect("routes");
                 for (k, v) in local_routes {
                     *shared.entry(k).or_insert(0) += v;
@@ -238,32 +275,21 @@ pub fn replay(
     });
     let elapsed = start.elapsed();
 
-    let samples = samples.into_inner().expect("samples");
-    let all: Vec<f64> = samples.iter().map(|s| s.micros).collect();
-    let split = |via: ServedVia| -> Vec<f64> {
-        samples
-            .iter()
-            .filter(|s| s.via == via)
-            .map(|s| s.micros)
-            .collect()
-    };
-    let hits = split(ServedVia::Hit);
-    let colds = split(ServedVia::Cold);
-    let coalesced = split(ServedVia::Coalesced);
-    let degraded = split(ServedVia::Degraded);
+    let hists = hists.into_inner().expect("hists");
+    let all = hists.all();
 
     Ok(ServeReport {
-        served: samples.len(),
+        served: all.count() as usize,
         failed: failed.into_inner(),
         workers,
         elapsed,
         cache: service.cache_counters().since(&counters_before),
-        p50_us: percentile(&all, 50.0),
-        p99_us: percentile(&all, 99.0),
-        hit_p50_us: percentile(&hits, 50.0),
-        miss_p50_us: percentile(&colds, 50.0),
-        coalesced_p50_us: percentile(&coalesced, 50.0),
-        degraded_p50_us: percentile(&degraded, 50.0),
+        p50_us: pct_us(&all, 50.0),
+        p99_us: pct_us(&all, 99.0),
+        hit_p50_us: pct_us(&hists.hit, 50.0),
+        miss_p50_us: pct_us(&hists.cold, 50.0),
+        coalesced_p50_us: pct_us(&hists.coalesced, 50.0),
+        degraded_p50_us: pct_us(&hists.degraded, 50.0),
         routes: routes.into_inner().expect("routes"),
     })
 }
@@ -300,6 +326,10 @@ pub struct OpenLoopConfig {
     /// seeded). Disarmed by default: the measured gate configuration never
     /// pays for or is perturbed by injection.
     pub faults: Faults,
+    /// Request tracer handed to the front-end under test. Disabled by
+    /// default — the gate configuration measures the disarmed fast path;
+    /// the trace harness arms it.
+    pub tracer: mpdp_obs::Tracer,
     /// The Zipf stream generators draw from.
     pub stream: StreamSpec,
 }
@@ -321,6 +351,7 @@ impl Default for OpenLoopConfig {
             dispatchers: 2,
             deadline: None,
             faults: Faults::disarmed(),
+            tracer: mpdp_obs::Tracer::disabled(),
             stream: StreamSpec::default(),
         }
     }
@@ -543,6 +574,7 @@ pub fn open_loop(
             budget: Some(Duration::from_secs(30)),
             default_deadline: config.deadline,
             faults: config.faults.clone(),
+            tracer: config.tracer.clone(),
             tenants: vec![TenantConfig {
                 cache_capacity: (config.stream.templates * 2).max(1024),
                 ..TenantConfig::named("bench")
@@ -624,11 +656,9 @@ pub fn open_loop(
 
         // Harvest: generators finish at the end of their schedule; tickets
         // then drain (for saturated windows, roughly one queue's worth).
-        let mut all_ms: Vec<f64> = Vec::new();
-        let mut hit_us: Vec<f64> = Vec::new();
-        let mut cold_us: Vec<f64> = Vec::new();
-        let mut coal_us: Vec<f64> = Vec::new();
-        let mut degr_us: Vec<f64> = Vec::new();
+        // Latencies land in log-bucketed histograms — O(1) window memory
+        // at any offered rate instead of a sort over every completion.
+        let mut hists = ViaHists::default();
         let mut shed_pools = Vec::with_capacity(gens.len());
         for join in gens {
             // A generator killed by an injected executor-poll fault stops
@@ -642,14 +672,7 @@ pub fn open_loop(
             for ticket in tickets {
                 let done = ticket.wait();
                 if let Ok(plan) = done.result {
-                    let us = done.latency.as_secs_f64() * 1e6;
-                    all_ms.push(us / 1000.0);
-                    match plan.via {
-                        ServedVia::Hit => hit_us.push(us),
-                        ServedVia::Cold => cold_us.push(us),
-                        ServedVia::Coalesced => coal_us.push(us),
-                        ServedVia::Degraded => degr_us.push(us),
-                    }
+                    hists.record(plan.via, done.latency);
                 }
             }
         }
@@ -661,18 +684,19 @@ pub fn open_loop(
         drop(shed_pools);
         let achieved = serve.completed as f64 / elapsed.as_secs_f64().max(1e-9);
         let saturated = serve.sheds() > 0 || achieved < offered_rate * 0.95;
+        let all = hists.all();
         windows.push(WindowReport {
             multiplier,
             offered_rate,
             offered: total,
             elapsed,
             achieved,
-            p50_ms: percentile(&all_ms, 50.0),
-            p99_ms: percentile(&all_ms, 99.0),
-            hit_p50_us: percentile(&hit_us, 50.0),
-            cold_p50_us: percentile(&cold_us, 50.0),
-            coalesced_p50_us: percentile(&coal_us, 50.0),
-            degraded_p50_us: percentile(&degr_us, 50.0),
+            p50_ms: all.percentile(50.0) as f64 / 1e6,
+            p99_ms: all.percentile(99.0) as f64 / 1e6,
+            hit_p50_us: pct_us(&hists.hit, 50.0),
+            cold_p50_us: pct_us(&hists.cold, 50.0),
+            coalesced_p50_us: pct_us(&hists.coalesced, 50.0),
+            degraded_p50_us: pct_us(&hists.degraded, 50.0),
             cache,
             serve,
             saturated,
@@ -713,6 +737,7 @@ mod tests {
                 dispatchers: 2,
                 deadline: Some(Duration::from_millis(300)),
                 faults: faults.clone(),
+                tracer: mpdp_obs::Tracer::disabled(),
                 stream: StreamSpec {
                     templates: 12,
                     skew: 1.1,
@@ -790,6 +815,7 @@ mod tests {
             dispatchers: 2,
             deadline: None,
             faults: Faults::disarmed(),
+            tracer: mpdp_obs::Tracer::disabled(),
             stream: StreamSpec {
                 templates: 12,
                 skew: 1.1,

@@ -53,6 +53,7 @@ use mpdp_core::{LargeQuery, OptError};
 use mpdp_cost::model::CostModel;
 use mpdp_exec::feedback::selectivity_overrides;
 use mpdp_exec::ExecReport;
+use mpdp_obs::{sites, ObsSnapshot, Tracer};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -75,6 +76,10 @@ pub struct ClusterConfig {
     /// Per-shard service template; each shard builds its own independent
     /// `PlanService` from a clone of this builder.
     pub service: PlanServiceBuilder,
+    /// Span tracer: gossip rounds record a global `cluster.gossip` event
+    /// (attr = deliveries) on it. Disabled by default; a serving front-end
+    /// propagates its own armed handle here.
+    pub tracer: Tracer,
 }
 
 impl Default for ClusterConfig {
@@ -86,6 +91,7 @@ impl Default for ClusterConfig {
             hot_threshold: 32,
             replicas: 2,
             service: PlanServiceBuilder::new(),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -439,6 +445,10 @@ impl PlanCluster {
                 }
             }
         }
+        // Global annotation (trace 0): gossip rounds belong to no single
+        // request but show up in trace timelines next to the requests
+        // whose replicas they invalidate.
+        self.config.tracer.event(sites::GOSSIP, delivered);
         delivered
     }
 
@@ -495,6 +505,24 @@ impl PlanCluster {
             .iter()
             .map(|s| (s.id, s.service.cache_counters()))
             .collect()
+    }
+
+    /// The cluster's counters as an [`ObsSnapshot`]: one
+    /// `mpdp_cluster_cache_*{shard="N"}` section per live shard plus the
+    /// exact aggregate as tenant `"cluster"`.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        ObsSnapshot {
+            tenants: vec![("cluster".to_string(), self.aggregate_cache())],
+            shards: self.shard_snapshots(),
+            ..ObsSnapshot::default()
+        }
+    }
+
+    /// Prometheus text exposition of [`PlanCluster::obs_snapshot`], via
+    /// the canonical `mpdp-obs` formatter (same names and label scheme as
+    /// the serve front-end's `/metrics`).
+    pub fn metrics_text(&self) -> String {
+        self.obs_snapshot().metrics_text()
     }
 
     /// Total plans cached across all shards (replicated templates count

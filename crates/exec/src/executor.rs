@@ -45,6 +45,7 @@ use mpdp_core::counters::ExecCounters;
 use mpdp_core::memo::murmur3_fmix64;
 use mpdp_core::plan::PlanTree;
 use mpdp_core::query::LargeQuery;
+use mpdp_obs::{sites, SpanCtx};
 use mpdp_parallel::pool::{chunk_range, with_pool, PoolHandle};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -391,6 +392,7 @@ pub struct Executor<'a> {
     query: &'a LargeQuery,
     data: &'a Dataset,
     config: ExecConfig,
+    trace: SpanCtx,
 }
 
 impl<'a> Executor<'a> {
@@ -403,7 +405,17 @@ impl<'a> Executor<'a> {
             query,
             data,
             config,
+            trace: SpanCtx::default(),
         }
+    }
+
+    /// Attaches a span context: every join records `exec.build` /
+    /// `exec.probe` spans and per-worker `exec.morsels` spans under it.
+    /// The default context is disabled (one branch per site); tracing
+    /// never feeds back into kernels, so armed runs stay bit-identical.
+    pub fn with_trace(mut self, trace: SpanCtx) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Executes a plan and reports per-operator statistics and per-join
@@ -612,7 +624,11 @@ impl<'a> Executor<'a> {
             .collect();
 
         // ---- Build stage (single-pass, sequential). ----
-        let table = BuildTable::build(&access, build.len);
+        let table = {
+            let mut span = self.trace.span(sites::EXEC_BUILD);
+            span.set_attr(build.len as u64);
+            BuildTable::build(&access, build.len)
+        };
 
         // ---- Probe stage (parallel over morsel ranges). ----
         let out_rels: Vec<u32> = {
@@ -644,12 +660,19 @@ impl<'a> Executor<'a> {
         let workers = pool.workers();
         let emitted = AtomicU64::new(0);
         let aborted = AtomicBool::new(false);
+        // Probe-stage span; per-worker morsel spans nest under it.
+        let mut probe_stage = self.trace.span(sites::EXEC_PROBE);
+        probe_stage.set_attr(probe.len as u64);
+        let probe_ctx = probe_stage.ctx();
         // One worker's span of the probe: morsels `chunk_range(morsels,
         // parts, w)`, in morsel order. Shared by the pooled path (one call
         // per pool worker) and the small-probe fast path (one call
         // covering everything), so both produce the same per-morsel
         // outputs in the same order and the merge below is bit-identical.
         let probe_span = |w: usize, parts: usize| {
+            // Per-worker morsel span, recorded into the *worker thread's*
+            // own ring; attr is the batch count this worker processed.
+            let mut morsel_span = probe_ctx.span(sites::EXEC_MORSELS);
             let t0 = Instant::now();
             let mut out = WorkerOut {
                 cols: vec![Vec::new(); out_rels.len()],
@@ -688,6 +711,7 @@ impl<'a> Executor<'a> {
                 }
             }
             out.busy = t0.elapsed();
+            morsel_span.set_attr(out.batches);
             out
         };
         // Small-query sequential fast path: below the cutoff the barrier
@@ -699,6 +723,7 @@ impl<'a> Executor<'a> {
         } else {
             pool.map(|w| probe_span(w, workers))
         };
+        drop(probe_stage);
         if aborted.load(Ordering::Relaxed) {
             return Err(ExecError::OutputCap {
                 rels: probe_set.union(build_set),
@@ -1031,6 +1056,84 @@ mod tests {
                     report.joins[0].observed_sel.to_bits(),
                     base_report.joins[0].observed_sel.to_bits()
                 );
+            }
+        }
+    }
+
+    /// Armed tracing must be invisible in results: with a live tracer
+    /// attached, the result set, per-operator stats, and observed
+    /// selectivity are bit-identical to the untraced baseline at 1, 4 and
+    /// 8 workers — and the drained trace carries the build/probe/morsel
+    /// spans the join executed.
+    #[test]
+    fn armed_tracing_is_result_invariant() {
+        use mpdp_obs::{sites, Tracer};
+        let m = PgLikeCost::new();
+        let mut q = LargeQuery::new(vec![RelInfo::new(5_000.0, 1.0), RelInfo::new(3_000.0, 1.0)]);
+        q.add_edge(0, 1, 1.0 / 97.0);
+        let d = materialize(
+            &q,
+            &GenConfig {
+                seed: 11,
+                ..Default::default()
+            },
+            &m,
+        );
+        let plan = PlanTree::Join {
+            left: Box::new(PlanTree::Scan {
+                rel: 0,
+                rows: 5_000.0,
+                cost: 1.0,
+            }),
+            right: Box::new(PlanTree::Scan {
+                rel: 1,
+                rows: 3_000.0,
+                cost: 1.0,
+            }),
+            rows: 5_000.0 * 3_000.0 / 97.0,
+            cost: 10.0,
+        };
+        let config = |workers: usize| ExecConfig {
+            workers,
+            batch: 256,
+            // Force the pooled path so worker threads record morsel spans.
+            sequential_cutoff: 0,
+            ..Default::default()
+        };
+        let (base_report, base_rows) = Executor::new(&d.scaled, &d, config(1))
+            .execute_with_result(&plan)
+            .unwrap();
+        let strip = |s: &[ExecStats]| {
+            s.iter()
+                .map(|s| (s.rels, s.build_rows, s.probe_rows, s.output_rows, s.batches))
+                .collect::<Vec<_>>()
+        };
+        for workers in [1usize, 4, 8] {
+            let tracer = Tracer::armed(4_096);
+            let root = tracer.begin_request(sites::REQUEST);
+            let (report, rows) = Executor::new(&d.scaled, &d, config(workers))
+                .with_trace(root.ctx())
+                .execute_with_result(&plan)
+                .unwrap();
+            drop(root);
+            assert_eq!(
+                rows, base_rows,
+                "traced output diverged at {workers} workers"
+            );
+            assert_eq!(strip(&report.stats), strip(&base_report.stats));
+            assert_eq!(
+                report.joins[0].observed_sel.to_bits(),
+                base_report.joins[0].observed_sel.to_bits()
+            );
+            let spans = tracer.drain();
+            let count_of = |s: mpdp_obs::Site| spans.iter().filter(|r| r.site == s).count();
+            assert_eq!(count_of(sites::EXEC_BUILD), 1);
+            assert_eq!(count_of(sites::EXEC_PROBE), 1);
+            assert_eq!(count_of(sites::EXEC_MORSELS), workers);
+            // Every morsel span nests under the probe span.
+            let probe = spans.iter().find(|r| r.site == sites::EXEC_PROBE).unwrap();
+            for rec in spans.iter().filter(|r| r.site == sites::EXEC_MORSELS) {
+                assert_eq!(rec.parent, probe.span);
             }
         }
     }

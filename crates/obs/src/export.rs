@@ -1,0 +1,342 @@
+//! Span exports: Chrome-trace JSON, flamegraph tables, span trees, and
+//! the complete-trace acceptance predicate.
+//!
+//! Everything here consumes the flat `Vec<SpanRec>` a [`Tracer`]
+//! (`crate::trace::Tracer`) drains and needs no allocation-time
+//! cooperation from the recording side.
+//!
+//! [`Tracer`]: crate::trace::Tracer
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write;
+
+use crate::trace::{sites, SpanRec};
+
+/// Renders spans in the Chrome trace event format (the JSON object form,
+/// `{"traceEvents": [...]}`), loadable in `chrome://tracing` and Perfetto.
+///
+/// Mapping: one process, `tid` = trace id (so each request reads as one
+/// track, the global timeline as track 0), complete (`"X"`) events for
+/// spans and instant (`"i"`) events for zero-duration annotations;
+/// timestamps in microseconds with nanosecond precision preserved as
+/// fractions.
+pub fn chrome_trace_json(spans: &[SpanRec]) -> String {
+    let mut out = String::with_capacity(spans.len() * 160 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, r) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ts = r.start_ns as f64 / 1e3;
+        if r.is_event() {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"mpdp\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{ts:.3},\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"span\":{},\"parent\":{},\"attr\":{}}}}}",
+                r.site.name(),
+                r.trace,
+                r.span,
+                r.parent,
+                r.attr
+            );
+        } else {
+            let dur = r.duration_ns() as f64 / 1e3;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"mpdp\",\"ph\":\"X\",\
+                 \"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"span\":{},\"parent\":{},\"attr\":{}}}}}",
+                r.site.name(),
+                r.trace,
+                r.span,
+                r.parent,
+                r.attr
+            );
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// One row of the flamegraph table: aggregate time at a site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SiteAgg {
+    /// Site name (from the catalog).
+    pub site: &'static str,
+    /// Spans recorded at this site (events excluded).
+    pub count: u64,
+    /// Summed span durations.
+    pub inclusive_ns: u64,
+    /// Inclusive time minus time attributed to direct children
+    /// (saturating per span — overlapping child clocks can't drive a
+    /// site negative).
+    pub exclusive_ns: u64,
+}
+
+/// Aggregates spans into per-site inclusive/exclusive totals, sorted by
+/// inclusive time descending. Events contribute nothing; a span's
+/// exclusive time subtracts only its *direct* children.
+pub fn flamegraph(spans: &[SpanRec]) -> Vec<SiteAgg> {
+    let mut child_time: HashMap<u64, u64> = HashMap::new();
+    for r in spans {
+        if !r.is_event() && r.parent != 0 {
+            *child_time.entry(r.parent).or_insert(0) += r.duration_ns();
+        }
+    }
+    let mut by_site: BTreeMap<&'static str, (u64, u64, u64)> = BTreeMap::new();
+    for r in spans {
+        if r.is_event() {
+            continue;
+        }
+        let inc = r.duration_ns();
+        let exc = inc.saturating_sub(child_time.get(&r.span).copied().unwrap_or(0));
+        let slot = by_site.entry(r.site.name()).or_insert((0, 0, 0));
+        slot.0 += 1;
+        slot.1 += inc;
+        slot.2 += exc;
+    }
+    let mut rows: Vec<SiteAgg> = by_site
+        .into_iter()
+        .map(|(site, (count, inclusive_ns, exclusive_ns))| SiteAgg {
+            site,
+            count,
+            inclusive_ns,
+            exclusive_ns,
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.inclusive_ns));
+    rows
+}
+
+/// Renders the flamegraph table as aligned text (site, span count,
+/// inclusive/exclusive milliseconds, mean inclusive microseconds).
+pub fn render_flamegraph(rows: &[SiteAgg]) -> String {
+    let mut out = String::new();
+    out.push_str("site              count  incl_ms    excl_ms    mean_incl_us\n");
+    for r in rows {
+        let mean_us = if r.count == 0 {
+            0.0
+        } else {
+            r.inclusive_ns as f64 / r.count as f64 / 1e3
+        };
+        let _ = writeln!(
+            out,
+            "{:<17} {:>6}  {:>9.3}  {:>9.3}  {:>12.2}",
+            r.site,
+            r.count,
+            r.inclusive_ns as f64 / 1e6,
+            r.exclusive_ns as f64 / 1e6,
+            mean_us
+        );
+    }
+    out
+}
+
+/// Groups records by trace id (the global timeline, trace 0, included
+/// under key 0), each group sorted by start time.
+pub fn by_trace(spans: &[SpanRec]) -> BTreeMap<u64, Vec<SpanRec>> {
+    let mut map: BTreeMap<u64, Vec<SpanRec>> = BTreeMap::new();
+    for r in spans {
+        map.entry(r.trace).or_default().push(*r);
+    }
+    for group in map.values_mut() {
+        group.sort_by_key(|r| (r.start_ns, r.span));
+    }
+    map
+}
+
+/// Renders one trace's records as an indented span tree; spans whose
+/// parent is missing (overwritten in the ring) surface as extra roots
+/// rather than disappearing.
+pub fn render_tree(trace: &[SpanRec]) -> String {
+    let present: HashMap<u64, ()> = trace.iter().map(|r| (r.span, ())).collect();
+    let mut children: BTreeMap<u64, Vec<&SpanRec>> = BTreeMap::new();
+    let mut roots: Vec<&SpanRec> = Vec::new();
+    for r in trace {
+        if r.parent != 0 && present.contains_key(&r.parent) {
+            children.entry(r.parent).or_default().push(r);
+        } else {
+            roots.push(r);
+        }
+    }
+    fn emit(out: &mut String, r: &SpanRec, depth: usize, children: &BTreeMap<u64, Vec<&SpanRec>>) {
+        let indent = "  ".repeat(depth);
+        if r.is_event() {
+            let _ = writeln!(
+                out,
+                "{indent}* {} @ {:.3} ms (attr={})",
+                r.site.name(),
+                r.start_ns as f64 / 1e6,
+                r.attr
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{indent}- {} {:.3} ms [{:.3}..{:.3}] (attr={})",
+                r.site.name(),
+                r.duration_ns() as f64 / 1e6,
+                r.start_ns as f64 / 1e6,
+                r.end_ns as f64 / 1e6,
+                r.attr
+            );
+        }
+        if let Some(kids) = children.get(&r.span) {
+            let mut kids = kids.clone();
+            kids.sort_by_key(|k| (k.start_ns, k.span));
+            for k in kids {
+                emit(out, k, depth + 1, children);
+            }
+        }
+    }
+    let mut out = String::new();
+    roots.sort_by_key(|r| (r.start_ns, r.span));
+    for r in roots {
+        emit(&mut out, r, 0, &children);
+    }
+    out
+}
+
+/// The acceptance predicate for one request trace: a complete tree walks
+/// every tier — an admission root ([`sites::REQUEST`]), a routing
+/// decision ([`sites::ROUTE`]), a planning disposition (cache hit,
+/// flight lead/wait, strategy invocation, or degrade), and an executor
+/// span (build/probe/morsels).
+pub fn trace_is_complete(trace: &[SpanRec]) -> bool {
+    let has = |pred: &dyn Fn(&SpanRec) -> bool| trace.iter().any(pred);
+    has(&|r| r.site == sites::REQUEST)
+        && has(&|r| r.site == sites::ROUTE)
+        && has(&|r| {
+            matches!(
+                r.site,
+                s if s == sites::CACHE_HIT
+                    || s == sites::FLIGHT_LEAD
+                    || s == sites::FLIGHT_WAIT
+                    || s == sites::STRATEGY
+                    || s == sites::DEGRADE
+            )
+        })
+        && has(&|r| {
+            matches!(
+                r.site,
+                s if s == sites::EXEC_BUILD || s == sites::EXEC_PROBE || s == sites::EXEC_MORSELS
+            )
+        })
+}
+
+/// Counts `(complete, total)` over every request trace (traces containing
+/// a [`sites::REQUEST`] span; the global timeline is ignored).
+pub fn completeness(spans: &[SpanRec]) -> (usize, usize) {
+    let mut complete = 0;
+    let mut total = 0;
+    for (trace, group) in by_trace(spans) {
+        if trace == 0 || !group.iter().any(|r| r.site == sites::REQUEST) {
+            continue;
+        }
+        total += 1;
+        if trace_is_complete(&group) {
+            complete += 1;
+        }
+    }
+    (complete, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Site, SpanRec};
+
+    fn rec(trace: u64, span: u64, parent: u64, site: Site, start: u64, end: u64) -> SpanRec {
+        SpanRec {
+            trace,
+            span,
+            parent,
+            site,
+            start_ns: start,
+            end_ns: end,
+            attr: 0,
+        }
+    }
+
+    fn full_trace(trace: u64, base_span: u64) -> Vec<SpanRec> {
+        vec![
+            rec(trace, base_span, 0, sites::REQUEST, 0, 10_000),
+            rec(trace, base_span + 1, base_span, sites::ROUTE, 100, 100),
+            rec(trace, base_span + 2, base_span, sites::STRATEGY, 200, 6_000),
+            rec(
+                trace,
+                base_span + 3,
+                base_span,
+                sites::EXEC_PROBE,
+                6_500,
+                9_000,
+            ),
+        ]
+    }
+
+    #[test]
+    fn chrome_json_is_wellformed_and_typed() {
+        let spans = full_trace(1, 1);
+        let json = chrome_trace_json(&spans);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"serve.request\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        // The route event renders as an instant.
+        assert!(json.contains("\"ph\":\"i\""));
+        assert_eq!(json.matches("{\"name\":").count(), spans.len());
+        // Balanced braces — cheap structural sanity without a parser.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON"
+        );
+    }
+
+    #[test]
+    fn flamegraph_attributes_exclusive_time_to_parents() {
+        let spans = full_trace(1, 1);
+        let rows = flamegraph(&spans);
+        let req = rows.iter().find(|r| r.site == "serve.request").unwrap();
+        assert_eq!(req.inclusive_ns, 10_000);
+        // 10_000 - (5_800 strategy + 2_500 probe) = 1_700 exclusive.
+        assert_eq!(req.exclusive_ns, 1_700);
+        let strat = rows.iter().find(|r| r.site == "strategy.invoke").unwrap();
+        assert_eq!(strat.inclusive_ns, strat.exclusive_ns);
+        // Sorted by inclusive descending: the root leads.
+        assert_eq!(rows[0].site, "serve.request");
+        let text = render_flamegraph(&rows);
+        assert!(text.contains("serve.request"));
+        assert!(text.contains("incl_ms"));
+    }
+
+    #[test]
+    fn tree_renders_nested_and_orphans_surface() {
+        let mut spans = full_trace(7, 10);
+        // An orphan whose parent was overwritten in the ring.
+        spans.push(rec(7, 99, 55, sites::EXEC_MORSELS, 7_000, 8_000));
+        let text = render_tree(&spans);
+        assert!(text.contains("- serve.request"));
+        assert!(text.contains("  * serve.route"));
+        assert!(text.contains("  - strategy.invoke"));
+        assert!(
+            text.contains("\n- exec.morsels"),
+            "orphan is a root: {text}"
+        );
+    }
+
+    #[test]
+    fn completeness_counts_only_request_traces() {
+        let mut spans = full_trace(1, 1);
+        // Trace 2: no executor span — incomplete.
+        spans.push(rec(2, 50, 0, sites::REQUEST, 0, 1_000));
+        spans.push(rec(2, 51, 50, sites::ROUTE, 10, 10));
+        spans.push(rec(2, 52, 50, sites::CACHE_HIT, 20, 20));
+        // Global gossip event: ignored.
+        spans.push(rec(0, 60, 0, sites::GOSSIP, 5, 5));
+        let (complete, total) = completeness(&spans);
+        assert_eq!((complete, total), (1, 2));
+        spans.push(rec(2, 53, 50, sites::EXEC_PROBE, 30, 400));
+        assert_eq!(completeness(&spans), (2, 2));
+    }
+}

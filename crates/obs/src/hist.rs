@@ -1,0 +1,280 @@
+//! Log-bucketed `u64` histograms with bounded relative error.
+//!
+//! [`Hist64`] buckets a value by its binary octave split into 32 linear
+//! sub-buckets (`SUB_BITS = 5`): values below 32 are stored exactly, and
+//! every larger bucket spans `2^(exp-5)` consecutive values starting at
+//! `2^exp`. Reading a bucket back as its midpoint bounds the relative
+//! error by `2^(exp-5) / (2 · 2^exp) = 1/64 ≈ 1.6%` — under the 2% budget
+//! the serving benches need for p50/p99 columns.
+//!
+//! Like [`CacheSnapshot::merge`](mpdp_core::counters::CacheSnapshot::merge),
+//! [`Hist64::merge`] is an exact field-wise sum, so per-worker or per-window
+//! histograms fold associatively into cluster-wide ones. The struct is
+//! fixed-size (`BUCKETS` slots of `u64`, ~15 KiB), so an open-loop bench
+//! window costs the same memory at 1k and at 10M recorded latencies —
+//! unlike the sort-the-whole-`Vec` percentile code it replaces.
+
+/// Linear sub-bucket bits per octave. 32 sub-buckets ⇒ ≤ 1/64 relative
+/// error at the bucket midpoint.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+const SUBS: usize = 1 << SUB_BITS;
+/// Total bucket count: octaves 5..=63 each contribute `SUBS` buckets on
+/// top of the 32 exact small-value slots, and `bucket_of(u64::MAX)` lands
+/// on the last one (index `BUCKETS - 1`).
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUBS;
+
+/// Index of the bucket holding `v`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < SUBS as u64 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros();
+        let sub = (v >> (exp - SUB_BITS)) & (SUBS as u64 - 1);
+        ((exp - SUB_BITS + 1) << SUB_BITS) as usize + sub as usize
+    }
+}
+
+/// The representative (midpoint) value of bucket `i` — the value quantile
+/// queries report for any sample that landed there.
+#[inline]
+fn bucket_mid(i: usize) -> u64 {
+    if i < 2 * SUBS {
+        // Octaves 0..=5 are exact: one value per bucket.
+        i as u64
+    } else {
+        let exp = (i >> SUB_BITS) as u32 + SUB_BITS - 1;
+        let sub = (i & (SUBS - 1)) as u64;
+        let width = 1u64 << (exp - SUB_BITS);
+        let lo = (1u64 << exp) + sub * width;
+        lo + width / 2
+    }
+}
+
+/// A mergeable log-bucketed histogram of `u64` samples (typically
+/// nanoseconds), ~1.6% worst-case relative error on quantiles.
+#[derive(Clone)]
+pub struct Hist64 {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Hist64 {
+    fn default() -> Self {
+        Hist64::new()
+    }
+}
+
+impl std::fmt::Debug for Hist64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hist64")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+impl Hist64 {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Hist64 {
+            buckets: Box::new([0u64; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records a [`std::time::Duration`] as nanoseconds (saturating at
+    /// `u64::MAX` — ~584 years).
+    #[inline]
+    pub fn record_duration(&mut self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact minimum recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank percentile (`p` in 0..=100): the representative value
+    /// of the bucket holding the ceil(p/100·count)-th smallest sample,
+    /// clamped to the exact observed min/max. Matches the convention of
+    /// `mpdp_bench::stats::percentile` up to the ≤1.6% bucket error. O(1)
+    /// in the sample count. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_mid(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Field-wise sum with another histogram — exact and associative, the
+    /// same discipline as `CacheSnapshot::merge`, so per-shard or
+    /// per-window histograms fold into aggregates without re-recording.
+    pub fn merge(&mut self, other: &Hist64) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Hist64::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        // Octaves 0..=5 are one-value buckets: every percentile lands on a
+        // real recorded value.
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(100.0), 63);
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.sum(), (0..64).sum::<u64>());
+    }
+
+    #[test]
+    fn relative_error_is_under_two_percent() {
+        // Every representative stays within 1/64 of any value in its
+        // bucket, across the full range.
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            let mid = bucket_mid(bucket_of(v));
+            let err = (mid as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / 64.0 + 1e-12, "v={v} mid={mid} err={err}");
+            v = v.saturating_mul(3) / 2 + 1;
+        }
+        // The extremes map in range.
+        assert!(bucket_of(u64::MAX) < BUCKETS);
+        assert_eq!(bucket_of(0), 0);
+    }
+
+    #[test]
+    fn percentiles_track_nearest_rank_within_bound() {
+        // Compare against the sort-the-vec convention this histogram
+        // replaces, on a deliberately skewed sample set.
+        let mut h = Hist64::new();
+        let mut xs: Vec<u64> = Vec::new();
+        let mut x = 7u64;
+        for i in 0..10_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = 100 + (x % 1_000_000) + if i % 97 == 0 { 50_000_000 } else { 0 };
+            h.record(v);
+            xs.push(v);
+        }
+        xs.sort_unstable();
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            let rank = (((p / 100.0) * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
+            let exact = xs[rank - 1] as f64;
+            let approx = h.percentile(p) as f64;
+            assert!(
+                (approx - exact).abs() / exact <= 0.02,
+                "p{p}: exact {exact} approx {approx}"
+            );
+        }
+        assert_eq!(h.min(), *xs.first().unwrap());
+        assert_eq!(h.max(), *xs.last().unwrap());
+    }
+
+    #[test]
+    fn merge_is_exact_fieldwise_sum() {
+        let mut a = Hist64::new();
+        let mut b = Hist64::new();
+        let mut all = Hist64::new();
+        for v in [3u64, 40, 1_000, 65_537, 12, 9_999_999] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [1u64, 77, 4_096, 123_456_789] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum(), all.sum());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(p), all.percentile(p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Hist64::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # mpdp-obs
+//!
+//! The observability layer of the MPDP stack: request-scoped span
+//! tracing, log-bucketed latency histograms, and the single canonical
+//! metrics-exposition surface every tier shares.
+//!
+//! Three design rules govern everything here (DESIGN.md §12):
+//!
+//! 1. **Disabled means free.** A disarmed [`Tracer`] (like a disarmed
+//!    `mpdp-core::faults::Faults`) costs one `Option` discriminant branch
+//!    per site — no clock read, no atomic RMW, no allocation — so
+//!    production paths and the perf-gated benches are unperturbed.
+//! 2. **Armed means wait-free and deterministic-output-safe.** Recording
+//!    writes relaxed atomics into the recording thread's own fixed ring
+//!    (overwrite-oldest); tracing never takes a lock on a request path
+//!    and never feeds back into planning or execution, so armed runs stay
+//!    bit-identical to untraced ones.
+//! 3. **One formatter.** Counters are exposed through
+//!    [`ObsSnapshot`] only; serve, cluster and the benches assemble
+//!    sections instead of each owning a private `metrics_text`.
+
+#![warn(missing_docs)]
+
+pub mod expo;
+pub mod export;
+pub mod hist;
+pub mod trace;
+
+pub use expo::ObsSnapshot;
+pub use export::{
+    by_trace, chrome_trace_json, completeness, flamegraph, render_flamegraph, render_tree,
+    trace_is_complete, SiteAgg,
+};
+pub use hist::Hist64;
+pub use trace::{sites, Site, SpanCtx, SpanGuard, SpanRec, Tracer};

@@ -1,0 +1,637 @@
+//! Structured span tracing with per-thread lock-free ring buffers.
+//!
+//! The discipline mirrors `mpdp-core::faults`: a [`Tracer`] is either
+//! **disabled** (`inner: None` — every operation is one `Option`
+//! discriminant branch, no clock read, no allocation, no atomic RMW) or
+//! **armed** (a shared [`Arc`] of tracer state). Arming is a construction-
+//! time decision, so production paths pay only the branch; because the
+//! disabled path never observes the clock or touches shared state, tracing
+//! cannot perturb the bit-identical plan/executor results the workspace's
+//! determinism gates pin.
+//!
+//! When armed, each recording thread lazily registers one fixed-capacity
+//! ring of atomic slots with the tracer. A finished span is written with
+//! relaxed stores into the thread's own ring at `cursor % capacity`
+//! (overwrite-oldest, single producer per ring), so recording is wait-free
+//! and never contends across threads. [`Tracer::drain`] is meant for
+//! quiescent collection (after a replay window); a drain racing live
+//! producers may observe an in-flight slot as vacant or stale, never a
+//! torn mix of two different spans' identifiers, because the `span` word
+//! is cleared first and published last.
+//!
+//! Identity model: a [`Tracer`] mints one `trace` id per request
+//! ([`Tracer::begin_request`]) and globally-unique `span` ids. A
+//! [`SpanCtx`] is the cheap, cloneable propagation handle (threaded
+//! through `PlanRequest` and the executor); [`SpanCtx::span`] opens a
+//! child [`SpanGuard`] that records itself on drop. Zero-duration
+//! *events* ([`SpanCtx::event`], [`Tracer::event`]) annotate a trace (or
+//! the global timeline, `trace = 0`) with fault injections, routing
+//! decisions and gossip rounds.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Instant;
+
+use mpdp_core::sync::lock_recover;
+
+/// All tracer atomics use relaxed ordering: slots are single-producer and
+/// drains are quiescent, so no store needs to order anything but itself.
+const ORD: Ordering = Ordering::Relaxed;
+
+/// A span site: where in the request path a span or event was recorded.
+///
+/// Kept as a dense index into a static name table (not a `&'static str`)
+/// so a whole site fits one atomic slot word.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Site(pub u16);
+
+/// The span-site catalog (DESIGN.md §12). One constant per instrumented
+/// point in the serve → cluster → service → strategy → executor path.
+pub mod sites {
+    use super::Site;
+
+    /// Root span of one admitted request (opened at admission in the
+    /// serve front-end, closed when its lease settles).
+    pub const REQUEST: Site = Site(0);
+    /// Routing decision event; `attr` is `shard_id + 1` for cluster
+    /// backends, 0 for a single-service backend.
+    pub const ROUTE: Site = Site(1);
+    /// Plan cache hit event.
+    pub const CACHE_HIT: Site = Site(2);
+    /// Single-flight leader span: this request planned on behalf of every
+    /// coalesced waiter.
+    pub const FLIGHT_LEAD: Site = Site(3);
+    /// Single-flight waiter span: parked on another request's flight;
+    /// duration is the wait, `attr` the arrival order within the flight.
+    pub const FLIGHT_WAIT: Site = Site(4);
+    /// Planner strategy invocation span (the optimizer itself).
+    pub const STRATEGY: Site = Site(5);
+    /// Degraded service event: the request was answered by the heuristic
+    /// fallback instead of its routed exact strategy.
+    pub const DEGRADE: Site = Site(6);
+    /// Executor hash-join build span; `attr` is build rows.
+    pub const EXEC_BUILD: Site = Site(7);
+    /// Executor probe span covering the whole morsel fan-out; `attr` is
+    /// probe rows.
+    pub const EXEC_PROBE: Site = Site(8);
+    /// Per-worker morsel batch span inside one probe; `attr` is the
+    /// number of morsels the worker processed.
+    pub const EXEC_MORSELS: Site = Site(9);
+    /// Injected fault fired at this point (`attr` is the fault site
+    /// index) — chaos runs become causally readable timelines.
+    pub const FAULT: Site = Site(10);
+    /// Cluster anti-entropy round event; `attr` is the number of gossip
+    /// deliveries the round made.
+    pub const GOSSIP: Site = Site(11);
+}
+
+/// Site names, indexed by `Site.0`; `serve.request` is the root.
+const NAMES: &[&str] = &[
+    "serve.request",
+    "serve.route",
+    "cache.hit",
+    "flight.lead",
+    "flight.wait",
+    "strategy.invoke",
+    "service.degrade",
+    "exec.build",
+    "exec.probe",
+    "exec.morsels",
+    "fault.injected",
+    "cluster.gossip",
+];
+
+impl Site {
+    /// The catalog name of this site (`"site.unknown"` for out-of-catalog
+    /// indices, so exports never panic on forward-versioned records).
+    pub fn name(self) -> &'static str {
+        NAMES
+            .get(self.0 as usize)
+            .copied()
+            .unwrap_or("site.unknown")
+    }
+}
+
+/// One recorded span (or zero-duration event) drained from the rings.
+///
+/// Timestamps are nanoseconds since the tracer's arming instant, so every
+/// record of one tracer shares a clock.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Request trace id (0 for global events such as gossip rounds).
+    pub trace: u64,
+    /// Unique span id (never 0 — 0 marks a vacant ring slot).
+    pub span: u64,
+    /// Parent span id (0 for roots and global events).
+    pub parent: u64,
+    /// Where this span was recorded.
+    pub site: Site,
+    /// Start, nanoseconds since arming.
+    pub start_ns: u64,
+    /// End, nanoseconds since arming (`== start_ns` for events).
+    pub end_ns: u64,
+    /// Site-specific attribute (see the [`sites`] catalog).
+    pub attr: u64,
+}
+
+impl SpanRec {
+    /// Inclusive duration of this span (0 for events).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Whether this record is a zero-duration event annotation.
+    pub fn is_event(&self) -> bool {
+        self.end_ns == self.start_ns
+    }
+}
+
+/// One ring slot: a struct of atomics, not an `UnsafeCell` — relaxed
+/// per-word stores keep recording safe under a racing drain without any
+/// unsafe code. `span == 0` marks the slot vacant or mid-write.
+#[derive(Default)]
+struct Slot {
+    trace: AtomicU64,
+    span: AtomicU64,
+    parent: AtomicU64,
+    site: AtomicU64,
+    start: AtomicU64,
+    end: AtomicU64,
+    attr: AtomicU64,
+}
+
+/// A fixed-capacity overwrite-oldest span ring, one per recording thread.
+struct Ring {
+    slots: Box<[Slot]>,
+    cursor: AtomicUsize,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        let slots: Vec<Slot> = (0..capacity.max(1)).map(|_| Slot::default()).collect();
+        Ring {
+            slots: slots.into_boxed_slice(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Single-producer append: claims the next slot (wrapping) and
+    /// publishes the record, `span` word last.
+    fn push(&self, rec: &SpanRec) {
+        let i = self.cursor.fetch_add(1, ORD) % self.slots.len();
+        let s = &self.slots[i];
+        s.span.store(0, ORD);
+        s.trace.store(rec.trace, ORD);
+        s.parent.store(rec.parent, ORD);
+        s.site.store(rec.site.0 as u64, ORD);
+        s.start.store(rec.start_ns, ORD);
+        s.end.store(rec.end_ns, ORD);
+        s.attr.store(rec.attr, ORD);
+        s.span.store(rec.span, ORD);
+    }
+
+    /// Copies every occupied slot out and vacates the ring.
+    fn drain_into(&self, out: &mut Vec<SpanRec>) {
+        for s in self.slots.iter() {
+            let span = s.span.load(ORD);
+            if span == 0 {
+                continue;
+            }
+            out.push(SpanRec {
+                trace: s.trace.load(ORD),
+                span,
+                parent: s.parent.load(ORD),
+                site: Site(s.site.load(ORD) as u16),
+                start_ns: s.start.load(ORD),
+                end_ns: s.end.load(ORD),
+                attr: s.attr.load(ORD),
+            });
+            s.span.store(0, ORD);
+        }
+        self.cursor.store(0, ORD);
+    }
+}
+
+/// Shared state of an armed tracer.
+struct Armed {
+    /// Distinguishes tracers in the per-thread ring registry (monotonic,
+    /// never reused).
+    id: u64,
+    /// Clock origin: every timestamp is `epoch.elapsed()`.
+    epoch: Instant,
+    /// Per-thread ring capacity, in spans.
+    capacity: usize,
+    /// Next span id (starts at 1; 0 is the vacant-slot marker).
+    next_span: AtomicU64,
+    /// Next request trace id (starts at 1; 0 is the global timeline).
+    next_trace: AtomicU64,
+    /// Every ring any thread registered, for draining.
+    rings: Mutex<Vec<Arc<Ring>>>,
+}
+
+/// Monotonic armed-tracer id source.
+static NEXT_TRACER: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's rings, keyed by tracer id. Entries hold `Weak` so a
+    /// dropped tracer's rings are freed with it; dead entries are purged
+    /// on the next lookup.
+    static RINGS: RefCell<Vec<(u64, Weak<Ring>)>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Armed {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// The calling thread's ring for this tracer, registering one on
+    /// first use.
+    fn ring(&self) -> Arc<Ring> {
+        RINGS.with(|cell| {
+            let mut regs = cell.borrow_mut();
+            regs.retain(|(_, w)| w.strong_count() > 0);
+            if let Some(r) = regs
+                .iter()
+                .find(|(id, _)| *id == self.id)
+                .and_then(|(_, w)| w.upgrade())
+            {
+                return r;
+            }
+            let r = Arc::new(Ring::new(self.capacity));
+            lock_recover(&self.rings).push(r.clone());
+            regs.push((self.id, Arc::downgrade(&r)));
+            r
+        })
+    }
+
+    fn push(&self, rec: &SpanRec) {
+        self.ring().push(rec);
+    }
+}
+
+/// The tracing handle: disabled by default, armed by construction.
+///
+/// Cloning shares the armed state (like `Faults`), so one tracer can be
+/// handed to the serve front-end, the cluster, and the executor and all
+/// records land in one drainable set.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Armed>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("armed", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// The disabled tracer: every operation is one branch.
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Arms a tracer with `capacity_per_thread` span slots in each
+    /// recording thread's ring (overwrite-oldest beyond that).
+    pub fn armed(capacity_per_thread: usize) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Armed {
+                id: NEXT_TRACER.fetch_add(1, ORD),
+                epoch: Instant::now(),
+                capacity: capacity_per_thread,
+                next_span: AtomicU64::new(1),
+                next_trace: AtomicU64::new(1),
+                rings: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_armed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Mints a fresh trace id and opens its root span at `site`
+    /// (conventionally [`sites::REQUEST`]). Disabled tracers return an
+    /// inert guard without touching the clock.
+    pub fn begin_request(&self, site: Site) -> SpanGuard {
+        match &self.inner {
+            None => SpanGuard::disabled(),
+            Some(a) => {
+                let trace = a.next_trace.fetch_add(1, ORD);
+                SpanGuard::start(a.clone(), trace, 0, site)
+            }
+        }
+    }
+
+    /// Records a zero-duration event on the global timeline (`trace = 0`)
+    /// — gossip rounds, topology changes.
+    pub fn event(&self, site: Site, attr: u64) {
+        if let Some(a) = &self.inner {
+            let now = a.now_ns();
+            let span = a.next_span.fetch_add(1, ORD);
+            a.push(&SpanRec {
+                trace: 0,
+                span,
+                parent: 0,
+                site,
+                start_ns: now,
+                end_ns: now,
+                attr,
+            });
+        }
+    }
+
+    /// Nanoseconds since arming (0 when disabled) — lets harnesses put
+    /// wall-clock thresholds on the same clock as the spans.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |a| a.now_ns())
+    }
+
+    /// Collects and vacates every thread's ring. Intended for quiescent
+    /// use (between replay windows); a drain racing live producers may
+    /// miss the spans being written at that instant.
+    pub fn drain(&self) -> Vec<SpanRec> {
+        let mut out = Vec::new();
+        if let Some(a) = &self.inner {
+            let rings: Vec<Arc<Ring>> = lock_recover(&a.rings).clone();
+            for ring in rings {
+                ring.drain_into(&mut out);
+            }
+            out.sort_by_key(|r| (r.trace, r.start_ns, r.span));
+        }
+        out
+    }
+}
+
+/// The cheap propagation handle: which trace (and parent span) work on
+/// behalf of a request should attach to. `Default` is the disabled
+/// context, so `PlanRequest::default()` stays tracing-free.
+#[derive(Clone, Default)]
+pub struct SpanCtx {
+    inner: Option<Arc<Armed>>,
+    trace: u64,
+    parent: u64,
+}
+
+impl std::fmt::Debug for SpanCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanCtx")
+            .field("armed", &self.inner.is_some())
+            .field("trace", &self.trace)
+            .field("parent", &self.parent)
+            .finish()
+    }
+}
+
+impl SpanCtx {
+    /// The disabled context.
+    pub fn none() -> SpanCtx {
+        SpanCtx::default()
+    }
+
+    /// Whether spans opened from this context record anywhere.
+    pub fn is_armed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The trace id this context attaches to (0 when disabled).
+    pub fn trace_id(&self) -> u64 {
+        self.trace
+    }
+
+    /// Opens a child span at `site`; it records itself when the returned
+    /// guard drops.
+    pub fn span(&self, site: Site) -> SpanGuard {
+        match &self.inner {
+            None => SpanGuard::disabled(),
+            Some(a) => SpanGuard::start(a.clone(), self.trace, self.parent, site),
+        }
+    }
+
+    /// Records a zero-duration event under this context's parent span.
+    pub fn event(&self, site: Site, attr: u64) {
+        if let Some(a) = &self.inner {
+            let now = a.now_ns();
+            let span = a.next_span.fetch_add(1, ORD);
+            a.push(&SpanRec {
+                trace: self.trace,
+                span,
+                parent: self.parent,
+                site,
+                start_ns: now,
+                end_ns: now,
+                attr,
+            });
+        }
+    }
+}
+
+/// Live-span state carried by an armed [`SpanGuard`].
+struct GuardInner {
+    armed: Arc<Armed>,
+    trace: u64,
+    span: u64,
+    parent: u64,
+    site: Site,
+    start_ns: u64,
+    attr: u64,
+}
+
+/// An open span; records `(start, end]` into the dropping thread's ring
+/// when dropped. The inert (disabled) guard is a no-op on every path.
+#[derive(Default)]
+pub struct SpanGuard {
+    inner: Option<GuardInner>,
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("armed", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl SpanGuard {
+    /// The inert guard (what disabled tracers hand out).
+    pub fn disabled() -> SpanGuard {
+        SpanGuard { inner: None }
+    }
+
+    fn start(armed: Arc<Armed>, trace: u64, parent: u64, site: Site) -> SpanGuard {
+        let span = armed.next_span.fetch_add(1, ORD);
+        let start_ns = armed.now_ns();
+        SpanGuard {
+            inner: Some(GuardInner {
+                armed,
+                trace,
+                span,
+                parent,
+                site,
+                start_ns,
+                attr: 0,
+            }),
+        }
+    }
+
+    /// Whether this guard will record on drop.
+    pub fn is_armed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A context whose children attach under this span.
+    pub fn ctx(&self) -> SpanCtx {
+        match &self.inner {
+            None => SpanCtx::default(),
+            Some(g) => SpanCtx {
+                inner: Some(g.armed.clone()),
+                trace: g.trace,
+                parent: g.span,
+            },
+        }
+    }
+
+    /// Sets the site-specific attribute recorded with this span.
+    pub fn set_attr(&mut self, attr: u64) {
+        if let Some(g) = &mut self.inner {
+            g.attr = attr;
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(g) = self.inner.take() {
+            let end_ns = g.armed.now_ns();
+            g.armed.push(&SpanRec {
+                trace: g.trace,
+                span: g.span,
+                parent: g.parent,
+                site: g.site,
+                start_ns: g.start_ns,
+                end_ns,
+                attr: g.attr,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_armed());
+        let root = t.begin_request(sites::REQUEST);
+        assert!(!root.is_armed());
+        let ctx = root.ctx();
+        assert!(!ctx.is_armed());
+        let child = ctx.span(sites::STRATEGY);
+        ctx.event(sites::FAULT, 3);
+        t.event(sites::GOSSIP, 1);
+        drop(child);
+        drop(root);
+        assert!(t.drain().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_drain_with_parentage() {
+        let t = Tracer::armed(128);
+        let mut root = t.begin_request(sites::REQUEST);
+        root.set_attr(42);
+        let ctx = root.ctx();
+        ctx.event(sites::ROUTE, 3);
+        {
+            let lead = ctx.span(sites::FLIGHT_LEAD);
+            let _strategy = lead.ctx().span(sites::STRATEGY);
+        }
+        drop(root);
+        let recs = t.drain();
+        assert_eq!(recs.len(), 4);
+        let root_rec = recs.iter().find(|r| r.site == sites::REQUEST).unwrap();
+        let route = recs.iter().find(|r| r.site == sites::ROUTE).unwrap();
+        let lead = recs.iter().find(|r| r.site == sites::FLIGHT_LEAD).unwrap();
+        let strat = recs.iter().find(|r| r.site == sites::STRATEGY).unwrap();
+        assert_eq!(root_rec.parent, 0);
+        assert_eq!(root_rec.attr, 42);
+        assert!(root_rec.trace > 0);
+        assert!(recs.iter().all(|r| r.trace == root_rec.trace));
+        assert_eq!(route.parent, root_rec.span);
+        assert!(route.is_event());
+        assert_eq!(lead.parent, root_rec.span);
+        assert_eq!(strat.parent, lead.span);
+        // Children close before (or when) their parents do.
+        assert!(strat.end_ns <= lead.end_ns);
+        assert!(lead.end_ns <= root_rec.end_ns);
+        // Drain vacated the rings.
+        assert!(t.drain().is_empty());
+    }
+
+    #[test]
+    fn distinct_requests_get_distinct_traces() {
+        let t = Tracer::armed(64);
+        let a = t.begin_request(sites::REQUEST);
+        let b = t.begin_request(sites::REQUEST);
+        let (ta, tb) = (a.ctx().trace_id(), b.ctx().trace_id());
+        assert_ne!(ta, tb);
+        drop(a);
+        drop(b);
+        let recs = t.drain();
+        assert_eq!(recs.len(), 2);
+        assert_ne!(recs[0].trace, recs[1].trace);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_beyond_capacity() {
+        let t = Tracer::armed(4);
+        for _ in 0..10 {
+            drop(t.begin_request(sites::REQUEST));
+        }
+        let recs = t.drain();
+        assert_eq!(recs.len(), 4);
+        // The survivors are the newest four traces (7..=10).
+        let mut traces: Vec<u64> = recs.iter().map(|r| r.trace).collect();
+        traces.sort_unstable();
+        assert_eq!(traces, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn threads_record_into_private_rings() {
+        let t = Tracer::armed(64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for _ in 0..8 {
+                        drop(t.begin_request(sites::REQUEST));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.drain().len(), 32);
+    }
+
+    #[test]
+    fn global_events_live_on_trace_zero() {
+        let t = Tracer::armed(16);
+        t.event(sites::GOSSIP, 5);
+        let recs = t.drain();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].trace, 0);
+        assert_eq!(recs[0].attr, 5);
+        assert!(recs[0].is_event());
+    }
+
+    #[test]
+    fn site_names_resolve() {
+        assert_eq!(sites::REQUEST.name(), "serve.request");
+        assert_eq!(sites::GOSSIP.name(), "cluster.gossip");
+        assert_eq!(Site(999).name(), "site.unknown");
+    }
+}

@@ -70,6 +70,7 @@ use mpdp_core::faults::{site, Faults};
 use mpdp_core::sync::{lock_recover, wait_recover, wait_timeout_recover};
 use mpdp_core::{LargeQuery, OptError};
 use mpdp_cost::model::CostModel;
+use mpdp_obs::{sites, ObsSnapshot, SpanCtx, SpanGuard, Tracer};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -145,6 +146,13 @@ pub struct ServeConfig {
     /// [`mpdp_core::FaultPlan`]; production leaves it disarmed (the
     /// default), which costs one branch per instrumented site.
     pub faults: Faults,
+    /// Request tracer. Disabled by default (one branch per span site,
+    /// matching the `faults` discipline); arm it to record a
+    /// `serve.request` span per admitted request, threaded through
+    /// routing, single-flight, and strategy invocation down to the
+    /// executor's morsels. The same handle is propagated into
+    /// cluster-backed tenants.
+    pub tracer: Tracer,
     /// The tenants; at least one. Requests address tenants by index.
     pub tenants: Vec<TenantConfig>,
 }
@@ -161,6 +169,7 @@ impl Default for ServeConfig {
             budget: None,
             default_deadline: None,
             faults: Faults::disarmed(),
+            tracer: Tracer::disabled(),
             tenants: vec![TenantConfig::named("default")],
         }
     }
@@ -198,6 +207,10 @@ pub struct Completed {
     pub result: Result<ServedPlan, OptError>,
     /// Submit-to-completion latency.
     pub latency: Duration,
+    /// The request's span context (disabled unless the front-end's tracer
+    /// is armed). Callers that execute the served plan pass this to
+    /// `Executor::with_trace` so executor spans join the request's trace.
+    pub trace: SpanCtx,
 }
 
 struct TicketState {
@@ -295,6 +308,8 @@ struct Lease {
     ticket: Arc<TicketState>,
     tenant: usize,
     submitted: Instant,
+    /// The request's span context, surfaced on the [`Completed`] it fills.
+    trace: SpanCtx,
     /// Counted accepted (pushed to the queue). A lease dropped before the
     /// push settles only its quota slot.
     accepted: bool,
@@ -319,6 +334,7 @@ impl Lease {
         *lock_recover(&self.ticket.slot) = Some(Completed {
             result,
             latency: self.submitted.elapsed(),
+            trace: self.trace.clone(),
         });
         self.ticket.cv.notify_all();
     }
@@ -356,6 +372,11 @@ struct Request {
     query: LargeQuery,
     deadline: Option<Instant>,
     lease: Lease,
+    /// Root `serve.request` span, minted at admission. Held through
+    /// planning so its recorded extent is admission → settle; the guard
+    /// drops (records) after the lease finishes, field order aside —
+    /// `dispatch_loop` drops the whole `Request` after `finish`.
+    span: SpanGuard,
 }
 
 /// What actually plans a tenant's requests.
@@ -376,11 +397,20 @@ struct Tenant {
 
 impl Tenant {
     /// The service that plans `query`: the tenant's single service, or the
-    /// cluster shard its fingerprint routes to.
-    fn route(&self, query: &LargeQuery) -> Arc<PlanService> {
+    /// cluster shard its fingerprint routes to. Records a `serve.route`
+    /// event on the request's trace (attr = shard id + 1; 0 marks the
+    /// single-service backend).
+    fn route(&self, query: &LargeQuery, trace: &SpanCtx) -> Arc<PlanService> {
         match &self.backend {
-            Backend::Single(service) => Arc::clone(service),
-            Backend::Cluster(cluster) => cluster.route_service(query).0,
+            Backend::Single(service) => {
+                trace.event(sites::ROUTE, 0);
+                Arc::clone(service)
+            }
+            Backend::Cluster(cluster) => {
+                let (service, _, shard) = cluster.route_service(query);
+                trace.event(sites::ROUTE, shard as u64 + 1);
+                service
+            }
         }
     }
 }
@@ -396,6 +426,7 @@ pub struct ServeFront {
     reactor: Arc<Reactor>,
     default_deadline: Option<Duration>,
     faults: Faults,
+    tracer: Tracer,
     /// Executor poll panics, readable after the executor is dropped.
     executor_panics: Arc<AtomicU64>,
     dispatchers: Vec<Join<()>>,
@@ -449,12 +480,14 @@ async fn dispatch_loop(
         for mut req in batch.drain(..) {
             let opts = PlanRequest {
                 deadline: req.deadline,
+                trace: req.span.ctx(),
                 ..PlanRequest::default()
             };
             // Route here, per request: a cluster-backed tenant picks the
             // shard by the query's fingerprint (advancing hot-template
             // round-robin); a single-backed tenant has one choice.
-            let service = req.lease.tenants[req.lease.tenant].route(&req.query);
+            let ctx = req.span.ctx();
+            let service = req.lease.tenants[req.lease.tenant].route(&req.query, &ctx);
             let m: &(dyn CostModel + Sync) = &*model;
             // Per-request panic isolation: a planner that blows up fails
             // *this* ticket and the loop keeps serving its chunk-mates.
@@ -492,9 +525,12 @@ impl ServeFront {
                         None => Backend::Single(Arc::new(builder.build())),
                         Some(cluster) => {
                             // Each cluster shard gets the same service
-                            // configuration the single backend would have.
+                            // configuration the single backend would have,
+                            // and the front-end's tracer (gossip events
+                            // land in the same drainable set).
                             let mut cfg = cluster.clone();
                             cfg.service = builder;
+                            cfg.tracer = config.tracer.clone();
                             Backend::Cluster(Arc::new(PlanCluster::new(cfg)))
                         }
                     };
@@ -550,6 +586,7 @@ impl ServeFront {
             reactor,
             default_deadline: config.default_deadline,
             faults: config.faults,
+            tracer: config.tracer,
             executor_panics,
             dispatchers,
             executor: Some(executor),
@@ -598,6 +635,9 @@ impl ServeFront {
             return Err(Rejected::QuotaExhausted);
         }
         let state = TicketState::new();
+        // Root span minted at admission: everything downstream (routing,
+        // single-flight, strategy, executor morsels) parents under it.
+        let span = self.tracer.begin_request(sites::REQUEST);
         let request = Request {
             query,
             deadline,
@@ -607,12 +647,14 @@ impl ServeFront {
                 ticket: Arc::clone(&state),
                 tenant,
                 submitted: Instant::now(),
+                trace: span.ctx(),
                 // Set before the push: the dispatcher may pop and settle
                 // the request before `try_push` even returns.
                 accepted: true,
                 dispatched: false,
                 done: false,
             },
+            span,
         };
         match self.queue.try_push(request) {
             Ok(()) => {
@@ -680,6 +722,7 @@ impl ServeFront {
         let deadline = self.config_deadline();
         let mut batch: Vec<Request> = Vec::with_capacity(admit);
         for query in queries.by_ref().take(admit) {
+            let span = self.tracer.begin_request(sites::REQUEST);
             batch.push(Request {
                 query,
                 deadline,
@@ -689,10 +732,12 @@ impl ServeFront {
                     ticket: TicketState::new(),
                     tenant,
                     submitted: now,
+                    trace: span.ctx(),
                     accepted: true,
                     dispatched: false,
                     done: false,
                 },
+                span,
             });
         }
         let built = batch.len();
@@ -765,6 +810,11 @@ impl ServeFront {
         &self.faults
     }
 
+    /// The request tracer (drain it after a traced run to harvest spans).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Front-door counters (accepted / sheds / completed / gauges), with
     /// the executor's contained poll panics folded into `worker_respawns`
     /// and the reactor's driver restarts into `reactor_respawns`.
@@ -813,44 +863,29 @@ impl ServeFront {
         self.reactor.sleep_until(deadline)
     }
 
-    /// A `/metrics`-style snapshot: Prometheus exposition format, counters
-    /// first, per-tenant cache series labeled by tenant.
-    pub fn metrics_text(&self) -> String {
-        use std::fmt::Write;
-        let mut out = String::new();
-        let s = self.serve_counters();
-        let mut line = |name: &str, v: u64| {
-            let _ = writeln!(out, "mpdp_serve_{name} {v}");
-        };
-        line("accepted_total", s.accepted);
-        line("shed_queue_full_total", s.shed_queue_full);
-        line("shed_quota_total", s.shed_quota);
-        line("completed_total", s.completed);
-        line("failed_total", s.failed);
-        line("queue_depth", s.queue_depth);
-        line("queue_depth_peak", s.queue_depth_peak);
-        line("in_flight", s.in_flight);
-        line("worker_respawns_total", s.worker_respawns);
-        line("reactor_respawns_total", s.reactor_respawns);
-        line("abandoned_tickets_total", s.abandoned_tickets);
-        for (i, t) in self.tenants.iter().enumerate() {
-            let c = self.cache_counters(i);
-            let tenant = &t.name;
-            let mut tline = |name: &str, v: u64| {
-                let _ = writeln!(out, "mpdp_cache_{name}{{tenant=\"{tenant}\"}} {v}");
-            };
-            tline("hits_total", c.hits);
-            tline("misses_total", c.misses);
-            tline("coalesced_total", c.coalesced);
-            tline("degraded_total", c.degraded);
-            tline("deadline_exceeded_total", c.deadline_exceeded);
-            tline("insertions_total", c.insertions);
-            tline("evictions_total", c.evictions);
-            tline("expirations_total", c.expirations);
-            tline("feedback_checks_total", c.feedback_checks);
-            tline("feedback_invalidations_total", c.feedback_invalidations);
+    /// The front-end's counters as an [`ObsSnapshot`]: the serve section
+    /// plus one tenant cache section per tenant, ready for
+    /// [`ObsSnapshot::metrics_text`] / [`ObsSnapshot::to_json`] or for the
+    /// caller to extend with histogram series before rendering.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        ObsSnapshot {
+            serve: Some(self.serve_counters()),
+            tenants: self
+                .tenants
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.name.clone(), self.cache_counters(i)))
+                .collect(),
+            ..ObsSnapshot::default()
         }
-        out
+    }
+
+    /// A `/metrics`-style snapshot: Prometheus exposition format, counters
+    /// first, per-tenant cache series labeled by tenant. Rendered by the
+    /// canonical [`ObsSnapshot`] formatter (`mpdp-obs`), so the names and
+    /// label scheme are shared with the cluster and bench surfaces.
+    pub fn metrics_text(&self) -> String {
+        self.obs_snapshot().metrics_text()
     }
 
     /// Stops admission without blocking: subsequent submissions answer
@@ -978,6 +1013,62 @@ mod tests {
         assert!(text.contains("mpdp_serve_abandoned_tickets_total 0"));
         assert!(text.contains("mpdp_cache_misses_total{tenant=\"default\"} 1"));
         assert!(text.contains("mpdp_cache_degraded_total{tenant=\"default\"} 0"));
+    }
+
+    #[test]
+    fn armed_tracer_stitches_request_trees_through_planning() {
+        use mpdp_obs::by_trace;
+        let tracer = Tracer::armed(4_096);
+        let mut front = front(ServeConfig {
+            dispatchers: 2,
+            executor_threads: 2,
+            tracer: tracer.clone(),
+            ..Default::default()
+        });
+        let m = PgLikeCost::new();
+        let q = gen::star(8, 2, &m);
+        let tickets: Vec<PlanTicket> = (0..6)
+            .map(|_| front.submit(0, q.clone()).expect("admitted"))
+            .collect();
+        let mut trace_ids = Vec::new();
+        for t in tickets {
+            let done = t.wait();
+            done.result.expect("plans");
+            assert!(done.trace.is_armed(), "completion carries the span ctx");
+            trace_ids.push(done.trace.trace_id());
+        }
+        let mut distinct = trace_ids.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), trace_ids.len(), "one trace per request");
+        // Root spans record when the dispatcher drops each request —
+        // quiesce (drain + join the dispatchers) before draining rings.
+        front.shutdown();
+        let spans = tracer.drain();
+        let grouped = by_trace(&spans);
+        for id in trace_ids {
+            let tree = &grouped[&id];
+            assert!(tree.iter().any(|r| r.site == sites::REQUEST));
+            assert!(tree.iter().any(|r| r.site == sites::ROUTE));
+            // Every request has a planning disposition: the cold leader
+            // ran a strategy, everyone else hit or waited.
+            assert!(tree.iter().any(|r| r.site == sites::CACHE_HIT
+                || r.site == sites::FLIGHT_LEAD
+                || r.site == sites::FLIGHT_WAIT
+                || r.site == sites::STRATEGY));
+            // Parentage stitches: every non-root record hangs off a span
+            // recorded in the same trace.
+            let ids: std::collections::HashSet<u64> = tree.iter().map(|r| r.span).collect();
+            for r in tree {
+                if r.site != sites::REQUEST {
+                    assert!(
+                        ids.contains(&r.parent),
+                        "orphan record at site {}",
+                        r.site.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@ use mpdp_core::sync::lock_recover;
 use mpdp_core::{LargeQuery, OptError};
 use mpdp_cost::model::CostModel;
 use mpdp_exec::ExecReport;
+use mpdp_obs::{sites, SpanCtx, SpanGuard};
 use mpdp_parallel::hwmodel::{estimate_exact_planning, Calibration};
 use std::collections::HashMap;
 use std::future::Future;
@@ -54,6 +55,21 @@ use std::pin::Pin;
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll};
 use std::time::{Duration, Instant};
+
+/// Dense code of a fault-injection site name (`mpdp_core::faults::site`),
+/// recorded as the `attr` of [`sites::FAULT`] span annotations so chaos
+/// timelines name the site that fired without string storage in the ring.
+pub fn fault_site_code(name: &str) -> u64 {
+    match name {
+        site::QUEUE_PUSH => 0,
+        site::QUEUE_POP => 1,
+        site::DISPATCH_CHUNK => 2,
+        site::PLANNER_INVOKE => 3,
+        site::EXECUTOR_POLL => 4,
+        site::REACTOR_TICK => 5,
+        _ => u64::MAX,
+    }
+}
 
 /// Folds a cost model's identity into a query fingerprint, producing the
 /// plan-cache key: plans are only comparable under one model, so entries
@@ -153,6 +169,11 @@ pub struct PlanRequest {
     /// the deadline, served as [`ServedVia::Degraded`] and never cached as
     /// if exact. `None` (the default) disables the deadline machinery.
     pub deadline: Option<Instant>,
+    /// Tracing context of this request (disabled by default — the span
+    /// sites along the serving path then cost one branch each). Armed by
+    /// the serve front-end, which parents it under the request's root
+    /// admission span.
+    pub trace: SpanCtx,
 }
 
 /// How a request obtained its plan — the mutually exclusive outcomes of the
@@ -384,6 +405,7 @@ impl PlanService {
             if let Some(cached) = self.cache.get(cache_key) {
                 // Cached plan leaves are canonical slots; `order` maps slot
                 // -> this caller's relation id.
+                req.trace.event(sites::CACHE_HIT, 0);
                 return Ok(ServedPlan {
                     planned: cached.planned.with_relabeled_plan(&canonical.order),
                     cache_hit: true,
@@ -404,11 +426,11 @@ impl PlanService {
             .get(&route)
             .ok_or_else(|| OptError::Internal(format!("unknown strategy \"{route}\"")))?;
         let budget = self.effective_budget(req);
-        let planned = match self.invoke(&*strategy, q, model, budget) {
+        let planned = match self.invoke(&*strategy, q, model, budget, &req.trace) {
             Ok(planned) => planned,
             Err(OptError::Timeout { .. }) if req.deadline.is_some() => {
                 self.cache.record_deadline_exceeded();
-                return self.serve_degraded(q, model, start, fp);
+                return self.serve_degraded(q, model, start, fp, &req.trace);
             }
             Err(e) => return Err(e),
         };
@@ -474,6 +496,7 @@ impl PlanService {
         // the flight table.
         if let Some(cached) = self.cache.get_quiet(cache_key) {
             self.cache.record_hit();
+            req.trace.event(sites::CACHE_HIT, 0);
             return Ok(ServedPlan {
                 planned: cached.planned.with_relabeled_plan(&canonical.order),
                 cache_hit: true,
@@ -497,6 +520,7 @@ impl PlanService {
                 // The previous leader finished between our probe and our
                 // registration: a hit after all.
                 self.cache.record_hit();
+                req.trace.event(sites::CACHE_HIT, 0);
                 Ok(ServedPlan {
                     planned: cached.planned.with_relabeled_plan(&canonical.order),
                     cache_hit: true,
@@ -505,25 +529,35 @@ impl PlanService {
                     fingerprint: fp,
                 })
             }
-            Admission::Join(flight) => match flight.wait() {
-                Ok(planned) => {
-                    self.cache.record_coalesced();
-                    Ok(ServedPlan {
-                        planned: planned.with_relabeled_plan(&canonical.order),
-                        cache_hit: false,
-                        via: ServedVia::Coalesced,
-                        service_time: start.elapsed(),
-                        fingerprint: fp,
-                    })
+            Admission::Join(flight) => {
+                // The wait span covers exactly the parked interval — from
+                // joining the flight to the leader's publication.
+                let waited = {
+                    let _wait = req.trace.span(sites::FLIGHT_WAIT);
+                    flight.wait()
+                };
+                match waited {
+                    Ok(planned) => {
+                        self.cache.record_coalesced();
+                        Ok(ServedPlan {
+                            planned: planned.with_relabeled_plan(&canonical.order),
+                            cache_hit: false,
+                            via: ServedVia::Coalesced,
+                            service_time: start.elapsed(),
+                            fingerprint: fp,
+                        })
+                    }
+                    // The leader failed (timed out, errored, panicked). A
+                    // deadline-carrying waiter still owes an answer: degrade.
+                    Err(_) if req.deadline.is_some() => {
+                        self.serve_degraded(q, model, start, fp, &req.trace)
+                    }
+                    Err(e) => {
+                        self.cache.record_coalesced();
+                        Err(e)
+                    }
                 }
-                // The leader failed (timed out, errored, panicked). A
-                // deadline-carrying waiter still owes an answer: degrade.
-                Err(_) if req.deadline.is_some() => self.serve_degraded(q, model, start, fp),
-                Err(e) => {
-                    self.cache.record_coalesced();
-                    Err(e)
-                }
-            },
+            }
             Admission::Lead(guard) => {
                 self.lead_flight(q, model, req, &canonical, cache_key, guard, start)
             }
@@ -609,7 +643,7 @@ impl PlanService {
         if remaining > self.predicted_cold(&route, q) * 2 {
             return None;
         }
-        Some(self.serve_degraded(q, model, start, fp))
+        Some(self.serve_degraded(q, model, start, fp, &req.trace))
     }
 
     /// Plans `q` with the degrade heuristic and serves it as
@@ -623,6 +657,7 @@ impl PlanService {
         model: &dyn CostModel,
         start: Instant,
         fp: Fingerprint,
+        trace: &SpanCtx,
     ) -> Result<ServedPlan, OptError> {
         let strategy = registry().get(&self.degrade_strategy).ok_or_else(|| {
             OptError::Internal(format!(
@@ -630,7 +665,11 @@ impl PlanService {
                 self.degrade_strategy
             ))
         })?;
-        let planned = strategy.plan(q, model, None)?;
+        trace.event(sites::DEGRADE, 0);
+        let planned = {
+            let _span = trace.span(sites::STRATEGY);
+            strategy.plan(q, model, None)?
+        };
         self.cache.record_degraded();
         Ok(ServedPlan {
             planned,
@@ -643,16 +682,21 @@ impl PlanService {
 
     /// Runs a resolved strategy, with the `planner.invoke` fault site in
     /// front of it (chaos tests inject panics, stalls and errors here).
+    /// The optimizer run itself is covered by a `strategy.invoke` span;
+    /// an injected error fault annotates the trace instead.
     fn invoke(
         &self,
         strategy: &dyn Strategy,
         q: &LargeQuery,
         model: &dyn CostModel,
         budget: Option<Duration>,
+        trace: &SpanCtx,
     ) -> Result<Planned, OptError> {
         if self.faults.apply_panic_stall(site::PLANNER_INVOKE) {
+            trace.event(sites::FAULT, fault_site_code(site::PLANNER_INVOKE));
             return Err(OptError::Internal("injected planner fault".to_string()));
         }
+        let _span = trace.span(sites::STRATEGY);
         strategy.plan(q, model, budget)
     }
 
@@ -675,12 +719,16 @@ impl PlanService {
     ) -> Result<ServedPlan, OptError> {
         let fp = canonical.fingerprint;
         let route = self.route_for(q, req);
+        // The lead span covers planning *and* publication; the nested
+        // strategy span inside `invoke` isolates the optimizer itself.
+        let lead = req.trace.span(sites::FLIGHT_LEAD);
+        let lead_ctx = lead.ctx();
         let out: Result<Planned, OptError> = (|| {
             let strategy = registry()
                 .get(&route)
                 .ok_or_else(|| OptError::Internal(format!("unknown strategy \"{route}\"")))?;
             let budget = self.effective_budget(req);
-            self.invoke(&*strategy, q, model, budget)
+            self.invoke(&*strategy, q, model, budget, &lead_ctx)
         })();
         match out {
             Ok(planned) => {
@@ -705,7 +753,8 @@ impl PlanService {
             Err(e @ OptError::Timeout { .. }) if req.deadline.is_some() => {
                 guard.finish(Err(e));
                 self.cache.record_deadline_exceeded();
-                self.serve_degraded(q, model, start, fp)
+                drop(lead);
+                self.serve_degraded(q, model, start, fp, &req.trace)
             }
             Err(e) => {
                 guard.finish(Err(e.clone()));
@@ -807,6 +856,9 @@ enum FutureState {
         order: Vec<u32>,
         start: Instant,
         fp: Fingerprint,
+        /// Open `flight.wait` span; recorded (by drop) when the leader's
+        /// result is delivered, so its duration is the parked interval.
+        wait_span: SpanGuard,
     },
     /// Resolved (polling again would panic, per the `Future` contract).
     Done,
@@ -849,6 +901,7 @@ impl Future for PlanFuture<'_> {
                     order,
                     start,
                     fp,
+                    wait_span,
                 } => {
                     let Some(result) = flight.poll_result(cx.waker()) else {
                         this.state = FutureState::Waiting {
@@ -856,9 +909,13 @@ impl Future for PlanFuture<'_> {
                             order,
                             start,
                             fp,
+                            wait_span,
                         };
                         return Poll::Pending;
                     };
+                    // Delivery: close the wait span here, not at whatever
+                    // later point the state value would drop.
+                    drop(wait_span);
                     let svc = this.service;
                     let out = match result {
                         Ok(planned) => {
@@ -874,7 +931,7 @@ impl Future for PlanFuture<'_> {
                         // The leader failed; a deadline-carrying waiter
                         // degrades instead of propagating the error.
                         Err(_) if this.req.deadline.is_some() => {
-                            svc.serve_degraded(this.q, this.model, start, fp)
+                            svc.serve_degraded(this.q, this.model, start, fp, &this.req.trace)
                         }
                         Err(e) => {
                             svc.cache.record_coalesced();
@@ -894,6 +951,7 @@ impl Future for PlanFuture<'_> {
                     let cache_key = cache_key(fp, this.model);
                     if let Some(cached) = svc.cache.get_quiet(cache_key) {
                         svc.cache.record_hit();
+                        this.req.trace.event(sites::CACHE_HIT, 0);
                         return Poll::Ready(Ok(ServedPlan {
                             planned: cached.planned.with_relabeled_plan(&canonical.order),
                             cache_hit: true,
@@ -914,6 +972,7 @@ impl Future for PlanFuture<'_> {
                     {
                         Admission::Cached(cached) => {
                             svc.cache.record_hit();
+                            this.req.trace.event(sites::CACHE_HIT, 0);
                             return Poll::Ready(Ok(ServedPlan {
                                 planned: cached.planned.with_relabeled_plan(&canonical.order),
                                 cache_hit: true,
@@ -932,6 +991,7 @@ impl Future for PlanFuture<'_> {
                                 order: canonical.order,
                                 start,
                                 fp,
+                                wait_span: this.req.trace.span(sites::FLIGHT_WAIT),
                             };
                         }
                         Admission::Lead(guard) => {
